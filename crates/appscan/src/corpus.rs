@@ -1,0 +1,294 @@
+//! The synthetic 160-app corpus reproducing the population of Tab. 12.
+//!
+//! The paper analyzes 38 Google-Play apps plus the 122 apps of the
+//! CANHunter data set. The corpus generator builds one synthetic program
+//! per app with exactly the per-app formula counts the paper reports:
+//! three apps carrying UDS/KWP 2000 formulas (the Carly family), the
+//! OBD-II-formula apps of the table, thirteen apps whose formulas resist
+//! extraction (taint-opaque helper calls — the paper's "request message
+//! is sent by subclass and the response message is parsed by the parent
+//! class" case), and the remainder reading only DTCs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{ArithOp, Operand, Program, ProgramBuilder};
+
+/// What a synthetic app contains (the generation ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Professional-grade app with proprietary UDS and KWP formulas.
+    UdsKwp {
+        /// Number of UDS formulas.
+        uds: usize,
+        /// Number of KWP 2000 formulas.
+        kwp: usize,
+    },
+    /// Ordinary OBD-II telematics app.
+    Obd {
+        /// Number of OBD-II formulas.
+        count: usize,
+    },
+    /// Contains formulas, but behind taint-opaque indirection.
+    ExtractionResistant,
+    /// Only reads/clears trouble codes — no decode formulas at all.
+    DtcOnly,
+}
+
+/// One synthetic app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticApp {
+    /// Display name (Tab. 12 names where applicable).
+    pub name: String,
+    /// Generation ground truth.
+    pub kind: AppKind,
+    /// The app's IR.
+    pub program: Program,
+}
+
+/// Total apps in the corpus (38 Google Play + 122 CANHunter).
+pub const CORPUS_SIZE: usize = 160;
+
+/// The OBD-II rows of Tab. 12: `(app name, #formulas)`.
+pub const OBD_APPS: [(&str, usize); 25] = [
+    ("inCarDoc", 82),
+    ("Car Computer - Olivia Drive", 74),
+    ("CarSys Scan", 64),
+    ("Easy OBD", 55),
+    ("inCarDoc Pro", 49),
+    ("OBD Boy(OBD2-ELM327)", 45),
+    ("FordSys Scan Free", 42),
+    ("ChevroSys Scan Free", 40),
+    ("ToyoSys Scan Free", 40),
+    ("Obd Mary", 34),
+    ("OBD2 Boost", 34),
+    ("Obd Harry Scan", 28),
+    ("Obd Arny", 27),
+    ("MOSX", 24),
+    ("Dr Prius Dr Hybrid", 22),
+    ("Dacar Pro OBD2", 21),
+    ("OBD2 Scanner Fault Codes Desc", 16),
+    ("Dacar Pro OBD2 II", 14),
+    ("Engie Easy Car Repair", 8),
+    ("PHEV Watchdog", 8),
+    ("Torque Lite(OBD2&Car)", 5),
+    ("Kiwi OBD", 3),
+    ("OBDclick", 2),
+    ("Dr Prius Dr Hybrid II", 1),
+    ("Fuel Economy for Torque Pro", 1),
+];
+
+/// The UDS/KWP rows of Tab. 12: `(app name, #UDS, #KWP)`.
+pub const UDS_KWP_APPS: [(&str, usize, usize); 3] = [
+    ("Carly for VAG", 90, 137),
+    ("Carly for Mercedes", 1624, 468),
+    ("Carly for Toyota", 0, 7),
+];
+
+/// Number of apps whose formulas resist extraction (paper: "the formulas
+/// in 13 apps cannot be extracted").
+pub const RESISTANT_APPS: usize = 13;
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Emits one guarded decode-formula block.
+fn formula_block(b: &mut ProgramBuilder, response_var: &str, prefix: &str, idx: usize, seed: u64) {
+    let h = mix(seed, 7, idx as u64);
+    let a = 0.1 + (h % 100) as f64 / 25.0;
+    let c = ((h >> 8) % 80) as f64 - 40.0;
+    let two_vars = h.is_multiple_of(3);
+    b.if_starts_with(response_var, prefix, |b| {
+        let v0 = format!("s{idx}_0");
+        let p0 = format!("p{idx}_0");
+        b.str_op(&v0, "split:0", response_var);
+        b.parse_int(&p0, &v0);
+        let y = format!("y{idx}");
+        if two_vars {
+            let v1 = format!("s{idx}_1");
+            let p1 = format!("p{idx}_1");
+            b.str_op(&v1, "split:1", response_var);
+            b.parse_int(&p1, &v1);
+            let t0 = format!("t{idx}_0");
+            let t1 = format!("t{idx}_1");
+            b.arith(&t0, ArithOp::Mul, Operand::Const(a), Operand::var(&p0));
+            b.arith(&t1, ArithOp::Mul, Operand::Const(0.25), Operand::var(&p1));
+            b.arith(&y, ArithOp::Add, Operand::var(&t0), Operand::var(&t1));
+        } else {
+            let t0 = format!("t{idx}_0");
+            b.arith(&t0, ArithOp::Mul, Operand::Const(a), Operand::var(&p0));
+            b.arith(&y, ArithOp::Add, Operand::var(&t0), Operand::Const(c));
+        }
+        b.display(&y);
+    });
+}
+
+fn obd_prefix(idx: usize) -> String {
+    format!("41 {:02X}", (idx * 7 + 4) % 0x60)
+}
+
+fn uds_prefix(idx: usize) -> String {
+    format!("62 {:02X} {:02X}", 0xF4 - (idx % 16) as u8, idx % 256)
+}
+
+fn kwp_prefix(idx: usize) -> String {
+    format!("61 {:02X}", (idx * 3 + 1) % 0xF0)
+}
+
+/// Builds one app program of the given kind.
+pub fn build_app(kind: AppKind, seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.api_call("resp", "InputStream.read");
+    match kind {
+        AppKind::Obd { count } => {
+            for i in 0..count {
+                formula_block(&mut b, "resp", &obd_prefix(i), i, seed);
+            }
+        }
+        AppKind::UdsKwp { uds, kwp } => {
+            for i in 0..uds {
+                formula_block(&mut b, "resp", &uds_prefix(i), i, seed);
+            }
+            for i in 0..kwp {
+                formula_block(&mut b, "resp", &kwp_prefix(i), uds + i, seed);
+            }
+        }
+        AppKind::ExtractionResistant => {
+            // The response crosses an opaque helper before parsing, so the
+            // taint chain breaks (subclass/parent split, partial-byte
+            // checks — the paper's failure modes).
+            b.opaque("helper", "resp");
+            b.parse_int("v", "helper");
+            b.arith("y", ArithOp::Mul, Operand::var("v"), Operand::Const(0.25));
+            b.display("y");
+        }
+        AppKind::DtcOnly => {
+            // Reads and string-matches trouble codes; no arithmetic at all.
+            b.str_op("code", "trim", "resp");
+            b.if_starts_with("code", "43", |b| {
+                b.str_op("dtc", "substring", "code");
+                b.display("dtc");
+            });
+        }
+    }
+    b.build()
+}
+
+/// Generates the full 160-app corpus with Tab. 12's population.
+pub fn table12_corpus(seed: u64) -> Vec<SyntheticApp> {
+    let mut apps = Vec::with_capacity(CORPUS_SIZE);
+    for (i, (name, uds, kwp)) in UDS_KWP_APPS.iter().enumerate() {
+        let kind = AppKind::UdsKwp {
+            uds: *uds,
+            kwp: *kwp,
+        };
+        apps.push(SyntheticApp {
+            name: (*name).to_string(),
+            kind,
+            program: build_app(kind, mix(seed, 1, i as u64)),
+        });
+    }
+    for (i, (name, count)) in OBD_APPS.iter().enumerate() {
+        let kind = AppKind::Obd { count: *count };
+        apps.push(SyntheticApp {
+            name: (*name).to_string(),
+            kind,
+            program: build_app(kind, mix(seed, 2, i as u64)),
+        });
+    }
+    for i in 0..RESISTANT_APPS {
+        apps.push(SyntheticApp {
+            name: format!("Hardened Scanner {}", i + 1),
+            kind: AppKind::ExtractionResistant,
+            program: build_app(AppKind::ExtractionResistant, mix(seed, 3, i as u64)),
+        });
+    }
+    let remaining = CORPUS_SIZE - apps.len();
+    for i in 0..remaining {
+        apps.push(SyntheticApp {
+            name: format!("DTC Reader {}", i + 1),
+            kind: AppKind::DtcOnly,
+            program: build_app(AppKind::DtcOnly, mix(seed, 4, i as u64)),
+        });
+    }
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_formulas, ProtocolClass, DEFAULT_SOURCE_APIS};
+
+    #[test]
+    fn corpus_has_exactly_160_apps() {
+        let corpus = table12_corpus(5);
+        assert_eq!(corpus.len(), CORPUS_SIZE);
+        let uds_kwp = corpus
+            .iter()
+            .filter(|a| matches!(a.kind, AppKind::UdsKwp { .. }))
+            .count();
+        assert_eq!(uds_kwp, 3);
+        let obd = corpus
+            .iter()
+            .filter(|a| matches!(a.kind, AppKind::Obd { .. }))
+            .count();
+        assert_eq!(obd, OBD_APPS.len());
+    }
+
+    #[test]
+    fn carly_vag_extraction_matches_tab12() {
+        let program = build_app(AppKind::UdsKwp { uds: 90, kwp: 137 }, 3);
+        let formulas = extract_formulas(&program, &DEFAULT_SOURCE_APIS);
+        let uds = formulas
+            .iter()
+            .filter(|f| f.protocol == ProtocolClass::Uds)
+            .count();
+        let kwp = formulas
+            .iter()
+            .filter(|f| f.protocol == ProtocolClass::Kwp2000)
+            .count();
+        assert_eq!(uds, 90);
+        assert_eq!(kwp, 137);
+    }
+
+    #[test]
+    fn obd_app_extraction_counts() {
+        let program = build_app(AppKind::Obd { count: 40 }, 9);
+        let formulas = extract_formulas(&program, &DEFAULT_SOURCE_APIS);
+        assert_eq!(formulas.len(), 40);
+        assert!(formulas
+            .iter()
+            .all(|f| f.protocol == ProtocolClass::ObdII));
+    }
+
+    #[test]
+    fn resistant_and_dtc_apps_yield_nothing() {
+        for kind in [AppKind::ExtractionResistant, AppKind::DtcOnly] {
+            let program = build_app(kind, 1);
+            assert!(
+                extract_formulas(&program, &DEFAULT_SOURCE_APIS).is_empty(),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = table12_corpus(42);
+        let b = table12_corpus(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_formulas_evaluate_sanely() {
+        let program = build_app(AppKind::Obd { count: 5 }, 77);
+        let formulas = extract_formulas(&program, &DEFAULT_SOURCE_APIS);
+        for f in &formulas {
+            let y = f.formula.eval(&[100.0, 50.0]);
+            assert!(y.is_finite());
+            assert!(f.formula.leaf_count() >= 1);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The miniature structured three-address IR the analysis runs over.
+//!
+//! The shape deliberately mirrors the Jimple listing of the paper's
+//! Fig. 9: framework-API calls produce buffers, string operations
+//! preprocess them, `parseInt` extracts integers, arithmetic combines
+//! them, branches guard on response prefixes, and display sinks show the
+//! result.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic operators appearing in decode formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (total: divide-by-zero yields 0, as Java doubles would
+    /// yield infinity that the apps clamp anyway).
+    Div,
+}
+
+impl ArithOp {
+    /// Applies the operator.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+        }
+    }
+
+    /// The operator's symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A right-hand-side operand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A variable reference.
+    Var(String),
+    /// A numeric constant.
+    Const(f64),
+}
+
+impl Operand {
+    /// Shorthand for a variable operand.
+    pub fn var(name: impl Into<String>) -> Self {
+        Operand::Var(name.into())
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cond {
+    /// `var.startsWith(prefix)` — the guard shape of Fig. 9.
+    StartsWith {
+        /// The tested variable.
+        var: String,
+        /// The hex prefix, e.g. `"41 0C"`.
+        prefix: String,
+    },
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `dest = api(...)` — possibly a taint source.
+    ApiCall {
+        /// Destination variable.
+        dest: String,
+        /// Fully qualified API name.
+        api: String,
+    },
+    /// `dest = <strop>(src)` — replace/trim/split/substring.
+    StrOp {
+        /// Destination variable.
+        dest: String,
+        /// The operation name (informational).
+        op: String,
+        /// Source variable.
+        src: String,
+    },
+    /// `dest = Integer.parseInt(src, 16)` — a formula leaf.
+    ParseInt {
+        /// Destination variable.
+        dest: String,
+        /// Source (string) variable.
+        src: String,
+    },
+    /// `dest = src`.
+    Assign {
+        /// Destination variable.
+        dest: String,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dest = lhs op rhs`.
+    Arith {
+        /// Destination variable.
+        dest: String,
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `if cond { then }` — structured control flow.
+    If {
+        /// The guard.
+        cond: Cond,
+        /// The guarded block.
+        then: Vec<Stmt>,
+    },
+    /// The value reaches the UI.
+    Display {
+        /// The displayed variable.
+        src: String,
+    },
+    /// A call the analysis cannot see through (kills taint).
+    Opaque {
+        /// Destination variable.
+        dest: String,
+        /// Input variable (taint does not propagate).
+        src: String,
+    },
+}
+
+/// A program: a statement list.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// The statements.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Total statement count, including nested blocks.
+    pub fn len(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then, .. } => 1 + count(then),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// A convenient builder for programs (and nested blocks).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an API call.
+    pub fn api_call(&mut self, dest: &str, api: &str) -> &mut Self {
+        self.stmts.push(Stmt::ApiCall {
+            dest: dest.into(),
+            api: api.into(),
+        });
+        self
+    }
+
+    /// Appends a string operation.
+    pub fn str_op(&mut self, dest: &str, op: &str, src: &str) -> &mut Self {
+        self.stmts.push(Stmt::StrOp {
+            dest: dest.into(),
+            op: op.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// Appends a parse-int.
+    pub fn parse_int(&mut self, dest: &str, src: &str) -> &mut Self {
+        self.stmts.push(Stmt::ParseInt {
+            dest: dest.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// Appends an assignment.
+    pub fn assign(&mut self, dest: &str, src: Operand) -> &mut Self {
+        self.stmts.push(Stmt::Assign {
+            dest: dest.into(),
+            src,
+        });
+        self
+    }
+
+    /// Appends an arithmetic statement.
+    pub fn arith(&mut self, dest: &str, op: ArithOp, lhs: Operand, rhs: Operand) -> &mut Self {
+        self.stmts.push(Stmt::Arith {
+            dest: dest.into(),
+            op,
+            lhs,
+            rhs,
+        });
+        self
+    }
+
+    /// Appends a guarded block built by the closure.
+    pub fn if_starts_with(
+        &mut self,
+        var: &str,
+        prefix: &str,
+        build: impl FnOnce(&mut ProgramBuilder),
+    ) -> &mut Self {
+        let mut inner = ProgramBuilder::new();
+        build(&mut inner);
+        self.stmts.push(Stmt::If {
+            cond: Cond::StartsWith {
+                var: var.into(),
+                prefix: prefix.into(),
+            },
+            then: inner.stmts,
+        });
+        self
+    }
+
+    /// Appends a display sink.
+    pub fn display(&mut self, src: &str) -> &mut Self {
+        self.stmts.push(Stmt::Display { src: src.into() });
+        self
+    }
+
+    /// Appends an opaque (taint-killing) call.
+    pub fn opaque(&mut self, dest: &str, src: &str) -> &mut Self {
+        self.stmts.push(Stmt::Opaque {
+            dest: dest.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program { stmts: self.stmts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_op_semantics() {
+        assert_eq!(ArithOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(ArithOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(ArithOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(ArithOp::Div.apply(6.0, 3.0), 2.0);
+        assert_eq!(ArithOp::Div.apply(6.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn builder_produces_nested_structure() {
+        let mut b = ProgramBuilder::new();
+        b.api_call("r", "InputStream.read");
+        b.if_starts_with("r", "41 05", |b| {
+            b.parse_int("v", "r");
+            b.display("v");
+        });
+        let p = b.build();
+        assert_eq!(p.stmts().len(), 2);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        match &p.stmts()[1] {
+            Stmt::If { cond, then } => {
+                assert_eq!(
+                    cond,
+                    &Cond::StartsWith {
+                        var: "r".into(),
+                        prefix: "41 05".into()
+                    }
+                );
+                assert_eq!(then.len(), 2);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+}

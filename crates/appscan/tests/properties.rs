@@ -1,0 +1,108 @@
+//! Property-based tests for the app-analysis taint engine.
+
+use dpr_appscan::corpus::{build_app, AppKind};
+use dpr_appscan::ir::{ArithOp, Operand, ProgramBuilder};
+use dpr_appscan::{extract_formulas, FormulaExpr, ProtocolClass, DEFAULT_SOURCE_APIS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A generated app of any size yields exactly its ground-truth number
+    /// of formulas, with the right protocol classes.
+    #[test]
+    fn obd_app_counts_exact(count in 0usize..40, seed in any::<u64>()) {
+        let program = build_app(AppKind::Obd { count }, seed);
+        let formulas = extract_formulas(&program, &DEFAULT_SOURCE_APIS);
+        prop_assert_eq!(formulas.len(), count);
+        prop_assert!(formulas.iter().all(|f| f.protocol == ProtocolClass::ObdII));
+    }
+
+    /// UDS/KWP apps partition their formulas exactly.
+    #[test]
+    fn uds_kwp_app_counts_exact(uds in 0usize..25, kwp in 0usize..25, seed in any::<u64>()) {
+        let program = build_app(AppKind::UdsKwp { uds, kwp }, seed);
+        let formulas = extract_formulas(&program, &DEFAULT_SOURCE_APIS);
+        let got_uds = formulas.iter().filter(|f| f.protocol == ProtocolClass::Uds).count();
+        let got_kwp = formulas.iter().filter(|f| f.protocol == ProtocolClass::Kwp2000).count();
+        prop_assert_eq!(got_uds, uds);
+        prop_assert_eq!(got_kwp, kwp);
+    }
+
+    /// A hand-built guarded affine formula is recovered with exact
+    /// semantics for arbitrary coefficients.
+    #[test]
+    fn affine_formula_semantics_recovered(
+        a in -100.0f64..100.0,
+        c in -100.0f64..100.0,
+        v in 0.0f64..255.0,
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.api_call("r", "InputStream.read");
+        b.if_starts_with("r", "41 0D", |b| {
+            b.parse_int("p", "r");
+            b.arith("t", ArithOp::Mul, Operand::Const(a), Operand::var("p"));
+            b.arith("y", ArithOp::Add, Operand::var("t"), Operand::Const(c));
+            b.display("y");
+        });
+        let formulas = extract_formulas(&b.build(), &DEFAULT_SOURCE_APIS);
+        prop_assert_eq!(formulas.len(), 1);
+        let got = formulas[0].formula.eval(&[v]);
+        let want = a * v + c;
+        prop_assert!((got - want).abs() < 1e-9, "{} -> {got} vs {want}", formulas[0].formula);
+    }
+
+    /// Extraction is total over random builder programs (no panics) and
+    /// every reported formula uses at least one response leaf.
+    #[test]
+    fn extraction_total_over_random_programs(ops in proptest::collection::vec((0u8..6, any::<u64>()), 0..40)) {
+        let mut b = ProgramBuilder::new();
+        b.api_call("r", "InputStream.read");
+        b.parse_int("p0", "r");
+        for (ctr, (op, h)) in ops.into_iter().enumerate() {
+            let dest = format!("v{ctr}");
+            match op {
+                0 => { b.str_op(&dest, "trim", "r"); }
+                1 => { b.parse_int(&dest, "r"); }
+                2 => {
+                    b.arith(
+                        &dest,
+                        ArithOp::Mul,
+                        Operand::var("p0"),
+                        Operand::Const((h % 100) as f64 / 10.0),
+                    );
+                }
+                3 => { b.assign(&dest, Operand::Const((h % 50) as f64)); }
+                4 => { b.display("p0"); }
+                _ => { b.opaque(&dest, "r"); }
+            }
+        }
+        let formulas = extract_formulas(&b.build(), &DEFAULT_SOURCE_APIS);
+        for f in &formulas {
+            prop_assert!(f.formula.leaf_count() >= 1);
+            let v = f.formula.eval(&[7.0, 3.0]);
+            prop_assert!(v.is_finite());
+        }
+    }
+}
+
+/// The formula expression printer and evaluator agree structurally.
+#[test]
+fn formula_display_eval_consistency() {
+    let f = FormulaExpr::Bin(
+        ArithOp::Add,
+        Box::new(FormulaExpr::Bin(
+            ArithOp::Mul,
+            Box::new(FormulaExpr::Const(64.0)),
+            Box::new(FormulaExpr::Leaf(1)),
+        )),
+        Box::new(FormulaExpr::Bin(
+            ArithOp::Div,
+            Box::new(FormulaExpr::Leaf(2)),
+            Box::new(FormulaExpr::Const(4.0)),
+        )),
+    );
+    assert_eq!(f.to_string(), "((64 * v1) + (v2 / 4))");
+    assert_eq!(f.eval(&[2.0, 8.0]), 130.0);
+    assert_eq!(f.leaf_count(), 2);
+}

@@ -1,0 +1,249 @@
+//! Ablations of DP-Reverser's design choices (DESIGN.md §"Key design
+//! decisions").
+//!
+//! 1. Tab. 2 pre-/post-scaling on vs. off (paper §3.5 Step 3 motivation);
+//! 2. the two-stage incorrect-ESV filter on vs. off under heavy OCR noise
+//!    (paper §3.3 / §4.4 motivation);
+//! 3. payload reassembly on vs. off (paper §4.4 "necessity of payload
+//!    recovering").
+
+use dp_reverser::{evaluate, DpReverser, PipelineConfig};
+use dpr_bench::{collect_car, header, pct, quick, scheme_for, EXPERIMENT_SEED};
+use dpr_can::BusLog;
+use dpr_gp::{scaling::ScalePlan, Dataset, GpConfig, SymbolicRegressor};
+use dpr_ocr::OcrChannel;
+use dpr_vehicle::profiles::CarId;
+
+/// Ablation 1: GP accuracy with and without Tab. 2 scaling on targets far
+/// outside the 1..10 band.
+fn scaling_ablation() {
+    println!("--- ablation 1: Tab. 2 scaling on/off ---");
+    // Y in the thousands (engine speed) and in the hundredths (torque in
+    // per-mille units), the two failure modes §3.5 Step 3 names.
+    let cases: Vec<(&str, Dataset)> = vec![
+        (
+            "Y ~ 10^3 (engine speed)",
+            Dataset::from_pairs((0..80).map(|i| {
+                let x = f64::from(20 + (i * 7) % 200);
+                (x, 64.0 * x + 32.0)
+            }))
+            .expect("well-formed"),
+        ),
+        (
+            "Y ~ 10^-2 (small scale)",
+            Dataset::from_pairs((0..80).map(|i| {
+                let x = f64::from(20 + (i * 7) % 200);
+                (x, 0.0001 * x + 0.002)
+            }))
+            .expect("well-formed"),
+        ),
+    ];
+    println!(
+        "{:26} {:>18} {:>18}",
+        "data set", "rel err (scaled)", "rel err (unscaled)"
+    );
+    for (name, data) in cases {
+        let mut errors = Vec::new();
+        for scale in [true, false] {
+            let config = GpConfig {
+                scale,
+                // Isolate the scaling effect from the closed-form refit.
+                refit: false,
+                seeded_init: false,
+                ..GpConfig::fast(EXPERIMENT_SEED)
+            };
+            let model = SymbolicRegressor::new(config).fit(&data);
+            let y_scale = data
+                .y()
+                .iter()
+                .map(|y| y.abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-12);
+            errors.push(model.train_error / y_scale);
+        }
+        println!(
+            "{:26} {:>17.5} {:>17.5}   {}",
+            name,
+            errors[0],
+            errors[1],
+            if errors[0] <= errors[1] { "scaling helps/ties" } else { "scaling hurt here" }
+        );
+    }
+    // The plan itself is exercised directly too.
+    let plan = ScalePlan::for_dataset(
+        &Dataset::from_pairs((0..10).map(|i| (f64::from(i + 200), f64::from(i) * 500.0))).unwrap(),
+    );
+    println!("chosen plan for X~200, Y~2500: x_factors {:?}, y_factor {}", plan.x_factors, plan.y_factor);
+}
+
+/// Ablation 2: the two-stage incorrect-ESV filter under heavy OCR noise,
+/// aggregated over several cars to smooth seed variance.
+fn filter_ablation() {
+    println!("\n--- ablation 2: incorrect-ESV filter on/off under 15% OCR noise ---");
+    let cars = [CarId::M, CarId::P, CarId::E, CarId::H];
+    for (label, use_filter) in [("filter on", true), ("filter off", false)] {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for &id in &cars {
+            let seed = EXPERIMENT_SEED ^ 0xF1 ^ (id as u64);
+            let report = collect_car(id, seed, if quick() { 4 } else { 8 });
+            let mut config = if quick() {
+                PipelineConfig::fast(scheme_for(id), seed)
+            } else {
+                PipelineConfig::paper(scheme_for(id), seed)
+            };
+            config.ocr = OcrChannel::new(0.85, seed); // heavy noise
+            config.use_filter = use_filter;
+            let result = DpReverser::new(config).analyze(&report.log, &report.frames, None);
+            let precision = evaluate(&result, &report.vehicle);
+            total += precision.formula_total;
+            correct += precision.formula_correct;
+        }
+        println!(
+            "{:12} formula precision {} ({correct}/{total}) over {} cars",
+            label,
+            pct(correct, total),
+            cars.len(),
+        );
+    }
+    println!("(filter off disables the range check, MAD rejection, and robust trim;");
+    println!(" GP's own robustness is all that remains — paper §4.4 observation (i))");
+}
+
+/// Ablation 3: payload reassembly on vs. off — drop multi-frame payloads
+/// by truncating the capture to single frames, as READ-style tools do.
+fn reassembly_ablation() {
+    println!("\n--- ablation 3: payload reassembly on/off (KWP car) ---");
+    let id = CarId::C;
+    let seed = EXPERIMENT_SEED ^ 0xA5;
+    let report = collect_car(id, seed, if quick() { 4 } else { 8 });
+
+    // Full pipeline.
+    let config = if quick() {
+        PipelineConfig::fast(scheme_for(id), seed)
+    } else {
+        PipelineConfig::paper(scheme_for(id), seed)
+    };
+    let with = DpReverser::new(config.clone()).analyze(&report.log, &report.frames, None);
+
+    // "No reassembly": keep only frames that complete a message alone —
+    // the VW TP last-frames; everything multi-frame is lost.
+    let crippled: BusLog = report
+        .log
+        .iter()
+        .filter(|e| {
+            use dpr_transport::vwtp::VwOpcode;
+            e.frame
+                .data()
+                .first()
+                .and_then(|&b| VwOpcode::from_first_byte(b))
+                .is_some_and(|op| op.is_data() && op.is_last())
+                && e.frame.data().len() >= 2
+        })
+        .cloned()
+        .collect();
+    let without = DpReverser::new(config).analyze(&crippled, &report.frames, None);
+
+    println!(
+        "with reassembly:    {} ESVs recovered ({} with formulas)",
+        with.esvs.len(),
+        with.formula_esvs().count()
+    );
+    println!(
+        "without reassembly: {} ESVs recovered ({} with formulas)",
+        without.esvs.len(),
+        without.formula_esvs().count()
+    );
+    println!("paper: 75.2% of KWP frames are multi-frame (Tab. 9) — without Step 2");
+    println!("the fields \"cannot be extracted\" (§4.4).");
+}
+
+/// Ablation 4: the GP engine's own knobs — closed-form residual refit,
+/// informed template seeding, and the full 14-function set vs. arithmetic
+/// only — measured on a battery of the paper's formula shapes.
+fn gp_knob_ablation() {
+    println!("\n--- ablation 4: GP engine knobs over 8 formula shapes ---");
+    type Shape = (&'static str, fn(f64, f64) -> f64, bool);
+    let shapes: [Shape; 8] = [
+        ("x/2.55", |a, _| a / 2.55, false),
+        ("1.8x-40", |a, _| 1.8 * a - 40.0, false),
+        ("64a+0.25b", |a, b| 64.0 * a + 0.25 * b, true),
+        ("ab/5", |a, b| a * b / 5.0, true),
+        ("0.002ab", |a, b| 0.002 * a * b, true),
+        ("1000/a", |a, _| 1000.0 / a, false),
+        ("0.01a^2", |a, _| 0.01 * a * a, false),
+        ("0.1a(b-100)", |a, b| 0.1 * a * (b - 100.0), true),
+    ];
+    let build = |f: fn(f64, f64) -> f64, two: bool| {
+        if two {
+            Dataset::from_triples((0..80).map(|i| {
+                let a = (20 + (i * 37) % 200) as f64;
+                let b = (105 + (i * 53) % 120) as f64;
+                ((a, b), f(a, b))
+            }))
+            .expect("well-formed")
+        } else {
+            Dataset::from_pairs((0..80).map(|i| {
+                let a = (20 + (i * 37) % 200) as f64;
+                (a, f(a, 0.0))
+            }))
+            .expect("well-formed")
+        }
+    };
+    let configs: [(&str, GpConfig); 4] = [
+        ("full engine", GpConfig::fast(EXPERIMENT_SEED)),
+        (
+            "no residual refit",
+            GpConfig {
+                refit: false,
+                ..GpConfig::fast(EXPERIMENT_SEED)
+            },
+        ),
+        (
+            "no template seeding",
+            GpConfig {
+                seeded_init: false,
+                ..GpConfig::fast(EXPERIMENT_SEED)
+            },
+        ),
+        (
+            "arithmetic-only functions",
+            GpConfig {
+                functions: dpr_gp::FunctionSet::arithmetic(),
+                ..GpConfig::fast(EXPERIMENT_SEED)
+            },
+        ),
+    ];
+    println!("{:26} {:>12}", "configuration", "recovered");
+    for (label, config) in configs {
+        let mut ok = 0;
+        for (i, (_, f, two)) in shapes.iter().enumerate() {
+            let data = build(*f, *two);
+            let mut c = config.clone();
+            c.seed = EXPERIMENT_SEED + i as u64;
+            let model = SymbolicRegressor::new(c).fit(&data);
+            let ranges: Vec<(f64, f64)> = if *two {
+                vec![(20.0, 219.0), (105.0, 224.0)]
+            } else {
+                vec![(20.0, 219.0)]
+            };
+            if model.agrees_with(|x| f(x[0], x.get(1).copied().unwrap_or(0.0)), &ranges, 0.03) {
+                ok += 1;
+            }
+        }
+        println!("{:26} {:>9}/{}", label, ok, shapes.len());
+    }
+    println!("(every knob is part of making a from-scratch engine reach the");
+    println!(" paper's gplearn-level reliability; see DESIGN.md deviation 2)");
+}
+
+fn main() {
+    header(
+        "Ablations: scaling, incorrect-ESV filter, payload reassembly, GP knobs",
+        "each design choice measurably contributes (paper §3.3, §3.5, §4.4)",
+    );
+    scaling_ablation();
+    filter_ablation();
+    reassembly_ablation();
+    gp_knob_ablation();
+}

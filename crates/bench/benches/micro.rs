@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the hot paths: GP inference (the Tab. 8
+//! cost driver), ISO-TP stream reassembly, OCR frame reading, and the
+//! click-route planner.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dpr_baselines::{LinearRegression, PolynomialFit, Regressor};
+use dpr_can::Micros;
+use dpr_cps::{plan_route, PlanStrategy};
+use dpr_gp::{Dataset, GpConfig, SymbolicRegressor};
+use dpr_ocr::{mad_inliers, OcrChannel};
+use dpr_transport::isotp::IsoTpStreamDecoder;
+
+fn gp_dataset() -> Dataset {
+    Dataset::from_triples((0..100).map(|i| {
+        let x0 = f64::from(100 + (i * 37) % 150);
+        let x1 = f64::from(8 + (i * 23) % 24);
+        ((x0, x1), x0 * x1 / 5.0)
+    }))
+    .expect("well-formed")
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = gp_dataset();
+    let mut group = c.benchmark_group("formula_inference");
+    group.sample_size(10);
+    group.bench_function("gp_fast_product_formula", |b| {
+        b.iter(|| SymbolicRegressor::new(GpConfig::fast(7)).fit(black_box(&data)))
+    });
+    group.bench_function("linear_regression", |b| {
+        b.iter(|| LinearRegression.fit(black_box(&data)))
+    });
+    group.bench_function("polynomial_fit", |b| {
+        b.iter(|| PolynomialFit.fit(black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_isotp_reassembly(c: &mut Criterion) {
+    // A realistic multi-frame message stream: FF + 28 CFs, repeated.
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..50 {
+        frames.push(vec![0x10, 200, 1, 2, 3, 4, 5, 6]);
+        for seq in 0..28u8 {
+            let mut cf = vec![0x20 | ((seq + 1) & 0x0F)];
+            cf.extend_from_slice(&[7; 7]);
+            frames.push(cf);
+        }
+    }
+    c.bench_function("isotp_stream_reassembly_50_messages", |b| {
+        b.iter_batched(
+            IsoTpStreamDecoder::new,
+            |mut decoder| {
+                for f in &frames {
+                    decoder.push(black_box(f));
+                }
+                decoder.drain()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ocr(c: &mut Criterion) {
+    let channel = OcrChannel::new(0.9976, 3);
+    c.bench_function("ocr_read_1000_values", |b| {
+        b.iter(|| {
+            let mut out = 0usize;
+            for i in 0..1000 {
+                out += channel.read(black_box(i), 0, "1234.5").len();
+            }
+            out
+        })
+    });
+    let values: Vec<f64> = (0..500).map(|i| 25.0 + f64::from(i % 7)).collect();
+    c.bench_function("mad_filter_500_values", |b| {
+        b.iter(|| mad_inliers(black_box(&values), 8.0))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let targets: Vec<(f64, f64)> = (0..14)
+        .map(|i| (((i * 13) % 60) as f64, ((i * 29) % 20) as f64))
+        .collect();
+    c.bench_function("nearest_neighbor_plan_14_targets", |b| {
+        b.iter(|| plan_route((0.0, 0.0), black_box(&targets), PlanStrategy::NearestNeighbor))
+    });
+    let _ = Micros::ZERO;
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_isotp_reassembly,
+    bench_ocr,
+    bench_planner
+);
+criterion_main!(benches);

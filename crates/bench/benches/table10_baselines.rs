@@ -1,0 +1,234 @@
+//! Table 10 — precision of the baseline inference algorithms.
+//!
+//! Paper: over the same 290 formula ESVs, linear regression infers only
+//! 127 correctly (43.8%) and polynomial curve fitting 93 (32.1%), versus
+//! GP's 285 (98.3%). Two causes (§4.4): OCR outliers skew the unprotected
+//! least-squares fits, and linear regression cannot express the
+//! nonlinear KWP formulas at all.
+//!
+//! Following the paper's framing — the baselines stand in for the
+//! LibreCAN/READ-style pipeline, which has none of DP-Reverser's §3.3
+//! protections — they are fitted on *unfiltered* OCR readings: no range
+//! check, no MAD outlier stage, no robust trim, no scaling. GP (Tab. 6)
+//! gets the full §3.3/§3.5 treatment; that asymmetry is exactly the
+//! paper's point.
+
+use dp_reverser::match_series_two_pass;
+use dpr_baselines::{LinearRegression, PolynomialFit, Regressor};
+use dpr_bench::{collect_car, header, pct, quick, scheme_for, EXPERIMENT_SEED};
+use dpr_can::Micros;
+use dpr_frames::{analyze_capture, SourceKey};
+use dpr_gp::Dataset;
+use dpr_ocr::{read_frames, OcrChannel};
+use dpr_protocol::EsvFormula;
+use dpr_tool::ToolProfile;
+use dpr_vehicle::ecu::EsvId;
+use dpr_vehicle::profiles::{self, CarId};
+
+fn esv_id_for(key: SourceKey) -> Option<EsvId> {
+    match key {
+        SourceKey::UdsDid(d) => Some(EsvId::Uds(dpr_protocol::uds::Did(d))),
+        SourceKey::Kwp { local_id, slot } => Some(EsvId::Kwp {
+            local_id: dpr_protocol::kwp::LocalId(local_id),
+            slot,
+        }),
+        SourceKey::Obd(_) => None,
+    }
+}
+
+/// Counts (correct, total) formula inferences for one baseline on one car.
+fn run_car(id: CarId, seed: u64, read_secs: u64) -> (usize, usize, usize, usize) {
+    let spec = profiles::spec(id);
+    let report = collect_car(id, seed, read_secs);
+    let capture = analyze_capture(&report.log, scheme_for(id));
+    fn spec_quality(spec: &profiles::CarSpec) -> f64 {
+        ToolProfile::by_name(spec.tool)
+            .map(|p| p.ocr_quality)
+            .unwrap_or(0.998)
+    }
+
+    // Screenshot analysis with the tool's OCR noise — completely
+    // unfiltered: every parseable reading (outliers included) reaches the
+    // least-squares fits, as in the READ/LibreCAN pipeline.
+    let ocr = OcrChannel::new(spec_quality(&spec), seed);
+    let readings: Vec<_> = read_frames(&report.frames, &ocr)
+        .into_iter()
+        .filter(|r| r.value.is_some())
+        .collect();
+
+    let mut labels: Vec<(String, String)> = readings
+        .iter()
+        .map(|r| (r.screen.clone(), r.label.clone()))
+        .collect();
+    labels.sort();
+    labels.dedup();
+    let y_series: Vec<dp_reverser::LabelSeries> = labels
+        .into_iter()
+        .map(|key| {
+            let series = readings
+                .iter()
+                .filter(|r| r.screen == key.0 && r.label == key.1)
+                .filter_map(|r| r.value.map(|v| (r.at, v)))
+                .collect();
+            (key, series)
+        })
+        .collect();
+    let matches = match_series_two_pass(
+        &capture.extraction.series,
+        &y_series,
+        Micros::from_secs(1),
+        0.5,
+    );
+
+    let truth_points = report.vehicle.esv_points();
+    let mut lin_correct = 0;
+    let mut poly_correct = 0;
+    let mut total = 0;
+    for m in &matches {
+        if m.pairs.len() < 6 {
+            continue;
+        }
+        let key = capture.extraction.series[m.series_idx].key;
+        let Some(esv_id) = esv_id_for(key) else { continue };
+        let Some(point) = truth_points.iter().find(|p| p.id == esv_id) else {
+            continue;
+        };
+        let truth = point.formula;
+        if !truth.has_formula() {
+            continue;
+        }
+        total += 1;
+
+        let rows: Vec<Vec<f64>> = m.pairs.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = m.pairs.iter().map(|(_, y)| *y).collect();
+        let Ok(data) = Dataset::new(rows.clone(), ys) else {
+            continue;
+        };
+        let ranges: Vec<(f64, f64)> = (0..rows[0].len())
+            .map(|c| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for r in &rows {
+                    lo = lo.min(r[c]);
+                    hi = hi.max(r[c]);
+                }
+                (lo, hi)
+            })
+            .collect();
+        // The paper's baseline criterion is structural: the inferred
+        // coefficients must be close to the ground truth's (its §4.4
+        // rejects polyfit's 0.032·X0·X1 against the true 0.2·X0·X1 even
+        // though it fit the observed data). Compare coefficient vectors
+        // over the quadratic basis, weighting each mismatch by the term's
+        // magnitude over the observed range.
+        let two = rows[0].len() > 1;
+        if let Some(truth_coeffs) = poly_coeffs(truth) {
+            if let Some(model) = LinearRegression.fit(&data) {
+                // Basis [1, x0, (x1)] padded with zeros for the missing
+                // quadratic terms.
+                let c = model.coefficients();
+                let fitted = [
+                    c[0],
+                    c[1],
+                    if two { c[2] } else { 0.0 },
+                    0.0,
+                    0.0,
+                    0.0,
+                ];
+                if coeffs_close(&fitted, &truth_coeffs, &ranges) {
+                    lin_correct += 1;
+                }
+            }
+            if let Some(model) = PolynomialFit.fit(&data) {
+                let c = model.coefficients();
+                let fitted = if two {
+                    // [1, x0, x1, x0x1, x0^2, x1^2]
+                    [c[0], c[1], c[2], c[3], c[4], c[5]]
+                } else {
+                    // [1, x0, x0^2]
+                    [c[0], c[1], 0.0, 0.0, c[2], 0.0]
+                };
+                if coeffs_close(&fitted, &truth_coeffs, &ranges) {
+                    poly_correct += 1;
+                }
+            }
+        }
+        // Non-polynomial truths (inverse formulas) are unrepresentable by
+        // either baseline: both are counted incorrect by construction.
+    }
+    (lin_correct, poly_correct, total, matches.len())
+}
+
+/// Expands a ground-truth formula into coefficients over the basis
+/// `[1, x0, x1, x0·x1, x0², x1²]`; `None` for non-polynomial shapes.
+fn poly_coeffs(truth: EsvFormula) -> Option<[f64; 6]> {
+    match truth {
+        EsvFormula::Linear { a, b } => Some([b, a, 0.0, 0.0, 0.0, 0.0]),
+        EsvFormula::Affine2 { a, b, c } => Some([c, a, b, 0.0, 0.0, 0.0]),
+        EsvFormula::Product { a, b } => Some([b, 0.0, 0.0, a, 0.0, 0.0]),
+        EsvFormula::Square { a, b } => Some([b, 0.0, 0.0, 0.0, a, 0.0]),
+        EsvFormula::OffsetProduct { a, k } => {
+            // a·x0·(x1 − k) = −a·k·x0 + a·x0·x1
+            Some([0.0, -a * k, 0.0, a, 0.0, 0.0])
+        }
+        EsvFormula::Inverse { .. } | EsvFormula::Enumeration => None,
+    }
+}
+
+/// Structural closeness: the summed coefficient mismatch, weighted by each
+/// basis term's magnitude over the observed range, must stay below 8% of
+/// the output scale — the "coefficient very close to ground truth" test.
+fn coeffs_close(fitted: &[f64; 6], truth: &[f64; 6], ranges: &[(f64, f64)]) -> bool {
+    let (x0_lo, x0_hi) = ranges[0];
+    let (x1_lo, x1_hi) = ranges.get(1).copied().unwrap_or((0.0, 0.0));
+    let m0 = x0_lo.abs().max(x0_hi.abs());
+    let m1 = x1_lo.abs().max(x1_hi.abs());
+    let term_scales = [1.0, m0, m1, m0 * m1, m0 * m0, m1 * m1];
+    let y_scale: f64 = truth
+        .iter()
+        .zip(&term_scales)
+        .map(|(c, s)| (c * s).abs())
+        .sum::<f64>()
+        .max(1.0);
+    let mismatch: f64 = fitted
+        .iter()
+        .zip(truth)
+        .zip(&term_scales)
+        .map(|((f, t), s)| ((f - t) * s).abs())
+        .sum();
+    mismatch <= 0.08 * y_scale
+}
+
+fn main() {
+    header(
+        "Table 10: precision of linear regression and polynomial curve fitting",
+        "linreg 127/290 = 43.8%; polyfit 93/290 = 32.1% (GP: 285/290 = 98.3%)",
+    );
+    let read_secs = if quick() { 4 } else { 10 };
+    println!(
+        "{:6} {:>14} {:>22} {:>22}",
+        "car", "#ESV(formula)", "#correct (linreg)", "#correct (polyfit)"
+    );
+    let mut totals = (0usize, 0usize, 0usize);
+    for id in CarId::ALL {
+        let seed = EXPERIMENT_SEED ^ (id as u64 + 1);
+        let (lin, poly, total, _) = run_car(id, seed, read_secs);
+        println!("{:6} {:>14} {:>22} {:>22}", format!("{id}"), total, lin, poly);
+        totals.0 += lin;
+        totals.1 += poly;
+        totals.2 += total;
+    }
+    println!(
+        "\n{:6} {:>14} {:>15} {} {:>15} {}",
+        "Total",
+        totals.2,
+        totals.0,
+        pct(totals.0, totals.2),
+        totals.1,
+        pct(totals.1, totals.2),
+    );
+    println!("paper totals: linreg 127/290 (43.8%), polyfit 93/290 (32.1%)");
+    println!("\nshape check: both baselines fall far below GP's Tab. 6 precision;");
+    println!("linear regression additionally cannot express the product-form KWP");
+    println!("formulas (engine speed X0*X1/5) even on perfectly clean data.");
+}

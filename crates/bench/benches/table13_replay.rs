@@ -1,0 +1,155 @@
+//! Table 13 — attacking vehicles with reverse-engineered messages (§9.3).
+//!
+//! Paper: recovered diagnostic messages injected into four running
+//! vehicles (BMW i3, Lexus NX300, Toyota Corolla, Kia) all trigger their
+//! actions — reading data, controlling lights/wipers/locks, resetting
+//! ECUs. Here the "attacker" reverse engineers each car once, then
+//! replays the recovered control procedures at a fresh instance of the
+//! same model and verifies the components actuate.
+
+use dpr_bench::{analyze, collect_car, header, quick, EXPERIMENT_SEED};
+use dpr_can::CanBus;
+use dpr_frames::EcrTarget;
+use dpr_protocol::kwp::LocalId;
+use dpr_protocol::uds::Did;
+use dpr_transport::bmw::BmwRawEndpoint;
+use dpr_transport::isotp::IsoTpEndpoint;
+use dpr_transport::Endpoint;
+use dpr_vehicle::ecu::ComponentKey;
+use dpr_vehicle::profiles::{self, CarId};
+use dpr_vehicle::{run_exchange, AttachedVehicle, TransportKind};
+
+/// Replays one recovered procedure at the victim; returns whether the
+/// addressed component actually actuated.
+fn replay(
+    victim: &mut AttachedVehicle,
+    bus: &mut CanBus,
+    dongle_node: dpr_can::NodeHandle,
+    transport: TransportKind,
+    target: EcrTarget,
+    state: &[u8],
+) -> bool {
+    // Find the ECU that owns the target to learn its CAN ids (an attacker
+    // scans request ids; here we read them from the victim's ECU list,
+    // which only exposes addressing, not tables).
+    let key = match target {
+        EcrTarget::Id2F(id) => ComponentKey::UdsDid(Did(id)),
+        EcrTarget::Local30(l) => ComponentKey::KwpLocal(LocalId(l)),
+    };
+    let Some((req, rsp, addr, security)) = victim
+        .ecus()
+        .find(|e| e.component(key).is_some())
+        .map(|e| {
+            (
+                e.request_id(),
+                e.response_id(),
+                e.address,
+                e.security_secret.filter(|_| e.is_secured(key)),
+            )
+        })
+    else {
+        return false;
+    };
+    let mut endpoint: Box<dyn Endpoint> = match transport {
+        TransportKind::IsoTp => Box::new(IsoTpEndpoint::new(req, rsp)),
+        TransportKind::BmwRaw => Box::new(BmwRawEndpoint::new(req, rsp, addr, 0xF1)),
+        TransportKind::VwTp => {
+            Box::new(dpr_transport::vwtp::VwTpEndpoint::initiator(req, rsp, addr))
+        }
+    };
+    let messages: Vec<Vec<u8>> = match target {
+        EcrTarget::Id2F(id) => {
+            let [hi, lo] = id.to_be_bytes();
+            let mut adjust = vec![0x2F, hi, lo, 0x03];
+            adjust.extend_from_slice(state);
+            vec![vec![0x2F, hi, lo, 0x02], adjust, vec![0x2F, hi, lo, 0x00]]
+        }
+        EcrTarget::Local30(l) => {
+            let mut adjust = vec![0x30, l, 0x03];
+            adjust.extend_from_slice(state);
+            vec![vec![0x30, l, 0x02], adjust, vec![0x30, l, 0x00]]
+        }
+    };
+    // Secured components need the seed-key handshake first. The attacker
+    // has the algorithm — the paper's threat model assumes the tool can be
+    // reverse engineered offline, and seed-key routines are routinely
+    // lifted from tool firmware.
+    if let Some(secret) = security {
+        if endpoint.send(&[0x27, 0x01], bus.now()).is_err() {
+            return false;
+        }
+        if run_exchange(bus, dongle_node, endpoint.as_mut(), victim).is_err() {
+            return false;
+        }
+        if let Some(rsp) = endpoint.receive() {
+            if rsp.len() >= 4 && rsp[0] == 0x67 {
+                let k = (u16::from_be_bytes([rsp[2], rsp[3]]) ^ secret).to_be_bytes();
+                let _ = endpoint.send(&[0x27, 0x02, k[0], k[1]], bus.now());
+                let _ = run_exchange(bus, dongle_node, endpoint.as_mut(), victim);
+                let _ = endpoint.receive();
+            }
+        }
+    }
+    for m in messages {
+        if endpoint.send(&m, bus.now()).is_err() {
+            return false;
+        }
+        if run_exchange(bus, dongle_node, endpoint.as_mut(), victim).is_err() {
+            return false;
+        }
+        let _ = endpoint.receive();
+    }
+    victim
+        .ecus()
+        .filter_map(|e| e.component(key))
+        .any(|c| c.was_adjusted())
+}
+
+fn main() {
+    header(
+        "Table 13: replaying reverse-engineered messages at running vehicles",
+        "all recovered messages trigger their actions on 4 vehicles",
+    );
+    let read_secs = if quick() { 1 } else { 2 };
+    // The paper's four attack targets: BMW i3 has no Tab. 11 ECRs in our
+    // profile set, so the four Tab. 11 cars closest to §9.3's set stand
+    // in: BMW 532Li (BMW), Lexus NX300 (Lexus), Toyota-style Car Q uses
+    // service 30, and Kia k2.
+    let targets = [CarId::J, CarId::D, CarId::Q, CarId::N];
+    println!(
+        "{:22} {:>10} {:>13} {:>9}",
+        "vehicle", "#recovered", "#injected ok", "actuated"
+    );
+    let mut all_ok = true;
+    for id in targets {
+        let spec = profiles::spec(id);
+        let seed = EXPERIMENT_SEED ^ 0xA77 ^ (id as u64);
+        let report = collect_car(id, seed, read_secs);
+        let result = analyze(id, seed, &report);
+
+        // Fresh victim instance of the same model.
+        let mut bus = CanBus::new();
+        let dongle = bus.attach("attack dongle");
+        let mut victim = profiles::build(id, seed).attach(&mut bus);
+
+        let mut actuated = 0usize;
+        for ecr in &result.ecrs {
+            if replay(&mut victim, &mut bus, dongle, spec.transport, ecr.target, &ecr.state) {
+                actuated += 1;
+            }
+        }
+        all_ok &= actuated == result.ecrs.len() && !result.ecrs.is_empty();
+        println!(
+            "{:22} {:>10} {:>13} {:>9}   (paper: all succeed)",
+            spec.model,
+            result.ecrs.len(),
+            actuated,
+            if actuated == result.ecrs.len() { "ALL" } else { "SOME" },
+        );
+    }
+    println!(
+        "\nshape check: {} — recovered procedures transfer to fresh vehicles of the",
+        if all_ok { "every injected procedure actuated its component" } else { "NOT all procedures actuated" }
+    );
+    println!("same model, the paper's threat-model claim (§2.1/§9.3).");
+}

@@ -1,0 +1,92 @@
+//! Table 8 — average time cost of inferring one formula.
+//!
+//! Paper (Python/gplearn testbed): GP ≈ 201.40 s (UDS) / 192.19 s
+//! (KWP 2000); linear regression ≈ 0.9–1.7 ms; polynomial curve fitting
+//! ≈ 0.4–0.6 ms. Absolute numbers shift on a compiled Rust engine, but
+//! the *shape* — GP several orders of magnitude slower than the
+//! closed-form baselines, and both baselines sub-millisecond-ish — must
+//! hold.
+
+use std::time::Instant;
+
+use dpr_baselines::{LinearRegression, PolynomialFit, Regressor};
+use dpr_bench::{header, quick, EXPERIMENT_SEED};
+use dpr_gp::{Dataset, GpConfig, SymbolicRegressor};
+
+/// Representative inference data sets: UDS-shaped (one variable) and
+/// KWP-shaped (two variables).
+fn uds_dataset(seed: u64) -> Dataset {
+    Dataset::from_pairs((0..120).map(|i| {
+        let x = ((i * 37 + seed as usize * 13) % 256) as f64;
+        (x, 0.75 * x - 40.0)
+    }))
+    .expect("well-formed")
+}
+
+fn kwp_dataset(seed: u64) -> Dataset {
+    Dataset::from_triples((0..120).map(|i| {
+        let x0 = (100 + (i * 37 + seed as usize * 7) % 150) as f64;
+        let x1 = (8 + (i * 23) % 24) as f64;
+        ((x0, x1), x0 * x1 / 5.0)
+    }))
+    .expect("well-formed")
+}
+
+fn time_gp(datasets: &[Dataset]) -> f64 {
+    let start = Instant::now();
+    for (i, d) in datasets.iter().enumerate() {
+        let config = if quick() {
+            GpConfig::fast(EXPERIMENT_SEED + i as u64)
+        } else {
+            GpConfig::paper(EXPERIMENT_SEED + i as u64)
+        };
+        let _ = SymbolicRegressor::new(config).fit(d);
+    }
+    start.elapsed().as_secs_f64() / datasets.len() as f64
+}
+
+fn time_baseline(regressor: &dyn Regressor, datasets: &[Dataset]) -> f64 {
+    let start = Instant::now();
+    // Baselines are so fast we repeat them for a stable reading.
+    let reps = 200;
+    for _ in 0..reps {
+        for d in datasets {
+            let _ = regressor.fit(d);
+        }
+    }
+    start.elapsed().as_secs_f64() / (datasets.len() * reps) as f64
+}
+
+fn main() {
+    header(
+        "Table 8: average time cost of inferring formulas (seconds)",
+        "GP: 201.40 (UDS) / 192.19 (KWP); linreg: 0.0009/0.0017; polyfit: 0.0004/0.0006",
+    );
+    let n = if quick() { 4 } else { 10 };
+    let uds: Vec<Dataset> = (0..n).map(|i| uds_dataset(i as u64)).collect();
+    let kwp: Vec<Dataset> = (0..n).map(|i| kwp_dataset(i as u64)).collect();
+
+    println!(
+        "{:10} {:>18} {:>18} {:>22}",
+        "protocol", "genetic programming", "linear regression", "polynomial curve fit"
+    );
+    let mut ratios = Vec::new();
+    for (name, datasets) in [("UDS", &uds), ("KWP 2000", &kwp)] {
+        let gp = time_gp(datasets);
+        let lin = time_baseline(&LinearRegression, datasets);
+        let poly = time_baseline(&PolynomialFit, datasets);
+        println!(
+            "{:10} {:>17.4}s {:>17.6}s {:>21.6}s",
+            name, gp, lin, poly
+        );
+        ratios.push(gp / lin.max(1e-12));
+    }
+    println!(
+        "\nshape check: GP is {}x–{}x slower than linear regression",
+        ratios.iter().cloned().fold(f64::INFINITY, f64::min) as u64,
+        ratios.iter().cloned().fold(0.0, f64::max) as u64
+    );
+    println!("paper shape: GP five orders of magnitude slower (Python gplearn vs closed form);");
+    println!("the compiled engine shrinks the absolute GP time but preserves the ordering");
+    println!("GP >> linreg > polyfit only in absolute cost, with GP far ahead of both.");
+}

@@ -1,0 +1,107 @@
+//! Inspection utility: run the full pipeline on one Tab. 3 car and dump
+//! per-ESV verdicts, association scores, and (optionally) raw `(X, Y)`
+//! pairs for a specific identifier.
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin inspect_car -- K 10
+//! DPR_DEBUG=1 DPR_DUMP=kwp:04:0 cargo run --release -p dpr-bench --bin inspect_car -- K 10
+//! DPR_DEBUG=1 DPR_DUMP=F40D   cargo run --release -p dpr-bench --bin inspect_car -- A 10
+//! ```
+//!
+//! Arguments: the car letter (A–R) and the per-page read dwell in
+//! seconds. `DPR_DEBUG=1` prints extraction series and screen label
+//! inventories; `DPR_DUMP=<did hex | kwp:<lid hex>:<slot>>` dumps the
+//! paired samples for one identifier.
+
+use dp_reverser::evaluate;
+use dpr_bench::{analyze, collect_car, EXPERIMENT_SEED};
+use dpr_vehicle::profiles::CarId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("P");
+    let read = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let Some(id) = which
+        .bytes()
+        .next()
+        .filter(|b| b.is_ascii_uppercase())
+        .and_then(|b| CarId::ALL.get((b - b'A') as usize).copied())
+    else {
+        eprintln!("error: unknown car {which:?} — pass a letter A..R (paper Tab. 3)");
+        std::process::exit(2);
+    };
+    let seed = EXPERIMENT_SEED ^ (id as u64 + 1);
+    let report = collect_car(id, seed, read);
+    let result = analyze(id, seed, &report);
+    let precision = evaluate(&result, &report.vehicle);
+    for v in &precision.verdicts {
+        if !v.correct {
+            println!("WRONG {} [{}] truth: {} got: {}", v.key, v.label, v.truth, v.recovered);
+            if let Some(esv) = result.esvs.iter().find(|e| e.key == v.key) {
+                println!("   score {:.3} pairs {} ranges {:?} screen {:?}",
+                    esv.match_score, esv.pairs, esv.x_ranges, esv.screen);
+                if let dp_reverser::RecoveredKind::Formula(m) = &esv.kind {
+                    println!("   train_error {:.4}", m.train_error);
+                }
+            }
+        }
+    }
+    println!("formula {}/{} enum {}/{} missed {}", precision.formula_correct, precision.formula_total, precision.enum_correct, precision.enum_total, precision.missed);
+    if std::env::var("DPR_DEBUG").is_ok() {
+        use dpr_frames::{analyze_capture};
+        use dpr_ocr::{read_frames, filter_readings, OcrChannel, RangeBook};
+        let cap = analyze_capture(&report.log, dpr_bench::scheme_for(id));
+        println!("extraction series:");
+        for s in &cap.extraction.series {
+            println!("  {:?} samples={} cols={}", s.key, s.samples.len(), s.samples[0].1.len());
+        }
+        let readings = filter_readings(&read_frames(&report.frames, &OcrChannel::perfect()), &RangeBook::standard());
+        let mut keys: Vec<(String,String)> = readings.iter().map(|r| (r.screen.clone(), r.label.clone())).collect();
+        keys.sort(); keys.dedup();
+        println!("y series:");
+        for k in &keys {
+            let n = readings.iter().filter(|r| r.screen==k.0 && r.label==k.1).count();
+            println!("  {:?} n={}", k, n);
+        }
+        // probe: score every series against every label
+        let y_series: Vec<dp_reverser::LabelSeries> = keys.iter().map(|k| {
+            (k.clone(), readings.iter().filter(|r| r.screen==k.0 && r.label==k.1)
+                .filter_map(|r| r.value.map(|v| (r.at, v))).collect())
+        }).collect();
+        let matches = dp_reverser::match_series(&cap.extraction.series, &y_series, dpr_can::Micros::from_secs(1), 0.0);
+        for m in &matches {
+            println!("match {:?} <-> {:?} score {:.3} pairs {}", cap.extraction.series[m.series_idx].key, y_series[m.label_idx].0.1, m.score, m.pairs.len());
+        }
+        if let Ok(which) = std::env::var("DPR_DUMP") {
+            let key = if let Some(rest) = which.strip_prefix("kwp:") {
+                let mut it = rest.split(':');
+                let lid = u8::from_str_radix(it.next().unwrap(), 16).unwrap();
+                let slot: usize = it.next().unwrap().parse().unwrap();
+                dpr_frames::SourceKey::Kwp { local_id: lid, slot }
+            } else {
+                dpr_frames::SourceKey::UdsDid(u16::from_str_radix(&which, 16).unwrap())
+            };
+            for m in &matches {
+                if cap.extraction.series[m.series_idx].key == key {
+                    println!("pairs for {:?} <-> {:?}:", key, y_series[m.label_idx].0);
+                    for (x, y) in m.pairs.iter() {
+                        println!("   x={:?} y={}", x, y);
+                    }
+                }
+            }
+        }
+    }
+
+    // show what was missed
+    let recovered: Vec<_> = result.esvs.iter().map(|e| e.key).collect();
+    for p in report.vehicle.esv_points() {
+        let key = match p.id {
+            dpr_vehicle::ecu::EsvId::Uds(d) => dpr_frames::SourceKey::UdsDid(d.0),
+            dpr_vehicle::ecu::EsvId::Kwp { local_id, slot } => dpr_frames::SourceKey::Kwp { local_id: local_id.0, slot },
+        };
+        if !recovered.contains(&key) {
+            println!("MISSED {:?} [{}] {}", key, p.quantity.name(), p.formula);
+        }
+    }
+}
+// (extended diagnostics in main via env var DPR_DEBUG)

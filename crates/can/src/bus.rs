@@ -1,0 +1,391 @@
+//! Deterministic CAN bus simulation with priority arbitration.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::{BusLog, CanFrame, Micros, TimestampedFrame};
+
+/// Default simulated bit rate: 500 kbit/s, the usual rate of the diagnostic
+/// CAN bus behind the OBD port.
+const DEFAULT_BITRATE: u32 = 500_000;
+
+/// Handle identifying a node attached to a [`CanBus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeHandle(usize);
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    inbox: Vec<TimestampedFrame>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    ready_at: Micros,
+    seq: u64,
+    from: NodeHandle,
+    frame: CanFrame,
+}
+
+/// A deterministic simulation of a single CAN bus segment.
+///
+/// Nodes [`attach`](CanBus::attach) to the bus and
+/// [`transmit`](CanBus::transmit) frames that become ready at a given logical
+/// time. Each [`step`](CanBus::step) resolves one arbitration round: among
+/// all frames ready when the bus goes idle, the highest-priority identifier
+/// wins (ties broken by submission order), occupies the bus for its wire
+/// time, and is then delivered to every other node, appended to the
+/// [`BusLog`], and forwarded to any [`SnifferTap`]s.
+///
+/// The simulation is single-threaded and fully deterministic; wrap the bus in
+/// a [`SharedBus`] when multiple threads need access.
+#[derive(Debug)]
+pub struct CanBus {
+    nodes: Vec<Node>,
+    pending: Vec<Pending>,
+    log: BusLog,
+    busy_until: Micros,
+    bitrate: u32,
+    seq: u64,
+    taps: Vec<Sender<TimestampedFrame>>,
+}
+
+impl Default for CanBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CanBus {
+    /// Creates an idle bus at 500 kbit/s.
+    pub fn new() -> Self {
+        Self::with_bitrate(DEFAULT_BITRATE)
+    }
+
+    /// Creates an idle bus with a custom bit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitrate` is zero.
+    pub fn with_bitrate(bitrate: u32) -> Self {
+        assert!(bitrate > 0, "bit rate must be positive");
+        CanBus {
+            nodes: Vec::new(),
+            pending: Vec::new(),
+            log: BusLog::new(),
+            busy_until: Micros::ZERO,
+            bitrate,
+            seq: 0,
+            taps: Vec::new(),
+        }
+    }
+
+    /// Attaches a named node and returns its handle.
+    pub fn attach(&mut self, name: impl Into<String>) -> NodeHandle {
+        self.nodes.push(Node {
+            name: name.into(),
+            inbox: Vec::new(),
+        });
+        NodeHandle(self.nodes.len() - 1)
+    }
+
+    /// The display name of an attached node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this bus.
+    pub fn node_name(&self, node: NodeHandle) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Schedules `frame` from `node`, becoming ready at logical `ready_at`.
+    ///
+    /// The frame contends for the bus from `max(ready_at, bus idle time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this bus.
+    pub fn transmit(&mut self, node: NodeHandle, frame: CanFrame, ready_at: Micros) {
+        assert!(node.0 < self.nodes.len(), "unknown node handle");
+        self.pending.push(Pending {
+            ready_at,
+            seq: self.seq,
+            from: node,
+            frame,
+        });
+        self.seq += 1;
+    }
+
+    /// Resolves one arbitration round. Returns the delivered frame, or
+    /// `None` when nothing is pending.
+    pub fn step(&mut self) -> Option<TimestampedFrame> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // The bus goes idle at busy_until; the next contention window starts
+        // at the earliest ready time not before that.
+        let earliest = self
+            .pending
+            .iter()
+            .map(|p| p.ready_at)
+            .min()
+            .expect("pending is non-empty");
+        let window = earliest.max(self.busy_until);
+
+        // All frames ready by the window start contend; highest priority id
+        // wins, ties broken by submission order (deterministic).
+        let winner_idx = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.ready_at <= window)
+            .min_by(|(_, a), (_, b)| {
+                if a.frame.id() == b.frame.id() {
+                    a.seq.cmp(&b.seq)
+                } else if a.frame.id().priority_beats(b.frame.id()) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("at least the earliest frame is ready");
+
+        let Pending { from, frame, .. } = self.pending.swap_remove(winner_idx);
+        let tx_time = Micros::from_micros(
+            (u64::from(frame.wire_bits()) * 1_000_000).div_ceil(u64::from(self.bitrate)),
+        );
+        let done = window + tx_time;
+        self.busy_until = done;
+
+        let entry = TimestampedFrame { at: done, frame };
+        self.log.record(done, entry.frame.clone());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if i != from.0 {
+                node.inbox.push(entry.clone());
+            }
+        }
+        self.taps.retain(|tap| tap.send(entry.clone()).is_ok());
+        Some(entry)
+    }
+
+    /// Steps until no frame completes at or before `deadline`. Frames that
+    /// would finish after the deadline stay pending.
+    pub fn run_until(&mut self, deadline: Micros) {
+        loop {
+            let Some(next_ready) = self.pending.iter().map(|p| p.ready_at).min() else {
+                return;
+            };
+            // A conservative pre-check: if even the bare start time is past
+            // the deadline, stop. (Completion may still overshoot; that is
+            // fine — time advances monotonically.)
+            if next_ready.max(self.busy_until) > deadline {
+                return;
+            }
+            self.step();
+        }
+    }
+
+    /// Drains every pending frame.
+    pub fn run_to_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Current bus time (when the last transmission completed).
+    pub fn now(&self) -> Micros {
+        self.busy_until
+    }
+
+    /// Advances idle time to `t` (no-op if the bus is already past `t`).
+    /// Simulations use this to model waiting periods with no traffic.
+    pub fn advance_to(&mut self, t: Micros) {
+        self.busy_until = self.busy_until.max(t);
+    }
+
+    /// Number of frames waiting for arbitration.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Takes (and clears) everything delivered to `node` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this bus.
+    pub fn take_inbox(&mut self, node: NodeHandle) -> Vec<TimestampedFrame> {
+        std::mem::take(&mut self.nodes[node.0].inbox)
+    }
+
+    /// The complete sniffer capture.
+    pub fn log(&self) -> &BusLog {
+        &self.log
+    }
+
+    /// Consumes the bus, returning the capture.
+    pub fn into_log(self) -> BusLog {
+        self.log
+    }
+
+    /// Registers a live tap that receives every subsequent frame.
+    pub fn tap(&mut self) -> SnifferTap {
+        let (tx, rx) = unbounded();
+        self.taps.push(tx);
+        SnifferTap { rx }
+    }
+}
+
+/// A live subscription to bus traffic, as used by the paper's OBD-port
+/// sniffer. Dropping the tap detaches it.
+#[derive(Debug)]
+pub struct SnifferTap {
+    rx: Receiver<TimestampedFrame>,
+}
+
+impl SnifferTap {
+    /// Returns the next captured frame if one is immediately available.
+    pub fn try_next(&self) -> Option<TimestampedFrame> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains everything captured so far.
+    pub fn drain(&self) -> Vec<TimestampedFrame> {
+        let mut out = Vec::new();
+        while let Some(f) = self.try_next() {
+            out.push(f);
+        }
+        out
+    }
+}
+
+/// A thread-safe handle to a bus, for simulations that drive the tool and
+/// the vehicle from different threads.
+pub type SharedBus = Arc<Mutex<CanBus>>;
+
+/// Convenience constructor for a [`SharedBus`].
+pub fn shared_bus() -> SharedBus {
+    Arc::new(Mutex::new(CanBus::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CanId;
+
+    fn frame(id: u16, data: &[u8]) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), data).unwrap()
+    }
+
+    #[test]
+    fn delivers_to_all_other_nodes() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        let b = bus.attach("b");
+        let c = bus.attach("c");
+        bus.transmit(a, frame(0x100, &[1]), Micros::ZERO);
+        bus.step();
+        assert!(bus.take_inbox(a).is_empty());
+        assert_eq!(bus.take_inbox(b).len(), 1);
+        assert_eq!(bus.take_inbox(c).len(), 1);
+    }
+
+    #[test]
+    fn arbitration_prefers_lower_id() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        let b = bus.attach("b");
+        // Both ready at t=0: the lower id must win even though it was
+        // submitted second.
+        bus.transmit(a, frame(0x200, &[1]), Micros::ZERO);
+        bus.transmit(b, frame(0x100, &[2]), Micros::ZERO);
+        let first = bus.step().unwrap();
+        assert_eq!(first.frame.id(), CanId::standard(0x100).unwrap());
+        let second = bus.step().unwrap();
+        assert_eq!(second.frame.id(), CanId::standard(0x200).unwrap());
+        assert!(second.at > first.at);
+    }
+
+    #[test]
+    fn equal_ids_resolve_by_submission_order() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        bus.transmit(a, frame(0x100, &[1]), Micros::ZERO);
+        bus.transmit(a, frame(0x100, &[2]), Micros::ZERO);
+        assert_eq!(bus.step().unwrap().frame.data(), &[1]);
+        assert_eq!(bus.step().unwrap().frame.data(), &[2]);
+    }
+
+    #[test]
+    fn frame_not_ready_waits() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        bus.transmit(a, frame(0x300, &[1]), Micros::from_millis(10));
+        bus.transmit(a, frame(0x100, &[2]), Micros::from_millis(20));
+        // Even though 0x100 has higher priority it is not ready in the first
+        // window, so 0x300 goes first.
+        assert_eq!(bus.step().unwrap().frame.data(), &[1]);
+    }
+
+    #[test]
+    fn log_records_everything_in_order() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        for i in 0..5u8 {
+            bus.transmit(a, frame(0x100 + u16::from(i), &[i]), Micros::ZERO);
+        }
+        bus.run_to_idle();
+        assert_eq!(bus.log().len(), 5);
+        let times: Vec<_> = bus.log().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        bus.transmit(a, frame(0x100, &[1]), Micros::ZERO);
+        bus.transmit(a, frame(0x101, &[2]), Micros::from_secs(10));
+        bus.run_until(Micros::from_secs(1));
+        assert_eq!(bus.log().len(), 1);
+        assert_eq!(bus.pending_len(), 1);
+    }
+
+    #[test]
+    fn tap_sees_traffic() {
+        let mut bus = CanBus::new();
+        let a = bus.attach("a");
+        let tap = bus.tap();
+        bus.transmit(a, frame(0x100, &[7]), Micros::ZERO);
+        bus.run_to_idle();
+        let captured = tap.drain();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].frame.data(), &[7]);
+        assert!(tap.try_next().is_none());
+    }
+
+    #[test]
+    fn transmission_advances_time_by_wire_bits() {
+        let mut bus = CanBus::with_bitrate(500_000);
+        let a = bus.attach("a");
+        let f = frame(0x100, &[0; 8]);
+        let expected_us = (u64::from(f.wire_bits()) * 1_000_000).div_ceil(500_000);
+        bus.transmit(a, f, Micros::ZERO);
+        let done = bus.step().unwrap();
+        assert_eq!(done.at.as_micros(), expected_us);
+    }
+
+    #[test]
+    fn shared_bus_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let bus = shared_bus();
+        assert_send(&bus);
+        let mut guard = bus.lock();
+        let a = guard.attach("a");
+        guard.transmit(a, frame(0x1, &[0]), Micros::ZERO);
+        guard.run_to_idle();
+        assert_eq!(guard.log().len(), 1);
+    }
+}

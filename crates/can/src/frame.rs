@@ -1,0 +1,174 @@
+//! CAN data frames.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::CanId;
+
+/// Maximum number of data bytes a classic CAN 2.0 frame can carry.
+pub const MAX_FRAME_DATA: usize = 8;
+
+/// A classic CAN 2.0 data frame: an identifier plus 0–8 data bytes.
+///
+/// Frames are immutable once built; the payload is reference-counted
+/// ([`Bytes`]) so the sniffer log and the receiving ECU can share it without
+/// copying.
+///
+/// # Example
+///
+/// ```
+/// use dpr_can::{CanFrame, CanId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let frame = CanFrame::new(CanId::standard(0x7E8)?, &[0x03, 0x41, 0x0C, 0x1F])?;
+/// assert_eq!(frame.dlc(), 4);
+/// assert_eq!(frame.data()[1], 0x41);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CanFrame {
+    id: CanId,
+    data: Bytes,
+}
+
+impl CanFrame {
+    /// Creates a data frame, copying the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooLong`] if `data` exceeds [`MAX_FRAME_DATA`]
+    /// bytes.
+    pub fn new(id: CanId, data: &[u8]) -> Result<Self, FrameError> {
+        if data.len() > MAX_FRAME_DATA {
+            return Err(FrameError::TooLong(data.len()));
+        }
+        Ok(CanFrame {
+            id,
+            data: Bytes::copy_from_slice(data),
+        })
+    }
+
+    /// Creates a frame whose payload is padded with `pad` up to 8 bytes, the
+    /// common practice for diagnostic frames ("classic CAN padding").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooLong`] if `data` exceeds [`MAX_FRAME_DATA`]
+    /// bytes before padding.
+    pub fn new_padded(id: CanId, data: &[u8], pad: u8) -> Result<Self, FrameError> {
+        if data.len() > MAX_FRAME_DATA {
+            return Err(FrameError::TooLong(data.len()));
+        }
+        let mut buf = Vec::with_capacity(MAX_FRAME_DATA);
+        buf.extend_from_slice(data);
+        buf.resize(MAX_FRAME_DATA, pad);
+        Ok(CanFrame {
+            id,
+            data: Bytes::from(buf),
+        })
+    }
+
+    /// The frame identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// The data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The data length code (number of payload bytes, 0–8).
+    pub fn dlc(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Approximate on-wire bit count for a classic CAN frame (used by the
+    /// bus model to advance time per transmission). Uses the worst-case
+    /// stuffed-bit estimate for an 11-bit-id frame: `47 + 8·dlc` bits plus
+    /// ~20% stuffing.
+    pub fn wire_bits(&self) -> u32 {
+        let base = if self.id.is_extended() { 67 } else { 47 };
+        let raw = base + 8 * self.dlc() as u32;
+        raw + raw / 5
+    }
+}
+
+impl fmt::Display for CanFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.id, self.dlc())?;
+        for b in self.data.iter() {
+            write!(f, " {b:02X}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error constructing a [`CanFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload exceeds the classic-CAN 8-byte limit.
+    TooLong(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong(n) => {
+                write!(f, "payload of {n} bytes exceeds the 8-byte CAN limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id() -> CanId {
+        CanId::standard(0x7E0).unwrap()
+    }
+
+    #[test]
+    fn rejects_oversized_payload() {
+        let nine = [0u8; 9];
+        assert_eq!(CanFrame::new(id(), &nine), Err(FrameError::TooLong(9)));
+        assert_eq!(
+            CanFrame::new_padded(id(), &nine, 0xAA),
+            Err(FrameError::TooLong(9))
+        );
+    }
+
+    #[test]
+    fn accepts_empty_and_full_payloads() {
+        assert_eq!(CanFrame::new(id(), &[]).unwrap().dlc(), 0);
+        assert_eq!(CanFrame::new(id(), &[0u8; 8]).unwrap().dlc(), 8);
+    }
+
+    #[test]
+    fn padding_fills_to_eight() {
+        let f = CanFrame::new_padded(id(), &[0x02, 0x01, 0x0C], 0x55).unwrap();
+        assert_eq!(f.data(), &[0x02, 0x01, 0x0C, 0x55, 0x55, 0x55, 0x55, 0x55]);
+    }
+
+    #[test]
+    fn wire_bits_grow_with_dlc_and_id_width() {
+        let short = CanFrame::new(id(), &[0]).unwrap();
+        let long = CanFrame::new(id(), &[0; 8]).unwrap();
+        assert!(long.wire_bits() > short.wire_bits());
+
+        let ext = CanFrame::new(CanId::extended(0x18DAF110).unwrap(), &[0]).unwrap();
+        assert!(ext.wire_bits() > short.wire_bits());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = CanFrame::new(id(), &[0x02, 0x01]).unwrap();
+        assert_eq!(f.to_string(), "0x7E0 [2] 02 01");
+    }
+}

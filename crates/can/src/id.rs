@@ -1,0 +1,215 @@
+//! CAN identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum value of an 11-bit standard (CAN 2.0A) identifier.
+const MAX_STANDARD: u32 = 0x7FF;
+/// Maximum value of a 29-bit extended (CAN 2.0B) identifier.
+const MAX_EXTENDED: u32 = 0x1FFF_FFFF;
+
+/// A validated CAN identifier, either 11-bit standard or 29-bit extended.
+///
+/// Per CAN 2.0 a numerically lower identifier has *higher* bus priority; the
+/// [`CanId::priority_beats`] helper encodes the arbitration rule used by
+/// [`crate::CanBus`]. During arbitration a standard frame beats an extended
+/// frame with the same leading 11 bits because the standard frame's RTR/SRR
+/// bit is dominant where the extended frame's IDE bit is recessive.
+///
+/// # Example
+///
+/// ```
+/// use dpr_can::CanId;
+///
+/// # fn main() -> Result<(), dpr_can::IdError> {
+/// let engine = CanId::standard(0x7E0)?;
+/// let body = CanId::standard(0x740)?;
+/// assert!(body.priority_beats(engine));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CanId {
+    /// An 11-bit CAN 2.0A identifier.
+    Standard(u16),
+    /// A 29-bit CAN 2.0B identifier.
+    Extended(u32),
+}
+
+impl CanId {
+    /// Creates a standard 11-bit identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::StandardOutOfRange`] if `raw > 0x7FF`.
+    pub fn standard(raw: u16) -> Result<Self, IdError> {
+        if u32::from(raw) > MAX_STANDARD {
+            Err(IdError::StandardOutOfRange(raw))
+        } else {
+            Ok(CanId::Standard(raw))
+        }
+    }
+
+    /// Creates an extended 29-bit identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError::ExtendedOutOfRange`] if `raw > 0x1FFF_FFFF`.
+    pub fn extended(raw: u32) -> Result<Self, IdError> {
+        if raw > MAX_EXTENDED {
+            Err(IdError::ExtendedOutOfRange(raw))
+        } else {
+            Ok(CanId::Extended(raw))
+        }
+    }
+
+    /// Returns the raw identifier bits.
+    pub fn raw(self) -> u32 {
+        match self {
+            CanId::Standard(v) => u32::from(v),
+            CanId::Extended(v) => v,
+        }
+    }
+
+    /// Returns `true` for an extended (29-bit) identifier.
+    pub fn is_extended(self) -> bool {
+        matches!(self, CanId::Extended(_))
+    }
+
+    /// Returns `true` if `self` wins bus arbitration against `other`.
+    ///
+    /// Arbitration compares the identifier bits most-significant first with
+    /// dominant-zero semantics; a standard frame beats an extended frame that
+    /// shares its 11-bit prefix.
+    pub fn priority_beats(self, other: CanId) -> bool {
+        // Compare on the 11-bit base first (extended IDs transmit their top
+        // 11 bits in the same arbitration slots as a standard ID).
+        let base_self = self.base11();
+        let base_other = other.base11();
+        if base_self != base_other {
+            return base_self < base_other;
+        }
+        match (self.is_extended(), other.is_extended()) {
+            (false, true) => true,
+            (true, false) => false,
+            _ => self.raw() < other.raw(),
+        }
+    }
+
+    /// The top 11 identifier bits as transmitted during arbitration.
+    fn base11(self) -> u32 {
+        match self {
+            CanId::Standard(v) => u32::from(v),
+            CanId::Extended(v) => v >> 18,
+        }
+    }
+}
+
+impl fmt::Display for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanId::Standard(v) => write!(f, "0x{v:03X}"),
+            CanId::Extended(v) => write!(f, "0x{v:08X}x"),
+        }
+    }
+}
+
+impl fmt::LowerHex for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.raw(), f)
+    }
+}
+
+impl fmt::UpperHex for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.raw(), f)
+    }
+}
+
+/// Error constructing a [`CanId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdError {
+    /// The value does not fit in 11 bits.
+    StandardOutOfRange(u16),
+    /// The value does not fit in 29 bits.
+    ExtendedOutOfRange(u32),
+}
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::StandardOutOfRange(v) => {
+                write!(f, "standard CAN id 0x{v:X} exceeds 11 bits")
+            }
+            IdError::ExtendedOutOfRange(v) => {
+                write!(f, "extended CAN id 0x{v:X} exceeds 29 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_range_enforced() {
+        assert!(CanId::standard(0x7FF).is_ok());
+        assert_eq!(
+            CanId::standard(0x800),
+            Err(IdError::StandardOutOfRange(0x800))
+        );
+    }
+
+    #[test]
+    fn extended_range_enforced() {
+        assert!(CanId::extended(0x1FFF_FFFF).is_ok());
+        assert_eq!(
+            CanId::extended(0x2000_0000),
+            Err(IdError::ExtendedOutOfRange(0x2000_0000))
+        );
+    }
+
+    #[test]
+    fn lower_id_wins_arbitration() {
+        let hi = CanId::standard(0x100).unwrap();
+        let lo = CanId::standard(0x200).unwrap();
+        assert!(hi.priority_beats(lo));
+        assert!(!lo.priority_beats(hi));
+    }
+
+    #[test]
+    fn standard_beats_extended_with_same_prefix() {
+        let std_id = CanId::standard(0x123).unwrap();
+        let ext_id = CanId::extended(0x123 << 18).unwrap();
+        assert!(std_id.priority_beats(ext_id));
+        assert!(!ext_id.priority_beats(std_id));
+    }
+
+    #[test]
+    fn extended_arbitration_uses_full_width() {
+        let a = CanId::extended((0x100 << 18) | 5).unwrap();
+        let b = CanId::extended((0x100 << 18) | 9).unwrap();
+        assert!(a.priority_beats(b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CanId::standard(0x7E0).unwrap().to_string(), "0x7E0");
+        assert_eq!(
+            CanId::extended(0x18DA_F110).unwrap().to_string(),
+            "0x18DAF110x"
+        );
+        assert_eq!(format!("{:x}", CanId::standard(0x7E0).unwrap()), "7e0");
+        assert_eq!(format!("{:X}", CanId::standard(0x7E0).unwrap()), "7E0");
+    }
+
+    #[test]
+    fn id_never_beats_itself() {
+        let id = CanId::standard(0x42).unwrap();
+        assert!(!id.priority_beats(id));
+    }
+}

@@ -1,0 +1,48 @@
+//! CAN 2.0 frame model and deterministic bus simulation.
+//!
+//! This crate is the lowest substrate of the DP-Reverser reproduction: it
+//! models the Controller Area Network data-link layer (ISO 11898) that every
+//! diagnostic protocol in the paper rides on. The gateway, ECUs, diagnostic
+//! tools, and the sniffer in the upper crates all exchange [`CanFrame`]s over
+//! a [`CanBus`].
+//!
+//! The bus simulation is deterministic: time is a logical microsecond counter
+//! ([`Micros`]), arbitration follows the CAN priority rule (numerically lower
+//! identifier wins), and every transmitted frame is recorded in a timestamped
+//! [`BusLog`] that plays the role of the OBD-port sniffer in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_can::{CanBus, CanFrame, CanId, Micros};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut bus = CanBus::new();
+//! let tester = bus.attach("tester");
+//! let ecu = bus.attach("engine-ecu");
+//!
+//! let req = CanFrame::new(CanId::standard(0x7E0)?, &[0x02, 0x01, 0x0C])?;
+//! bus.transmit(tester, req, Micros::from_millis(5));
+//! bus.step();
+//!
+//! let delivered = bus.take_inbox(ecu);
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].frame.data(), &[0x02, 0x01, 0x0C]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod frame;
+mod id;
+mod log;
+mod time;
+
+pub use bus::{shared_bus, CanBus, NodeHandle, SharedBus, SnifferTap};
+pub use frame::{CanFrame, FrameError, MAX_FRAME_DATA};
+pub use id::{CanId, IdError};
+pub use log::{BusLog, TimestampedFrame};
+pub use time::Micros;

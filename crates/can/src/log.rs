@@ -1,0 +1,206 @@
+//! The timestamped bus log — the "sniffer" view of the OBD port.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CanFrame, CanId, Micros};
+
+/// A frame together with the logical time at which it won arbitration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimestampedFrame {
+    /// Logical bus time at which the frame completed transmission.
+    pub at: Micros,
+    /// The transmitted frame.
+    pub frame: CanFrame,
+}
+
+/// An append-only record of every frame that crossed the bus.
+///
+/// In the paper the analysis pipeline works entirely from the CAN capture
+/// taken at the OBD port; `BusLog` is that capture. It supports the filtered
+/// views the diagnostic-frames analysis needs (per-id extraction, time
+/// slicing).
+///
+/// # Example
+///
+/// ```
+/// use dpr_can::{BusLog, CanFrame, CanId, Micros, TimestampedFrame};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut log = BusLog::new();
+/// log.record(Micros::from_millis(1), CanFrame::new(CanId::standard(0x7E0)?, &[0x01])?);
+/// log.record(Micros::from_millis(2), CanFrame::new(CanId::standard(0x7E8)?, &[0x41])?);
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.frames_with_id(CanId::standard(0x7E8)?).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusLog {
+    entries: Vec<TimestampedFrame>,
+}
+
+impl BusLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a frame observed at logical time `at`.
+    ///
+    /// Entries are expected in nondecreasing time order (the bus produces
+    /// them that way); the log does not reorder.
+    pub fn record(&mut self, at: Micros, frame: CanFrame) {
+        self.entries.push(TimestampedFrame { at, frame });
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all captured frames in capture order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimestampedFrame> {
+        self.entries.iter()
+    }
+
+    /// Iterates over frames carrying the given identifier.
+    pub fn frames_with_id(&self, id: CanId) -> impl Iterator<Item = &TimestampedFrame> {
+        self.entries.iter().filter(move |e| e.frame.id() == id)
+    }
+
+    /// Returns the frames captured in the half-open window `[from, to)`.
+    pub fn window(&self, from: Micros, to: Micros) -> impl Iterator<Item = &TimestampedFrame> {
+        self.entries
+            .iter()
+            .filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// The distinct CAN identifiers seen, in first-seen order.
+    pub fn distinct_ids(&self) -> Vec<CanId> {
+        let mut seen = Vec::new();
+        for e in &self.entries {
+            if !seen.contains(&e.frame.id()) {
+                seen.push(e.frame.id());
+            }
+        }
+        seen
+    }
+
+    /// Merges another capture into this one, keeping global time order.
+    pub fn merge(&mut self, other: BusLog) {
+        self.entries.extend(other.entries);
+        self.entries.sort_by_key(|e| e.at);
+    }
+}
+
+impl<'a> IntoIterator for &'a BusLog {
+    type Item = &'a TimestampedFrame;
+    type IntoIter = std::slice::Iter<'a, TimestampedFrame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for BusLog {
+    type Item = TimestampedFrame;
+    type IntoIter = std::vec::IntoIter<TimestampedFrame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<TimestampedFrame> for BusLog {
+    fn from_iter<I: IntoIterator<Item = TimestampedFrame>>(iter: I) -> Self {
+        BusLog {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TimestampedFrame> for BusLog {
+    fn extend<I: IntoIterator<Item = TimestampedFrame>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16, byte: u8) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), &[byte]).unwrap()
+    }
+
+    #[test]
+    fn records_and_filters_by_id() {
+        let mut log = BusLog::new();
+        log.record(Micros::from_micros(10), frame(0x7E0, 1));
+        log.record(Micros::from_micros(20), frame(0x7E8, 2));
+        log.record(Micros::from_micros(30), frame(0x7E0, 3));
+
+        let req: Vec<_> = log
+            .frames_with_id(CanId::standard(0x7E0).unwrap())
+            .collect();
+        assert_eq!(req.len(), 2);
+        assert_eq!(req[1].frame.data(), &[3]);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let mut log = BusLog::new();
+        for t in [10u64, 20, 30, 40] {
+            log.record(Micros::from_micros(t), frame(0x100, t as u8));
+        }
+        let w: Vec<_> = log
+            .window(Micros::from_micros(20), Micros::from_micros(40))
+            .collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].at, Micros::from_micros(20));
+        assert_eq!(w[1].at, Micros::from_micros(30));
+    }
+
+    #[test]
+    fn distinct_ids_in_first_seen_order() {
+        let mut log = BusLog::new();
+        log.record(Micros::ZERO, frame(0x7E8, 0));
+        log.record(Micros::ZERO, frame(0x7E0, 0));
+        log.record(Micros::ZERO, frame(0x7E8, 1));
+        assert_eq!(
+            log.distinct_ids(),
+            vec![
+                CanId::standard(0x7E8).unwrap(),
+                CanId::standard(0x7E0).unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_restores_time_order() {
+        let mut a = BusLog::new();
+        a.record(Micros::from_micros(10), frame(1, 0));
+        a.record(Micros::from_micros(30), frame(1, 1));
+        let mut b = BusLog::new();
+        b.record(Micros::from_micros(20), frame(2, 2));
+        a.merge(b);
+        let times: Vec<u64> = a.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let log: BusLog = (0..5)
+            .map(|i| TimestampedFrame {
+                at: Micros::from_micros(i),
+                frame: frame(0x10, i as u8),
+            })
+            .collect();
+        assert_eq!(log.len(), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Logical simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A logical timestamp (or duration) in microseconds.
+///
+/// The whole DP-Reverser simulation runs on logical time so experiments are
+/// reproducible bit-for-bit. `Micros` is deliberately a thin newtype: it
+/// supports ordering, addition, and saturating subtraction, which is all the
+/// transport timers and the alignment machinery need.
+///
+/// # Example
+///
+/// ```
+/// use dpr_can::Micros;
+///
+/// let t = Micros::from_millis(30) + Micros::from_micros(500);
+/// assert_eq!(t.as_micros(), 30_500);
+/// assert_eq!(t.as_millis_f64(), 30.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// The zero timestamp — the instant the simulation starts.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Creates a timestamp from a raw microsecond count.
+    pub const fn from_micros(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Creates a timestamp from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Micros(0)
+        } else {
+            Micros((s * 1e6).round() as u64)
+        }
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp in milliseconds, truncating.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the timestamp in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the timestamp in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction: the result never underflows below zero.
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Absolute difference between two timestamps.
+    pub fn abs_diff(self, rhs: Micros) -> Micros {
+        Micros(self.0.abs_diff(rhs.0))
+    }
+
+    /// Checked addition of a signed microsecond offset (used by the skewed
+    /// clock model in `dpr-cps`). Returns `None` on under/overflow.
+    pub fn checked_add_signed(self, offset_us: i64) -> Option<Micros> {
+        self.0.checked_add_signed(offset_us).map(Micros)
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+
+    /// Panics on underflow in debug builds, consistent with integer
+    /// subtraction; use [`Micros::saturating_sub`] for lenient subtraction.
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Micros::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Micros::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Micros::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(Micros::from_secs_f64(-4.0), Micros::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Micros::from_micros(100);
+        let b = Micros::from_micros(40);
+        assert_eq!(a + b, Micros::from_micros(140));
+        assert_eq!(a - b, Micros::from_micros(60));
+        assert_eq!(b.saturating_sub(a), Micros::ZERO);
+        assert_eq!(a.abs_diff(b), Micros::from_micros(60));
+        assert_eq!(b.abs_diff(a), Micros::from_micros(60));
+    }
+
+    #[test]
+    fn signed_offsets() {
+        let t = Micros::from_micros(500);
+        assert_eq!(t.checked_add_signed(-200), Some(Micros::from_micros(300)));
+        assert_eq!(t.checked_add_signed(-501), None);
+        assert_eq!(t.checked_add_signed(1), Some(Micros::from_micros(501)));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Micros::from_micros(12).to_string(), "12us");
+        assert_eq!(Micros::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Micros::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Micros::from_millis(1) < Micros::from_millis(2));
+        assert_eq!(
+            Micros::from_millis(1).max(Micros::from_micros(999)),
+            Micros::from_millis(1)
+        );
+    }
+}

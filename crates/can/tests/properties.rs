@@ -1,0 +1,80 @@
+//! Property-based tests for the CAN substrate.
+
+use dpr_can::{CanBus, CanFrame, CanId, Micros};
+use proptest::prelude::*;
+
+fn arb_standard_id() -> impl Strategy<Value = CanId> {
+    (0u16..=0x7FF).prop_map(|v| CanId::standard(v).expect("in range"))
+}
+
+fn arb_extended_id() -> impl Strategy<Value = CanId> {
+    (0u32..=0x1FFF_FFFF).prop_map(|v| CanId::extended(v).expect("in range"))
+}
+
+fn arb_id() -> impl Strategy<Value = CanId> {
+    prop_oneof![arb_standard_id(), arb_extended_id()]
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..=8)
+}
+
+proptest! {
+    /// Arbitration is a strict total order: exactly one of `a beats b`,
+    /// `b beats a`, or `a == b` holds.
+    #[test]
+    fn arbitration_is_total_and_antisymmetric(a in arb_id(), b in arb_id()) {
+        let ab = a.priority_beats(b);
+        let ba = b.priority_beats(a);
+        if a == b {
+            prop_assert!(!ab && !ba);
+        } else {
+            prop_assert!(ab ^ ba, "exactly one of {a}/{b} must win");
+        }
+    }
+
+    /// Arbitration is transitive, so a set of contenders always has a
+    /// unique winner.
+    #[test]
+    fn arbitration_is_transitive(a in arb_id(), b in arb_id(), c in arb_id()) {
+        if a.priority_beats(b) && b.priority_beats(c) {
+            prop_assert!(a.priority_beats(c));
+        }
+    }
+
+    /// Any payload of at most 8 bytes round-trips through a frame.
+    #[test]
+    fn frame_preserves_payload(id in arb_id(), data in arb_payload()) {
+        let frame = CanFrame::new(id, &data).expect("payload within limit");
+        prop_assert_eq!(frame.data(), data.as_slice());
+        prop_assert_eq!(frame.id(), id);
+        prop_assert_eq!(frame.dlc(), data.len());
+    }
+
+    /// The bus delivers every scheduled frame exactly once, in
+    /// nondecreasing timestamp order, regardless of scheduling order.
+    #[test]
+    fn bus_delivers_everything_in_time_order(
+        frames in proptest::collection::vec((arb_id(), arb_payload(), 0u64..1_000_000), 1..40)
+    ) {
+        let mut bus = CanBus::new();
+        let sender = bus.attach("sender");
+        let receiver = bus.attach("receiver");
+        for (id, data, at) in &frames {
+            bus.transmit(sender, CanFrame::new(*id, data).unwrap(), Micros::from_micros(*at));
+        }
+        bus.run_to_idle();
+
+        let delivered = bus.take_inbox(receiver);
+        prop_assert_eq!(delivered.len(), frames.len());
+        prop_assert_eq!(bus.log().len(), frames.len());
+        for pair in delivered.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at);
+        }
+        // Frames never complete before both their ready time and their wire
+        // time have elapsed.
+        for entry in &delivered {
+            prop_assert!(entry.at > Micros::ZERO);
+        }
+    }
+}

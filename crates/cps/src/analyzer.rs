@@ -1,0 +1,174 @@
+//! The UI analyzer: deciding what to click from a screenshot.
+//!
+//! The paper's analyzer runs EAST text detection plus Tesseract OCR over
+//! camera a's picture, keeps regions whose text matches target keywords
+//! (filtering out, e.g., "clear trouble codes"), and recognizes text-less
+//! buttons by visual similarity against template pictures. Our screenshots
+//! already carry widget rectangles, so detection reduces to widget
+//! filtering; template matching is modelled with normalized Levenshtein
+//! similarity, which plays the role of the paper's image-similarity score.
+
+use dpr_tool::{Screenshot, Widget, WidgetKind};
+use serde::{Deserialize, Serialize};
+
+/// Buttons that must never be clicked during data collection (mirrors the
+/// paper's keyword blacklist, e.g. "clear trouble codes").
+pub const DEFAULT_BLACKLIST: [&str; 4] = [
+    "Clear Trouble Codes",
+    "ECU Coding",
+    "Reset Adaptation",
+    "Format",
+];
+
+/// A clickable target the analyzer selected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClickTarget {
+    /// The widget's text.
+    pub text: String,
+    /// Click coordinates (widget center).
+    pub x: usize,
+    /// Click row.
+    pub y: usize,
+}
+
+impl From<&Widget> for ClickTarget {
+    fn from(w: &Widget) -> Self {
+        let (x, y) = w.center();
+        ClickTarget {
+            text: w.text.clone(),
+            x,
+            y,
+        }
+    }
+}
+
+/// All safe-to-click buttons on a screen: button widgets minus the
+/// blacklist.
+pub fn clickable_buttons(shot: &Screenshot, blacklist: &[&str]) -> Vec<ClickTarget> {
+    shot.widgets_of(WidgetKind::Button)
+        .filter(|w| !blacklist.iter().any(|b| similarity(&w.text, b) > 0.8))
+        .map(ClickTarget::from)
+        .collect()
+}
+
+/// The buttons whose text contains one of the wanted keywords
+/// (case-insensitive) — the paper clicks regions containing e.g.
+/// "Read Data Stream".
+pub fn buttons_matching(shot: &Screenshot, keywords: &[&str]) -> Vec<ClickTarget> {
+    shot.widgets_of(WidgetKind::Button)
+        .filter(|w| {
+            let lower = w.text.to_lowercase();
+            keywords.iter().any(|k| lower.contains(&k.to_lowercase()))
+        })
+        .map(ClickTarget::from)
+        .collect()
+}
+
+/// Normalized similarity in `0..=1` between a widget's text and a
+/// template (1.0 = identical). Stands in for the paper's image-similarity
+/// matching of text-less buttons against pre-defined button pictures.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let a_low = a.to_lowercase();
+    let b_low = b.to_lowercase();
+    let max_len = a_low.chars().count().max(b_low.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&a_low, &b_low) as f64 / max_len as f64
+}
+
+/// Finds the best button for a template if its similarity exceeds the
+/// threshold — the analyzer's tolerant lookup (OCR may have slightly
+/// mangled the button's text).
+pub fn match_button<'a>(
+    shot: &'a Screenshot,
+    template: &str,
+    threshold: f64,
+) -> Option<&'a Widget> {
+    shot.widgets_of(WidgetKind::Button)
+        .map(|w| (w, similarity(&w.text, template)))
+        .filter(|(_, s)| *s >= threshold)
+        .max_by(|(_, s1), (_, s2)| s1.total_cmp(s2))
+        .map(|(w, _)| w)
+}
+
+/// Classic dynamic-programming Levenshtein distance.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_can::Micros;
+
+    fn shot() -> Screenshot {
+        let mut s = Screenshot::new(Micros::ZERO, 60, 12);
+        s.push(WidgetKind::Title, 1, 0, "Engine - Functions");
+        s.push(WidgetKind::Button, 2, 2, "Read Data Stream");
+        s.push(WidgetKind::Button, 2, 4, "Active Test");
+        s.push(WidgetKind::Button, 2, 6, "Clear Trouble Codes");
+        s.push(WidgetKind::Button, 2, 10, "[Back]");
+        s.push(WidgetKind::Label, 2, 8, "Not a button");
+        s
+    }
+
+    #[test]
+    fn blacklist_filters_dangerous_buttons() {
+        let targets = clickable_buttons(&shot(), &DEFAULT_BLACKLIST);
+        let texts: Vec<&str> = targets.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"Read Data Stream"));
+        assert!(texts.contains(&"Active Test"));
+        assert!(!texts.contains(&"Clear Trouble Codes"));
+        assert!(!texts.contains(&"Not a button"));
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let hits = buttons_matching(&shot(), &["read data"]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text, "Read Data Stream");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn similarity_tolerates_ocr_mangling() {
+        assert!(similarity("Read Data Stream", "Read Data Stream") == 1.0);
+        assert!(similarity("Read Dala Stream", "Read Data Stream") > 0.9);
+        assert!(similarity("Active Test", "Read Data Stream") < 0.5);
+    }
+
+    #[test]
+    fn match_button_with_threshold() {
+        let s = shot();
+        let w = match_button(&s, "Aktive Test", 0.7).expect("close enough");
+        assert_eq!(w.text, "Active Test");
+        assert!(match_button(&s, "Service Reset", 0.7).is_none());
+    }
+
+    #[test]
+    fn click_targets_use_widget_centers() {
+        let s = shot();
+        let targets = buttons_matching(&s, &["back"]);
+        assert_eq!(targets[0].x, 2 + "[Back]".len() / 2);
+        assert_eq!(targets[0].y, 10);
+    }
+}

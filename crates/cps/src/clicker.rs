@@ -1,0 +1,137 @@
+//! Robotic clicker kinematics.
+//!
+//! The paper's stylus "can only move straight along the coordinate axis
+//! with fixed speed" — i.e. travel time is the Manhattan distance divided
+//! by the axis speed — which is exactly why click ordering matters and a
+//! TSP planner pays off.
+
+use dpr_can::Micros;
+use serde::{Deserialize, Serialize};
+
+/// The robotic clicker: position, speed, and usage accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoboticClicker {
+    position: (f64, f64),
+    /// Axis speed in grid cells per second.
+    pub speed: f64,
+    /// Time the stylus dwells for one tap.
+    pub click_dwell: Micros,
+    total_distance: f64,
+    total_moving: Micros,
+    clicks: usize,
+}
+
+impl RoboticClicker {
+    /// A clicker parked at the origin moving 40 cells/s with an 80 ms tap.
+    pub fn new() -> Self {
+        Self::with_speed(40.0)
+    }
+
+    /// A clicker with a custom axis speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn with_speed(speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        RoboticClicker {
+            position: (0.0, 0.0),
+            speed,
+            click_dwell: Micros::from_millis(80),
+            total_distance: 0.0,
+            total_moving: Micros::ZERO,
+            clicks: 0,
+        }
+    }
+
+    /// Current stylus position.
+    pub fn position(&self) -> (f64, f64) {
+        self.position
+    }
+
+    /// Total Manhattan distance travelled.
+    pub fn total_distance(&self) -> f64 {
+        self.total_distance
+    }
+
+    /// Total time spent moving (excludes click dwells).
+    pub fn total_moving_time(&self) -> Micros {
+        self.total_moving
+    }
+
+    /// Number of taps performed.
+    pub fn clicks(&self) -> usize {
+        self.clicks
+    }
+
+    /// The travel time from the current position to a target, without
+    /// moving.
+    pub fn travel_time_to(&self, x: f64, y: f64) -> Micros {
+        let d = (x - self.position.0).abs() + (y - self.position.1).abs();
+        Micros::from_secs_f64(d / self.speed)
+    }
+
+    /// Moves the stylus to `(x, y)`; returns the travel time.
+    pub fn move_to(&mut self, x: f64, y: f64) -> Micros {
+        let d = (x - self.position.0).abs() + (y - self.position.1).abs();
+        let t = Micros::from_secs_f64(d / self.speed);
+        self.position = (x, y);
+        self.total_distance += d;
+        self.total_moving += t;
+        t
+    }
+
+    /// Moves to `(x, y)` and taps; returns total time consumed.
+    pub fn click_at(&mut self, x: f64, y: f64) -> Micros {
+        let travel = self.move_to(x, y);
+        self.clicks += 1;
+        travel + self.click_dwell
+    }
+}
+
+impl Default for RoboticClicker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_travel_time() {
+        let mut c = RoboticClicker::with_speed(10.0);
+        // 30 cells at 10 cells/s = 3 s.
+        assert_eq!(c.travel_time_to(10.0, 20.0), Micros::from_secs(3));
+        let t = c.move_to(10.0, 20.0);
+        assert_eq!(t, Micros::from_secs(3));
+        assert_eq!(c.position(), (10.0, 20.0));
+        assert_eq!(c.total_distance(), 30.0);
+    }
+
+    #[test]
+    fn click_includes_dwell_and_counts() {
+        let mut c = RoboticClicker::with_speed(10.0);
+        let t = c.click_at(5.0, 0.0);
+        assert_eq!(t, Micros::from_millis(500) + c.click_dwell);
+        assert_eq!(c.clicks(), 1);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut c = RoboticClicker::with_speed(20.0);
+        c.click_at(10.0, 0.0);
+        c.click_at(10.0, 10.0);
+        c.click_at(0.0, 0.0);
+        assert_eq!(c.total_distance(), 40.0);
+        assert_eq!(c.clicks(), 3);
+        assert_eq!(c.total_moving_time(), Micros::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = RoboticClicker::with_speed(0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Clock skew and the two alignment methods of §9.4.
+//!
+//! The phone filming the screen and the PC capturing CAN frames keep
+//! different clocks; inferring formulas from misaligned (X, Y) pairs is
+//! the paper's stated source of residual coefficient error. The paper
+//! aligns them two ways: NTP synchronization beforehand, and — because
+//! OBD-II is publicly decodable — matching decoded OBD values against the
+//! values seen on screen to estimate the offset ([`align_by_obd`]).
+
+use dpr_can::{BusLog, Micros};
+use dpr_ocr::OcrReading;
+use dpr_protocol::obd;
+use serde::{Deserialize, Serialize};
+
+/// A clock that runs at bus rate but offset by a fixed amount — the
+/// camera phone's clock. Positive offset = camera clock ahead of the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkewedClock {
+    /// Offset in microseconds (camera time − bus time).
+    pub offset_us: i64,
+}
+
+impl SkewedClock {
+    /// A perfectly synchronized clock.
+    pub const ALIGNED: SkewedClock = SkewedClock { offset_us: 0 };
+
+    /// Creates a clock with the given offset.
+    pub fn with_offset_us(offset_us: i64) -> Self {
+        SkewedClock { offset_us }
+    }
+
+    /// Converts bus time to this clock's local time (saturating at zero).
+    pub fn to_local(&self, bus_time: Micros) -> Micros {
+        bus_time
+            .checked_add_signed(self.offset_us)
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Converts local time back to bus time (saturating at zero).
+    pub fn to_bus(&self, local_time: Micros) -> Micros {
+        local_time
+            .checked_add_signed(-self.offset_us)
+            .unwrap_or(Micros::ZERO)
+    }
+}
+
+/// Simulates one NTP exchange: the estimate equals the true offset plus
+/// the unknowable path asymmetry, bounded by half the round-trip time.
+/// Deterministic in `seed`.
+pub fn ntp_sync(true_offset_us: i64, rtt: Micros, seed: u64) -> SkewedClock {
+    // Asymmetry in [-rtt/4, rtt/4], a typical LAN bound.
+    let h = {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    };
+    let quarter = (rtt.as_micros() / 4) as i64;
+    let asymmetry = if quarter == 0 {
+        0
+    } else {
+        (h % (2 * quarter as u64 + 1)) as i64 - quarter
+    };
+    SkewedClock {
+        offset_us: true_offset_us + asymmetry,
+    }
+}
+
+/// Retimes camera-clock OCR readings onto the bus clock given an
+/// estimated offset.
+pub fn retime_readings(readings: &[OcrReading], estimated_offset_us: i64) -> Vec<OcrReading> {
+    readings
+        .iter()
+        .map(|r| OcrReading {
+            at: r
+                .at
+                .checked_add_signed(-estimated_offset_us)
+                .unwrap_or(Micros::ZERO),
+            ..r.clone()
+        })
+        .collect()
+}
+
+/// §9.4 method 2: estimate the camera-vs-bus offset from OBD-II traffic.
+///
+/// OBD-II responses are publicly decodable, so every response frame gives
+/// a `(bus time, true displayed value)` pair. For each such pair we find
+/// OCR readings showing (nearly) the same value and collect the candidate
+/// offsets `ui time − bus time`; the median over all candidates is robust
+/// to coincidental value matches. Returns `None` when no OBD response
+/// matches any reading.
+pub fn align_by_obd(log: &BusLog, readings: &[OcrReading]) -> Option<i64> {
+    let mut candidate_offsets: Vec<i64> = Vec::new();
+    for entry in log.iter() {
+        // OBD single frames: ISO-TP SF PCI then "41 pid data…".
+        let data = entry.frame.data();
+        if data.len() < 4 || data[0] >> 4 != 0 {
+            continue;
+        }
+        let len = usize::from(data[0] & 0x0F);
+        if len < 3 || data.len() < 1 + len {
+            continue;
+        }
+        let Ok((pid, bytes)) = obd::parse_response(&data[1..=len]) else {
+            continue;
+        };
+        let Some(spec) = obd::pid_spec(pid) else {
+            continue;
+        };
+        if bytes.len() < spec.bytes {
+            continue;
+        }
+        let value = spec.decode(bytes);
+        // Match readings displaying this value (within one raw-byte step).
+        for reading in readings {
+            let Some(shown) = reading.value else { continue };
+            if (shown - value).abs() <= 1.0 {
+                // Ignore wild pairings more than 30 s apart.
+                let delta = reading.at.as_micros() as i64 - entry.at.as_micros() as i64;
+                if delta.abs() < 30_000_000 {
+                    candidate_offsets.push(delta);
+                }
+            }
+        }
+    }
+    if candidate_offsets.is_empty() {
+        return None;
+    }
+    candidate_offsets.sort_unstable();
+    Some(candidate_offsets[candidate_offsets.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_can::{CanFrame, CanId};
+
+    #[test]
+    fn skewed_clock_round_trips() {
+        let clock = SkewedClock::with_offset_us(1_500_000);
+        let bus = Micros::from_secs(10);
+        let local = clock.to_local(bus);
+        assert_eq!(local, Micros::from_millis(11_500));
+        assert_eq!(clock.to_bus(local), bus);
+    }
+
+    #[test]
+    fn negative_offset_saturates_at_zero() {
+        let clock = SkewedClock::with_offset_us(-5_000_000);
+        assert_eq!(clock.to_local(Micros::from_secs(1)), Micros::ZERO);
+    }
+
+    #[test]
+    fn ntp_error_bounded_by_rtt() {
+        for seed in 0..50 {
+            let estimated = ntp_sync(2_000_000, Micros::from_millis(8), seed);
+            let error = (estimated.offset_us - 2_000_000).abs();
+            assert!(error <= 2_000, "error {error} exceeds rtt/4");
+        }
+    }
+
+    #[test]
+    fn obd_alignment_recovers_offset() {
+        // Build a capture: coolant PID 0x05 responses at known bus times.
+        let mut log = BusLog::new();
+        let rsp_id = CanId::standard(0x7E8).unwrap();
+        let true_offset: i64 = 700_000; // camera 0.7 s ahead
+        let mut readings = Vec::new();
+        for i in 0..20u64 {
+            let bus_t = Micros::from_millis(500 * i);
+            let raw = 130 + (i % 8) as u8; // decoded: raw - 40
+            let frame =
+                CanFrame::new_padded(rsp_id, &[0x03, 0x41, 0x05, raw], 0x55).unwrap();
+            log.record(bus_t, frame);
+            readings.push(OcrReading {
+                at: bus_t.checked_add_signed(true_offset).unwrap(),
+                screen: "Engine (OBD-II) - Data Stream p1".into(),
+                label: "Engine Coolant Temperature".into(),
+                text: format!("{}", i32::from(raw) - 40),
+                value: Some(f64::from(raw) - 40.0),
+            });
+        }
+        let estimated = align_by_obd(&log, &readings).expect("matches exist");
+        assert!(
+            (estimated - true_offset).abs() < 50_000,
+            "estimated {estimated} vs true {true_offset}"
+        );
+
+        // Retiming brings readings back onto the bus clock.
+        let retimed = retime_readings(&readings, estimated);
+        assert!(retimed[0].at.abs_diff(Micros::ZERO) < Micros::from_millis(100));
+    }
+
+    #[test]
+    fn obd_alignment_returns_none_without_matches() {
+        let log = BusLog::new();
+        assert_eq!(align_by_obd(&log, &[]), None);
+    }
+
+    #[test]
+    fn alignment_ignores_non_obd_traffic() {
+        let mut log = BusLog::new();
+        let id = CanId::standard(0x7E8).unwrap();
+        // UDS response, not OBD.
+        log.record(
+            Micros::from_secs(1),
+            CanFrame::new_padded(id, &[0x04, 0x62, 0xF4, 0x0D, 0x21], 0x55).unwrap(),
+        );
+        let readings = vec![OcrReading {
+            at: Micros::from_secs(2),
+            screen: "Engine - Data Stream p1".into(),
+            label: "Speed".into(),
+            text: "33".into(),
+            value: Some(33.0),
+        }];
+        assert_eq!(align_by_obd(&log, &readings), None);
+    }
+}

@@ -1,0 +1,291 @@
+//! The full automated data-collection loop (paper Fig. 6b).
+//!
+//! Starting from the tool's ECU list, the collector repeatedly:
+//! screenshots the UI (camera a), picks the clickable targets (UI
+//! analyzer), orders them (planner), and drives the robotic clicker
+//! through them (script executor) — opening every ECU, dwelling on every
+//! data-stream page long enough "to get enough data for reverse
+//! engineering", and starting every active test. The output is the
+//! OBD-port capture, camera b's frames, and the click log.
+
+use dpr_can::{BusLog, Micros};
+use dpr_tool::{ToolSession, UiFrame};
+use dpr_vehicle::{AttachedVehicle, SessionError};
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::{self, ClickTarget, DEFAULT_BLACKLIST};
+use crate::clicker::RoboticClicker;
+use crate::planner::{plan_route, PlanStrategy};
+use crate::script::ExecutionLog;
+
+/// Collector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectConfig {
+    /// Dwell per data-stream page (paper: ~30 s per reading).
+    pub read_wait: Micros,
+    /// Route-planning strategy for click ordering.
+    pub strategy: PlanStrategy,
+    /// Safety cap on pages visited per ECU function.
+    pub max_pages: usize,
+    /// Whether to run active tests.
+    pub run_tests: bool,
+    /// Whether to read stored trouble codes per ECU (never clears them).
+    pub read_dtcs: bool,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            read_wait: Micros::from_secs(30),
+            strategy: PlanStrategy::NearestNeighbor,
+            max_pages: 16,
+            run_tests: true,
+            read_dtcs: true,
+        }
+    }
+}
+
+/// Everything the data-collection module hands to the analysis pipeline.
+#[derive(Debug)]
+pub struct CollectionReport {
+    /// The OBD-port capture.
+    pub log: BusLog,
+    /// Camera b's timestamped frames.
+    pub frames: Vec<UiFrame>,
+    /// The vehicle (ground truth for evaluation only).
+    pub vehicle: AttachedVehicle,
+    /// The executor's click log.
+    pub execution: ExecutionLog,
+    /// The clicker, with its usage accounting.
+    pub clicker: RoboticClicker,
+}
+
+fn click(
+    session: &mut ToolSession,
+    clicker: &mut RoboticClicker,
+    log: &mut ExecutionLog,
+    target: &ClickTarget,
+) -> Result<(), SessionError> {
+    let travel = clicker.click_at(target.x as f64, target.y as f64);
+    session.wait(travel)?;
+    // Stamp the click at press time: any traffic the click triggers (an
+    // active test's three messages) happens after this instant, which is
+    // what lets the analysis attribute traffic to the click.
+    let pressed_at = session.now();
+    session.click(target.x, target.y)?;
+    log.record(pressed_at, target.text.clone(), (target.x, target.y));
+    Ok(())
+}
+
+fn click_named(
+    session: &mut ToolSession,
+    clicker: &mut RoboticClicker,
+    log: &mut ExecutionLog,
+    name: &str,
+) -> Result<bool, SessionError> {
+    let shot = session.screenshot();
+    let Some(widget) = analyzer::match_button(&shot, name, 0.85) else {
+        return Ok(false);
+    };
+    let target = ClickTarget::from(widget);
+    click(session, clicker, log, &target)?;
+    Ok(true)
+}
+
+/// Pages through the currently open list screen: dwell on each page, then
+/// follow "[Next Page]" until it disappears, then "[Back]".
+fn walk_pages(
+    session: &mut ToolSession,
+    clicker: &mut RoboticClicker,
+    log: &mut ExecutionLog,
+    config: &CollectConfig,
+) -> Result<(), SessionError> {
+    for _ in 0..config.max_pages {
+        session.wait(config.read_wait)?;
+        if !click_named(session, clicker, log, "[Next Page]")? {
+            break;
+        }
+    }
+    click_named(session, clicker, log, "[Back]")?;
+    Ok(())
+}
+
+/// Runs every active test on the current active-test screen, page by
+/// page, in planned order.
+fn walk_tests(
+    session: &mut ToolSession,
+    clicker: &mut RoboticClicker,
+    log: &mut ExecutionLog,
+    config: &CollectConfig,
+) -> Result<(), SessionError> {
+    for _ in 0..config.max_pages {
+        let shot = session.screenshot();
+        let nav = ["[Back]", "[Next Page]", "[Prev Page]"];
+        let tests: Vec<ClickTarget> = analyzer::clickable_buttons(&shot, &DEFAULT_BLACKLIST)
+            .into_iter()
+            .filter(|t| !nav.contains(&t.text.as_str()))
+            .collect();
+        let points: Vec<(f64, f64)> = tests.iter().map(|t| (t.x as f64, t.y as f64)).collect();
+        let order = plan_route(clicker.position(), &points, config.strategy);
+        for idx in order {
+            click(session, clicker, log, &tests[idx])?;
+            // Let the test settle before the next one.
+            session.wait(Micros::from_millis(500))?;
+        }
+        if !click_named(session, clicker, log, "[Next Page]")? {
+            break;
+        }
+    }
+    click_named(session, clicker, log, "[Back]")?;
+    Ok(())
+}
+
+/// The full collection run over one vehicle session. Returns the capture,
+/// frames, and logs the analysis pipeline consumes.
+///
+/// # Errors
+///
+/// Propagates transport errors from the session.
+pub fn collect_vehicle(
+    mut session: ToolSession,
+    config: &CollectConfig,
+) -> Result<CollectionReport, SessionError> {
+    let mut clicker = RoboticClicker::new();
+    let mut log = ExecutionLog::default();
+
+    // The ECU list is the root screen.
+    let shot = session.screenshot();
+    let ecu_buttons = analyzer::clickable_buttons(&shot, &DEFAULT_BLACKLIST);
+    let points: Vec<(f64, f64)> = ecu_buttons
+        .iter()
+        .map(|t| (t.x as f64, t.y as f64))
+        .collect();
+    let order = plan_route(clicker.position(), &points, config.strategy);
+
+    for idx in order {
+        let ecu_button = &ecu_buttons[idx];
+        click(&mut session, &mut clicker, &mut log, ecu_button)?;
+
+        if click_named(&mut session, &mut clicker, &mut log, "Read Data Stream")? {
+            walk_pages(&mut session, &mut clicker, &mut log, config)?;
+        }
+        if config.run_tests
+            && click_named(&mut session, &mut clicker, &mut log, "Active Test")?
+        {
+            walk_tests(&mut session, &mut clicker, &mut log, config)?;
+        }
+        if config.read_dtcs
+            && click_named(&mut session, &mut clicker, &mut log, "Read Trouble Codes")?
+        {
+            session.wait(Micros::from_millis(500))?;
+            click_named(&mut session, &mut clicker, &mut log, "[Back]")?;
+        }
+        click_named(&mut session, &mut clicker, &mut log, "[Back]")?;
+    }
+
+    let (bus_log, frames, vehicle) = session.into_artifacts();
+    Ok(CollectionReport {
+        log: bus_log,
+        frames,
+        vehicle,
+        execution: log,
+        clicker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_tool::ToolProfile;
+    use dpr_vehicle::profiles::{self, CarId};
+
+    fn quick_config() -> CollectConfig {
+        CollectConfig {
+            read_wait: Micros::from_secs(2),
+            ..CollectConfig::default()
+        }
+    }
+
+    use dpr_tool::WidgetKind;
+
+    #[test]
+    fn collects_a_full_uds_car() {
+        let car = profiles::build(CarId::P, 21);
+        let session = ToolSession::new(car, ToolProfile::autel_919());
+        let report = collect_vehicle(session, &quick_config()).unwrap();
+
+        // Traffic for every ECU was captured.
+        assert!(report.log.len() > 50, "capture has {} frames", report.log.len());
+        // Camera b saw frames with values.
+        assert!(report.frames.len() > 10);
+        let any_value = report.frames.iter().any(|f| {
+            f.screenshot
+                .widgets_of(WidgetKind::Value)
+                .any(|w| w.text != "---")
+        });
+        assert!(any_value, "some displayed values must be captured");
+        // The clicker actually worked.
+        assert!(report.clicker.clicks() > 5);
+        assert!(!report.execution.entries.is_empty());
+    }
+
+    #[test]
+    fn active_tests_get_driven() {
+        // Car O: 4 ECRs over UDS 0x2F.
+        let car = profiles::build(CarId::O, 13);
+        let session = ToolSession::new(car, ToolProfile::autel_919());
+        let report = collect_vehicle(session, &quick_config()).unwrap();
+        let adjusted: usize = report
+            .vehicle
+            .ecus()
+            .map(|e| {
+                e.component_keys()
+                    .filter(|&k| e.component(k).is_some_and(|c| c.was_adjusted()))
+                    .count()
+            })
+            .sum();
+        assert_eq!(adjusted, 4, "all four Car O components must be driven");
+    }
+
+    #[test]
+    fn kwp_car_collection_works() {
+        let car = profiles::build(CarId::C, 17);
+        let session = ToolSession::new(car, ToolProfile::launch_x431());
+        let report = collect_vehicle(session, &quick_config()).unwrap();
+        assert!(report.log.len() > 20);
+    }
+
+    #[test]
+    fn collector_never_clears_trouble_codes() {
+        // The blacklist must keep the robot away from destructive buttons:
+        // after a full collection, every stored DTC is still there.
+        let car = profiles::build(CarId::P, 55);
+        let before: usize = car.ecus().iter().map(|e| e.dtcs().len()).sum();
+        assert!(before > 0, "profile cars store DTCs");
+        let session = ToolSession::new(car, ToolProfile::autel_919());
+        let report = collect_vehicle(session, &quick_config()).unwrap();
+        let after: usize = report.vehicle.ecus().map(|e| e.dtcs().len()).sum();
+        assert_eq!(after, before, "collection must not clear DTCs");
+    }
+
+    #[test]
+    fn tests_can_be_disabled() {
+        let car = profiles::build(CarId::O, 13);
+        let session = ToolSession::new(car, ToolProfile::autel_919());
+        let config = CollectConfig {
+            run_tests: false,
+            ..quick_config()
+        };
+        let report = collect_vehicle(session, &config).unwrap();
+        let adjusted: usize = report
+            .vehicle
+            .ecus()
+            .map(|e| {
+                e.component_keys()
+                    .filter(|&k| e.component(k).is_some_and(|c| c.was_adjusted()))
+                    .count()
+            })
+            .sum();
+        assert_eq!(adjusted, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Click-route planning — the travelling-salesman instance of §3.1.
+//!
+//! "Given a set of ESVs on UI and the distance between each pair of ESVs,
+//! the planner looks for the shortest route that visits each ESV exactly
+//! once and returns to the origin ESV." The paper approximates the
+//! NP-hard problem with the nearest-neighbour heuristic and reports a
+//! 7.3% movement-time saving over random ordering for 14 targets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Manhattan distance (the stylus moves axis-aligned).
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+/// Route-planning strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanStrategy {
+    /// Nearest neighbour from the start point (the paper's choice).
+    NearestNeighbor,
+    /// Visit in the given order (a naive baseline).
+    InOrder,
+    /// A random permutation (the paper's comparison baseline).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Exhaustive search — optimal, but only for small target sets.
+    BruteForce,
+}
+
+/// Plans a visiting order over `targets`, starting from `start`. Returns
+/// target indices in visit order.
+///
+/// # Panics
+///
+/// Panics if `BruteForce` is asked to order more than 10 targets
+/// (10! ≈ 3.6 M routes is the practical limit).
+pub fn plan_route(start: (f64, f64), targets: &[(f64, f64)], strategy: PlanStrategy) -> Vec<usize> {
+    match strategy {
+        PlanStrategy::InOrder => (0..targets.len()).collect(),
+        PlanStrategy::Random { seed } => {
+            let mut order: Vec<usize> = (0..targets.len()).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order
+        }
+        PlanStrategy::NearestNeighbor => {
+            let mut remaining: Vec<usize> = (0..targets.len()).collect();
+            let mut order = Vec::with_capacity(targets.len());
+            let mut here = start;
+            while !remaining.is_empty() {
+                let (pick, _) = remaining
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        dist(here, targets[a]).total_cmp(&dist(here, targets[b]))
+                    })
+                    .expect("remaining is non-empty");
+                let idx = remaining.swap_remove(pick);
+                here = targets[idx];
+                order.push(idx);
+            }
+            order
+        }
+        PlanStrategy::BruteForce => {
+            assert!(
+                targets.len() <= 10,
+                "brute force is limited to 10 targets"
+            );
+            let mut best: Option<(f64, Vec<usize>)> = None;
+            let mut order: Vec<usize> = (0..targets.len()).collect();
+            permute(&mut order, 0, &mut |candidate| {
+                let len = route_length(start, targets, candidate);
+                if best.as_ref().is_none_or(|(b, _)| len < *b) {
+                    best = Some((len, candidate.to_vec()));
+                }
+            });
+            best.map(|(_, o)| o).unwrap_or_default()
+        }
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Total Manhattan length of a route: start → each target in order →
+/// back to the start (the paper's tour closes on the origin).
+pub fn route_length(start: (f64, f64), targets: &[(f64, f64)], order: &[usize]) -> f64 {
+    let mut here = start;
+    let mut total = 0.0;
+    for &i in order {
+        total += dist(here, targets[i]);
+        here = targets[i];
+    }
+    total + dist(here, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_targets(n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| (((i * 13) % 40) as f64, ((i * 29) % 16) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn routes_visit_every_target_once() {
+        let targets = grid_targets(9);
+        for strategy in [
+            PlanStrategy::NearestNeighbor,
+            PlanStrategy::InOrder,
+            PlanStrategy::Random { seed: 5 },
+            PlanStrategy::BruteForce,
+        ] {
+            let mut order = plan_route((0.0, 0.0), &targets, strategy);
+            assert_eq!(order.len(), targets.len(), "{strategy:?}");
+            order.sort_unstable();
+            assert_eq!(order, (0..targets.len()).collect::<Vec<_>>(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_beats_or_ties_random_on_average() {
+        let targets = grid_targets(14);
+        let start = (0.0, 0.0);
+        let nn = route_length(start, &targets, &plan_route(start, &targets, PlanStrategy::NearestNeighbor));
+        let avg_random: f64 = (0..50)
+            .map(|seed| {
+                route_length(
+                    start,
+                    &targets,
+                    &plan_route(start, &targets, PlanStrategy::Random { seed }),
+                )
+            })
+            .sum::<f64>()
+            / 50.0;
+        assert!(
+            nn < avg_random,
+            "nearest neighbour ({nn:.1}) must beat average random ({avg_random:.1})"
+        );
+    }
+
+    #[test]
+    fn brute_force_is_optimal_lower_bound() {
+        let targets = grid_targets(7);
+        let start = (0.0, 0.0);
+        let opt = route_length(start, &targets, &plan_route(start, &targets, PlanStrategy::BruteForce));
+        let nn = route_length(start, &targets, &plan_route(start, &targets, PlanStrategy::NearestNeighbor));
+        assert!(opt <= nn + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_target_routes() {
+        assert!(plan_route((0.0, 0.0), &[], PlanStrategy::NearestNeighbor).is_empty());
+        let one = [(5.0, 5.0)];
+        let order = plan_route((0.0, 0.0), &one, PlanStrategy::BruteForce);
+        assert_eq!(order, vec![0]);
+        assert_eq!(route_length((0.0, 0.0), &one, &order), 20.0);
+    }
+
+    #[test]
+    fn nearest_neighbor_picks_closest_first() {
+        let targets = [(100.0, 0.0), (1.0, 0.0), (50.0, 0.0)];
+        let order = plan_route((0.0, 0.0), &targets, PlanStrategy::NearestNeighbor);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force is limited")]
+    fn brute_force_guard() {
+        let targets = grid_targets(11);
+        let _ = plan_route((0.0, 0.0), &targets, PlanStrategy::BruteForce);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let targets = grid_targets(8);
+        let a = plan_route((0.0, 0.0), &targets, PlanStrategy::Random { seed: 3 });
+        let b = plan_route((0.0, 0.0), &targets, PlanStrategy::Random { seed: 3 });
+        assert_eq!(a, b);
+    }
+}

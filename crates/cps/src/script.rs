@@ -1,0 +1,220 @@
+//! Click scripts: generation, execution, and the timestamped log.
+//!
+//! The paper's script generator maps each planned target to a click
+//! statement followed by a wait "to ensure that the diagnostic tool has
+//! enough time to react", with long waits where the tool reads data; the
+//! executor logs the timestamp of every click so the capture and the video
+//! can be split per action.
+
+use dpr_can::Micros;
+use dpr_tool::ToolSession;
+use dpr_vehicle::SessionError;
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::ClickTarget;
+use crate::clicker::RoboticClicker;
+
+/// One statement of a click script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptStep {
+    /// Move to the target and tap it.
+    Click {
+        /// The target to tap.
+        target: ClickTarget,
+    },
+    /// Hold still for a fixed period.
+    Wait {
+        /// How long to wait.
+        duration: Micros,
+    },
+}
+
+/// A generated script.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClickScript {
+    /// The statements in execution order.
+    pub steps: Vec<ScriptStep>,
+}
+
+impl ClickScript {
+    /// Generates the paper's canonical script shape: click each target in
+    /// order, waiting `wait_after` after each click.
+    pub fn clicks_with_waits(targets: Vec<ClickTarget>, wait_after: Micros) -> Self {
+        let mut steps = Vec::with_capacity(targets.len() * 2);
+        for target in targets {
+            steps.push(ScriptStep::Click { target });
+            steps.push(ScriptStep::Wait {
+                duration: wait_after,
+            });
+        }
+        ClickScript { steps }
+    }
+
+    /// Appends a click.
+    pub fn click(&mut self, target: ClickTarget) -> &mut Self {
+        self.steps.push(ScriptStep::Click { target });
+        self
+    }
+
+    /// Appends a wait.
+    pub fn wait(&mut self, duration: Micros) -> &mut Self {
+        self.steps.push(ScriptStep::Wait { duration });
+        self
+    }
+}
+
+/// One executed action, with the time it happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Logical time of the action.
+    pub at: Micros,
+    /// What was done (the clicked text, or "wait").
+    pub action: String,
+    /// Stylus position after the action.
+    pub position: (usize, usize),
+}
+
+/// The executor's timestamped record (the paper's "script executor and
+/// logger"), used to split the capture and video into per-action parts.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionLog {
+    /// Entries in execution order.
+    pub entries: Vec<LogEntry>,
+}
+
+impl ExecutionLog {
+    /// Records an action.
+    pub fn record(&mut self, at: Micros, action: impl Into<String>, position: (usize, usize)) {
+        self.entries.push(LogEntry {
+            at,
+            action: action.into(),
+            position,
+        });
+    }
+
+    /// The time window between one action and the next (half-open), for
+    /// splitting captures. The final action's window extends to `end`.
+    pub fn window_of(&self, index: usize, end: Micros) -> Option<(Micros, Micros)> {
+        let start = self.entries.get(index)?.at;
+        let stop = self
+            .entries
+            .get(index + 1)
+            .map(|e| e.at)
+            .unwrap_or(end);
+        Some((start, stop))
+    }
+}
+
+/// Executes a script against a live session: moves the stylus (consuming
+/// real session time), taps, and logs every action.
+///
+/// # Errors
+///
+/// Propagates transport errors raised while the session reacts to clicks.
+pub fn execute(
+    script: &ClickScript,
+    session: &mut ToolSession,
+    clicker: &mut RoboticClicker,
+    log: &mut ExecutionLog,
+) -> Result<(), SessionError> {
+    for step in &script.steps {
+        match step {
+            ScriptStep::Click { target } => {
+                let travel = clicker.click_at(target.x as f64, target.y as f64);
+                session.wait(travel)?;
+                let pressed_at = session.now();
+                session.click(target.x, target.y)?;
+                log.record(pressed_at, target.text.clone(), (target.x, target.y));
+            }
+            ScriptStep::Wait { duration } => {
+                session.wait(*duration)?;
+                let (x, y) = clicker.position();
+                log.record(session.now(), "wait", (x as usize, y as usize));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(text: &str, x: usize, y: usize) -> ClickTarget {
+        ClickTarget {
+            text: text.to_string(),
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn generation_interleaves_clicks_and_waits() {
+        let script = ClickScript::clicks_with_waits(
+            vec![target("a", 1, 1), target("b", 2, 2)],
+            Micros::from_secs(30),
+        );
+        assert_eq!(script.steps.len(), 4);
+        assert!(matches!(script.steps[0], ScriptStep::Click { .. }));
+        assert!(matches!(
+            script.steps[1],
+            ScriptStep::Wait { duration } if duration == Micros::from_secs(30)
+        ));
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let mut script = ClickScript::default();
+        script
+            .click(target("x", 0, 0))
+            .wait(Micros::from_secs(1))
+            .click(target("y", 5, 5));
+        assert_eq!(script.steps.len(), 3);
+    }
+
+    #[test]
+    fn log_windows_split_the_timeline() {
+        let mut log = ExecutionLog::default();
+        log.record(Micros::from_secs(1), "a", (0, 0));
+        log.record(Micros::from_secs(5), "b", (1, 1));
+        assert_eq!(
+            log.window_of(0, Micros::from_secs(100)),
+            Some((Micros::from_secs(1), Micros::from_secs(5)))
+        );
+        assert_eq!(
+            log.window_of(1, Micros::from_secs(100)),
+            Some((Micros::from_secs(5), Micros::from_secs(100)))
+        );
+        assert_eq!(log.window_of(2, Micros::from_secs(100)), None);
+    }
+
+    #[test]
+    fn execute_clicks_navigate_a_real_session() {
+        use dpr_tool::{ToolProfile, ToolSession};
+        use dpr_vehicle::profiles::{self, CarId};
+
+        let car = profiles::build(CarId::A, 8);
+        let mut session = ToolSession::new(car, ToolProfile::autel_919());
+        let shot = session.screenshot();
+        let engine = shot
+            .widgets_of(dpr_tool::WidgetKind::Button)
+            .find(|w| w.text == "Engine")
+            .unwrap();
+        let (x, y) = engine.center();
+
+        let mut script = ClickScript::default();
+        script.click(target("Engine", x, y));
+        let mut clicker = RoboticClicker::new();
+        let mut log = ExecutionLog::default();
+        execute(&script, &mut session, &mut clicker, &mut log).unwrap();
+
+        assert_eq!(clicker.clicks(), 1);
+        assert_eq!(log.entries.len(), 1);
+        assert_eq!(log.entries[0].action, "Engine");
+        // The tool reacted: we are on the function menu now.
+        let after = session.screenshot();
+        assert!(after
+            .widgets_of(dpr_tool::WidgetKind::Button)
+            .any(|w| w.text == "Read Data Stream"));
+    }
+}

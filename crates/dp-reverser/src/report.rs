@@ -1,0 +1,126 @@
+//! Rendering recovered protocols as human-readable reports.
+//!
+//! The paper's defender use case (§2.1) needs the recovered protocol in a
+//! form security engineers can review and turn into filtering rules; the
+//! attacker write-up (§9.3) needs the same thing as a work sheet. This
+//! module renders a [`ReverseEngineeringResult`] (and optionally its
+//! [`PrecisionReport`](crate::PrecisionReport) evaluation) as Markdown.
+
+use std::fmt::Write as _;
+
+use dpr_frames::EcrTarget;
+
+use crate::result::{RecoveredKind, ReverseEngineeringResult};
+
+/// Renders the result as a Markdown report: one table of readable signals
+/// (identifier, semantics, decoding rule) and one of control records.
+pub fn to_markdown(result: &ReverseEngineeringResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Reverse-engineered diagnostic protocol: {title}\n");
+    let _ = writeln!(
+        out,
+        "Capture: {} frames ({:.1}% single, {:.1}% multi-frame), {} negative responses, clock offset {} µs.\n",
+        result.stats.total(),
+        result.stats.single_share() * 100.0,
+        result.stats.multi_share() * 100.0,
+        result.negatives,
+        result.alignment_offset_us,
+    );
+
+    let _ = writeln!(out, "## Readable signals ({})\n", result.esvs.len());
+    let _ = writeln!(out, "| identifier | semantics | screen | decoding rule | pairs | confidence |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for esv in &result.esvs {
+        let rule = match &esv.kind {
+            RecoveredKind::Enumeration => "enumeration (raw value)".to_string(),
+            RecoveredKind::Formula(_) => esv.pretty_formula(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | `{}` | {} | {:.2} |",
+            esv.key, esv.label, esv.screen, rule, esv.pairs, esv.match_score
+        );
+    }
+
+    let _ = writeln!(out, "\n## Control records ({})\n", result.ecrs.len());
+    if result.ecrs.is_empty() {
+        let _ = writeln!(out, "none observed");
+    } else {
+        let _ = writeln!(out, "| target | component | control state | procedure |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for ecr in &result.ecrs {
+            let target = match ecr.target {
+                EcrTarget::Id2F(id) => format!("0x2F id 0x{id:04X}"),
+                EcrTarget::Local30(id) => format!("0x30 local 0x{id:02X}"),
+            };
+            let state: Vec<String> = ecr.state.iter().map(|b| format!("{b:02X}")).collect();
+            let _ = writeln!(
+                out,
+                "| {} | {} | `{}` | {} |",
+                target,
+                ecr.label.as_deref().unwrap_or("?"),
+                state.join(" "),
+                if ecr.complete_pattern {
+                    "freeze → adjust → return"
+                } else {
+                    "partial"
+                }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::RecoveredEsv;
+    use dpr_frames::{FrameStats, SourceKey};
+
+    fn sample_result() -> ReverseEngineeringResult {
+        ReverseEngineeringResult {
+            esvs: vec![RecoveredEsv {
+                key: SourceKey::UdsDid(0xF40D),
+                f_type: None,
+                screen: "Engine - Data Stream p1".into(),
+                label: "Vehicle Speed".into(),
+                kind: RecoveredKind::Enumeration,
+                pairs: 40,
+                x_ranges: vec![(0.0, 200.0)],
+                match_score: 1.0,
+            }],
+            ecrs: vec![crate::RecoveredEcr {
+                target: EcrTarget::Id2F(0x0950),
+                state: vec![0x05, 0x01, 0x00, 0x00],
+                complete_pattern: true,
+                label: Some("Fog Light Left".into()),
+            }],
+            stats: FrameStats {
+                single: 55,
+                multi: 32,
+                control: 13,
+                unknown: 0,
+            },
+            negatives: 2,
+            alignment_offset_us: 0,
+        }
+    }
+
+    #[test]
+    fn markdown_contains_both_tables() {
+        let md = to_markdown(&sample_result(), "Test Car");
+        assert!(md.contains("# Reverse-engineered diagnostic protocol: Test Car"));
+        assert!(md.contains("| DID 0xF40D | Vehicle Speed |"));
+        assert!(md.contains("enumeration (raw value)"));
+        assert!(md.contains("| 0x2F id 0x0950 | Fog Light Left | `05 01 00 00` | freeze → adjust → return |"));
+        assert!(md.contains("55.0% single"));
+    }
+
+    #[test]
+    fn empty_control_section_renders() {
+        let mut result = sample_result();
+        result.ecrs.clear();
+        let md = to_markdown(&result, "X");
+        assert!(md.contains("none observed"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Step 3: extracting fields from assembled payloads.
+
+use std::collections::VecDeque;
+
+use dpr_can::Micros;
+use dpr_protocol::kwp::KwpResponse;
+use dpr_protocol::uds::{split_read_records, Did, UdsRequest};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::AssembledMessage;
+
+/// Identifies the source of one raw-value series in the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SourceKey {
+    /// A UDS data identifier.
+    UdsDid(u16),
+    /// One slot of a KWP measuring block.
+    Kwp {
+        /// The block's local identifier.
+        local_id: u8,
+        /// The ESV's slot within the block.
+        slot: usize,
+    },
+    /// An OBD-II mode-01 PID.
+    Obd(u8),
+}
+
+impl std::fmt::Display for SourceKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceKey::UdsDid(d) => write!(f, "DID 0x{d:04X}"),
+            SourceKey::Kwp { local_id, slot } => {
+                write!(f, "local id 0x{local_id:02X} slot {slot}")
+            }
+            SourceKey::Obd(p) => write!(f, "PID 0x{p:02X}"),
+        }
+    }
+}
+
+/// The raw-value time series observed for one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EsvSeries {
+    /// The source.
+    pub key: SourceKey,
+    /// For KWP slots, the formula-type byte observed on the wire.
+    pub f_type: Option<u8>,
+    /// `(completion time, raw values)` samples in capture order. UDS and
+    /// OBD samples carry the record's data bytes (up to the first two are
+    /// used for inference); KWP samples carry `[X0, X1]`.
+    pub samples: Vec<(Micros, Vec<f64>)>,
+}
+
+impl EsvSeries {
+    /// Whether both of the first two raw variables actually vary over the
+    /// capture — decides how many inputs the inference uses.
+    pub fn varying_columns(&self) -> usize {
+        let mut distinct0 = std::collections::BTreeSet::new();
+        let mut distinct1 = std::collections::BTreeSet::new();
+        for (_, vals) in &self.samples {
+            if let Some(v) = vals.first() {
+                distinct0.insert(v.to_bits());
+            }
+            if let Some(v) = vals.get(1) {
+                distinct1.insert(v.to_bits());
+            }
+        }
+        usize::from(distinct0.len() > 1) + usize::from(distinct1.len() > 1)
+    }
+}
+
+/// Which field addresses a controlled component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EcrTarget {
+    /// Two-byte identifier of service 0x2F (UDS DID or KWP common id —
+    /// indistinguishable on the wire, as in the paper).
+    Id2F(u16),
+    /// One-byte local identifier of service 0x30.
+    Local30(u8),
+}
+
+/// One observed ECU-control record (request side).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EcrObservation {
+    /// When the request completed.
+    pub at: Micros,
+    /// The addressed component.
+    pub target: EcrTarget,
+    /// The IO-control parameter byte (0x00 return / 0x02 freeze /
+    /// 0x03 short-term adjustment …).
+    pub param: u8,
+    /// Control-state bytes.
+    pub state: Vec<u8>,
+    /// Whether a positive response followed.
+    pub positive: bool,
+}
+
+/// A recovered control procedure: the paper's three-message pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlProcedure {
+    /// The controlled component.
+    pub target: EcrTarget,
+    /// The control state sent with the short-term adjustment.
+    pub state: Vec<u8>,
+    /// Whether the full freeze → adjust → return sequence was observed.
+    pub complete_pattern: bool,
+}
+
+/// Everything Step 3 extracts from a capture.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Extraction {
+    /// Per-source raw-value series.
+    pub series: Vec<EsvSeries>,
+    /// Every IO-control request observed.
+    pub ecrs: Vec<EcrObservation>,
+    /// Grouped control procedures.
+    pub procedures: Vec<ControlProcedure>,
+    /// Number of read requests seen.
+    pub read_requests: usize,
+    /// Number of negative responses seen.
+    pub negatives: usize,
+    /// SecurityAccess (0x27) requests observed — the seed-key handshakes
+    /// the paper's §6 places outside formula inference.
+    pub security_handshakes: usize,
+}
+
+impl Extraction {
+    /// The series for a source, if observed.
+    pub fn series_for(&self, key: SourceKey) -> Option<&EsvSeries> {
+        self.series.iter().find(|s| s.key == key)
+    }
+
+    /// Distinct components for which a short-term adjustment was observed
+    /// — the paper's "#ECR" count per vehicle (Tab. 11).
+    pub fn controlled_targets(&self) -> Vec<EcrTarget> {
+        let mut targets: Vec<EcrTarget> = self
+            .ecrs
+            .iter()
+            .filter(|e| e.param == 0x03)
+            .map(|e| e.target)
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+}
+
+fn push_sample(
+    series: &mut Vec<EsvSeries>,
+    key: SourceKey,
+    f_type: Option<u8>,
+    at: Micros,
+    values: Vec<f64>,
+) {
+    if let Some(existing) = series.iter_mut().find(|s| s.key == key) {
+        existing.samples.push((at, values));
+    } else {
+        series.push(EsvSeries {
+            key,
+            f_type,
+            samples: vec![(at, values)],
+        });
+    }
+}
+
+/// Extracts fields from assembled payloads (paper §3.2 Step 3).
+pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
+    let mut out = Extraction::default();
+    // FIFO of outstanding UDS read requests; responses are matched in
+    // order ("the list of DIDs in the request message also appear in the
+    // corresponding response message with the same order").
+    let mut pending_reads: VecDeque<Vec<Did>> = VecDeque::new();
+    // Outstanding IO-control requests awaiting confirmation.
+    let mut pending_ecrs: Vec<usize> = Vec::new();
+
+    for msg in messages {
+        let payload = &msg.payload;
+        let Some(&first) = payload.first() else {
+            continue;
+        };
+        match first {
+            // ——— requests ———
+            0x22 => {
+                if let Ok(UdsRequest::ReadDataById { dids }) = UdsRequest::parse(payload) {
+                    out.read_requests += 1;
+                    pending_reads.push_back(dids);
+                }
+            }
+            0x21 => {
+                out.read_requests += 1;
+            }
+            0x01 => { /* OBD request; the response is self-describing */ }
+            0x2F if payload.len() >= 4 => {
+                let id = u16::from_be_bytes([payload[1], payload[2]]);
+                out.ecrs.push(EcrObservation {
+                    at: msg.at,
+                    target: EcrTarget::Id2F(id),
+                    param: payload[3],
+                    state: payload[4..].to_vec(),
+                    positive: false,
+                });
+                pending_ecrs.push(out.ecrs.len() - 1);
+            }
+            0x30 if payload.len() >= 3 => {
+                out.ecrs.push(EcrObservation {
+                    at: msg.at,
+                    target: EcrTarget::Local30(payload[1]),
+                    param: payload[2],
+                    state: payload[3..].to_vec(),
+                    positive: false,
+                });
+                pending_ecrs.push(out.ecrs.len() - 1);
+            }
+            // ——— responses ———
+            0x62 => {
+                // Try the pending requests front-first; skip entries that
+                // do not match (robustness against lost frames).
+                let mut matched = None;
+                for (i, dids) in pending_reads.iter().enumerate() {
+                    if let Ok(records) = split_read_records(&payload[1..], dids) {
+                        matched = Some((i, records));
+                        break;
+                    }
+                }
+                if let Some((i, records)) = matched {
+                    pending_reads.remove(i);
+                    for (did, data) in records {
+                        let values = data.iter().map(|&b| f64::from(b)).collect();
+                        push_sample(&mut out.series, SourceKey::UdsDid(did.0), None, msg.at, values);
+                    }
+                }
+            }
+            0x61 => {
+                if let Ok(KwpResponse::ReadDataByLocalId { local_id, esvs }) =
+                    KwpResponse::parse(payload)
+                {
+                    for (slot, esv) in esvs.iter().enumerate() {
+                        push_sample(
+                            &mut out.series,
+                            SourceKey::Kwp {
+                                local_id: local_id.0,
+                                slot,
+                            },
+                            Some(esv.f_type),
+                            msg.at,
+                            vec![f64::from(esv.x0), f64::from(esv.x1)],
+                        );
+                    }
+                }
+            }
+            0x41 => {
+                if let Ok((pid, data)) = dpr_protocol::obd::parse_response(payload) {
+                    let values = data.iter().map(|&b| f64::from(b)).collect();
+                    push_sample(&mut out.series, SourceKey::Obd(pid.0), None, msg.at, values);
+                }
+            }
+            0x6F if payload.len() >= 4 => {
+                let id = u16::from_be_bytes([payload[1], payload[2]]);
+                let param = payload[3];
+                confirm_ecr(&mut out.ecrs, &mut pending_ecrs, EcrTarget::Id2F(id), param);
+            }
+            0x70 if payload.len() >= 2 => {
+                // The 0x70 response echoes the local id; the parameter is
+                // not echoed, so confirm the oldest outstanding request
+                // for that local id.
+                let target = EcrTarget::Local30(payload[1]);
+                confirm_ecr_any_param(&mut out.ecrs, &mut pending_ecrs, target);
+            }
+            0x27 => {
+                out.security_handshakes += 1;
+            }
+            0x7F => {
+                out.negatives += 1;
+            }
+            _ => {}
+        }
+    }
+
+    out.procedures = group_procedures(&out.ecrs);
+    out
+}
+
+fn confirm_ecr(
+    ecrs: &mut [EcrObservation],
+    pending: &mut Vec<usize>,
+    target: EcrTarget,
+    param: u8,
+) {
+    if let Some(pos) = pending
+        .iter()
+        .position(|&i| ecrs[i].target == target && ecrs[i].param == param)
+    {
+        let idx = pending.remove(pos);
+        ecrs[idx].positive = true;
+    }
+}
+
+fn confirm_ecr_any_param(ecrs: &mut [EcrObservation], pending: &mut Vec<usize>, target: EcrTarget) {
+    if let Some(pos) = pending.iter().position(|&i| ecrs[i].target == target) {
+        let idx = pending.remove(pos);
+        ecrs[idx].positive = true;
+    }
+}
+
+/// Groups ECR observations into control procedures: for each target, an
+/// adjustment (0x03) forms a procedure; it is a *complete pattern* when
+/// bracketed by a freeze (0x02) before and a return (0x00) after — the
+/// three-message shape of §4.5.
+fn group_procedures(ecrs: &[EcrObservation]) -> Vec<ControlProcedure> {
+    let mut out = Vec::new();
+    for (i, e) in ecrs.iter().enumerate() {
+        if e.param != 0x03 {
+            continue;
+        }
+        let frozen_before = ecrs[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.target == e.target || p.param == 0x03)
+            .any(|p| p.target == e.target && p.param == 0x02);
+        let returned_after = ecrs[i + 1..]
+            .iter()
+            .find(|p| p.target == e.target)
+            .is_some_and(|p| p.param == 0x00);
+        out.push(ControlProcedure {
+            target: e.target,
+            state: e.state.clone(),
+            complete_pattern: frozen_before && returned_after,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AssembledMessage;
+    use dpr_can::CanId;
+
+    fn msg(at_ms: u64, payload: Vec<u8>) -> AssembledMessage {
+        AssembledMessage {
+            at: Micros::from_millis(at_ms),
+            id: CanId::standard(0x7E8).unwrap(),
+            payload,
+        }
+    }
+
+    #[test]
+    fn uds_read_pairs_request_and_response() {
+        let messages = vec![
+            msg(0, vec![0x22, 0xF4, 0x0D]),
+            msg(10, vec![0x62, 0xF4, 0x0D, 0x21]),
+            msg(20, vec![0x22, 0xF4, 0x0D]),
+            msg(30, vec![0x62, 0xF4, 0x0D, 0x24]),
+        ];
+        let ext = extract_fields(&messages);
+        assert_eq!(ext.read_requests, 2);
+        let series = ext.series_for(SourceKey::UdsDid(0xF40D)).unwrap();
+        assert_eq!(series.samples.len(), 2);
+        assert_eq!(series.samples[0].1, vec![0x21 as f64]);
+        assert_eq!(series.samples[1].1, vec![0x24 as f64]);
+    }
+
+    #[test]
+    fn multi_did_response_splits_into_series() {
+        let messages = vec![
+            msg(0, vec![0x22, 0xF4, 0x00, 0xF4, 0x01]),
+            msg(5, vec![0x62, 0xF4, 0x00, 0xAA, 0xBB, 0xF4, 0x01, 0xCC]),
+        ];
+        let ext = extract_fields(&messages);
+        let a = ext.series_for(SourceKey::UdsDid(0xF400)).unwrap();
+        assert_eq!(a.samples[0].1, vec![170.0, 187.0]);
+        let b = ext.series_for(SourceKey::UdsDid(0xF401)).unwrap();
+        assert_eq!(b.samples[0].1, vec![204.0]);
+    }
+
+    #[test]
+    fn kwp_blocks_become_per_slot_series_with_f_types() {
+        let messages = vec![
+            msg(0, vec![0x21, 0x07]),
+            msg(5, vec![0x61, 0x07, 0x01, 0xF1, 0x10, 0x07, 100, 33]),
+        ];
+        let ext = extract_fields(&messages);
+        let s0 = ext
+            .series_for(SourceKey::Kwp { local_id: 0x07, slot: 0 })
+            .unwrap();
+        assert_eq!(s0.f_type, Some(0x01));
+        assert_eq!(s0.samples[0].1, vec![241.0, 16.0]);
+        let s1 = ext
+            .series_for(SourceKey::Kwp { local_id: 0x07, slot: 1 })
+            .unwrap();
+        assert_eq!(s1.f_type, Some(0x07));
+    }
+
+    #[test]
+    fn obd_responses_are_self_describing() {
+        let messages = vec![
+            msg(0, vec![0x01, 0x0C]),
+            msg(3, vec![0x41, 0x0C, 0x1A, 0xF0]),
+        ];
+        let ext = extract_fields(&messages);
+        let s = ext.series_for(SourceKey::Obd(0x0C)).unwrap();
+        assert_eq!(s.samples[0].1, vec![26.0, 240.0]);
+    }
+
+    #[test]
+    fn ecr_procedure_detected_with_complete_pattern() {
+        let messages = vec![
+            msg(0, vec![0x2F, 0x09, 0x50, 0x02]),
+            msg(1, vec![0x6F, 0x09, 0x50, 0x02]),
+            msg(10, vec![0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00]),
+            msg(11, vec![0x6F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00]),
+            msg(20, vec![0x2F, 0x09, 0x50, 0x00]),
+            msg(21, vec![0x6F, 0x09, 0x50, 0x00]),
+        ];
+        let ext = extract_fields(&messages);
+        assert_eq!(ext.ecrs.len(), 3);
+        assert!(ext.ecrs.iter().all(|e| e.positive), "{:?}", ext.ecrs);
+        assert_eq!(ext.procedures.len(), 1);
+        let p = &ext.procedures[0];
+        assert_eq!(p.target, EcrTarget::Id2F(0x0950));
+        assert_eq!(p.state, vec![0x05, 0x01, 0x00, 0x00]);
+        assert!(p.complete_pattern);
+        assert_eq!(ext.controlled_targets(), vec![EcrTarget::Id2F(0x0950)]);
+    }
+
+    #[test]
+    fn kwp_local_ecr_with_0x70_confirmation() {
+        let messages = vec![
+            msg(0, vec![0x30, 0x15, 0x03, 0x00, 0x40, 0x00]),
+            msg(1, vec![0x70, 0x15, 0x01]),
+        ];
+        let ext = extract_fields(&messages);
+        assert_eq!(ext.ecrs.len(), 1);
+        assert!(ext.ecrs[0].positive);
+        assert_eq!(ext.ecrs[0].target, EcrTarget::Local30(0x15));
+        assert_eq!(ext.ecrs[0].state, vec![0x00, 0x40, 0x00]);
+        // Adjustment without freeze/return: a procedure, but incomplete.
+        assert_eq!(ext.procedures.len(), 1);
+        assert!(!ext.procedures[0].complete_pattern);
+    }
+
+    #[test]
+    fn negatives_counted() {
+        let messages = vec![
+            msg(0, vec![0x22, 0xAA, 0xBB]),
+            msg(1, vec![0x7F, 0x22, 0x31]),
+        ];
+        let ext = extract_fields(&messages);
+        assert_eq!(ext.negatives, 1);
+        assert!(ext.series.is_empty());
+    }
+
+    #[test]
+    fn varying_columns_detection() {
+        let series = EsvSeries {
+            key: SourceKey::UdsDid(1),
+            f_type: None,
+            samples: vec![
+                (Micros::ZERO, vec![1.0, 100.0]),
+                (Micros::from_millis(1), vec![2.0, 100.0]),
+                (Micros::from_millis(2), vec![3.0, 100.0]),
+            ],
+        };
+        // X0 varies, X1 pinned at 100 — the paper's vehicle-speed quirk.
+        assert_eq!(series.varying_columns(), 1);
+    }
+}

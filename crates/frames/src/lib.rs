@@ -1,0 +1,29 @@
+//! Diagnostic frames analysis — the paper's §3.2 pipeline.
+//!
+//! Takes the raw OBD-port capture and produces the per-signal raw-value
+//! series and control records the reverse-engineering stages consume:
+//!
+//! * **Step 1, screening** — remove frames that carry no diagnostic
+//!   payload (ISO-TP flow control; VW TP broadcast/setup/parameter/ACK
+//!   frames), counting frame types on the way (that count *is* the
+//!   paper's Tab. 9).
+//! * **Step 2, assembling** — reassemble multi-frame payloads per CAN id
+//!   with the scheme-specific stream decoders from `dpr-transport`.
+//! * **Step 3, field extraction** — parse assembled payloads as
+//!   UDS / KWP 2000 / OBD-II messages, pair read responses with their
+//!   requests (splitting multi-DID records by the request's DID list),
+//!   and extract ESV raw values and ECU-control records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod extract;
+mod stats;
+
+pub use analysis::{analyze_capture, analyze_capture_auto, AssembledMessage, CaptureAnalysis, Scheme};
+pub use extract::{
+    extract_fields, ControlProcedure, EcrObservation, EcrTarget, EsvSeries, Extraction,
+    SourceKey,
+};
+pub use stats::FrameStats;

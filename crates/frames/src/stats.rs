@@ -1,0 +1,101 @@
+//! Frame-type statistics — the measurement behind Tab. 9.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of frame kinds in a capture.
+///
+/// For ISO-TP traffic, `single` / `multi` / `control` map to SF /
+/// (FF + CF) / FC. For VW TP 2.0, the paper counts frames that "need to
+/// wait for the next frames" (non-last data frames) as `multi`'s waiting
+/// share and last data frames as `single`-equivalent terminators; ACK,
+/// setup, parameter, and broadcast frames are `control`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Frames that alone complete a message (ISO-TP SF; VW TP last-data).
+    pub single: usize,
+    /// Frames belonging to multi-frame payloads (ISO-TP FF+CF; VW TP
+    /// non-last data frames).
+    pub multi: usize,
+    /// Transport-control frames carrying no payload (screened out).
+    pub control: usize,
+    /// Frames that failed to parse under the scheme.
+    pub unknown: usize,
+}
+
+impl FrameStats {
+    /// Total frames observed.
+    pub fn total(&self) -> usize {
+        self.single + self.multi + self.control + self.unknown
+    }
+
+    /// Share of single-frame messages among all frames (Tab. 9's 55.1%
+    /// for UDS).
+    pub fn single_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.single as f64 / self.total() as f64
+        }
+    }
+
+    /// Share of multi-frame frames among all frames (Tab. 9's 32.0% for
+    /// UDS, 75.2% for KWP 2000).
+    pub fn multi_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.multi as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: FrameStats) {
+        self.single += other.single;
+        self.multi += other.multi;
+        self.control += other.control;
+        self.unknown += other.unknown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_sensibly() {
+        let stats = FrameStats {
+            single: 55,
+            multi: 32,
+            control: 13,
+            unknown: 0,
+        };
+        assert_eq!(stats.total(), 100);
+        assert!((stats.single_share() - 0.55).abs() < 1e-12);
+        assert!((stats.multi_share() - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_shares() {
+        let stats = FrameStats::default();
+        assert_eq!(stats.single_share(), 0.0);
+        assert_eq!(stats.multi_share(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FrameStats {
+            single: 1,
+            multi: 2,
+            control: 3,
+            unknown: 0,
+        };
+        a.merge(FrameStats {
+            single: 10,
+            multi: 20,
+            control: 30,
+            unknown: 1,
+        });
+        assert_eq!(a.total(), 67);
+        assert_eq!(a.unknown, 1);
+    }
+}

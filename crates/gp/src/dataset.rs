@@ -1,0 +1,269 @@
+//! The `(X, Y)` data sets built from aligned traffic and UI values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A regression data set: rows of input variables and one target per row.
+///
+/// In DP-Reverser, `x` rows are raw values extracted from response messages
+/// (one column for UDS, two — `X0`, `X1` — for KWP 2000) and `y` is the ESV
+/// the diagnostic tool displayed at the matching timestamp (paper §3.5,
+/// Step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    n_vars: usize,
+}
+
+impl Dataset {
+    /// Creates a data set from input rows and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] if the set is empty, row lengths are
+    /// inconsistent, or any value is not finite.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, DatasetError> {
+        if x.is_empty() || y.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if x.len() != y.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: x.len(),
+                targets: y.len(),
+            });
+        }
+        let n_vars = x[0].len();
+        if n_vars == 0 {
+            return Err(DatasetError::NoVariables);
+        }
+        for (i, row) in x.iter().enumerate() {
+            if row.len() != n_vars {
+                return Err(DatasetError::RaggedRow { row: i });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(DatasetError::NonFinite { row: i });
+            }
+        }
+        if let Some(i) = y.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFinite { row: i });
+        }
+        Ok(Dataset { x, y, n_vars })
+    }
+
+    /// Builds a single-variable data set from `(x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::new`].
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, DatasetError> {
+        let (x, y): (Vec<_>, Vec<_>) = pairs.into_iter().map(|(a, b)| (vec![a], b)).unzip();
+        Dataset::new(x, y)
+    }
+
+    /// Builds a two-variable data set from `((x0, x1), y)` triples — the
+    /// KWP 2000 shape.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::new`].
+    pub fn from_triples(
+        triples: impl IntoIterator<Item = ((f64, f64), f64)>,
+    ) -> Result<Self, DatasetError> {
+        let (x, y): (Vec<_>, Vec<_>) = triples
+            .into_iter()
+            .map(|((a, b), t)| (vec![a, b], t))
+            .unzip();
+        Dataset::new(x, y)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the set has no rows (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of input variables per row.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The input rows.
+    pub fn x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The targets.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Iterates over `(row, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.x.iter().map(|r| r.as_slice()).zip(self.y.iter().copied())
+    }
+
+    /// The median of `|y|` — the statistic the Tab. 2 scaling rules use.
+    pub fn median_abs_y(&self) -> f64 {
+        median_abs(&self.y)
+    }
+
+    /// The median of `|x|` for column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= n_vars`.
+    pub fn median_abs_x(&self, col: usize) -> f64 {
+        assert!(col < self.n_vars, "column out of range");
+        let col_vals: Vec<f64> = self.x.iter().map(|r| r[col]).collect();
+        median_abs(&col_vals)
+    }
+
+    /// Returns a copy with each `x` column and the `y` column multiplied by
+    /// the given factors (used by the Tab. 2 pre-processing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_factors.len() != n_vars`.
+    pub fn scaled(&self, x_factors: &[f64], y_factor: f64) -> Dataset {
+        assert_eq!(x_factors.len(), self.n_vars, "one factor per column");
+        let x = self
+            .x
+            .iter()
+            .map(|row| row.iter().zip(x_factors).map(|(v, f)| v * f).collect())
+            .collect();
+        let y = self.y.iter().map(|v| v * y_factor).collect();
+        Dataset {
+            x,
+            y,
+            n_vars: self.n_vars,
+        }
+    }
+
+    /// The observed (min, max) of column `col` — used when checking whether
+    /// two formulas agree on the observed input range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= n_vars`.
+    pub fn x_range(&self, col: usize) -> (f64, f64) {
+        assert!(col < self.n_vars, "column out of range");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.x {
+            lo = lo.min(row[col]);
+            hi = hi.max(row[col]);
+        }
+        (lo, hi)
+    }
+}
+
+fn median_abs(values: &[f64]) -> f64 {
+    let mut abs: Vec<f64> = values.iter().map(|v| v.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    abs[abs.len() / 2]
+}
+
+/// Errors constructing a [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No rows were provided.
+    Empty,
+    /// Row and target counts differ.
+    LengthMismatch {
+        /// Number of input rows.
+        rows: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// Rows have zero columns.
+    NoVariables,
+    /// A row has a different number of columns than the first row.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A value is NaN or infinite.
+    NonFinite {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "data set has no rows"),
+            DatasetError::LengthMismatch { rows, targets } => {
+                write!(f, "{rows} input rows but {targets} targets")
+            }
+            DatasetError::NoVariables => write!(f, "rows have zero columns"),
+            DatasetError::RaggedRow { row } => write!(f, "row {row} has inconsistent width"),
+            DatasetError::NonFinite { row } => write!(f, "row {row} contains a non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Dataset::new(vec![], vec![]), Err(DatasetError::Empty));
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]),
+            Err(DatasetError::LengthMismatch { rows: 1, targets: 2 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![]], vec![1.0]),
+            Err(DatasetError::NoVariables)
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]),
+            Err(DatasetError::RaggedRow { row: 1 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![f64::NAN]], vec![1.0]),
+            Err(DatasetError::NonFinite { row: 0 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![f64::INFINITY]),
+            Err(DatasetError::NonFinite { row: 0 })
+        );
+    }
+
+    #[test]
+    fn from_pairs_and_triples() {
+        let d = Dataset::from_pairs([(1.0, 2.0), (3.0, 6.0)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_vars(), 1);
+
+        let t = Dataset::from_triples([((1.0, 2.0), 3.0)]).unwrap();
+        assert_eq!(t.n_vars(), 2);
+        assert_eq!(t.x()[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn medians_and_ranges() {
+        let d = Dataset::from_pairs([(1.0, -10.0), (2.0, 20.0), (300.0, 30.0)]).unwrap();
+        assert_eq!(d.median_abs_y(), 20.0);
+        assert_eq!(d.median_abs_x(0), 2.0);
+        assert_eq!(d.x_range(0), (1.0, 300.0));
+    }
+
+    #[test]
+    fn scaling_multiplies_columns() {
+        let d = Dataset::from_triples([((10.0, 100.0), 1000.0)]).unwrap();
+        let s = d.scaled(&[0.1, 0.01], 0.001);
+        assert_eq!(s.x()[0], vec![1.0, 1.0]);
+        assert_eq!(s.y()[0], 1.0);
+    }
+}

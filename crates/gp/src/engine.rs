@@ -1,0 +1,668 @@
+//! The genetic-programming engine: initialization, selection, variation,
+//! and the paper's two stopping criteria.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::model::FittedModel;
+use crate::scaling::ScalePlan;
+use crate::{Dataset, Metric};
+
+/// Which functions the engine may use as tree nodes.
+///
+/// [`FunctionSet::full`] is the paper's 14-function set;
+/// [`FunctionSet::arithmetic`] restricts to `+ - * /` for ablations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSet {
+    /// Allowed unary functions.
+    pub unary: Vec<UnaryOp>,
+    /// Allowed binary functions.
+    pub binary: Vec<BinaryOp>,
+}
+
+impl FunctionSet {
+    /// All 14 functions (paper §6).
+    pub fn full() -> Self {
+        FunctionSet {
+            unary: UnaryOp::ALL.to_vec(),
+            binary: BinaryOp::ALL.to_vec(),
+        }
+    }
+
+    /// Arithmetic only: `+ - * /`.
+    pub fn arithmetic() -> Self {
+        FunctionSet {
+            unary: Vec::new(),
+            binary: vec![BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div],
+        }
+    }
+}
+
+impl Default for FunctionSet {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Engine configuration.
+///
+/// [`GpConfig::paper`] matches the settings reported in §4.3: a maximum of
+/// 30 generations with 1000 formulas per generation, mean-absolute-error
+/// fitness, and both stopping criteria. [`GpConfig::fast`] is a smaller
+/// budget suitable for unit tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// Individuals per generation (paper: 1000).
+    pub population_size: usize,
+    /// Stopping criterion (i): maximum number of generations (paper: 30).
+    pub max_generations: usize,
+    /// Stopping criterion (ii): stop once the best (scaled-space) error
+    /// falls to or below this threshold.
+    pub stop_threshold: f64,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Probability that a child is produced by subtree crossover.
+    pub crossover_prob: f64,
+    /// Probability of subtree mutation.
+    pub subtree_mutation_prob: f64,
+    /// Probability of hoist mutation.
+    pub hoist_mutation_prob: f64,
+    /// Probability of point mutation (remaining mass is reproduction).
+    pub point_mutation_prob: f64,
+    /// Hard depth limit for any individual.
+    pub max_depth: usize,
+    /// Initial tree depths for ramped half-and-half, inclusive.
+    pub init_depth: (usize, usize),
+    /// Range of ephemeral random constants.
+    pub const_range: (f64, f64),
+    /// Fitness metric (paper: mean absolute error).
+    pub metric: Metric,
+    /// Parsimony coefficient: size penalty added to selection fitness.
+    pub parsimony: f64,
+    /// Whether to apply the Tab. 2 scaling (ablation toggle).
+    pub scale: bool,
+    /// Whether to seed a fraction of the initial population with affine /
+    /// product templates (informed initialization; ablation toggle).
+    pub seeded_init: bool,
+    /// Hill-climbing iterations polishing the winner's constants.
+    pub polish_iters: usize,
+    /// Whether to run the closed-form residual refit on the winner
+    /// (ablation toggle; see `refit` module docs).
+    pub refit: bool,
+    /// Allowed functions.
+    pub functions: FunctionSet,
+    /// RNG seed — every run is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl GpConfig {
+    /// The paper's configuration: 1000 formulas × up to 30 generations.
+    pub fn paper(seed: u64) -> Self {
+        GpConfig {
+            population_size: 1000,
+            max_generations: 30,
+            stop_threshold: 0.005,
+            tournament_size: 7,
+            crossover_prob: 0.65,
+            subtree_mutation_prob: 0.12,
+            hoist_mutation_prob: 0.05,
+            point_mutation_prob: 0.12,
+            max_depth: 9,
+            init_depth: (2, 5),
+            const_range: (-10.0, 10.0),
+            metric: Metric::MeanAbsoluteError,
+            parsimony: 0.001,
+            scale: true,
+            seeded_init: true,
+            polish_iters: 2000,
+            refit: true,
+            functions: FunctionSet::full(),
+            seed,
+        }
+    }
+
+    /// A reduced budget for unit tests and quick experiments.
+    pub fn fast(seed: u64) -> Self {
+        GpConfig {
+            population_size: 256,
+            max_generations: 20,
+            polish_iters: 800,
+            ..GpConfig::paper(seed)
+        }
+    }
+}
+
+/// Progress record of one fitting run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpReport {
+    /// Best (scaled-space, unpenalized) error after each generation.
+    pub best_error_history: Vec<f64>,
+    /// Which stopping criterion fired: `true` if the fitness threshold
+    /// stopped the run, `false` if the generation budget ran out.
+    pub stopped_by_threshold: bool,
+}
+
+struct Individual {
+    expr: Expr,
+    /// Raw metric error in scaled space (no parsimony).
+    error: f64,
+    /// Selection fitness: error plus parsimony penalty.
+    fitness: f64,
+}
+
+/// The symbolic-regression engine.
+///
+/// Owns its RNG; repeated [`fit`](Self::fit) calls continue the stream, so
+/// construct a fresh regressor (same seed) to reproduce a run exactly.
+#[derive(Debug)]
+pub struct SymbolicRegressor {
+    config: GpConfig,
+    rng: StdRng,
+    last_report: Option<GpReport>,
+}
+
+impl SymbolicRegressor {
+    /// Creates an engine from a configuration.
+    pub fn new(config: GpConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        SymbolicRegressor {
+            config,
+            rng,
+            last_report: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+
+    /// The report of the most recent [`fit`](Self::fit) call.
+    pub fn last_report(&self) -> Option<&GpReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Fits a formula to the data set and returns the winning model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has a zero population or tournament
+    /// size.
+    pub fn fit(&mut self, data: &Dataset) -> FittedModel {
+        assert!(self.config.population_size > 0, "population must be positive");
+        assert!(self.config.tournament_size > 0, "tournament must be positive");
+
+        let plan = if self.config.scale {
+            ScalePlan::for_dataset(data)
+        } else {
+            ScalePlan::identity(data.n_vars())
+        };
+        let scaled = plan.apply(data);
+
+        let mut evaluations: u64 = 0;
+        let mut population = self.init_population(&scaled, &mut evaluations);
+        let mut history = Vec::with_capacity(self.config.max_generations);
+        let mut stopped_by_threshold = false;
+        let mut generations = 0;
+
+        for _gen in 0..self.config.max_generations {
+            generations += 1;
+            let best = population
+                .iter()
+                .map(|i| i.error)
+                .fold(f64::INFINITY, f64::min);
+            history.push(best);
+            if best <= self.config.stop_threshold {
+                stopped_by_threshold = true;
+                break;
+            }
+            population = self.next_generation(population, &scaled, &mut evaluations);
+        }
+        // Record the final state's best as well.
+        let best_idx = population
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.error.total_cmp(&b.error))
+            .map(|(i, _)| i)
+            .expect("population is non-empty");
+        let mut best = population.swap_remove(best_idx);
+        if let Some(&last) = history.last() {
+            if best.error < last {
+                history.push(best.error);
+            }
+        }
+
+        // Constant polishing: hill-climb the winner's numeric leaves.
+        self.polish(&mut best, &scaled, &mut evaluations);
+
+        // Closed-form residual correction for missed low-order terms, and
+        // a pure low-order candidate raced against the GP winner.
+        if self.config.refit {
+            if let Some(corrected) = crate::refit::residual_refit(&best.expr, &scaled, self.config.metric) {
+                let (error, fitness) = self.evaluate(&corrected, &scaled, &mut evaluations);
+                if error < best.error {
+                    best.expr = corrected;
+                    best.error = error;
+                    best.fitness = fitness;
+                }
+            }
+            if let Some(candidate) = crate::refit::loworder_candidate(&scaled) {
+                let (error, fitness) = self.evaluate(&candidate, &scaled, &mut evaluations);
+                if error < best.error {
+                    best.expr = candidate;
+                    best.error = error;
+                    best.fitness = fitness;
+                }
+            }
+            // Polish again: grafted coefficients interact with the original
+            // constants.
+            self.polish(&mut best, &scaled, &mut evaluations);
+        }
+
+        let expr = best.expr.simplify();
+        let model = FittedModel {
+            expr,
+            plan,
+            train_error: 0.0,
+            metric: self.config.metric,
+            generations,
+            evaluations,
+        };
+        let train_error = model.error_on(data);
+        self.last_report = Some(GpReport {
+            best_error_history: history,
+            stopped_by_threshold,
+        });
+        FittedModel {
+            train_error,
+            ..model
+        }
+    }
+
+    fn evaluate(&self, expr: &Expr, data: &Dataset, evaluations: &mut u64) -> (f64, f64) {
+        *evaluations += data.len() as u64;
+        let error = self.config.metric.error(expr, data);
+        let fitness = if error.is_finite() {
+            error + self.config.parsimony * expr.size() as f64
+        } else {
+            f64::INFINITY
+        };
+        (error, fitness)
+    }
+
+    fn make_individual(&self, expr: Expr, data: &Dataset, evaluations: &mut u64) -> Individual {
+        let (error, fitness) = self.evaluate(&expr, data, evaluations);
+        Individual { expr, error, fitness }
+    }
+
+    fn init_population(&mut self, data: &Dataset, evaluations: &mut u64) -> Vec<Individual> {
+        let n = self.config.population_size;
+        let n_vars = data.n_vars();
+        let mut population = Vec::with_capacity(n);
+
+        // Informed template seeding (~6% of the population): affine and
+        // product skeletons with random constants. These do not contain
+        // the answer — GP still has to tune every coefficient — but they
+        // mirror gplearn's practical bias toward low-order structure.
+        if self.config.seeded_init {
+            let templates = n / 16;
+            for _ in 0..templates {
+                let expr = self.random_template(n_vars);
+                population.push(self.make_individual(expr, data, evaluations));
+            }
+        }
+
+        // Ramped half-and-half for the rest.
+        let (lo, hi) = self.config.init_depth;
+        let unary = self.config.functions.unary.clone();
+        let binary = self.config.functions.binary.clone();
+        let mut depth = lo;
+        while population.len() < n {
+            let expr = if population.len() % 2 == 0 {
+                Expr::random_full(
+                    &mut self.rng,
+                    depth,
+                    n_vars,
+                    &unary,
+                    &binary,
+                    self.config.const_range,
+                )
+            } else {
+                Expr::random_grow(
+                    &mut self.rng,
+                    depth,
+                    n_vars,
+                    &unary,
+                    &binary,
+                    self.config.const_range,
+                )
+            };
+            population.push(self.make_individual(expr, data, evaluations));
+            depth = if depth >= hi { lo } else { depth + 1 };
+        }
+        population
+    }
+
+    /// A random low-order template: `c0*Xi + c1`, `c0*Xi + c1*Xj + c2`, or
+    /// `c0*Xi*Xj + c1`.
+    fn random_template(&mut self, n_vars: usize) -> Expr {
+        let c = |rng: &mut StdRng| {
+            Expr::Const((rng.gen_range(-10.0..=10.0f64) * 1000.0).round() / 1000.0)
+        };
+        let var = |rng: &mut StdRng| Expr::Var(rng.gen_range(0..n_vars));
+        let mul = |a: Expr, b: Expr| Expr::Binary(BinaryOp::Mul, Box::new(a), Box::new(b));
+        let add = |a: Expr, b: Expr| Expr::Binary(BinaryOp::Add, Box::new(a), Box::new(b));
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let t = mul(c(&mut self.rng), var(&mut self.rng));
+                add(t, c(&mut self.rng))
+            }
+            1 if n_vars > 1 => {
+                let t0 = mul(c(&mut self.rng), Expr::Var(0));
+                let t1 = mul(c(&mut self.rng), Expr::Var(1));
+                add(add(t0, t1), c(&mut self.rng))
+            }
+            _ if n_vars > 1 => {
+                let t = mul(c(&mut self.rng), mul(Expr::Var(0), Expr::Var(1)));
+                add(t, c(&mut self.rng))
+            }
+            _ => {
+                let t = mul(c(&mut self.rng), var(&mut self.rng));
+                add(t, c(&mut self.rng))
+            }
+        }
+    }
+
+    fn tournament<'a>(&mut self, population: &'a [Individual]) -> &'a Individual {
+        let mut best: Option<&Individual> = None;
+        for _ in 0..self.config.tournament_size {
+            let candidate = &population[self.rng.gen_range(0..population.len())];
+            best = match best {
+                Some(b) if b.fitness <= candidate.fitness => Some(b),
+                _ => Some(candidate),
+            };
+        }
+        best.expect("tournament size is positive")
+    }
+
+    fn next_generation(
+        &mut self,
+        population: Vec<Individual>,
+        data: &Dataset,
+        evaluations: &mut u64,
+    ) -> Vec<Individual> {
+        let n = population.len();
+        let mut next = Vec::with_capacity(n);
+
+        // Elitism: the best individual survives unchanged.
+        let elite_idx = population
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.error.total_cmp(&b.error))
+            .map(|(i, _)| i)
+            .expect("population is non-empty");
+        next.push(Individual {
+            expr: population[elite_idx].expr.clone(),
+            error: population[elite_idx].error,
+            fitness: population[elite_idx].fitness,
+        });
+
+        let (p_cx, p_sub, p_hoist, p_point) = (
+            self.config.crossover_prob,
+            self.config.subtree_mutation_prob,
+            self.config.hoist_mutation_prob,
+            self.config.point_mutation_prob,
+        );
+        let max_depth = self.config.max_depth;
+        while next.len() < n {
+            let roll: f64 = self.rng.gen();
+            let parent = self.tournament(&population).expr.clone();
+            let child = if roll < p_cx {
+                let donor = self.tournament(&population).expr.clone();
+                self.crossover(&parent, &donor)
+            } else if roll < p_cx + p_sub {
+                self.subtree_mutation(&parent, data.n_vars())
+            } else if roll < p_cx + p_sub + p_hoist {
+                self.hoist_mutation(&parent)
+            } else if roll < p_cx + p_sub + p_hoist + p_point {
+                self.point_mutation(&parent, data.n_vars())
+            } else {
+                parent.clone()
+            };
+            let child = if child.depth() > max_depth { parent } else { child };
+            next.push(self.make_individual(child, data, evaluations));
+        }
+        next
+    }
+
+    /// Subtree crossover: replace a random node of `recipient` with a
+    /// random subtree of `donor`.
+    fn crossover(&mut self, recipient: &Expr, donor: &Expr) -> Expr {
+        let mut child = recipient.clone();
+        let at = self.rng.gen_range(0..child.size());
+        let from = self.rng.gen_range(0..donor.size());
+        *child.node_mut(at) = donor.node(from).clone();
+        child
+    }
+
+    /// Subtree mutation: replace a random node with a fresh grown tree.
+    fn subtree_mutation(&mut self, parent: &Expr, n_vars: usize) -> Expr {
+        let mut child = parent.clone();
+        let at = self.rng.gen_range(0..child.size());
+        let unary = self.config.functions.unary.clone();
+        let binary = self.config.functions.binary.clone();
+        let fresh = Expr::random_grow(
+            &mut self.rng,
+            3,
+            n_vars,
+            &unary,
+            &binary,
+            self.config.const_range,
+        );
+        *child.node_mut(at) = fresh;
+        child
+    }
+
+    /// Hoist mutation: replace a random node with one of its own subtrees,
+    /// shrinking the individual (bloat control).
+    fn hoist_mutation(&mut self, parent: &Expr) -> Expr {
+        let mut child = parent.clone();
+        let at = self.rng.gen_range(0..child.size());
+        let node = child.node(at).clone();
+        let inner_at = self.rng.gen_range(0..node.size());
+        let hoisted = node.node(inner_at).clone();
+        *child.node_mut(at) = hoisted;
+        child
+    }
+
+    /// Point mutation: independently perturb constants and swap operators
+    /// or variables at ~15% of nodes.
+    fn point_mutation(&mut self, parent: &Expr, n_vars: usize) -> Expr {
+        let mut child = parent.clone();
+        let size = child.size();
+        let unary = self.config.functions.unary.clone();
+        let binary = self.config.functions.binary.clone();
+        for idx in 0..size {
+            if !self.rng.gen_bool(0.15) {
+                continue;
+            }
+            let node = child.node_mut(idx);
+            match node {
+                Expr::Const(v) => {
+                    // Mix multiplicative and additive perturbations so both
+                    // large and near-zero constants can move.
+                    if self.rng.gen_bool(0.5) {
+                        *v *= 1.0 + self.rng.gen_range(-0.2..0.2);
+                    } else {
+                        *v += self.rng.gen_range(-0.5..0.5);
+                    }
+                }
+                Expr::Var(i) => {
+                    if n_vars > 1 {
+                        *i = self.rng.gen_range(0..n_vars);
+                    }
+                }
+                Expr::Unary(op, _) => {
+                    if let Some(new_op) = unary.choose(&mut self.rng) {
+                        *op = *new_op;
+                    }
+                }
+                Expr::Binary(op, _, _) => {
+                    if let Some(new_op) = binary.choose(&mut self.rng) {
+                        *op = *new_op;
+                    }
+                }
+            }
+        }
+        child
+    }
+
+    /// Hill-climb the winner's constants: propose a perturbation of one
+    /// constant at a time and keep it if the (scaled-space) error improves.
+    fn polish(&mut self, best: &mut Individual, data: &Dataset, evaluations: &mut u64) {
+        if self.config.polish_iters == 0 {
+            return;
+        }
+        let n_consts = best.expr.clone().constants_mut().len();
+        if n_consts == 0 {
+            return;
+        }
+        for iter in 0..self.config.polish_iters {
+            // Annealed step size: start coarse, end fine.
+            let t = iter as f64 / self.config.polish_iters as f64;
+            let sigma = 0.25 * (1.0 - t) + 0.002;
+            let mut candidate = best.expr.clone();
+            {
+                let mut consts = candidate.constants_mut();
+                let which = self.rng.gen_range(0..consts.len());
+                let c = &mut *consts[which];
+                if self.rng.gen_bool(0.5) {
+                    *c *= 1.0 + self.rng.gen_range(-sigma..sigma);
+                } else {
+                    *c += self.rng.gen_range(-sigma..sigma);
+                }
+            }
+            let (error, fitness) = self.evaluate(&candidate, data, evaluations);
+            if error < best.error {
+                best.expr = candidate;
+                best.error = error;
+                best.fitness = fitness;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(config: GpConfig, data: &Dataset) -> FittedModel {
+        SymbolicRegressor::new(config).fit(data)
+    }
+
+    #[test]
+    fn recovers_identity() {
+        let data = Dataset::from_pairs((0..30).map(|i| (f64::from(i), f64::from(i)))).unwrap();
+        let model = fit(GpConfig::fast(1), &data);
+        assert!(model.train_error < 0.1, "error {}", model.train_error);
+    }
+
+    #[test]
+    fn recovers_linear_scale_offset() {
+        // Y = 1.8X - 40 (OBD-II coolant in Fahrenheit).
+        let data =
+            Dataset::from_pairs((160..=192).map(|x| (f64::from(x), 1.8 * f64::from(x) - 40.0)))
+                .unwrap();
+        let model = fit(GpConfig::fast(2), &data);
+        assert!(
+            model.agrees_with(|x| 1.8 * x[0] - 40.0, &[(160.0, 192.0)], 0.02),
+            "got {model} with error {}",
+            model.train_error
+        );
+    }
+
+    #[test]
+    fn recovers_product_formula() {
+        // Y = X0*X1/5 — the paper's KWP engine-speed formula.
+        let data = Dataset::from_triples((0..60).map(|i| {
+            let x0 = f64::from(150 + (i * 7) % 100);
+            let x1 = f64::from(10 + (i * 3) % 20);
+            ((x0, x1), x0 * x1 / 5.0)
+        }))
+        .unwrap();
+        let model = fit(GpConfig::fast(3), &data);
+        assert!(
+            model.agrees_with(
+                |x| x[0] * x[1] / 5.0,
+                &[(150.0, 249.0), (10.0, 29.0)],
+                0.03
+            ),
+            "got {model} with error {}",
+            model.train_error
+        );
+    }
+
+    #[test]
+    fn threshold_stops_early_on_trivial_data() {
+        let data = Dataset::from_pairs((1..40).map(|i| (f64::from(i), f64::from(i)))).unwrap();
+        let mut engine = SymbolicRegressor::new(GpConfig::fast(4));
+        let model = engine.fit(&data);
+        let report = engine.last_report().unwrap();
+        assert!(report.stopped_by_threshold);
+        assert!(model.generations < engine.config().max_generations);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = Dataset::from_pairs((0..25).map(|i| {
+            let x = f64::from(i * 9 % 200);
+            (x, 0.5 * x + 3.0)
+        }))
+        .unwrap();
+        let a = fit(GpConfig::fast(99), &data);
+        let b = fit(GpConfig::fast(99), &data);
+        assert_eq!(a.expr, b.expr);
+        assert_eq!(a.train_error, b.train_error);
+    }
+
+    #[test]
+    fn constant_target_learned_as_constant() {
+        let data = Dataset::from_pairs((0..20).map(|i| (f64::from(i), 7.0))).unwrap();
+        let model = fit(GpConfig::fast(5), &data);
+        assert!(model.train_error < 0.05);
+        assert!((model.predict(&[100.0]) - 7.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn arithmetic_function_set_excludes_trig() {
+        let config = GpConfig {
+            functions: FunctionSet::arithmetic(),
+            ..GpConfig::fast(6)
+        };
+        let data = Dataset::from_pairs((1..30).map(|i| (f64::from(i), 2.0 * f64::from(i)))).unwrap();
+        let model = fit(config, &data);
+        let printed = model.expr.to_string();
+        for banned in ["sin", "cos", "tan", "sqrt", "log"] {
+            assert!(!printed.contains(banned), "{printed}");
+        }
+        assert!(model.train_error < 0.5);
+    }
+
+    #[test]
+    fn report_history_is_nonincreasing() {
+        let data = Dataset::from_pairs((0..40).map(|i| {
+            let x = f64::from(i);
+            (x, x * x * 0.01)
+        }))
+        .unwrap();
+        let mut engine = SymbolicRegressor::new(GpConfig::fast(7));
+        engine.fit(&data);
+        let history = &engine.last_report().unwrap().best_error_history;
+        for pair in history.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "history must not regress");
+        }
+    }
+}

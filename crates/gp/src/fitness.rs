@@ -1,0 +1,88 @@
+//! Fitness metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dataset, Expr};
+
+/// The error metric used as GP fitness (lower is better). The paper names
+/// "mean absolute error" and "mean squared error" as the usual choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// Mean absolute error — the paper's default ("each generation contains
+    /// 1000 formulas to calculate their fitness score ('mean absolute
+    /// error')").
+    #[default]
+    MeanAbsoluteError,
+    /// Mean squared error.
+    MeanSquaredError,
+    /// Root mean squared error.
+    Rmse,
+}
+
+impl Metric {
+    /// Computes the metric for an expression over a data set. Non-finite
+    /// predictions yield `f64::INFINITY` so broken individuals always lose.
+    pub fn error(self, expr: &Expr, data: &Dataset) -> f64 {
+        let mut acc = 0.0;
+        let n = data.len() as f64;
+        for (row, target) in data.iter() {
+            let pred = expr.eval(row);
+            if !pred.is_finite() {
+                return f64::INFINITY;
+            }
+            let residual = pred - target;
+            acc += match self {
+                Metric::MeanAbsoluteError => residual.abs(),
+                Metric::MeanSquaredError | Metric::Rmse => residual * residual,
+            };
+        }
+        match self {
+            Metric::MeanAbsoluteError | Metric::MeanSquaredError => acc / n,
+            Metric::Rmse => (acc / n).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+
+    fn dataset() -> Dataset {
+        Dataset::from_pairs([(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]).unwrap()
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_error() {
+        // Y = 2*X0
+        let e = Expr::Binary(
+            BinaryOp::Mul,
+            Box::new(Expr::Const(2.0)),
+            Box::new(Expr::Var(0)),
+        );
+        let d = dataset();
+        assert_eq!(Metric::MeanAbsoluteError.error(&e, &d), 0.0);
+        assert_eq!(Metric::MeanSquaredError.error(&e, &d), 0.0);
+        assert_eq!(Metric::Rmse.error(&e, &d), 0.0);
+    }
+
+    #[test]
+    fn metrics_measure_residuals() {
+        // Y = X0: residuals -1, -2, -3.
+        let e = Expr::Var(0);
+        let d = dataset();
+        assert_eq!(Metric::MeanAbsoluteError.error(&e, &d), 2.0);
+        let mse = (1.0 + 4.0 + 9.0) / 3.0;
+        assert_eq!(Metric::MeanSquaredError.error(&e, &d), mse);
+        assert!((Metric::Rmse.error(&e, &d) - mse.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_prediction_is_infinitely_bad() {
+        let e = Expr::Const(f64::NAN);
+        assert_eq!(
+            Metric::MeanAbsoluteError.error(&e, &dataset()),
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The fitted model returned by the engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::scaling::ScalePlan;
+use crate::{Expr, Metric};
+
+/// A formula fitted by [`SymbolicRegressor`](crate::SymbolicRegressor),
+/// together with the Tab. 2 scale plan needed to interpret it on raw data.
+///
+/// `expr` lives in the *scaled* space; [`predict`](FittedModel::predict)
+/// undoes the scaling, so callers always work with raw message values and
+/// raw display values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// The winning expression, simplified, in scaled space.
+    pub expr: Expr,
+    /// The scaling applied before fitting.
+    pub plan: ScalePlan,
+    /// Training error in *raw* units (mean absolute error).
+    pub train_error: f64,
+    /// The metric the engine optimized (in scaled space).
+    pub metric: Metric,
+    /// Generations the engine actually ran before stopping.
+    pub generations: usize,
+    /// Total number of expression evaluations performed.
+    pub evaluations: u64,
+}
+
+impl FittedModel {
+    /// Predicts the display value for a raw input row.
+    pub fn predict(&self, raw_row: &[f64]) -> f64 {
+        self.plan.eval_raw(&self.expr, raw_row)
+    }
+
+    /// Mean absolute error against a raw data set.
+    pub fn error_on(&self, data: &crate::Dataset) -> f64 {
+        let mut acc = 0.0;
+        for (row, target) in data.iter() {
+            acc += (self.predict(row) - target).abs();
+        }
+        acc / data.len() as f64
+    }
+
+    /// Checks numeric agreement with a reference function over a grid of
+    /// the given per-variable ranges: the maximum relative error must stay
+    /// below `tolerance` (with an absolute floor of `tolerance` for values
+    /// near zero). This is how the evaluation decides an inferred formula
+    /// is "correct" — the paper likewise accepts coefficient-close
+    /// formulas (Tab. 5's `Y = 1.7X - 22` vs. `Y = 1.8X - 40` agree on the
+    /// observed range).
+    ///
+    /// Grid points are snapped to integers: the inputs these formulas ever
+    /// receive are raw message bytes, so equivalence is only meaningful on
+    /// integer coordinates (a vestigial `tan` between two integers is not
+    /// a defect the deployment can observe).
+    pub fn agrees_with<F>(&self, reference: F, ranges: &[(f64, f64)], tolerance: f64) -> bool
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        const STEPS: usize = 12;
+        let mut row = vec![0.0; ranges.len()];
+        let mut indices = vec![0usize; ranges.len()];
+        loop {
+            for (k, &(lo, hi)) in ranges.iter().enumerate() {
+                let t = indices[k] as f64 / (STEPS - 1) as f64;
+                row[k] = (lo + (hi - lo) * t).round();
+            }
+            let want = reference(&row);
+            let got = self.predict(&row);
+            let scale = want.abs().max(1.0);
+            if (got - want).abs() > tolerance * scale {
+                return false;
+            }
+            // Advance the grid odometer.
+            let mut k = 0;
+            loop {
+                if k == ranges.len() {
+                    return true;
+                }
+                indices[k] += 1;
+                if indices[k] < STEPS {
+                    break;
+                }
+                indices[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// Renders the formula in raw-data terms, spelling out the scale
+    /// factors the way the paper's Tab. 5 does (e.g. `Y/10 = f(X/100)`).
+    pub fn describe(&self) -> String {
+        if self.plan.is_identity() {
+            format!("Y = {}", self.expr)
+        } else {
+            let mut expr_str = self.expr.to_string();
+            for (i, f) in self.plan.x_factors.iter().enumerate() {
+                let var = format!("X{i}");
+                let replacement = if *f == 1.0 {
+                    var.clone()
+                } else {
+                    format!("(X{i}*{f})")
+                };
+                expr_str = expr_str.replace(&var, &replacement);
+            }
+            if self.plan.y_factor == 1.0 {
+                format!("Y = {expr_str}")
+            } else {
+                format!("Y*{} = {expr_str}", self.plan.y_factor)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FittedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryOp, Dataset};
+
+    fn model_2x() -> FittedModel {
+        FittedModel {
+            expr: Expr::Binary(
+                BinaryOp::Mul,
+                Box::new(Expr::Const(2.0)),
+                Box::new(Expr::Var(0)),
+            ),
+            plan: ScalePlan::identity(1),
+            train_error: 0.0,
+            metric: Metric::MeanAbsoluteError,
+            generations: 0,
+            evaluations: 0,
+        }
+    }
+
+    #[test]
+    fn predict_and_error() {
+        let m = model_2x();
+        assert_eq!(m.predict(&[21.0]), 42.0);
+        let d = Dataset::from_pairs([(1.0, 2.0), (2.0, 5.0)]).unwrap();
+        assert!((m.error_on(&d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_accepts_close_and_rejects_far() {
+        let m = model_2x();
+        assert!(m.agrees_with(|x| 2.0 * x[0], &[(0.0, 100.0)], 0.02));
+        assert!(m.agrees_with(|x| 2.01 * x[0], &[(0.0, 100.0)], 0.02));
+        assert!(!m.agrees_with(|x| 3.0 * x[0], &[(0.0, 100.0)], 0.02));
+    }
+
+    #[test]
+    fn paper_tab5_coolant_equivalence_on_observed_range() {
+        // Ground truth Y = 1.8X - 40 vs. recovered Y = 1.7X - 22 agree on
+        // the observed X range 0xA0..0xC0 (paper accepts this as correct).
+        let recovered = FittedModel {
+            expr: Expr::Binary(
+                BinaryOp::Sub,
+                Box::new(Expr::Binary(
+                    BinaryOp::Mul,
+                    Box::new(Expr::Const(1.7)),
+                    Box::new(Expr::Var(0)),
+                )),
+                Box::new(Expr::Const(22.0)),
+            ),
+            plan: ScalePlan::identity(1),
+            train_error: 0.0,
+            metric: Metric::MeanAbsoluteError,
+            generations: 0,
+            evaluations: 0,
+        };
+        let truth = |x: &[f64]| 1.8 * x[0] - 40.0;
+        assert!(recovered.agrees_with(truth, &[(160.0, 192.0)], 0.03));
+        // …but not on the full byte range.
+        assert!(!recovered.agrees_with(truth, &[(0.0, 255.0)], 0.03));
+    }
+
+    #[test]
+    fn describe_spells_out_scaling() {
+        let m = FittedModel {
+            expr: Expr::Binary(
+                BinaryOp::Mul,
+                Box::new(Expr::Const(2.0)),
+                Box::new(Expr::Var(0)),
+            ),
+            plan: ScalePlan {
+                x_factors: vec![0.01],
+                y_factor: 0.001,
+            },
+            train_error: 0.0,
+            metric: Metric::MeanAbsoluteError,
+            generations: 0,
+            evaluations: 0,
+        };
+        assert_eq!(m.describe(), "Y*0.001 = (2 * (X0*0.01))");
+        assert_eq!(model_2x().describe(), "Y = (2 * X0)");
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's Tab. 2 pre-scaling and formula post-processing.
+//!
+//! GP is most accurate when "most absolute values of X and Y are in the
+//! range 1.0 to 10.0" (paper §3.5, Step 3): targets far below 1 tempt GP to
+//! return a constant, targets far above 1000 breed needlessly complex
+//! trees. The rules here reduce or enlarge each column by a power of ten
+//! before fitting, and the [`ScalePlan`] records the factors so the fitted
+//! expression can be interpreted on the raw data afterwards ("replace Y'
+//! with Y·a").
+
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// Returns the Tab. 2 multiplier for a column whose typical magnitude
+/// (median of absolute values) is `median_abs`.
+///
+/// `allow_enlarge` distinguishes the `Y` rules (both reduce and enlarge)
+/// from the `X` rules (reduce only — raw message values are integers, so
+/// they are never below 1).
+pub fn table2_factor(median_abs: f64, allow_enlarge: bool) -> f64 {
+    if median_abs > 1e4 {
+        1e-4
+    } else if median_abs > 1e3 {
+        1e-3
+    } else if median_abs > 1e2 {
+        1e-2
+    } else if median_abs > 10.0 {
+        1e-1
+    } else if !allow_enlarge || median_abs >= 1.0 {
+        1.0
+    } else if median_abs >= 0.1 {
+        10.0
+    } else if median_abs >= 1e-2 {
+        1e2
+    } else if median_abs >= 1e-3 {
+        1e3
+    } else {
+        1e4
+    }
+}
+
+/// The scaling factors chosen for one data set: one per input column plus
+/// one for the target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePlan {
+    /// Multiplier applied to each `X` column before fitting.
+    pub x_factors: Vec<f64>,
+    /// Multiplier applied to `Y` before fitting.
+    pub y_factor: f64,
+}
+
+impl ScalePlan {
+    /// The identity plan (no scaling) for `n_vars` input columns.
+    pub fn identity(n_vars: usize) -> Self {
+        ScalePlan {
+            x_factors: vec![1.0; n_vars],
+            y_factor: 1.0,
+        }
+    }
+
+    /// Chooses factors for a data set per Tab. 2: `X` columns may only be
+    /// reduced, `Y` may be reduced or enlarged.
+    pub fn for_dataset(data: &Dataset) -> Self {
+        let x_factors = (0..data.n_vars())
+            .map(|c| table2_factor(data.median_abs_x(c), false))
+            .collect();
+        let y_factor = table2_factor(data.median_abs_y(), true);
+        ScalePlan { x_factors, y_factor }
+    }
+
+    /// Applies the plan, producing the scaled data set GP fits on.
+    pub fn apply(&self, data: &Dataset) -> Dataset {
+        data.scaled(&self.x_factors, self.y_factor)
+    }
+
+    /// Whether the plan is the identity (nothing to undo).
+    pub fn is_identity(&self) -> bool {
+        self.y_factor == 1.0 && self.x_factors.iter().all(|&f| f == 1.0)
+    }
+
+    /// Evaluates a formula fitted on *scaled* data against a *raw* input
+    /// row, undoing the plan: `Y = f(X·x_factors) / y_factor`.
+    pub fn eval_raw(&self, fitted: &crate::Expr, raw_row: &[f64]) -> f64 {
+        let scaled: Vec<f64> = raw_row
+            .iter()
+            .zip(&self.x_factors)
+            .map(|(v, f)| v * f)
+            .collect();
+        fitted.eval(&scaled) / self.y_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    #[test]
+    fn table2_reduction_rules() {
+        assert_eq!(table2_factor(50_000.0, true), 1e-4);
+        assert_eq!(table2_factor(5_000.0, true), 1e-3);
+        assert_eq!(table2_factor(500.0, true), 1e-2);
+        assert_eq!(table2_factor(50.0, true), 1e-1);
+        assert_eq!(table2_factor(5.0, true), 1.0);
+    }
+
+    #[test]
+    fn table2_enlargement_rules_only_for_y() {
+        assert_eq!(table2_factor(0.5, true), 10.0);
+        assert_eq!(table2_factor(0.05, true), 1e2);
+        assert_eq!(table2_factor(0.005, true), 1e3);
+        assert_eq!(table2_factor(0.0005, true), 1e4);
+        // X columns are never enlarged.
+        assert_eq!(table2_factor(0.5, false), 1.0);
+        assert_eq!(table2_factor(0.0005, false), 1.0);
+    }
+
+    #[test]
+    fn plan_brings_values_into_band() {
+        // X around 200, Y around 4000.
+        let data = Dataset::from_pairs((1..=20).map(|i| {
+            let x = 190.0 + f64::from(i);
+            (x, x * 20.0)
+        }))
+        .unwrap();
+        let plan = ScalePlan::for_dataset(&data);
+        assert_eq!(plan.x_factors, vec![1e-2]);
+        assert_eq!(plan.y_factor, 1e-3);
+        let scaled = plan.apply(&data);
+        assert!(scaled.median_abs_x(0) >= 1.0 && scaled.median_abs_x(0) < 10.0);
+        assert!(scaled.median_abs_y() >= 1.0 && scaled.median_abs_y() < 10.0);
+    }
+
+    #[test]
+    fn eval_raw_undoes_scaling() {
+        // Raw relation: Y = 20·X. With X·1e-2 and Y·1e-3 the scaled
+        // relation is Y' = 2·X'.
+        let plan = ScalePlan {
+            x_factors: vec![1e-2],
+            y_factor: 1e-3,
+        };
+        let scaled_formula = Expr::Binary(
+            crate::BinaryOp::Mul,
+            Box::new(Expr::Const(2.0)),
+            Box::new(Expr::Var(0)),
+        );
+        let y = plan.eval_raw(&scaled_formula, &[200.0]);
+        assert!((y - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_plan_is_identity() {
+        let plan = ScalePlan::identity(2);
+        assert!(plan.is_identity());
+        let data = Dataset::from_triples([((1.0, 2.0), 3.0)]).unwrap();
+        assert_eq!(plan.apply(&data), data);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the GP engine's invariants.
+
+use dpr_gp::expr::{BinaryOp, Expr, UnaryOp};
+use dpr_gp::scaling::{table2_factor, ScalePlan};
+use dpr_gp::{Dataset, GpConfig, Metric, SymbolicRegressor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_expr(seed: u64, depth: usize) -> Expr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Expr::random_grow(
+        &mut rng,
+        depth,
+        2,
+        &UnaryOp::ALL,
+        &BinaryOp::ALL,
+        (-10.0, 10.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Protected operators keep evaluation total: any tree on any finite
+    /// input yields a non-NaN-propagating result or a finite number.
+    #[test]
+    fn eval_is_total(seed in any::<u64>(), x0 in -1e4f64..1e4, x1 in -1e4f64..1e4) {
+        let e = arb_expr(seed, 5);
+        let v = e.eval(&[x0, x1]);
+        // Protected operators keep the result finite (tan is clamped and
+        // division/log/inv are protected), so no NaN/∞ can propagate out.
+        prop_assert!(v.is_finite(), "{e} evaluated to {v}");
+        // Size/depth bookkeeping stays consistent.
+        prop_assert!(e.depth() <= 5);
+        prop_assert!(e.size() >= 1);
+    }
+
+    /// Simplification never changes semantics on sampled inputs.
+    #[test]
+    fn simplify_preserves_semantics(seed in any::<u64>(), x0 in -100.0f64..100.0, x1 in -100.0f64..100.0) {
+        let e = arb_expr(seed, 5);
+        let s = e.simplify();
+        let a = e.eval(&[x0, x1]);
+        let b = s.eval(&[x0, x1]);
+        prop_assert!(
+            (a - b).abs() < 1e-6 * a.abs().max(1.0) || (a.is_nan() && b.is_nan()),
+            "{e} vs {s}: {a} vs {b}"
+        );
+        prop_assert!(s.size() <= e.size(), "simplify must not grow the tree");
+    }
+
+    /// The Tab. 2 factor is always a power of ten and, within the table's
+    /// covered magnitude range (it caps correction at 10^4 on both ends,
+    /// exactly as the paper's table does), lands the scaled median in a
+    /// sane band.
+    #[test]
+    fn table2_factor_normalizes(median in 1e-6f64..1e6) {
+        let f = table2_factor(median, true);
+        let log = f.log10();
+        prop_assert!((log - log.round()).abs() < 1e-9, "{f} is not a power of ten");
+        prop_assert!((1e-4..=1e4).contains(&f), "correction capped at four decades");
+        let scaled = median * f;
+        if (1e-4..=1e5).contains(&median) {
+            prop_assert!(
+                (0.09..=10.0 + 1e-9).contains(&scaled),
+                "median {median} -> {scaled}"
+            );
+        } else {
+            // Outside the table's range the factor saturates; it must at
+            // least move the value toward the band, never away.
+            prop_assert!((scaled.log10().abs()) <= (median.log10().abs()) + 1e-9);
+        }
+    }
+
+    /// Scale plans round trip: eval_raw of a fitted expression equals the
+    /// scaled evaluation undone by hand.
+    #[test]
+    fn scale_plan_round_trip(x in 1.0f64..1e4, a in 0.01f64..100.0) {
+        let data = Dataset::from_pairs((1..20).map(|i| {
+            let xv = x * f64::from(i) / 10.0;
+            (xv, a * xv)
+        })).unwrap();
+        let plan = ScalePlan::for_dataset(&data);
+        let expr = Expr::Binary(
+            BinaryOp::Mul,
+            Box::new(Expr::Const(2.0)),
+            Box::new(Expr::Var(0)),
+        );
+        let raw = plan.eval_raw(&expr, &[x]);
+        let manual = 2.0 * (x * plan.x_factors[0]) / plan.y_factor;
+        prop_assert!((raw - manual).abs() < 1e-9 * manual.abs().max(1.0));
+    }
+
+    /// Fitness metrics are non-negative and zero exactly on perfect fits.
+    #[test]
+    fn metric_nonnegative(values in proptest::collection::vec((0.0f64..100.0, -50.0f64..50.0), 3..30)) {
+        let data = Dataset::from_pairs(values.clone()).unwrap();
+        let expr = Expr::Var(0);
+        for metric in [Metric::MeanAbsoluteError, Metric::MeanSquaredError, Metric::Rmse] {
+            let e = metric.error(&expr, &data);
+            prop_assert!(e >= 0.0);
+        }
+        // Fitting y = x exactly.
+        let exact = Dataset::from_pairs(values.iter().map(|(x, _)| (*x, *x))).unwrap();
+        prop_assert_eq!(Metric::MeanAbsoluteError.error(&expr, &exact), 0.0);
+    }
+}
+
+/// Non-proptest sanity: the engine recovers a sampled family of linear
+/// relations across seeds (a smoke test of end-to-end robustness).
+#[test]
+fn engine_recovers_linear_family_across_seeds() {
+    let mut recovered = 0;
+    let total = 8;
+    for seed in 0..total {
+        let a = 0.25 + f64::from(seed) * 0.4;
+        let b = f64::from(seed * 3) - 10.0;
+        let data = Dataset::from_pairs((0..40).map(|i| {
+            let x = f64::from((i * 13) % 250);
+            (x, a * x + b)
+        }))
+        .unwrap();
+        let model = SymbolicRegressor::new(GpConfig::fast(seed as u64)).fit(&data);
+        if model.agrees_with(|x| a * x[0] + b, &[(0.0, 250.0)], 0.02) {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered >= total - 1,
+        "only {recovered}/{total} linear relations recovered"
+    );
+}

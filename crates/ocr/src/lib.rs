@@ -1,0 +1,547 @@
+//! OCR simulation and incorrect-ESV filtering (paper §3.3).
+//!
+//! The paper films the diagnostic tool's screen with a camera and runs
+//! Tesseract over the frames; OCR is imperfect (Tab. 4: 97.6% of AUTEL 919
+//! frames and 85.0% of LAUNCH X431 frames read perfectly) and its failure
+//! modes — dropped decimal points ("25.00" → "2500"), digit confusions
+//! ("3.7" → "8.0"), truncations ("11.4" → "4") — are exactly the outliers
+//! that break the naive regression baselines in Tab. 10.
+//!
+//! This crate is the camera + Tesseract substitute:
+//!
+//! * [`OcrChannel`] — a deterministic noise channel keyed on the tool
+//!   profile's per-value read accuracy, injecting the three error classes
+//!   above at the paper-reported rates;
+//! * [`read_frames`] — runs the channel over recorded
+//!   [`dpr_tool::UiFrame`]s, producing timestamped
+//!   [`OcrReading`]s (the "UI text extraction" step);
+//! * [`RangeBook`] + [`filter_readings`] — the paper's two-stage
+//!   incorrect-ESV filter: a plausibility range per signal type, then
+//!   MAD-based outlier detection over each label's time series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpr_can::Micros;
+use dpr_tool::{UiFrame, WidgetKind};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 — deterministic hash driving all noise decisions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The three OCR error classes the paper reports, with observed examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OcrErrorKind {
+    /// The decimal point is missed: "25.00" → "2500" (paper §3.3).
+    DecimalPointDrop,
+    /// A digit is confused with a look-alike: "3.7" → "8.7" (paper §4.4).
+    DigitConfusion,
+    /// Leading characters are lost: "11.4" → "4" (paper §4.4).
+    Truncation,
+}
+
+/// A deterministic OCR noise channel.
+///
+/// `value_accuracy` is the probability that one displayed value widget is
+/// read exactly; when a read fails, one of the three [`OcrErrorKind`]s
+/// corrupts the text. All decisions are pure functions of
+/// `(seed, frame, widget)`, so captures replay identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcrChannel {
+    /// Probability of reading one value exactly.
+    pub value_accuracy: f64,
+    /// Channel seed.
+    pub seed: u64,
+}
+
+impl OcrChannel {
+    /// Creates a channel with the given per-value accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= value_accuracy <= 1.0`.
+    pub fn new(value_accuracy: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&value_accuracy),
+            "accuracy must be a probability"
+        );
+        OcrChannel {
+            value_accuracy,
+            seed,
+        }
+    }
+
+    /// A perfect channel (for ablations and ground-truth pipelines).
+    pub fn perfect() -> Self {
+        OcrChannel {
+            value_accuracy: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Reads one value text, possibly corrupting it.
+    pub fn read(&self, frame_idx: usize, widget_idx: usize, text: &str) -> String {
+        let key = self
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add((frame_idx as u64) << 20)
+            .wrapping_add(widget_idx as u64);
+        if unit(key) < self.value_accuracy {
+            return text.to_string();
+        }
+        let roll = unit(splitmix64(key));
+        let kind = if roll < 0.4 && text.contains('.') {
+            OcrErrorKind::DecimalPointDrop
+        } else if roll < 0.8 {
+            OcrErrorKind::DigitConfusion
+        } else {
+            OcrErrorKind::Truncation
+        };
+        corrupt(text, kind, splitmix64(key ^ 0xABCD))
+    }
+
+    /// Whether a given (frame, widget) read would be exact — used by the
+    /// Tab. 4 harness to count correct frames without string comparison.
+    pub fn reads_exactly(&self, frame_idx: usize, widget_idx: usize) -> bool {
+        let key = self
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add((frame_idx as u64) << 20)
+            .wrapping_add(widget_idx as u64);
+        unit(key) < self.value_accuracy
+    }
+}
+
+/// Applies one error class to a value string.
+fn corrupt(text: &str, kind: OcrErrorKind, entropy: u64) -> String {
+    match kind {
+        OcrErrorKind::DecimalPointDrop => text.replace('.', ""),
+        OcrErrorKind::DigitConfusion => {
+            // Tesseract-style look-alike confusions.
+            fn confuse(c: char) -> char {
+                match c {
+                    '0' => '8',
+                    '1' => '4',
+                    '3' => '8',
+                    '5' => '6',
+                    '6' => '5',
+                    '7' => '1',
+                    '8' => '0',
+                    '9' => '4',
+                    other => other,
+                }
+            }
+            let digits: Vec<usize> = text
+                .char_indices()
+                .filter(|(_, c)| c.is_ascii_digit())
+                .map(|(i, _)| i)
+                .collect();
+            if digits.is_empty() {
+                return text.to_string();
+            }
+            let which = digits[(entropy as usize) % digits.len()];
+            text.char_indices()
+                .map(|(i, c)| if i == which { confuse(c) } else { c })
+                .collect()
+        }
+        OcrErrorKind::Truncation => {
+            let keep = 1 + (entropy as usize) % 2;
+            let chars: Vec<char> = text.chars().collect();
+            if chars.len() <= keep {
+                text.to_string()
+            } else {
+                chars[chars.len() - keep..].iter().collect()
+            }
+        }
+    }
+}
+
+/// One OCR'd value: a timestamped (label, text) pair plus its parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcrReading {
+    /// The camera timestamp of the frame (from the timestamp overlay).
+    pub at: Micros,
+    /// The screen title the value appeared under (scopes labels to one
+    /// ECU page; e.g. "Engine - Data Stream p1").
+    pub screen: String,
+    /// The row label as OCR'd.
+    pub label: String,
+    /// The value text as OCR'd.
+    pub text: String,
+    /// The numeric parse of `text`, if it parses.
+    pub value: Option<f64>,
+}
+
+/// Runs OCR over recorded frames, pairing each value widget with the label
+/// on its row and stamping it with the frame's timestamp-overlay time.
+/// Placeholder values ("---") are skipped — the tool has not displayed a
+/// reading yet.
+pub fn read_frames(frames: &[UiFrame], channel: &OcrChannel) -> Vec<OcrReading> {
+    let mut out = Vec::new();
+    for (frame_idx, frame) in frames.iter().enumerate() {
+        let shot = &frame.screenshot;
+        let screen = shot
+            .widgets_of(WidgetKind::Title)
+            .next()
+            .map(|w| w.text.clone())
+            .unwrap_or_default();
+        for (widget_idx, value) in shot
+            .widgets_of(WidgetKind::Value)
+            .enumerate()
+            .filter(|(_, w)| w.text != "---")
+        {
+            let label = shot
+                .widgets_of(WidgetKind::Label)
+                .find(|l| l.y == value.y && l.x < value.x)
+                .map(|l| l.text.clone())
+                .unwrap_or_default();
+            let text = channel.read(frame_idx, widget_idx, &value.text);
+            let value = text.trim().parse::<f64>().ok();
+            out.push(OcrReading {
+                at: frame.at,
+                screen: screen.clone(),
+                label,
+                text,
+                value,
+            });
+        }
+    }
+    out
+}
+
+/// Stage 1 of the incorrect-ESV filter: a plausibility range per signal
+/// type, keyed by label keywords (the paper: "we set a normal value range
+/// for each type of ESV").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeBook {
+    entries: Vec<(String, f64, f64)>,
+    default: (f64, f64),
+}
+
+impl RangeBook {
+    /// The default book covering the signal families in the evaluation.
+    pub fn standard() -> Self {
+        let entries = vec![
+            ("engine speed".to_string(), 0.0, 20000.0),
+            ("rpm".to_string(), 0.0, 20000.0),
+            ("idle speed".to_string(), 0.0, 20000.0),
+            ("speed".to_string(), 0.0, 400.0),
+            ("temperature".to_string(), -60.0, 400.0),
+            ("voltage".to_string(), 0.0, 60.0),
+            ("throttle".to_string(), -5.0, 105.0),
+            ("load".to_string(), -5.0, 130.0),
+            ("level".to_string(), -5.0, 105.0),
+            ("duty".to_string(), -5.0, 130.0),
+            ("trim".to_string(), -110.0, 110.0),
+            ("pressure".to_string(), 0.0, 1000.0),
+            ("torque".to_string(), -500.0, 500.0),
+            ("angle".to_string(), -800.0, 800.0),
+            ("rate".to_string(), 0.0, 1000.0),
+            ("flow".to_string(), 0.0, 2000.0),
+            ("status".to_string(), 0.0, 10.0),
+            ("position".to_string(), -10.0, 110.0),
+            ("mode".to_string(), 0.0, 10.0),
+        ];
+        RangeBook {
+            entries,
+            default: (-100_000.0, 100_000.0),
+        }
+    }
+
+    /// Adds or overrides a keyword range.
+    pub fn set(&mut self, keyword: impl Into<String>, min: f64, max: f64) {
+        self.entries.insert(0, (keyword.into().to_lowercase(), min, max));
+    }
+
+    /// The plausible range for a label (first matching keyword wins).
+    pub fn range_for(&self, label: &str) -> (f64, f64) {
+        let lower = label.to_lowercase();
+        self.entries
+            .iter()
+            .find(|(k, _, _)| lower.contains(k))
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or(self.default)
+    }
+
+    /// Stage-1 verdict for one reading.
+    pub fn plausible(&self, label: &str, value: f64) -> bool {
+        let (lo, hi) = self.range_for(label);
+        value >= lo && value <= hi
+    }
+}
+
+impl Default for RangeBook {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Stage 2: MAD (median absolute deviation) outlier rejection within one
+/// label's series — "during a short period of time, the measured ESVs
+/// cannot change greatly" (paper §3.3).
+///
+/// Returns the indices of `values` to keep.
+pub fn mad_inliers(values: &[f64], k: f64) -> Vec<usize> {
+    if values.len() < 4 {
+        return (0..values.len()).collect();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<f64> = values.iter().map(|v| (v - median).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let mad = deviations[deviations.len() / 2];
+    // Guard: a (near-)constant series has MAD 0, which would reject every
+    // deviation — including the single-step changes of enumeration signals
+    // (door 0→1). OCR errors are order-of-magnitude events (dropped
+    // decimal points, truncations), so an absolute floor of 0.5 keeps
+    // genuine small steps while still rejecting 10–100× outliers.
+    let scale = mad.max(median.abs() * 0.01).max(0.5);
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| ((*v - median).abs()) <= k * scale)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Sliding-window outlier rejection — the literal reading of the paper's
+/// §3.3: "during a short period of time, the measured ESVs cannot change
+/// greatly". Each sample is compared against the median of its local
+/// window; isolated OCR spikes stick out from their neighbourhood and are
+/// dropped, while genuine regime changes (a ramp wrapping, a gear change)
+/// carry several consistent samples and survive — which a global MAD over
+/// the whole series would wrongly reject.
+///
+/// Returns the indices of `values` to keep.
+pub fn local_inliers(values: &[f64], k: f64) -> Vec<usize> {
+    const HALF_WINDOW: usize = 3;
+    if values.len() < 4 {
+        return (0..values.len()).collect();
+    }
+    let mut keep = Vec::with_capacity(values.len());
+    for i in 0..values.len() {
+        let lo = i.saturating_sub(HALF_WINDOW);
+        let hi = (i + HALF_WINDOW + 1).min(values.len());
+        let mut window: Vec<f64> = values[lo..hi].to_vec();
+        window.sort_by(|a, b| a.total_cmp(b));
+        let median = window[window.len() / 2];
+        let mut deviations: Vec<f64> = window.iter().map(|v| (v - median).abs()).collect();
+        deviations.sort_by(|a, b| a.total_cmp(b));
+        let mad = deviations[deviations.len() / 2];
+        let scale = mad.max(median.abs() * 0.01).max(0.5);
+        if (values[i] - median).abs() <= k * scale {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+/// The full two-stage filter: drops unparseable readings, applies the
+/// range book, then rejects local outliers within each label's series
+/// (k = 8, generous enough to keep genuine dynamics, tight enough to drop
+/// decimal-point errors that inflate values 10–100×).
+pub fn filter_readings(readings: &[OcrReading], book: &RangeBook) -> Vec<OcrReading> {
+    // Stage 1.
+    let stage1: Vec<&OcrReading> = readings
+        .iter()
+        .filter(|r| r.value.is_some_and(|v| book.plausible(&r.label, v)))
+        .collect();
+    // Stage 2, per (screen, label) series — the label scope is one ECU
+    // page.
+    let mut labels: Vec<(&str, &str)> = stage1
+        .iter()
+        .map(|r| (r.screen.as_str(), r.label.as_str()))
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let mut keep = Vec::new();
+    for (screen, label) in labels {
+        let series: Vec<&&OcrReading> = stage1
+            .iter()
+            .filter(|r| r.screen == screen && r.label == label)
+            .collect();
+        let values: Vec<f64> = series
+            .iter()
+            .map(|r| r.value.expect("stage 1 kept only parsed readings"))
+            .collect();
+        for idx in local_inliers(&values, 8.0) {
+            keep.push((*series[idx]).clone());
+        }
+    }
+    keep.sort_by_key(|r| r.at);
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_is_identity() {
+        let c = OcrChannel::perfect();
+        for i in 0..200 {
+            assert_eq!(c.read(i, 0, "123.4"), "123.4");
+        }
+    }
+
+    #[test]
+    fn zero_accuracy_always_corrupts_numbers() {
+        let c = OcrChannel::new(0.0, 7);
+        let mut changed = 0;
+        for i in 0..100 {
+            if c.read(i, 0, "25.00") != "25.00" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "only {changed} corrupted");
+    }
+
+    #[test]
+    fn channel_is_deterministic() {
+        let c = OcrChannel::new(0.5, 42);
+        let a: Vec<String> = (0..50).map(|i| c.read(i, 3, "1234.5")).collect();
+        let b: Vec<String> = (0..50).map(|i| c.read(i, 3, "1234.5")).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_classes_match_paper_examples() {
+        assert_eq!(corrupt("25.00", OcrErrorKind::DecimalPointDrop, 0), "2500");
+        let confused = corrupt("3.7", OcrErrorKind::DigitConfusion, 0);
+        assert_ne!(confused, "3.7");
+        assert_eq!(confused.len(), 3);
+        let truncated = corrupt("11.4", OcrErrorKind::Truncation, 0);
+        assert!(truncated.len() < 4, "{truncated}");
+    }
+
+    #[test]
+    fn accuracy_rate_is_respected() {
+        let c = OcrChannel::new(0.9, 3);
+        let exact = (0..10_000)
+            .filter(|&i| c.reads_exactly(i, 0))
+            .count();
+        let rate = exact as f64 / 10_000.0;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn range_book_keyword_matching() {
+        let book = RangeBook::standard();
+        assert!(book.plausible("Engine Speed", 6500.0));
+        assert!(!book.plausible("Vehicle Speed", 2500.0)); // "speed" cap 400
+        assert!(book.plausible("Coolant Temperature", -30.0));
+        assert!(!book.plausible("Battery Voltage", 138.0));
+        // Unknown labels get the permissive default.
+        assert!(book.plausible("Mystery Signal", 50_000.0));
+    }
+
+    #[test]
+    fn engine_speed_not_shadowed_by_speed() {
+        let book = RangeBook::standard();
+        // "Engine Speed" contains both keywords; the rpm-range entry must
+        // win because it appears first.
+        let (_, hi) = book.range_for("Engine Speed");
+        assert_eq!(hi, 20000.0);
+    }
+
+    #[test]
+    fn range_book_override() {
+        let mut book = RangeBook::standard();
+        book.set("speed", 0.0, 100.0);
+        assert!(!book.plausible("Vehicle Speed", 150.0));
+    }
+
+    #[test]
+    fn mad_rejects_decimal_point_outlier() {
+        // "25.0" family with one "2500" (dropped point).
+        let mut values: Vec<f64> = (0..30).map(|i| 25.0 + f64::from(i % 5) * 0.3).collect();
+        values.push(2500.0);
+        let keep = mad_inliers(&values, 8.0);
+        assert_eq!(keep.len(), 30);
+        assert!(!keep.contains(&30));
+    }
+
+    #[test]
+    fn mad_keeps_genuine_dynamics() {
+        // A ramp from 20 to 110 — all values are genuine.
+        let values: Vec<f64> = (0..40).map(|i| 20.0 + f64::from(i) * 2.25).collect();
+        let keep = mad_inliers(&values, 8.0);
+        assert_eq!(keep.len(), 40, "ramp values must all survive");
+    }
+
+    #[test]
+    fn mad_small_series_passes_through() {
+        assert_eq!(mad_inliers(&[1.0, 9999.0], 8.0).len(), 2);
+    }
+
+    #[test]
+    fn local_inliers_keep_regime_changes_but_drop_spikes() {
+        // A ramp that wraps: ... 108, 109, 110, 20, 21, 22 ... — all
+        // genuine. Plus one lone OCR spike.
+        let mut values: Vec<f64> = (90..=110).map(f64::from).collect();
+        values.extend((20..=35).map(f64::from));
+        let wrap_start = 21;
+        values.insert(10, 9200.0); // decimal-point-drop spike
+        let keep = local_inliers(&values, 8.0);
+        assert!(!keep.contains(&10), "the spike must be dropped");
+        // Every post-wrap sample survives.
+        for i in (wrap_start + 1)..values.len() {
+            assert!(keep.contains(&i), "post-wrap sample {i} wrongly dropped");
+        }
+    }
+
+    #[test]
+    fn filter_pipeline_end_to_end() {
+        let mk = |at_ms: u64, label: &str, text: &str| OcrReading {
+            at: Micros::from_millis(at_ms),
+            screen: "Engine - Data Stream p1".to_string(),
+            label: label.to_string(),
+            text: text.to_string(),
+            value: text.parse().ok(),
+        };
+        let mut readings = Vec::new();
+        for i in 0..25u64 {
+            readings.push(mk(i * 100, "Coolant Temperature", &format!("{}", 80 + i % 4)));
+        }
+        readings.push(mk(2600, "Coolant Temperature", "8000")); // range reject
+        readings.push(mk(2700, "Coolant Temperature", "2.4.1")); // unparseable
+        readings.push(mk(2800, "Coolant Temperature", "350")); // MAD reject
+        let book = RangeBook::standard();
+        let kept = filter_readings(&readings, &book);
+        assert_eq!(kept.len(), 25, "{kept:?}");
+        assert!(kept.iter().all(|r| r.value.unwrap() < 100.0));
+        // Output is time-ordered.
+        for pair in kept.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn read_frames_pairs_labels_values_and_skips_placeholders() {
+        use dpr_tool::{Screenshot, UiFrame};
+        let mut shot = Screenshot::new(Micros::from_secs(2), 40, 10);
+        shot.push(WidgetKind::Label, 1, 2, "Engine Speed");
+        shot.push(WidgetKind::Value, 25, 2, "2497");
+        shot.push(WidgetKind::Label, 1, 3, "Vehicle Speed");
+        shot.push(WidgetKind::Value, 25, 3, "---");
+        let frames = vec![UiFrame {
+            at: Micros::from_secs(2),
+            screenshot: shot,
+        }];
+        let readings = read_frames(&frames, &OcrChannel::perfect());
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].label, "Engine Speed");
+        assert_eq!(readings[0].value, Some(2497.0));
+        assert_eq!(readings[0].at, Micros::from_secs(2));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the OCR channel and the incorrect-ESV filter.
+
+use dpr_can::Micros;
+use dpr_ocr::{filter_readings, mad_inliers, OcrChannel, OcrReading, RangeBook};
+use proptest::prelude::*;
+
+fn reading(at_ms: u64, label: &str, value: f64) -> OcrReading {
+    OcrReading {
+        at: Micros::from_millis(at_ms),
+        screen: "Engine - Data Stream p1".into(),
+        label: label.into(),
+        text: format!("{value}"),
+        value: Some(value),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The channel is deterministic and total over arbitrary value texts.
+    #[test]
+    fn channel_deterministic_and_total(
+        accuracy in 0.0f64..=1.0,
+        seed in any::<u64>(),
+        frame in 0usize..10_000,
+        text in "[0-9]{1,4}(\\.[0-9]{1,2})?",
+    ) {
+        let c = OcrChannel::new(accuracy, seed);
+        let a = c.read(frame, 0, &text);
+        let b = c.read(frame, 0, &text);
+        prop_assert_eq!(&a, &b);
+        // Corruption never grows the text (all three error classes shrink
+        // or keep length).
+        prop_assert!(a.len() <= text.len());
+    }
+
+    /// With perfect accuracy the channel is the identity.
+    #[test]
+    fn perfect_channel_identity(frame in 0usize..1000, text in "[0-9]{1,6}") {
+        prop_assert_eq!(OcrChannel::perfect().read(frame, 3, &text), text);
+    }
+
+    /// MAD inliers: output indices are valid, sorted, unique, and a tight
+    /// cluster (spread well inside k times the absolute floor) survives
+    /// entirely.
+    #[test]
+    fn mad_inliers_well_formed(values in proptest::collection::vec(15.0f64..16.0, 4..60)) {
+        let keep = mad_inliers(&values, 8.0);
+        prop_assert!(!keep.is_empty(), "a tight cluster must survive");
+        for w in keep.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(keep.iter().all(|&i| i < values.len()));
+        // Spread 1.0 << k·scale (the 0.5 absolute floor × k = 4): nothing
+        // gets rejected.
+        prop_assert_eq!(keep.len(), values.len());
+    }
+
+    /// An injected 100× outlier is always rejected from a tight series.
+    #[test]
+    fn mad_rejects_injected_outlier(
+        base in 20.0f64..200.0,
+        n in 8usize..40,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let mut values: Vec<f64> = (0..n).map(|i| base + (i % 5) as f64 * 0.2).collect();
+        let pos = ((n as f64 * pos_frac) as usize).min(n - 1);
+        values.insert(pos, base * 100.0);
+        let keep = mad_inliers(&values, 8.0);
+        prop_assert!(!keep.contains(&pos), "outlier at {pos} survived: {values:?}");
+        prop_assert_eq!(keep.len(), n);
+    }
+
+    /// The full filter never invents readings and keeps output time-sorted.
+    #[test]
+    fn filter_output_subset_and_sorted(
+        values in proptest::collection::vec(-1000.0f64..4000.0, 1..60)
+    ) {
+        let readings: Vec<OcrReading> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| reading(i as u64 * 100, "Engine Speed", *v))
+            .collect();
+        let kept = filter_readings(&readings, &RangeBook::standard());
+        prop_assert!(kept.len() <= readings.len());
+        for w in kept.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Everything kept was in the input.
+        for k in &kept {
+            prop_assert!(readings.iter().any(|r| r == k));
+        }
+        // Stage 1: nothing outside the rpm range survives.
+        let all_in_range = kept
+            .iter()
+            .all(|r| (0.0..=20000.0).contains(&r.value.unwrap()));
+        prop_assert!(all_in_range);
+    }
+}

@@ -1,0 +1,85 @@
+//! Protocol-layer errors.
+
+use std::fmt;
+
+/// Errors raised while encoding or parsing diagnostic messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload is shorter than the service's minimum message.
+    TooShort {
+        /// Service or message kind being parsed.
+        what: &'static str,
+        /// Bytes needed at minimum.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The first byte is not the expected service identifier.
+    WrongService {
+        /// SID (or response SID) expected.
+        expected: u8,
+        /// SID actually observed.
+        got: u8,
+    },
+    /// The ECU answered with a negative response.
+    Negative {
+        /// The rejected request's SID.
+        sid: u8,
+        /// The negative response code.
+        nrc: u8,
+    },
+    /// The message structure is internally inconsistent.
+    Malformed(String),
+    /// A value does not fit the field that must carry it.
+    ValueOutOfRange {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TooShort { what, need, got } => {
+                write!(f, "{what} needs at least {need} bytes, got {got}")
+            }
+            ProtocolError::WrongService { expected, got } => {
+                write!(f, "expected service 0x{expected:02X}, got 0x{got:02X}")
+            }
+            ProtocolError::Negative { sid, nrc } => {
+                write!(
+                    f,
+                    "negative response to service 0x{sid:02X} with code 0x{nrc:02X}"
+                )
+            }
+            ProtocolError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+            ProtocolError::ValueOutOfRange { field, value } => {
+                write!(f, "value {value} does not fit field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::Negative { sid: 0x22, nrc: 0x31 };
+        assert_eq!(
+            e.to_string(),
+            "negative response to service 0x22 with code 0x31"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ProtocolError>();
+    }
+}

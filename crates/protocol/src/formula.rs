@@ -1,0 +1,313 @@
+//! Closed-form ESV formulas — the proprietary mappings DP-Reverser recovers.
+//!
+//! A diagnostic response carries raw bytes; the tool multiplies/offsets them
+//! into the physical value shown on screen. Manufacturers keep these
+//! formulas proprietary; this module is the *ground-truth* representation
+//! used by the vehicle simulator (to encode sensor values into response
+//! bytes) and the tool simulator (to decode them for display). The genetic
+//! programming engine in `dpr-gp` infers free-form expressions that are
+//! compared against these numerically.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed-form formula mapping one or two raw response values to a
+/// physical ESV, `Y = f(X0, X1)`.
+///
+/// The shapes cover everything the paper reports (Tabs. 5 and 7 and the
+/// KWP 2000 formula-type examples): linear single-variable, affine
+/// two-variable, the multiplicative `X0*X1` family, squares, and inverses.
+///
+/// # Example
+///
+/// ```
+/// use dpr_protocol::EsvFormula;
+///
+/// // Engine RPM on the paper's Car K: Y = X0 * X1 / 5.
+/// let rpm = EsvFormula::Product { a: 0.2, b: 0.0 };
+/// assert_eq!(rpm.eval(241.0, 16.0), 241.0 * 16.0 / 5.0);
+/// assert_eq!(rpm.to_string(), "Y = 0.2*X0*X1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EsvFormula {
+    /// `Y = a*X0 + b` — the ubiquitous scale-and-offset form.
+    Linear {
+        /// Scale factor.
+        a: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `Y = a*X0 + b*X1 + c` — two-variable affine (e.g. the OBD-II RPM
+    /// formula `(256*X0 + X1) / 4 = 64*X0 + 0.25*X1`).
+    Affine2 {
+        /// Coefficient of `X0`.
+        a: f64,
+        /// Coefficient of `X1`.
+        b: f64,
+        /// Offset.
+        c: f64,
+    },
+    /// `Y = a*X0*X1 + b` — the multiplicative family common in KWP 2000
+    /// measuring blocks (`X0*X1/5` is `a = 0.2`).
+    Product {
+        /// Coefficient of `X0*X1`.
+        a: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `Y = a*X0² + b` — quadratic single-variable.
+    Square {
+        /// Coefficient of `X0²`.
+        a: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `Y = a/X0 + b` — inverse single-variable (division by zero yields 0).
+    Inverse {
+        /// Numerator.
+        a: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `Y = a*X0*(X1 - k)` — offset-product (VW-style temperature blocks).
+    OffsetProduct {
+        /// Scale factor.
+        a: f64,
+        /// Offset subtracted from `X1`.
+        k: f64,
+    },
+    /// No formula: the raw value is an enumeration (door open/closed …).
+    /// Paper Tab. 6 calls these "ESV (Enum)".
+    Enumeration,
+}
+
+impl EsvFormula {
+    /// The identity formula `Y = X0`.
+    pub const IDENTITY: EsvFormula = EsvFormula::Linear { a: 1.0, b: 0.0 };
+
+    /// Evaluates the formula on raw values `x0`, `x1` (unused variables are
+    /// ignored; [`Enumeration`](Self::Enumeration) passes `x0` through).
+    pub fn eval(&self, x0: f64, x1: f64) -> f64 {
+        match *self {
+            EsvFormula::Linear { a, b } => a * x0 + b,
+            EsvFormula::Affine2 { a, b, c } => a * x0 + b * x1 + c,
+            EsvFormula::Product { a, b } => a * x0 * x1 + b,
+            EsvFormula::Square { a, b } => a * x0 * x0 + b,
+            EsvFormula::Inverse { a, b } => {
+                if x0 == 0.0 {
+                    b
+                } else {
+                    a / x0 + b
+                }
+            }
+            EsvFormula::OffsetProduct { a, k } => a * x0 * (x1 - k),
+            EsvFormula::Enumeration => x0,
+        }
+    }
+
+    /// Number of raw variables the formula actually reads (1 or 2).
+    pub fn arity(&self) -> usize {
+        match self {
+            EsvFormula::Affine2 { .. }
+            | EsvFormula::Product { .. }
+            | EsvFormula::OffsetProduct { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a real formula (as opposed to an enumeration —
+    /// paper Tab. 6 separates "#ESV (formula)" from "#ESV (Enum)").
+    pub fn has_formula(&self) -> bool {
+        !matches!(self, EsvFormula::Enumeration)
+    }
+
+    /// Whether the formula is linear in its inputs — i.e. exactly
+    /// representable by the paper's linear-regression baseline.
+    pub fn is_linear(&self) -> bool {
+        matches!(
+            self,
+            EsvFormula::Linear { .. } | EsvFormula::Affine2 { .. } | EsvFormula::Enumeration
+        )
+    }
+
+    /// Inverts the formula for the *encoding* direction used by the vehicle
+    /// simulator: given a physical value `y` (and, for two-variable
+    /// formulas, a fixed `x1`), produce the raw `x0` the ECU would store.
+    ///
+    /// Returns `None` where the formula cannot be inverted (zero
+    /// coefficients).
+    pub fn encode_x0(&self, y: f64, x1: f64) -> Option<f64> {
+        match *self {
+            EsvFormula::Linear { a, b } => (a != 0.0).then(|| (y - b) / a),
+            EsvFormula::Affine2 { a, b, c } => (a != 0.0).then(|| (y - b * x1 - c) / a),
+            EsvFormula::Product { a, b } => {
+                (a != 0.0 && x1 != 0.0).then(|| (y - b) / (a * x1))
+            }
+            EsvFormula::Square { a, b } => {
+                if a == 0.0 || (y - b) / a < 0.0 {
+                    None
+                } else {
+                    Some(((y - b) / a).sqrt())
+                }
+            }
+            EsvFormula::Inverse { a, b } => {
+                if a == 0.0 || y == b {
+                    None
+                } else {
+                    Some(a / (y - b))
+                }
+            }
+            EsvFormula::OffsetProduct { a, k } => {
+                let denom = a * (x1 - k);
+                (denom != 0.0).then(|| y / denom)
+            }
+            EsvFormula::Enumeration => Some(y),
+        }
+    }
+}
+
+impl std::fmt::Display for EsvFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn term(f: &mut std::fmt::Formatter<'_>, v: f64, suffix: &str) -> std::fmt::Result {
+            if v == 1.0 && !suffix.is_empty() {
+                write!(f, "{suffix}")
+            } else if suffix.is_empty() {
+                write!(f, "{v}")
+            } else {
+                write!(f, "{v}*{suffix}")
+            }
+        }
+        fn offset(f: &mut std::fmt::Formatter<'_>, b: f64) -> std::fmt::Result {
+            if b > 0.0 {
+                write!(f, " + {b}")
+            } else if b < 0.0 {
+                write!(f, " - {}", -b)
+            } else {
+                Ok(())
+            }
+        }
+        write!(f, "Y = ")?;
+        match *self {
+            EsvFormula::Linear { a, b } => {
+                term(f, a, "X0")?;
+                offset(f, b)
+            }
+            EsvFormula::Affine2 { a, b, c } => {
+                term(f, a, "X0")?;
+                write!(f, " + ")?;
+                term(f, b, "X1")?;
+                offset(f, c)
+            }
+            EsvFormula::Product { a, b } => {
+                term(f, a, "X0*X1")?;
+                offset(f, b)
+            }
+            EsvFormula::Square { a, b } => {
+                term(f, a, "X0^2")?;
+                offset(f, b)
+            }
+            EsvFormula::Inverse { a, b } => {
+                write!(f, "{a}/X0")?;
+                offset(f, b)
+            }
+            EsvFormula::OffsetProduct { a, k } => {
+                write!(f, "{a}*X0*(X1 - {k})")
+            }
+            EsvFormula::Enumeration => write!(f, "X0 (enumeration)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_paper_examples() {
+        // Paper §2.3.1: KWP RPM example — type 0x01 is X0*X1/5, with
+        // X0 = 0xF1 = 241 and X1 = 0x10 = 16 giving 771.2.
+        let f = EsvFormula::Product { a: 0.2, b: 0.0 };
+        assert!((f.eval(241.0, 16.0) - 771.2).abs() < 1e-9);
+
+        // Paper §2.3.2: UDS speed example — Y = X * 1.0, ESV 0x21 = 33 km/h.
+        assert_eq!(EsvFormula::IDENTITY.eval(33.0, 0.0), 33.0);
+
+        // OBD-II RPM: (256*X0 + X1)/4.
+        let rpm = EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 };
+        assert_eq!(rpm.eval(0x1A as f64, 0xF0 as f64), (256.0 * 26.0 + 240.0) / 4.0);
+
+        // OBD-II coolant: Y = X - 40.
+        let coolant = EsvFormula::Linear { a: 1.0, b: -40.0 };
+        assert_eq!(coolant.eval(0xA0 as f64, 0.0), 120.0);
+    }
+
+    #[test]
+    fn encode_is_right_inverse_of_eval() {
+        let formulas = [
+            EsvFormula::Linear { a: 0.392, b: 0.0 },
+            EsvFormula::Linear { a: 1.8, b: -40.0 },
+            EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+            EsvFormula::Product { a: 0.2, b: 0.0 },
+            EsvFormula::Square { a: 0.5, b: 1.0 },
+            EsvFormula::Inverse { a: 100.0, b: 2.0 },
+            EsvFormula::OffsetProduct { a: 0.1, k: 100.0 },
+        ];
+        for f in formulas {
+            let x1 = 16.0;
+            for y in [5.0, 42.0, 120.5] {
+                if let Some(x0) = f.encode_x0(y, x1) {
+                    let back = f.eval(x0, x1);
+                    assert!(
+                        (back - y).abs() < 1e-6,
+                        "{f}: encode({y}) -> {x0} -> {back}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inversions_return_none() {
+        assert_eq!(EsvFormula::Linear { a: 0.0, b: 1.0 }.encode_x0(5.0, 0.0), None);
+        assert_eq!(EsvFormula::Product { a: 1.0, b: 0.0 }.encode_x0(5.0, 0.0), None);
+        assert_eq!(EsvFormula::Square { a: 1.0, b: 10.0 }.encode_x0(5.0, 0.0), None);
+        assert_eq!(EsvFormula::Inverse { a: 1.0, b: 5.0 }.encode_x0(5.0, 0.0), None);
+        assert_eq!(
+            EsvFormula::OffsetProduct { a: 1.0, k: 7.0 }.encode_x0(5.0, 7.0),
+            None
+        );
+    }
+
+    #[test]
+    fn inverse_eval_handles_zero() {
+        let f = EsvFormula::Inverse { a: 10.0, b: 3.0 };
+        assert_eq!(f.eval(0.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn arity_and_linearity() {
+        assert_eq!(EsvFormula::IDENTITY.arity(), 1);
+        assert_eq!(EsvFormula::Product { a: 1.0, b: 0.0 }.arity(), 2);
+        assert!(EsvFormula::Affine2 { a: 1.0, b: 2.0, c: 0.0 }.is_linear());
+        assert!(!EsvFormula::Product { a: 1.0, b: 0.0 }.is_linear());
+        assert!(!EsvFormula::Square { a: 1.0, b: 0.0 }.is_linear());
+        assert!(EsvFormula::Enumeration.is_linear());
+        assert!(!EsvFormula::Enumeration.has_formula());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            EsvFormula::Linear { a: 1.0, b: -40.0 }.to_string(),
+            "Y = X0 - 40"
+        );
+        assert_eq!(
+            EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 }.to_string(),
+            "Y = 64*X0 + 0.25*X1"
+        );
+        assert_eq!(
+            EsvFormula::Inverse { a: 100.0, b: 0.0 }.to_string(),
+            "Y = 100/X0"
+        );
+        assert_eq!(EsvFormula::Enumeration.to_string(), "Y = X0 (enumeration)");
+    }
+}

@@ -1,0 +1,557 @@
+//! KWP 2000 (Keyword Protocol 2000) request and response messages.
+//!
+//! Covers the three services of the paper's Figs. 2–3:
+//!
+//! * *read data by local identifier* (0x21) — the response carries 1..m
+//!   three-byte ECU signal values (`ESV`s) `[formula-type, X0, X1]`;
+//! * *input output control by local identifier* (0x30);
+//! * *input output control by common identifier* (0x2F).
+//!
+//! The first byte of each ESV selects a proprietary formula; the
+//! [`FormulaTypeTable`] models the manufacturer's (hidden) mapping from that
+//! byte to a formula over `X0`/`X1`. The table shipped by
+//! [`FormulaTypeTable::standard`] is modelled on the Volkswagen measuring
+//! block formulas and includes every shape the paper discusses (`X0*X1/5`
+//! engine speed, `0.01*X0*X1` vehicle speed, the signed
+//! `X0*(X1-128)*0.001` torque assistance, identity, offsets, inverses).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EsvFormula, ProtocolError};
+
+/// A one-byte KWP 2000 local identifier.
+///
+/// Like UDS DIDs, the values and meanings of local identifiers are
+/// manufacturer-proprietary — one of the paper's three reverse-engineering
+/// targets for KWP 2000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalId(pub u8);
+
+impl std::fmt::Display for LocalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+/// One raw three-byte ESV from a `read data by local identifier` response:
+/// formula type plus the two raw values (paper §2.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RawEsv {
+    /// The formula-type byte (`F_type`).
+    pub f_type: u8,
+    /// First raw value.
+    pub x0: u8,
+    /// Second raw value.
+    pub x1: u8,
+}
+
+impl RawEsv {
+    /// The three on-wire bytes.
+    pub fn to_bytes(self) -> [u8; 3] {
+        [self.f_type, self.x0, self.x1]
+    }
+}
+
+/// The manufacturer's mapping from formula-type byte to formula.
+///
+/// Diagnostic tools embed this table; DP-Reverser recovers its entries from
+/// the outside by correlating raw `X0`/`X1` with displayed values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormulaTypeTable {
+    entries: BTreeMap<u8, EsvFormula>,
+}
+
+/// The formula-type byte used for enumerations (no formula).
+pub const ENUM_TYPE: u8 = 0x10;
+
+impl FormulaTypeTable {
+    /// An empty table.
+    pub fn empty() -> Self {
+        FormulaTypeTable {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The representative table used by the simulated Volkswagen-group
+    /// vehicles. Each entry's shape is documented with the signal family it
+    /// typically encodes.
+    pub fn standard() -> Self {
+        let mut entries = BTreeMap::new();
+        // 0x01: engine speed — the paper's example formula X0*X1/5.
+        entries.insert(0x01, EsvFormula::Product { a: 0.2, b: 0.0 });
+        // 0x02: duty cycle / percentage — 0.002*X0*X1.
+        entries.insert(0x02, EsvFormula::Product { a: 0.002, b: 0.0 });
+        // 0x03: injection timing — 0.001*X0*X1 (mV family).
+        entries.insert(0x03, EsvFormula::Product { a: 0.001, b: 0.0 });
+        // 0x04: signed torque assistance — X0*(X1-128)*0.001; the paper's
+        // Torque Assistance example collapses to ±0.001*X0 for X1 ∈
+        // {0x7F, 0x81}.
+        entries.insert(0x04, EsvFormula::OffsetProduct { a: 0.001, k: 128.0 });
+        // 0x05: temperature — 0.1*X0*(X1-100).
+        entries.insert(0x05, EsvFormula::OffsetProduct { a: 0.1, k: 100.0 });
+        // 0x06: voltage — 0.01*X0*X1.
+        entries.insert(0x06, EsvFormula::Product { a: 0.01, b: 0.0 });
+        // 0x07: vehicle speed — 0.01*X0*X1; with the scale byte X0 fixed at
+        // 100 this is the paper's "Y = X1" Vehicle Speed example.
+        entries.insert(0x07, EsvFormula::Product { a: 0.01, b: 0.0 });
+        // 0x08: lateral acceleration — 25.5*X0 + 0.01*X1; in the paper's
+        // capture X0 was always zero, collapsing the formula to 0.01*X1.
+        entries.insert(0x08, EsvFormula::Affine2 { a: 25.5, b: 0.01, c: 0.0 });
+        // 0x09: identity (Car F engine speed: Y = X).
+        entries.insert(0x09, EsvFormula::IDENTITY);
+        // 0x0A: half-scale (Car L coolant temperature: Y = 0.5*X).
+        entries.insert(0x0A, EsvFormula::Linear { a: 0.5, b: 0.0 });
+        // 0x0B: offset temperature — X0 - 40.
+        entries.insert(0x0B, EsvFormula::Linear { a: 1.0, b: -40.0 });
+        // 0x0C: period→frequency — 1000/X0.
+        entries.insert(0x0C, EsvFormula::Inverse { a: 1000.0, b: 0.0 });
+        // 0x0D: quadratic airflow — 0.01*X0².
+        entries.insert(0x0D, EsvFormula::Square { a: 0.01, b: 0.0 });
+        // 0x0E: two-byte engine speed — 64*X0 + 0.25*X1 (Car R's
+        // Y = 64.1*X0 + 0.241*X1 in Tab. 7 is this entry as recovered
+        // by GP within tolerance).
+        entries.insert(0x0E, EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 });
+        // 0x0F: fuel trim percentage — 0.78125*X0 - 100.
+        entries.insert(0x0F, EsvFormula::Linear { a: 0.78125, b: -100.0 });
+        // ENUM_TYPE: enumeration, no formula (door open/closed …).
+        entries.insert(ENUM_TYPE, EsvFormula::Enumeration);
+        FormulaTypeTable { entries }
+    }
+
+    /// Looks up the formula for a type byte.
+    pub fn get(&self, f_type: u8) -> Option<&EsvFormula> {
+        self.entries.get(&f_type)
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, f_type: u8, formula: EsvFormula) {
+        self.entries.insert(f_type, formula);
+    }
+
+    /// Decodes a raw ESV into its physical value, if the type is known.
+    pub fn decode(&self, esv: RawEsv) -> Option<f64> {
+        self.get(esv.f_type)
+            .map(|f| f.eval(f64::from(esv.x0), f64::from(esv.x1)))
+    }
+
+    /// Iterates over `(type byte, formula)` entries in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &EsvFormula)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for FormulaTypeTable {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// A KWP 2000 request message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KwpRequest {
+    /// 0x21 — read data by local identifier (Fig. 3).
+    ReadDataByLocalId {
+        /// The record to read.
+        local_id: LocalId,
+    },
+    /// 0x30 — input output control by local identifier (Fig. 2). The ECR
+    /// ("ECU Control Record") carries everything the actuator needs.
+    IoControlByLocalId {
+        /// The actuator's local identifier.
+        local_id: LocalId,
+        /// The ECU control record.
+        ecr: Vec<u8>,
+    },
+    /// 0x2F — input output control by common identifier (Fig. 2, right).
+    IoControlByCommonId {
+        /// The two-byte common identifier.
+        common_id: u16,
+        /// The ECU control record.
+        ecr: Vec<u8>,
+    },
+    /// 0x10 — start diagnostic session.
+    StartDiagnosticSession {
+        /// Session type byte.
+        session: u8,
+    },
+}
+
+impl KwpRequest {
+    /// Serializes the request to its on-wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KwpRequest::ReadDataByLocalId { local_id } => vec![0x21, local_id.0],
+            KwpRequest::IoControlByLocalId { local_id, ecr } => {
+                let mut out = vec![0x30, local_id.0];
+                out.extend_from_slice(ecr);
+                out
+            }
+            KwpRequest::IoControlByCommonId { common_id, ecr } => {
+                let mut out = vec![0x2F];
+                out.extend_from_slice(&common_id.to_be_bytes());
+                out.extend_from_slice(ecr);
+                out
+            }
+            KwpRequest::StartDiagnosticSession { session } => vec![0x10, *session],
+        }
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for truncated or unknown requests.
+    pub fn parse(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&sid, rest) = payload.split_first().ok_or(ProtocolError::TooShort {
+            what: "KWP request",
+            need: 1,
+            got: 0,
+        })?;
+        match sid {
+            0x21 => rest
+                .first()
+                .map(|&id| KwpRequest::ReadDataByLocalId {
+                    local_id: LocalId(id),
+                })
+                .ok_or(ProtocolError::TooShort {
+                    what: "read-data-by-local-id request",
+                    need: 2,
+                    got: 1,
+                }),
+            0x30 => {
+                if rest.is_empty() {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control-by-local-id request",
+                        need: 2,
+                        got: 1,
+                    });
+                }
+                Ok(KwpRequest::IoControlByLocalId {
+                    local_id: LocalId(rest[0]),
+                    ecr: rest[1..].to_vec(),
+                })
+            }
+            0x2F => {
+                if rest.len() < 2 {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control-by-common-id request",
+                        need: 3,
+                        got: payload.len(),
+                    });
+                }
+                Ok(KwpRequest::IoControlByCommonId {
+                    common_id: u16::from_be_bytes([rest[0], rest[1]]),
+                    ecr: rest[2..].to_vec(),
+                })
+            }
+            0x10 => rest
+                .first()
+                .map(|&s| KwpRequest::StartDiagnosticSession { session: s })
+                .ok_or(ProtocolError::TooShort {
+                    what: "start-diagnostic-session request",
+                    need: 2,
+                    got: 1,
+                }),
+            other => Err(ProtocolError::WrongService {
+                expected: 0x21,
+                got: other,
+            }),
+        }
+    }
+}
+
+/// A KWP 2000 response message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KwpResponse {
+    /// Positive response to read data by local identifier: the local id
+    /// echoed, then 1..m three-byte ESVs (Fig. 3).
+    ReadDataByLocalId {
+        /// Echoed local identifier.
+        local_id: LocalId,
+        /// The raw signal values.
+        esvs: Vec<RawEsv>,
+    },
+    /// Positive response to IO control by local identifier.
+    IoControlByLocalId {
+        /// Echoed local identifier.
+        local_id: LocalId,
+        /// Control status bytes.
+        status: Vec<u8>,
+    },
+    /// Positive response to IO control by common identifier.
+    IoControlByCommonId {
+        /// Echoed common identifier.
+        common_id: u16,
+        /// Control status bytes.
+        status: Vec<u8>,
+    },
+    /// Positive response to start diagnostic session.
+    StartDiagnosticSession {
+        /// Granted session type.
+        session: u8,
+    },
+    /// Negative response (`7F sid code`).
+    Negative {
+        /// Rejected SID.
+        sid: u8,
+        /// Response code.
+        code: u8,
+    },
+}
+
+impl KwpResponse {
+    /// Serializes the response to its on-wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KwpResponse::ReadDataByLocalId { local_id, esvs } => {
+                let mut out = vec![0x61, local_id.0];
+                for esv in esvs {
+                    out.extend_from_slice(&esv.to_bytes());
+                }
+                out
+            }
+            KwpResponse::IoControlByLocalId { local_id, status } => {
+                let mut out = vec![0x70, local_id.0];
+                out.extend_from_slice(status);
+                out
+            }
+            KwpResponse::IoControlByCommonId { common_id, status } => {
+                let mut out = vec![0x6F];
+                out.extend_from_slice(&common_id.to_be_bytes());
+                out.extend_from_slice(status);
+                out
+            }
+            KwpResponse::StartDiagnosticSession { session } => vec![0x50, *session],
+            KwpResponse::Negative { sid, code } => vec![0x7F, *sid, *code],
+        }
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for truncated messages or a
+    /// read-data-by-local-id body whose length is not a multiple of three.
+    pub fn parse(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&first, rest) = payload.split_first().ok_or(ProtocolError::TooShort {
+            what: "KWP response",
+            need: 1,
+            got: 0,
+        })?;
+        match first {
+            0x61 => {
+                if rest.is_empty() {
+                    return Err(ProtocolError::TooShort {
+                        what: "read-data-by-local-id response",
+                        need: 2,
+                        got: 1,
+                    });
+                }
+                let body = &rest[1..];
+                if body.is_empty() || body.len() % 3 != 0 {
+                    return Err(ProtocolError::Malformed(format!(
+                        "ESV body of {} bytes is not a positive multiple of 3",
+                        body.len()
+                    )));
+                }
+                let esvs = body
+                    .chunks_exact(3)
+                    .map(|c| RawEsv {
+                        f_type: c[0],
+                        x0: c[1],
+                        x1: c[2],
+                    })
+                    .collect();
+                Ok(KwpResponse::ReadDataByLocalId {
+                    local_id: LocalId(rest[0]),
+                    esvs,
+                })
+            }
+            0x70 => {
+                if rest.is_empty() {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control-by-local-id response",
+                        need: 2,
+                        got: 1,
+                    });
+                }
+                Ok(KwpResponse::IoControlByLocalId {
+                    local_id: LocalId(rest[0]),
+                    status: rest[1..].to_vec(),
+                })
+            }
+            0x6F => {
+                if rest.len() < 2 {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control-by-common-id response",
+                        need: 3,
+                        got: payload.len(),
+                    });
+                }
+                Ok(KwpResponse::IoControlByCommonId {
+                    common_id: u16::from_be_bytes([rest[0], rest[1]]),
+                    status: rest[2..].to_vec(),
+                })
+            }
+            0x50 => rest
+                .first()
+                .map(|&s| KwpResponse::StartDiagnosticSession { session: s })
+                .ok_or(ProtocolError::TooShort {
+                    what: "start-diagnostic-session response",
+                    need: 2,
+                    got: 1,
+                }),
+            0x7F => {
+                if rest.len() < 2 {
+                    return Err(ProtocolError::TooShort {
+                        what: "negative response",
+                        need: 3,
+                        got: payload.len(),
+                    });
+                }
+                Ok(KwpResponse::Negative {
+                    sid: rest[0],
+                    code: rest[1],
+                })
+            }
+            other => Err(ProtocolError::WrongService {
+                expected: 0x61,
+                got: other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_engine_rpm_example_decodes() {
+        // Paper §2.3.1: ESV "01 F1 10" with formula X0*X1/5 → 771.2.
+        let table = FormulaTypeTable::standard();
+        let esv = RawEsv {
+            f_type: 0x01,
+            x0: 0xF1,
+            x1: 0x10,
+        };
+        let value = table.decode(esv).unwrap();
+        assert!((value - 771.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_light_control_messages_encode_exactly() {
+        // Paper §2.3.1: "30 15 00 40 00" turns the light on.
+        let on = KwpRequest::IoControlByLocalId {
+            local_id: LocalId(0x15),
+            ecr: vec![0x00, 0x40, 0x00],
+        };
+        assert_eq!(on.encode(), vec![0x30, 0x15, 0x00, 0x40, 0x00]);
+        let off = KwpRequest::IoControlByLocalId {
+            local_id: LocalId(0x15),
+            ecr: vec![0x00, 0x00, 0x00],
+        };
+        assert_eq!(off.encode(), vec![0x30, 0x15, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let samples = vec![
+            KwpRequest::ReadDataByLocalId {
+                local_id: LocalId(0x07),
+            },
+            KwpRequest::IoControlByLocalId {
+                local_id: LocalId(0x15),
+                ecr: vec![0x00, 0x40, 0x00],
+            },
+            KwpRequest::IoControlByCommonId {
+                common_id: 0x0950,
+                ecr: vec![0x03, 0x05],
+            },
+            KwpRequest::StartDiagnosticSession { session: 0x89 },
+        ];
+        for req in samples {
+            assert_eq!(KwpRequest::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let samples = vec![
+            KwpResponse::ReadDataByLocalId {
+                local_id: LocalId(0x07),
+                esvs: vec![
+                    RawEsv { f_type: 1, x0: 0xF1, x1: 0x10 },
+                    RawEsv { f_type: 7, x0: 100, x1: 33 },
+                ],
+            },
+            KwpResponse::IoControlByLocalId {
+                local_id: LocalId(0x15),
+                status: vec![0x01],
+            },
+            KwpResponse::IoControlByCommonId {
+                common_id: 0xB003,
+                status: vec![],
+            },
+            KwpResponse::StartDiagnosticSession { session: 0x89 },
+            KwpResponse::Negative { sid: 0x21, code: 0x12 },
+        ];
+        for rsp in samples {
+            assert_eq!(KwpResponse::parse(&rsp.encode()).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn esv_body_must_be_multiple_of_three() {
+        assert!(KwpResponse::parse(&[0x61, 0x07, 1, 2]).is_err());
+        assert!(KwpResponse::parse(&[0x61, 0x07]).is_err());
+    }
+
+    #[test]
+    fn standard_table_covers_paper_shapes() {
+        let table = FormulaTypeTable::standard();
+        assert!(table.len() >= 14, "paper cites 14 supported functions");
+        // Torque assistance: X1 = 0x7F → negative scale, 0x81 → positive.
+        let torque = table.get(0x04).unwrap();
+        assert!((torque.eval(500.0, 127.0) - (-0.5)).abs() < 1e-9);
+        assert!((torque.eval(500.0, 129.0) - 0.5).abs() < 1e-9);
+        // Vehicle speed with scale byte 100: Y = X1.
+        let speed = table.get(0x07).unwrap();
+        assert_eq!(speed.eval(100.0, 88.0), 88.0);
+        // Enumeration type has no formula.
+        assert!(!table.get(ENUM_TYPE).unwrap().has_formula());
+    }
+
+    #[test]
+    fn unknown_type_decodes_to_none() {
+        let table = FormulaTypeTable::standard();
+        assert_eq!(
+            table.decode(RawEsv { f_type: 0xEE, x0: 1, x1: 2 }),
+            None
+        );
+    }
+
+    #[test]
+    fn custom_table_entries() {
+        let mut table = FormulaTypeTable::empty();
+        assert!(table.is_empty());
+        table.insert(0x42, EsvFormula::Linear { a: 2.0, b: 1.0 });
+        assert_eq!(
+            table.decode(RawEsv { f_type: 0x42, x0: 10, x1: 0 }),
+            Some(21.0)
+        );
+        assert_eq!(table.iter().count(), 1);
+    }
+}

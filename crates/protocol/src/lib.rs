@@ -1,0 +1,116 @@
+//! Application-layer diagnostic protocols: UDS, KWP 2000, and OBD-II.
+//!
+//! This crate models the three protocols of the paper's Tab. 1 at the level
+//! the reverse-engineering pipeline needs:
+//!
+//! * [`uds`] — ISO 14229 Unified Diagnostic Services: *Read Data By
+//!   Identifier* (0x22) and *IO Control* (0x2F) with their request/response
+//!   formats (paper Figs. 4–5), plus session control, tester present, ECU
+//!   reset, and negative responses.
+//! * [`kwp`] — Keyword Protocol 2000: *read data by local identifier*
+//!   (0x21) and the two IO-control services (0x30 local id / 0x2F common
+//!   id) of paper Figs. 2–3, including the three-byte ECU-signal-value
+//!   (`ESV`) encoding `[formula-type, X0, X1]` and a formula-type table.
+//! * [`obd`] — OBD-II / SAE J1979 mode 01 with the standard, publicly
+//!   documented PID formulas the paper uses as ground truth (Tab. 5).
+//!
+//! The [`formula`] module defines the closed-form [`EsvFormula`]
+//! representation that vehicle profiles use to *encode* sensor values into
+//! response bytes and diagnostic tools use to *decode* them — the
+//! proprietary mapping DP-Reverser recovers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod formula;
+pub mod kwp;
+pub mod obd;
+pub mod quantity;
+pub mod uds;
+
+pub use error::ProtocolError;
+pub use formula::EsvFormula;
+pub use quantity::Quantity;
+
+/// A service identifier byte of a diagnostic request.
+///
+/// Positive responses echo the request SID with bit 6 set (`sid + 0x40`);
+/// negative responses start with `0x7F` followed by the rejected SID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ServiceId(pub u8);
+
+impl ServiceId {
+    /// UDS diagnostic session control.
+    pub const UDS_SESSION_CONTROL: ServiceId = ServiceId(0x10);
+    /// UDS ECU reset.
+    pub const UDS_ECU_RESET: ServiceId = ServiceId(0x11);
+    /// KWP 2000 read data by local identifier.
+    pub const KWP_READ_DATA_BY_LOCAL_ID: ServiceId = ServiceId(0x21);
+    /// UDS read data by identifier.
+    pub const UDS_READ_DATA_BY_ID: ServiceId = ServiceId(0x22);
+    /// UDS / KWP IO control (by common identifier in KWP).
+    pub const IO_CONTROL_BY_ID: ServiceId = ServiceId(0x2F);
+    /// KWP 2000 input output control by local identifier.
+    pub const KWP_IO_CONTROL_BY_LOCAL_ID: ServiceId = ServiceId(0x30);
+    /// UDS tester present.
+    pub const UDS_TESTER_PRESENT: ServiceId = ServiceId(0x3E);
+    /// OBD-II mode 01 (show current data).
+    pub const OBD_CURRENT_DATA: ServiceId = ServiceId(0x01);
+    /// The negative-response marker byte.
+    pub const NEGATIVE_RESPONSE: u8 = 0x7F;
+
+    /// The SID a positive response to this request carries.
+    pub fn positive_response(self) -> u8 {
+        self.0 | 0x40
+    }
+
+    /// Inverts [`positive_response`](Self::positive_response): given a
+    /// response's first byte, the request SID it answers, if it is a
+    /// positive response at all.
+    pub fn from_positive_response(byte: u8) -> Option<ServiceId> {
+        if byte & 0x40 != 0 && byte != Self::NEGATIVE_RESPONSE {
+            Some(ServiceId(byte & !0x40))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_response_sets_bit_six() {
+        assert_eq!(ServiceId::UDS_READ_DATA_BY_ID.positive_response(), 0x62);
+        assert_eq!(ServiceId::IO_CONTROL_BY_ID.positive_response(), 0x6F);
+        assert_eq!(ServiceId::KWP_READ_DATA_BY_LOCAL_ID.positive_response(), 0x61);
+        assert_eq!(ServiceId::KWP_IO_CONTROL_BY_LOCAL_ID.positive_response(), 0x70);
+        assert_eq!(ServiceId::OBD_CURRENT_DATA.positive_response(), 0x41);
+    }
+
+    #[test]
+    fn from_positive_response_round_trips() {
+        for sid in [0x01u8, 0x10, 0x21, 0x22, 0x2F, 0x30, 0x3E] {
+            let service = ServiceId(sid);
+            assert_eq!(
+                ServiceId::from_positive_response(service.positive_response()),
+                Some(service)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_marker_is_not_a_positive_response() {
+        assert_eq!(ServiceId::from_positive_response(0x7F), None);
+        // A request SID itself is not a positive response.
+        assert_eq!(ServiceId::from_positive_response(0x22), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Physical quantities: names, units, and plausible ranges.
+//!
+//! The paper's OCR post-processing (§3.3) filters extracted sensor values
+//! against "a normal value range for each type of ESV"; the tool UI renders
+//! values with a unit; and the vehicle simulator generates signals inside a
+//! plausible range. `Quantity` carries that shared metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// A physical quantity with display metadata and a plausible value range.
+///
+/// # Example
+///
+/// ```
+/// use dpr_protocol::Quantity;
+///
+/// let rpm = Quantity::new("Engine Speed", "rpm", 0.0, 8000.0).with_decimals(0);
+/// assert!(rpm.contains(771.2));
+/// assert!(!rpm.contains(20_000.0));
+/// assert_eq!(rpm.render(771.2), "771");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantity {
+    name: String,
+    unit: String,
+    min: f64,
+    max: f64,
+    decimals: u8,
+}
+
+impl Quantity {
+    /// Creates a quantity with the given plausible range and one decimal
+    /// digit of display precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is not finite.
+    pub fn new(name: impl Into<String>, unit: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
+        assert!(min <= max, "min must not exceed max");
+        Quantity {
+            name: name.into(),
+            unit: unit.into(),
+            min,
+            max,
+            decimals: 1,
+        }
+    }
+
+    /// Sets the number of decimal digits the tool UI displays.
+    pub fn with_decimals(mut self, decimals: u8) -> Self {
+        self.decimals = decimals;
+        self
+    }
+
+    /// The human-readable quantity name (what the tool UI labels the row).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The display unit.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// Lower bound of the plausible range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the plausible range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Display decimals.
+    pub fn decimals(&self) -> u8 {
+        self.decimals
+    }
+
+    /// Whether `value` lies inside the plausible range (inclusive) — the
+    /// first stage of the paper's incorrect-ESV filter.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.min && value <= self.max
+    }
+
+    /// Clamps a value into the plausible range.
+    pub fn clamp(&self, value: f64) -> f64 {
+        value.clamp(self.min, self.max)
+    }
+
+    /// Renders a value the way the tool UI would print it (fixed decimals,
+    /// no unit).
+    pub fn render(&self, value: f64) -> String {
+        format!("{value:.*}", usize::from(self.decimals))
+    }
+
+    /// Midpoint of the range — a convenient "typical" value.
+    pub fn midpoint(&self) -> f64 {
+        (self.min + self.max) / 2.0
+    }
+}
+
+impl std::fmt::Display for Quantity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.name, self.unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_check_is_inclusive() {
+        let q = Quantity::new("Coolant", "degC", -40.0, 215.0);
+        assert!(q.contains(-40.0));
+        assert!(q.contains(215.0));
+        assert!(!q.contains(-40.1));
+        assert!(!q.contains(215.1));
+    }
+
+    #[test]
+    fn render_respects_decimals() {
+        let q = Quantity::new("Load", "%", 0.0, 100.0).with_decimals(2);
+        assert_eq!(q.render(33.333), "33.33");
+        let q0 = Quantity::new("Speed", "km/h", 0.0, 300.0).with_decimals(0);
+        assert_eq!(q0.render(88.6), "89");
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn inverted_bounds_panic() {
+        let _ = Quantity::new("bad", "x", 5.0, 1.0);
+    }
+
+    #[test]
+    fn display_and_midpoint() {
+        let q = Quantity::new("Throttle", "%", 0.0, 100.0);
+        assert_eq!(q.to_string(), "Throttle [%]");
+        assert_eq!(q.midpoint(), 50.0);
+        assert_eq!(q.clamp(150.0), 100.0);
+    }
+}

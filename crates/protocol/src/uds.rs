@@ -1,0 +1,778 @@
+//! UDS (ISO 14229) request and response messages.
+//!
+//! Covers the two services the paper reverse engineers — *Read Data By
+//! Identifier* (0x22, Fig. 5) and *IO Control* (0x2F, Fig. 4) — plus the
+//! session-management services a real diagnostic session exchanges
+//! (session control, tester present, ECU reset) and negative responses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProtocolError, ServiceId};
+
+/// A two-byte UDS data identifier (DID).
+///
+/// The *value* of a DID and the component or signal it selects are exactly
+/// the manufacturer-proprietary information DP-Reverser recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Did(pub u16);
+
+impl Did {
+    /// Big-endian on-wire bytes.
+    pub fn to_bytes(self) -> [u8; 2] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses a DID from two big-endian bytes.
+    pub fn from_bytes(hi: u8, lo: u8) -> Self {
+        Did(u16::from_be_bytes([hi, lo]))
+    }
+}
+
+impl std::fmt::Display for Did {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:04X}", self.0)
+    }
+}
+
+/// UDS negative response codes (the subset the simulation produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Nrc {
+    /// 0x10 — general reject.
+    GeneralReject,
+    /// 0x11 — service not supported.
+    ServiceNotSupported,
+    /// 0x12 — sub-function not supported.
+    SubFunctionNotSupported,
+    /// 0x13 — incorrect message length or invalid format.
+    IncorrectMessageLength,
+    /// 0x22 — conditions not correct.
+    ConditionsNotCorrect,
+    /// 0x31 — request out of range (unknown DID).
+    RequestOutOfRange,
+    /// 0x33 — security access denied.
+    SecurityAccessDenied,
+    /// 0x35 — invalid key.
+    InvalidKey,
+    /// Any other code, carried verbatim.
+    Other(u8),
+}
+
+impl Nrc {
+    /// The on-wire code byte.
+    pub fn raw(self) -> u8 {
+        match self {
+            Nrc::GeneralReject => 0x10,
+            Nrc::ServiceNotSupported => 0x11,
+            Nrc::SubFunctionNotSupported => 0x12,
+            Nrc::IncorrectMessageLength => 0x13,
+            Nrc::ConditionsNotCorrect => 0x22,
+            Nrc::RequestOutOfRange => 0x31,
+            Nrc::SecurityAccessDenied => 0x33,
+            Nrc::InvalidKey => 0x35,
+            Nrc::Other(code) => code,
+        }
+    }
+
+    /// Decodes a code byte.
+    pub fn from_raw(code: u8) -> Self {
+        match code {
+            0x10 => Nrc::GeneralReject,
+            0x11 => Nrc::ServiceNotSupported,
+            0x12 => Nrc::SubFunctionNotSupported,
+            0x13 => Nrc::IncorrectMessageLength,
+            0x22 => Nrc::ConditionsNotCorrect,
+            0x31 => Nrc::RequestOutOfRange,
+            0x33 => Nrc::SecurityAccessDenied,
+            0x35 => Nrc::InvalidKey,
+            other => Nrc::Other(other),
+        }
+    }
+}
+
+/// The IO-control parameter byte — the paper's Tab. 11 finds exactly the
+/// freeze / short-term-adjust / return-control triple in every recovered
+/// control procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoControlParameter {
+    /// 0x00 — return control to the ECU ("the control is finished").
+    ReturnControlToEcu,
+    /// 0x01 — reset to default.
+    ResetToDefault,
+    /// 0x02 — freeze current state ("prepare to control").
+    FreezeCurrentState,
+    /// 0x03 — short-term adjustment ("start controlling").
+    ShortTermAdjustment,
+}
+
+impl IoControlParameter {
+    /// The on-wire byte.
+    pub fn raw(self) -> u8 {
+        match self {
+            IoControlParameter::ReturnControlToEcu => 0x00,
+            IoControlParameter::ResetToDefault => 0x01,
+            IoControlParameter::FreezeCurrentState => 0x02,
+            IoControlParameter::ShortTermAdjustment => 0x03,
+        }
+    }
+
+    /// Decodes the byte; values above 0x03 are reserved.
+    pub fn from_raw(byte: u8) -> Option<Self> {
+        match byte {
+            0x00 => Some(IoControlParameter::ReturnControlToEcu),
+            0x01 => Some(IoControlParameter::ResetToDefault),
+            0x02 => Some(IoControlParameter::FreezeCurrentState),
+            0x03 => Some(IoControlParameter::ShortTermAdjustment),
+            _ => None,
+        }
+    }
+}
+
+/// A UDS request message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UdsRequest {
+    /// 0x10 — diagnostic session control.
+    SessionControl {
+        /// Requested session type (0x01 default, 0x03 extended …).
+        session: u8,
+    },
+    /// 0x11 — ECU reset.
+    EcuReset {
+        /// Reset type (0x01 hard reset …).
+        kind: u8,
+    },
+    /// 0x22 — read data by identifier, one or more DIDs.
+    ReadDataById {
+        /// The identifiers to read, in request order.
+        dids: Vec<Did>,
+    },
+    /// 0x2F — input/output control by identifier.
+    IoControl {
+        /// The component's data identifier.
+        did: Did,
+        /// The IO-control parameter (first ECR byte).
+        param: IoControlParameter,
+        /// Control state bytes (rest of the ECR; empty for freeze/return).
+        state: Vec<u8>,
+    },
+    /// 0x3E — tester present.
+    TesterPresent,
+    /// 0x27 — security access: odd sub-functions request a seed, the
+    /// following even sub-function sends the computed key. The paper's §6
+    /// lists seed-key algorithms as beyond formula inference; the
+    /// simulation implements the handshake so captures contain it.
+    SecurityAccess {
+        /// Sub-function (odd = request seed, even = send key).
+        level: u8,
+        /// The key bytes (empty for seed requests).
+        key: Vec<u8>,
+    },
+    /// 0x19 — read DTC information (sub-function 0x02: by status mask).
+    ReadDtc {
+        /// Status mask (0xFF = everything).
+        mask: u8,
+    },
+    /// 0x14 — clear diagnostic information (the request the paper's UI
+    /// blacklist exists to avoid triggering).
+    ClearDtc,
+}
+
+impl UdsRequest {
+    /// Serializes the request to its on-wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            UdsRequest::SessionControl { session } => vec![0x10, *session],
+            UdsRequest::EcuReset { kind } => vec![0x11, *kind],
+            UdsRequest::ReadDataById { dids } => {
+                let mut out = Vec::with_capacity(1 + dids.len() * 2);
+                out.push(0x22);
+                for did in dids {
+                    out.extend_from_slice(&did.to_bytes());
+                }
+                out
+            }
+            UdsRequest::IoControl { did, param, state } => {
+                let mut out = Vec::with_capacity(4 + state.len());
+                out.push(0x2F);
+                out.extend_from_slice(&did.to_bytes());
+                out.push(param.raw());
+                out.extend_from_slice(state);
+                out
+            }
+            UdsRequest::TesterPresent => vec![0x3E, 0x00],
+            UdsRequest::SecurityAccess { level, key } => {
+                let mut out = vec![0x27, *level];
+                out.extend_from_slice(key);
+                out
+            }
+            UdsRequest::ReadDtc { mask } => vec![0x19, 0x02, *mask],
+            UdsRequest::ClearDtc => vec![0x14, 0xFF, 0xFF, 0xFF],
+        }
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for unknown services, truncated messages,
+    /// or reserved IO-control parameters.
+    pub fn parse(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&sid, rest) = payload.split_first().ok_or(ProtocolError::TooShort {
+            what: "UDS request",
+            need: 1,
+            got: 0,
+        })?;
+        match sid {
+            0x10 => match rest {
+                [session, ..] => Ok(UdsRequest::SessionControl { session: *session }),
+                [] => Err(ProtocolError::TooShort {
+                    what: "session control request",
+                    need: 2,
+                    got: 1,
+                }),
+            },
+            0x11 => match rest {
+                [kind, ..] => Ok(UdsRequest::EcuReset { kind: *kind }),
+                [] => Err(ProtocolError::TooShort {
+                    what: "ECU reset request",
+                    need: 2,
+                    got: 1,
+                }),
+            },
+            0x22 => {
+                if rest.is_empty() || rest.len() % 2 != 0 {
+                    return Err(ProtocolError::Malformed(format!(
+                        "read-data-by-id request needs a positive even number of DID bytes, got {}",
+                        rest.len()
+                    )));
+                }
+                let dids = rest
+                    .chunks_exact(2)
+                    .map(|c| Did::from_bytes(c[0], c[1]))
+                    .collect();
+                Ok(UdsRequest::ReadDataById { dids })
+            }
+            0x2F => {
+                if rest.len() < 3 {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control request",
+                        need: 4,
+                        got: payload.len(),
+                    });
+                }
+                let did = Did::from_bytes(rest[0], rest[1]);
+                let param = IoControlParameter::from_raw(rest[2]).ok_or_else(|| {
+                    ProtocolError::Malformed(format!(
+                        "reserved IO-control parameter 0x{:02X}",
+                        rest[2]
+                    ))
+                })?;
+                Ok(UdsRequest::IoControl {
+                    did,
+                    param,
+                    state: rest[3..].to_vec(),
+                })
+            }
+            0x3E => Ok(UdsRequest::TesterPresent),
+            0x27 => match rest {
+                [level, key @ ..] => Ok(UdsRequest::SecurityAccess {
+                    level: *level,
+                    key: key.to_vec(),
+                }),
+                [] => Err(ProtocolError::TooShort {
+                    what: "security access request",
+                    need: 2,
+                    got: 1,
+                }),
+            },
+            0x19 => match rest {
+                [_sub, mask, ..] => Ok(UdsRequest::ReadDtc { mask: *mask }),
+                _ => Err(ProtocolError::TooShort {
+                    what: "read DTC request",
+                    need: 3,
+                    got: payload.len(),
+                }),
+            },
+            0x14 => Ok(UdsRequest::ClearDtc),
+            other => Err(ProtocolError::WrongService {
+                expected: 0x22,
+                got: other,
+            }),
+        }
+    }
+
+    /// The request's service identifier.
+    pub fn service(&self) -> ServiceId {
+        match self {
+            UdsRequest::SessionControl { .. } => ServiceId::UDS_SESSION_CONTROL,
+            UdsRequest::EcuReset { .. } => ServiceId::UDS_ECU_RESET,
+            UdsRequest::ReadDataById { .. } => ServiceId::UDS_READ_DATA_BY_ID,
+            UdsRequest::IoControl { .. } => ServiceId::IO_CONTROL_BY_ID,
+            UdsRequest::TesterPresent => ServiceId::UDS_TESTER_PRESENT,
+            UdsRequest::SecurityAccess { .. } => ServiceId(0x27),
+            UdsRequest::ReadDtc { .. } => ServiceId(0x19),
+            UdsRequest::ClearDtc => ServiceId(0x14),
+        }
+    }
+}
+
+/// A UDS response message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UdsResponse {
+    /// Positive response to session control.
+    SessionControl {
+        /// The granted session type.
+        session: u8,
+    },
+    /// Positive response to ECU reset.
+    EcuReset {
+        /// The performed reset type.
+        kind: u8,
+    },
+    /// Positive response to read data by identifier: each requested DID
+    /// echoed, followed by its data record (Fig. 5).
+    ReadDataById {
+        /// `(DID, raw ESV bytes)` pairs in request order.
+        records: Vec<(Did, Vec<u8>)>,
+    },
+    /// Positive response to IO control (Fig. 4).
+    IoControl {
+        /// The controlled component's DID.
+        did: Did,
+        /// Echoed IO-control parameter.
+        param: IoControlParameter,
+        /// Control status record.
+        state: Vec<u8>,
+    },
+    /// Positive response to tester present.
+    TesterPresent,
+    /// Positive response to security access: the seed for odd
+    /// sub-functions, empty for accepted keys.
+    SecurityAccess {
+        /// Echoed sub-function.
+        level: u8,
+        /// Seed bytes (empty when acknowledging a key).
+        seed: Vec<u8>,
+    },
+    /// Positive response to read DTC: `(code, status)` pairs.
+    DtcReport {
+        /// Stored trouble codes with their status bytes.
+        dtcs: Vec<(u16, u8)>,
+    },
+    /// Positive response to clear diagnostic information.
+    ClearDtc,
+    /// Negative response (`7F sid nrc`).
+    Negative {
+        /// The rejected request's SID.
+        sid: u8,
+        /// The reason code.
+        nrc: Nrc,
+    },
+}
+
+impl UdsResponse {
+    /// Serializes the response to its on-wire payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            UdsResponse::SessionControl { session } => vec![0x50, *session, 0x00, 0x32, 0x01, 0xF4],
+            UdsResponse::EcuReset { kind } => vec![0x51, *kind],
+            UdsResponse::ReadDataById { records } => {
+                let mut out = vec![0x62];
+                for (did, data) in records {
+                    out.extend_from_slice(&did.to_bytes());
+                    out.extend_from_slice(data);
+                }
+                out
+            }
+            UdsResponse::IoControl { did, param, state } => {
+                let mut out = vec![0x6F];
+                out.extend_from_slice(&did.to_bytes());
+                out.push(param.raw());
+                out.extend_from_slice(state);
+                out
+            }
+            UdsResponse::TesterPresent => vec![0x7E, 0x00],
+            UdsResponse::SecurityAccess { level, seed } => {
+                let mut out = vec![0x67, *level];
+                out.extend_from_slice(seed);
+                out
+            }
+            UdsResponse::DtcReport { dtcs } => {
+                let mut out = vec![0x59, 0x02, 0xFF];
+                for (code, status) in dtcs {
+                    out.extend_from_slice(&code.to_be_bytes());
+                    out.push(*status);
+                }
+                out
+            }
+            UdsResponse::ClearDtc => vec![0x54],
+            UdsResponse::Negative { sid, nrc } => vec![0x7F, *sid, nrc.raw()],
+        }
+    }
+
+    /// Parses a response payload. For read-data-by-id responses the caller
+    /// must supply the DIDs of the request so the records can be split —
+    /// exactly the technique the paper's field-extraction step uses
+    /// ("the list of DIDs in the request message also appear in the
+    /// corresponding response message with the same order").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for truncated or inconsistent payloads.
+    pub fn parse(payload: &[u8], request_dids: &[Did]) -> Result<Self, ProtocolError> {
+        let (&first, rest) = payload.split_first().ok_or(ProtocolError::TooShort {
+            what: "UDS response",
+            need: 1,
+            got: 0,
+        })?;
+        match first {
+            0x7F => {
+                if rest.len() < 2 {
+                    return Err(ProtocolError::TooShort {
+                        what: "negative response",
+                        need: 3,
+                        got: payload.len(),
+                    });
+                }
+                Ok(UdsResponse::Negative {
+                    sid: rest[0],
+                    nrc: Nrc::from_raw(rest[1]),
+                })
+            }
+            0x50 => rest
+                .first()
+                .map(|s| UdsResponse::SessionControl { session: *s })
+                .ok_or(ProtocolError::TooShort {
+                    what: "session control response",
+                    need: 2,
+                    got: 1,
+                }),
+            0x51 => rest
+                .first()
+                .map(|k| UdsResponse::EcuReset { kind: *k })
+                .ok_or(ProtocolError::TooShort {
+                    what: "ECU reset response",
+                    need: 2,
+                    got: 1,
+                }),
+            0x62 => {
+                let records = split_read_records(rest, request_dids)?;
+                Ok(UdsResponse::ReadDataById { records })
+            }
+            0x6F => {
+                if rest.len() < 3 {
+                    return Err(ProtocolError::TooShort {
+                        what: "IO-control response",
+                        need: 4,
+                        got: payload.len(),
+                    });
+                }
+                let did = Did::from_bytes(rest[0], rest[1]);
+                let param = IoControlParameter::from_raw(rest[2]).ok_or_else(|| {
+                    ProtocolError::Malformed(format!(
+                        "reserved IO-control parameter 0x{:02X} in response",
+                        rest[2]
+                    ))
+                })?;
+                Ok(UdsResponse::IoControl {
+                    did,
+                    param,
+                    state: rest[3..].to_vec(),
+                })
+            }
+            0x7E => Ok(UdsResponse::TesterPresent),
+            0x67 => match rest {
+                [level, seed @ ..] => Ok(UdsResponse::SecurityAccess {
+                    level: *level,
+                    seed: seed.to_vec(),
+                }),
+                [] => Err(ProtocolError::TooShort {
+                    what: "security access response",
+                    need: 2,
+                    got: 1,
+                }),
+            },
+            0x59 => {
+                if rest.len() < 2 || (rest.len() - 2) % 3 != 0 {
+                    return Err(ProtocolError::Malformed(format!(
+                        "DTC report body of {} bytes is not 2 + 3n",
+                        rest.len()
+                    )));
+                }
+                let dtcs = rest[2..]
+                    .chunks_exact(3)
+                    .map(|c| (u16::from_be_bytes([c[0], c[1]]), c[2]))
+                    .collect();
+                Ok(UdsResponse::DtcReport { dtcs })
+            }
+            0x54 => Ok(UdsResponse::ClearDtc),
+            other => Err(ProtocolError::WrongService {
+                expected: 0x62,
+                got: other,
+            }),
+        }
+    }
+}
+
+/// Splits the body of a `62` response into `(DID, data)` records using the
+/// request's DID list as the delimiter sequence — the paper's §3.2 Step 3
+/// technique for extracting ESVs whose lengths are not fixed.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] if the response does not echo the
+/// request DIDs in order.
+pub fn split_read_records(
+    body: &[u8],
+    request_dids: &[Did],
+) -> Result<Vec<(Did, Vec<u8>)>, ProtocolError> {
+    let mut records = Vec::with_capacity(request_dids.len());
+    let mut cursor = 0usize;
+    for (i, did) in request_dids.iter().enumerate() {
+        let bytes = did.to_bytes();
+        if body.len() < cursor + 2 || body[cursor..cursor + 2] != bytes {
+            return Err(ProtocolError::Malformed(format!(
+                "response does not echo DID {did} at offset {cursor}"
+            )));
+        }
+        cursor += 2;
+        // Data extends until the next request DID appears (in order), or to
+        // the end of the body for the last record.
+        let end = match request_dids.get(i + 1) {
+            Some(next) => {
+                let pat = next.to_bytes();
+                let mut found = None;
+                let mut j = cursor;
+                while j + 2 <= body.len() {
+                    if body[j..j + 2] == pat {
+                        found = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                found.ok_or_else(|| {
+                    ProtocolError::Malformed(format!(
+                        "response does not contain the next DID {next} after {did}"
+                    ))
+                })?
+            }
+            None => body.len(),
+        };
+        if end == cursor {
+            return Err(ProtocolError::Malformed(format!(
+                "DID {did} carries no data bytes"
+            )));
+        }
+        records.push((*did, body[cursor..end].to_vec()));
+        cursor = end;
+    }
+    Ok(records)
+}
+
+/// Builds the paper's three-message IO-control procedure (§4.5): freeze
+/// current state, short-term adjustment with the given control state, then
+/// return control to the ECU.
+pub fn io_control_procedure(did: Did, state: Vec<u8>) -> [UdsRequest; 3] {
+    [
+        UdsRequest::IoControl {
+            did,
+            param: IoControlParameter::FreezeCurrentState,
+            state: Vec::new(),
+        },
+        UdsRequest::IoControl {
+            did,
+            param: IoControlParameter::ShortTermAdjustment,
+            state,
+        },
+        UdsRequest::IoControl {
+            did,
+            param: IoControlParameter::ReturnControlToEcu,
+            state: Vec::new(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_encode_parse_round_trip() {
+        let samples = vec![
+            UdsRequest::SessionControl { session: 0x03 },
+            UdsRequest::EcuReset { kind: 0x01 },
+            UdsRequest::ReadDataById {
+                dids: vec![Did(0xF40D), Did(0xF40C)],
+            },
+            UdsRequest::IoControl {
+                did: Did(0x0950),
+                param: IoControlParameter::ShortTermAdjustment,
+                state: vec![0x05, 0x01, 0x00, 0x00],
+            },
+            UdsRequest::TesterPresent,
+        ];
+        for req in samples {
+            let bytes = req.encode();
+            assert_eq!(UdsRequest::parse(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn paper_fog_light_example_encodes_exactly() {
+        // Paper §2.3.2: "2F 09 50 03 05 01 00 00".
+        let req = UdsRequest::IoControl {
+            did: Did(0x0950),
+            param: IoControlParameter::ShortTermAdjustment,
+            state: vec![0x05, 0x01, 0x00, 0x00],
+        };
+        assert_eq!(req.encode(), vec![0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn paper_speed_example_parses() {
+        // Paper §2.3.2: request "22 F4 0D", response "62 F4 0D 21".
+        let req = UdsRequest::parse(&[0x22, 0xF4, 0x0D]).unwrap();
+        let UdsRequest::ReadDataById { dids } = &req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(dids, &[Did(0xF40D)]);
+
+        let rsp = UdsResponse::parse(&[0x62, 0xF4, 0x0D, 0x21], dids).unwrap();
+        assert_eq!(
+            rsp,
+            UdsResponse::ReadDataById {
+                records: vec![(Did(0xF40D), vec![0x21])]
+            }
+        );
+    }
+
+    #[test]
+    fn multi_did_response_split_by_request_order() {
+        let dids = [Did(0x1017), Did(0x2030)];
+        // 62 | 10 17 AA BB CC | 20 30 DD
+        let payload = [0x62, 0x10, 0x17, 0xAA, 0xBB, 0xCC, 0x20, 0x30, 0xDD];
+        let rsp = UdsResponse::parse(&payload, &dids).unwrap();
+        assert_eq!(
+            rsp,
+            UdsResponse::ReadDataById {
+                records: vec![
+                    (Did(0x1017), vec![0xAA, 0xBB, 0xCC]),
+                    (Did(0x2030), vec![0xDD]),
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn variable_length_records_resolved() {
+        // First DID carries 1 byte, second carries 4.
+        let dids = [Did(0xF40D), Did(0xF446)];
+        let payload = [0x62, 0xF4, 0x0D, 0x21, 0xF4, 0x46, 1, 2, 3, 4];
+        let UdsResponse::ReadDataById { records } = UdsResponse::parse(&payload, &dids).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(records[0].1.len(), 1);
+        assert_eq!(records[1].1.len(), 4);
+    }
+
+    #[test]
+    fn response_missing_did_is_malformed() {
+        let dids = [Did(0xF40D)];
+        let err = UdsResponse::parse(&[0x62, 0xF4, 0x0E, 0x21], &dids);
+        assert!(matches!(err, Err(ProtocolError::Malformed(_))));
+    }
+
+    #[test]
+    fn negative_response_parses() {
+        let rsp = UdsResponse::parse(&[0x7F, 0x22, 0x31], &[]).unwrap();
+        assert_eq!(
+            rsp,
+            UdsResponse::Negative {
+                sid: 0x22,
+                nrc: Nrc::RequestOutOfRange
+            }
+        );
+    }
+
+    #[test]
+    fn security_access_round_trips() {
+        let seed_req = UdsRequest::SecurityAccess { level: 0x01, key: vec![] };
+        assert_eq!(seed_req.encode(), vec![0x27, 0x01]);
+        assert_eq!(UdsRequest::parse(&seed_req.encode()).unwrap(), seed_req);
+        let key_req = UdsRequest::SecurityAccess {
+            level: 0x02,
+            key: vec![0xAB, 0xCD],
+        };
+        assert_eq!(UdsRequest::parse(&key_req.encode()).unwrap(), key_req);
+        let seed_rsp = UdsResponse::SecurityAccess {
+            level: 0x01,
+            seed: vec![0x12, 0x34],
+        };
+        assert_eq!(seed_rsp.encode(), vec![0x67, 0x01, 0x12, 0x34]);
+        assert_eq!(UdsResponse::parse(&seed_rsp.encode(), &[]).unwrap(), seed_rsp);
+    }
+
+    #[test]
+    fn dtc_services_round_trip() {
+        let read = UdsRequest::ReadDtc { mask: 0xFF };
+        assert_eq!(read.encode(), vec![0x19, 0x02, 0xFF]);
+        assert_eq!(UdsRequest::parse(&read.encode()).unwrap(), read);
+
+        let clear = UdsRequest::ClearDtc;
+        assert_eq!(UdsRequest::parse(&clear.encode()).unwrap(), clear);
+
+        let report = UdsResponse::DtcReport {
+            dtcs: vec![(0x0171, 0x2F), (0x0300, 0x08)],
+        };
+        assert_eq!(UdsResponse::parse(&report.encode(), &[]).unwrap(), report);
+        assert_eq!(
+            UdsResponse::parse(&UdsResponse::ClearDtc.encode(), &[]).unwrap(),
+            UdsResponse::ClearDtc
+        );
+        // Ragged DTC bodies are rejected.
+        assert!(UdsResponse::parse(&[0x59, 0x02, 0xFF, 0x01], &[]).is_err());
+    }
+
+    #[test]
+    fn nrc_round_trips() {
+        for code in [0x10u8, 0x11, 0x12, 0x13, 0x22, 0x31, 0x33, 0x35, 0x77] {
+            assert_eq!(Nrc::from_raw(code).raw(), code);
+        }
+    }
+
+    #[test]
+    fn io_control_procedure_matches_paper_pattern() {
+        let [freeze, adjust, ret] = io_control_procedure(Did(0x0950), vec![0x05, 0x01, 0x00, 0x00]);
+        assert_eq!(freeze.encode(), vec![0x2F, 0x09, 0x50, 0x02]);
+        assert_eq!(
+            adjust.encode(),
+            vec![0x2F, 0x09, 0x50, 0x03, 0x05, 0x01, 0x00, 0x00]
+        );
+        assert_eq!(ret.encode(), vec![0x2F, 0x09, 0x50, 0x00]);
+    }
+
+    #[test]
+    fn reserved_io_parameter_rejected() {
+        let err = UdsRequest::parse(&[0x2F, 0x09, 0x50, 0x7A]);
+        assert!(matches!(err, Err(ProtocolError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_and_odd_did_lists_rejected() {
+        assert!(UdsRequest::parse(&[0x22]).is_err());
+        assert!(UdsRequest::parse(&[0x22, 0xF4]).is_err());
+    }
+
+    #[test]
+    fn response_encode_parse_round_trip() {
+        let rsp = UdsResponse::IoControl {
+            did: Did(0x0950),
+            param: IoControlParameter::FreezeCurrentState,
+            state: vec![0xFF],
+        };
+        assert_eq!(UdsResponse::parse(&rsp.encode(), &[]).unwrap(), rsp);
+
+        let tp = UdsResponse::TesterPresent;
+        assert_eq!(UdsResponse::parse(&tp.encode(), &[]).unwrap(), tp);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for message encode/parse round trips.
+
+use dpr_protocol::kwp::{KwpRequest, KwpResponse, LocalId, RawEsv};
+use dpr_protocol::uds::{Did, IoControlParameter, Nrc, UdsRequest, UdsResponse};
+use dpr_protocol::{obd, EsvFormula};
+use proptest::prelude::*;
+
+fn arb_io_param() -> impl Strategy<Value = IoControlParameter> {
+    prop_oneof![
+        Just(IoControlParameter::ReturnControlToEcu),
+        Just(IoControlParameter::ResetToDefault),
+        Just(IoControlParameter::FreezeCurrentState),
+        Just(IoControlParameter::ShortTermAdjustment),
+    ]
+}
+
+proptest! {
+    /// Every UDS request survives encode → parse.
+    #[test]
+    fn uds_request_round_trip(
+        dids in proptest::collection::vec(any::<u16>(), 1..6),
+        did in any::<u16>(),
+        param in arb_io_param(),
+        state in proptest::collection::vec(any::<u8>(), 0..8),
+        session in any::<u8>(),
+    ) {
+        let samples = vec![
+            UdsRequest::ReadDataById { dids: dids.iter().map(|&d| Did(d)).collect() },
+            UdsRequest::IoControl { did: Did(did), param, state },
+            UdsRequest::SessionControl { session },
+            UdsRequest::TesterPresent,
+        ];
+        for req in samples {
+            prop_assert_eq!(UdsRequest::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    /// A read-data-by-id response built from distinct DIDs always splits
+    /// back into the same records, as long as no record's data embeds the
+    /// following DID's byte pattern.
+    #[test]
+    fn uds_read_response_round_trip(
+        raw in proptest::collection::vec((0u16..0x8000, 1usize..5, any::<u8>()), 1..5)
+    ) {
+        // Make DIDs distinct and data bytes high (>= 0x80) so that record
+        // data can never collide with a DID pattern (DIDs < 0x8000 have a
+        // high byte < 0x80).
+        let mut seen = std::collections::BTreeSet::new();
+        let records: Vec<(Did, Vec<u8>)> = raw
+            .into_iter()
+            .filter(|(d, _, _)| seen.insert(*d))
+            .map(|(d, n, b)| (Did(d), vec![b | 0x80; n]))
+            .collect();
+        prop_assume!(!records.is_empty());
+        let dids: Vec<Did> = records.iter().map(|(d, _)| *d).collect();
+        let rsp = UdsResponse::ReadDataById { records: records.clone() };
+        let parsed = UdsResponse::parse(&rsp.encode(), &dids).unwrap();
+        prop_assert_eq!(parsed, rsp);
+    }
+
+    /// Negative responses round trip for every NRC byte.
+    #[test]
+    fn negative_response_round_trip(sid in any::<u8>(), code in any::<u8>()) {
+        let rsp = UdsResponse::Negative { sid, nrc: Nrc::from_raw(code) };
+        let bytes = rsp.encode();
+        prop_assert_eq!(bytes[0], 0x7F);
+        prop_assert_eq!(UdsResponse::parse(&bytes, &[]).unwrap(), rsp);
+    }
+
+    /// Every KWP request/response survives encode → parse.
+    #[test]
+    fn kwp_round_trip(
+        local in any::<u8>(),
+        common in any::<u16>(),
+        ecr in proptest::collection::vec(any::<u8>(), 0..8),
+        esvs in proptest::collection::vec(any::<(u8, u8, u8)>(), 1..6),
+    ) {
+        let reqs = vec![
+            KwpRequest::ReadDataByLocalId { local_id: LocalId(local) },
+            KwpRequest::IoControlByLocalId { local_id: LocalId(local), ecr: ecr.clone() },
+            KwpRequest::IoControlByCommonId { common_id: common, ecr },
+        ];
+        for req in reqs {
+            prop_assert_eq!(KwpRequest::parse(&req.encode()).unwrap(), req);
+        }
+        let rsp = KwpResponse::ReadDataByLocalId {
+            local_id: LocalId(local),
+            esvs: esvs
+                .into_iter()
+                .map(|(f, a, b)| RawEsv { f_type: f, x0: a, x1: b })
+                .collect(),
+        };
+        prop_assert_eq!(KwpResponse::parse(&rsp.encode()).unwrap(), rsp);
+    }
+
+    /// OBD-II responses round trip for every standard PID and any data.
+    #[test]
+    fn obd_round_trip(pid in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 1..5)) {
+        let rsp = obd::encode_response(obd::Pid(pid), &data);
+        let (p, d) = obd::parse_response(&rsp).unwrap();
+        prop_assert_eq!(p, obd::Pid(pid));
+        prop_assert_eq!(d, &data[..]);
+    }
+
+    /// PID encode → decode error is bounded by one quantization step of the
+    /// formula for in-range values.
+    #[test]
+    fn pid_quantization_bounded(idx in 0usize..14, frac in 0.0f64..=1.0) {
+        let specs = obd::standard_pids();
+        let spec = &specs[idx % specs.len()];
+        let q = &spec.quantity;
+        let value = q.min() + (q.max() - q.min()) * frac;
+        let back = spec.decode(&spec.encode(value));
+        let step = match spec.formula {
+            EsvFormula::Affine2 { a, .. } | EsvFormula::Linear { a, .. } => a.abs(),
+            _ => 1.0,
+        };
+        prop_assert!((back - value).abs() <= step + 1e-9);
+    }
+
+    /// Request/response parsers never panic on arbitrary bytes.
+    #[test]
+    fn parsers_are_total(payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = UdsRequest::parse(&payload);
+        let _ = UdsResponse::parse(&payload, &[Did(0x1234)]);
+        let _ = KwpRequest::parse(&payload);
+        let _ = KwpResponse::parse(&payload);
+        let _ = obd::parse_request(&payload);
+        let _ = obd::parse_response(&payload);
+    }
+}

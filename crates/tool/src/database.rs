@@ -1,0 +1,340 @@
+//! The tool's embedded vehicle database.
+//!
+//! Real professional tools ship per-manufacturer databases mapping
+//! diagnostic identifiers to labelled signals, decoding formulas, and
+//! active tests. The simulator builds the equivalent database from the
+//! simulated vehicle's ground truth — this is *not* cheating: it models
+//! the knowledge the tool vendor licensed from the manufacturer, which is
+//! exactly the knowledge DP-Reverser extracts from the outside without
+//! ever reading this structure.
+
+use dpr_can::CanId;
+use dpr_protocol::kwp::LocalId;
+use dpr_protocol::obd::{self, Pid};
+use dpr_protocol::uds::Did;
+use dpr_protocol::{EsvFormula, Quantity};
+use dpr_vehicle::ecu::{ComponentKey, EsvId, Protocol, TransportKind};
+use dpr_vehicle::Vehicle;
+use serde::{Deserialize, Serialize};
+
+/// What a data-stream row reads and how it is displayed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamEntry {
+    /// The label shown on screen (e.g. "Engine Speed").
+    pub label: String,
+    /// What to request on the bus.
+    pub source: StreamSource,
+    /// The proprietary decoding formula.
+    pub formula: EsvFormula,
+    /// Display quantity (unit, range, decimals).
+    pub quantity: Quantity,
+}
+
+/// The request needed to refresh one stream row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamSource {
+    /// UDS read data by identifier.
+    Uds(Did),
+    /// One slot of a KWP read-data-by-local-identifier block.
+    Kwp {
+        /// The measuring block to request.
+        local_id: LocalId,
+        /// Which ESV of the block this row shows.
+        slot: usize,
+    },
+    /// OBD-II mode 01.
+    Obd(Pid),
+}
+
+impl StreamSource {
+    /// The ESV identity this source corresponds to (None for OBD).
+    pub fn esv_id(&self) -> Option<EsvId> {
+        match self {
+            StreamSource::Uds(did) => Some(EsvId::Uds(*did)),
+            StreamSource::Kwp { local_id, slot } => Some(EsvId::Kwp {
+                local_id: *local_id,
+                slot: *slot,
+            }),
+            StreamSource::Obd(_) => None,
+        }
+    }
+}
+
+/// One active test (component control) the tool offers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestEntry {
+    /// The label shown on screen (e.g. "Fog Light Left").
+    pub label: String,
+    /// The component key addressed on the bus.
+    pub key: ComponentKey,
+    /// Control-state bytes for the short-term adjustment.
+    pub control_state: Vec<u8>,
+    /// Whether the tool must perform the SecurityAccess handshake first.
+    pub secured: bool,
+}
+
+/// Everything the tool knows about one ECU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcuEntry {
+    /// Display name.
+    pub name: String,
+    /// CAN id the tool transmits requests on.
+    pub request_id: CanId,
+    /// CAN id the ECU answers on.
+    pub response_id: CanId,
+    /// Transport scheme.
+    pub transport: TransportKind,
+    /// ECU address byte (VW TP / BMW raw).
+    pub address: u8,
+    /// Application protocol.
+    pub protocol: Protocol,
+    /// Readable signals.
+    pub streams: Vec<StreamEntry>,
+    /// Active tests.
+    pub tests: Vec<TestEntry>,
+    /// The manufacturer's seed-key secret, when the ECU gates actuators
+    /// behind SecurityAccess (professional tools embed these algorithms).
+    pub security_secret: Option<u16>,
+    /// Whether the ECU supports the DTC services (0x19 / 0x14).
+    pub dtc_support: bool,
+}
+
+/// The tool's database for one vehicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VehicleDatabase {
+    /// The vehicle model name shown in the tool's header.
+    pub vehicle: String,
+    /// Known ECUs.
+    pub ecus: Vec<EcuEntry>,
+}
+
+impl VehicleDatabase {
+    /// Builds the database a professional tool would ship for this
+    /// vehicle, from the vehicle's ground truth.
+    pub fn for_vehicle(vehicle: &Vehicle) -> Self {
+        let ecus = vehicle
+            .ecus()
+            .iter()
+            .map(|ecu| {
+                let mut streams: Vec<StreamEntry> = Vec::new();
+                let mut label_counts = std::collections::BTreeMap::new();
+                for point in ecu.esv_points() {
+                    let base = point.quantity.name().to_string();
+                    let n = label_counts
+                        .entry(base.clone())
+                        .and_modify(|c| *c += 1)
+                        .or_insert(1usize);
+                    let label = if *n > 1 { format!("{base} {n}") } else { base };
+                    let source = match point.id {
+                        EsvId::Uds(did) => StreamSource::Uds(did),
+                        EsvId::Kwp { local_id, slot } => StreamSource::Kwp { local_id, slot },
+                    };
+                    streams.push(StreamEntry {
+                        label,
+                        source,
+                        formula: point.formula,
+                        quantity: point.quantity.clone(),
+                    });
+                }
+                let mut test_label_counts = std::collections::BTreeMap::new();
+                let tests = ecu
+                    .component_keys()
+                    .enumerate()
+                    .map(|(i, key)| {
+                        let base = ecu
+                            .component(key)
+                            .map(|c| c.name().to_string())
+                            .unwrap_or_else(|| format!("Component {i}"));
+                        // Labels must be unique per ECU: the UI resolves a
+                        // tapped button back to its test by text.
+                        let n = test_label_counts
+                            .entry(base.clone())
+                            .and_modify(|c| *c += 1)
+                            .or_insert(1usize);
+                        let name = if *n > 1 { format!("{base} {n}") } else { base };
+                        TestEntry {
+                            label: name,
+                            key,
+                            // A plausible proprietary control state: a
+                            // duration byte plus a selector byte, then
+                            // padding — the 2-modified-bytes shape the
+                            // paper reports for the fog-light ECR.
+                            control_state: vec![0x05, (i % 2) as u8 + 1, 0x00, 0x00],
+                            secured: ecu.is_secured(key),
+                        }
+                    })
+                    .collect();
+                EcuEntry {
+                    name: ecu.name().to_string(),
+                    request_id: ecu.request_id(),
+                    response_id: ecu.response_id(),
+                    transport: ecu.transport(),
+                    address: ecu.address,
+                    protocol: ecu.protocol(),
+                    streams,
+                    tests,
+                    security_secret: ecu.security_secret,
+                    dtc_support: matches!(ecu.protocol(), Protocol::Uds),
+                }
+            })
+            .collect();
+        VehicleDatabase {
+            vehicle: vehicle.name().to_string(),
+            ecus,
+        }
+    }
+
+    /// Total stream rows across all ECUs.
+    pub fn stream_count(&self) -> usize {
+        self.ecus.iter().map(|e| e.streams.len()).sum()
+    }
+
+    /// Total active tests across all ECUs.
+    pub fn test_count(&self) -> usize {
+        self.ecus.iter().map(|e| e.tests.len()).sum()
+    }
+}
+
+/// The database of an OBD telematics app ("ChevroSys Scan Free"): a single
+/// virtual "Engine" entry whose rows are the seven Tab. 5 PIDs decoded
+/// with the unit choices the paper observed the app make (mph for speed,
+/// Fahrenheit for coolant, inHg for manifold pressure).
+pub fn obd_database(vehicle_name: &str, engine_request_id: CanId, engine_response_id: CanId) -> VehicleDatabase {
+    let entry = |pid: u8, label: &str, formula: EsvFormula, quantity: Quantity| StreamEntry {
+        label: label.to_string(),
+        source: StreamSource::Obd(Pid(pid)),
+        formula,
+        quantity,
+    };
+    let streams = vec![
+        entry(
+            0x11,
+            "Absolute Throttle Position",
+            EsvFormula::Linear { a: 100.0 / 255.0, b: 0.0 },
+            Quantity::new("Absolute Throttle Position", "%", 0.0, 100.0),
+        ),
+        entry(
+            0x04,
+            "Calculated Engine Load",
+            EsvFormula::Linear { a: 100.0 / 255.0, b: 0.0 },
+            Quantity::new("Calculated Engine Load", "%", 0.0, 100.0),
+        ),
+        entry(
+            0x2F,
+            "Fuel Tank Level Input",
+            EsvFormula::Linear { a: 0.392, b: 0.0 },
+            Quantity::new("Fuel Tank Level Input", "%", 0.0, 100.0),
+        ),
+        entry(
+            0x0C,
+            "Engine Speed",
+            EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+            Quantity::new("Engine Speed", "rpm", 0.0, 16383.75).with_decimals(0),
+        ),
+        // The app displays mph: Y = 0.621·X.
+        entry(
+            0x0D,
+            "Vehicle Speed",
+            EsvFormula::Linear { a: 0.621, b: 0.0 },
+            Quantity::new("Vehicle Speed", "mph", 0.0, 158.4),
+        ),
+        // The app displays Fahrenheit: Y = 1.8·X − 40.
+        entry(
+            0x05,
+            "Engine Coolant Temperature",
+            EsvFormula::Linear { a: 1.8, b: -40.0 },
+            Quantity::new("Engine Coolant Temperature", "degF", -40.0, 419.0),
+        ),
+        // The app displays inHg: Y = X/3.39.
+        entry(
+            0x0B,
+            "Intake Manifold Absolute Pressure",
+            EsvFormula::Linear { a: 1.0 / 3.39, b: 0.0 },
+            Quantity::new("Intake Manifold Absolute Pressure", "inHg", 0.0, 75.3),
+        ),
+    ];
+    // Sanity: every PID the app reads exists in the standard table.
+    debug_assert!(streams.iter().all(|s| match s.source {
+        StreamSource::Obd(pid) => obd::pid_spec(pid).is_some(),
+        _ => false,
+    }));
+    VehicleDatabase {
+        vehicle: vehicle_name.to_string(),
+        ecus: vec![EcuEntry {
+            name: "Engine (OBD-II)".to_string(),
+            request_id: engine_request_id,
+            response_id: engine_response_id,
+            transport: TransportKind::IsoTp,
+            address: 0x01,
+            protocol: Protocol::Uds,
+            streams,
+            tests: Vec::new(),
+            security_secret: None,
+            dtc_support: false,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_vehicle::profiles::{self, CarId};
+
+    #[test]
+    fn database_covers_every_esv_and_test() {
+        let car = profiles::build(CarId::A, 3);
+        let expected_streams = car.esv_points().count();
+        let db = VehicleDatabase::for_vehicle(&car);
+        assert_eq!(db.stream_count(), expected_streams);
+        assert_eq!(db.test_count(), 11, "Car A has 11 ECRs (Tab. 11)");
+        assert_eq!(db.vehicle, "Skoda Octavia");
+    }
+
+    #[test]
+    fn duplicate_labels_get_suffixes() {
+        let car = profiles::build(CarId::K, 3);
+        let db = VehicleDatabase::for_vehicle(&car);
+        // Labels must be unique within each ECU: that is the scope within
+        // which the pipeline pairs a screen label with a request id.
+        for ecu in &db.ecus {
+            let mut labels: Vec<&str> = ecu.streams.iter().map(|s| s.label.as_str()).collect();
+            let before = labels.len();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), before, "{}: duplicate label", ecu.name);
+        }
+    }
+
+    #[test]
+    fn obd_database_has_the_seven_tab5_rows() {
+        let db = obd_database(
+            "Simulator",
+            CanId::standard(0x7E0).unwrap(),
+            CanId::standard(0x7E8).unwrap(),
+        );
+        assert_eq!(db.stream_count(), 7);
+        let pids: Vec<u8> = db.ecus[0]
+            .streams
+            .iter()
+            .map(|s| match s.source {
+                StreamSource::Obd(p) => p.0,
+                _ => panic!("OBD database must only contain OBD sources"),
+            })
+            .collect();
+        assert_eq!(pids, vec![0x11, 0x04, 0x2F, 0x0C, 0x0D, 0x05, 0x0B]);
+    }
+
+    #[test]
+    fn stream_source_esv_ids() {
+        assert_eq!(
+            StreamSource::Uds(Did(0xF40D)).esv_id(),
+            Some(EsvId::Uds(Did(0xF40D)))
+        );
+        assert_eq!(StreamSource::Obd(Pid(0x0C)).esv_id(), None);
+        let kwp = StreamSource::Kwp {
+            local_id: LocalId(0x07),
+            slot: 1,
+        };
+        assert!(matches!(kwp.esv_id(), Some(EsvId::Kwp { .. })));
+    }
+}

@@ -1,0 +1,42 @@
+//! Diagnostic tool simulator — the black box DP-Reverser observes.
+//!
+//! A professional diagnostic tool (AUTEL 919, LAUNCH X431, VCDS,
+//! Techstream) ships the manufacturer's proprietary tables and exposes them
+//! only through two surfaces: its **screen** and its **bus traffic**. This
+//! crate reproduces exactly those two surfaces:
+//!
+//! * [`database`] — the tool's embedded knowledge of a vehicle (which
+//!   ECUs exist, which identifiers read which labelled signal through
+//!   which formula, which active tests are available). Built from the
+//!   simulated vehicle's ground truth, mirroring how real tools embed
+//!   manufacturer databases.
+//! * [`screen`] — a textual screen model: widgets with text and pixel
+//!   rectangles, rendered per tool profile (screen geometry differs
+//!   between AUTEL and LAUNCH, which is what drives their different OCR
+//!   precision in the paper's Tab. 4).
+//! * [`tool`] — the menu state machine: ECU list → function menu →
+//!   data-stream page (polls ESVs over the bus and displays decoded
+//!   values) or active-test page (runs the three-message IO-control
+//!   procedure).
+//! * [`session`] — glue that runs a tool against an attached vehicle on a
+//!   shared bus, producing the two artifacts the pipeline consumes: the
+//!   sniffed [`BusLog`](dpr_can::BusLog) and the timestamped UI frames.
+//!
+//! The "ChevroSys Scan Free"-style telematics app of the paper's Tab. 5
+//! experiment is modelled as one more profile whose database contains
+//! OBD-II pages ([`database::obd_database`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod profile;
+pub mod screen;
+pub mod session;
+pub mod tool;
+
+pub use database::{EcuEntry, StreamEntry, TestEntry, VehicleDatabase};
+pub use profile::ToolProfile;
+pub use screen::{Screenshot, Widget, WidgetKind};
+pub use session::{ToolSession, UiFrame};
+pub use tool::DiagnosticTool;

@@ -1,0 +1,142 @@
+//! Tool profiles: the four devices of the paper's Tab. 3 plus the
+//! telematics app used in the Tab. 5 OBD-II experiment.
+
+use serde::Serialize;
+
+/// Static characteristics of a diagnostic tool.
+///
+/// Screen geometry matters: the paper's Tab. 4 attributes AUTEL 919's
+/// higher OCR precision (97.6% vs. 85.0%) to its larger, higher-resolution
+/// screen; the OCR simulation keys its noise profile off
+/// [`ocr_quality`](ToolProfile::ocr_quality).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ToolProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Character-grid width of the rendered screen.
+    pub cols: usize,
+    /// Character-grid height of the rendered screen.
+    pub rows: usize,
+    /// Data-stream rows shown per page.
+    pub rows_per_page: usize,
+    /// Probability that one displayed value is read correctly by OCR when
+    /// filming this screen, in `0..=1`. Calibrated so Tab. 4's per-device
+    /// frame precisions reproduce: a frame is correct when all of its
+    /// `rows_per_page` values are read correctly, so AUTEL's
+    /// 0.9976^10 ≈ 97.6% and LAUNCH's 0.9799^8 ≈ 85.0%.
+    pub ocr_quality: f64,
+    /// How often the tool refreshes a data-stream page.
+    pub poll_interval_ms: u64,
+}
+
+impl ToolProfile {
+    /// AUTEL 919 (AUTEL MaxiSys): large high-resolution tablet.
+    pub fn autel_919() -> Self {
+        ToolProfile {
+            name: "AUTEL 919",
+            cols: 64,
+            rows: 20,
+            rows_per_page: 10,
+            ocr_quality: 0.9976,
+            poll_interval_ms: 250,
+        }
+    }
+
+    /// LAUNCH X431: smaller handheld with a lower-resolution screen.
+    pub fn launch_x431() -> Self {
+        ToolProfile {
+            name: "LAUNCH X431",
+            cols: 48,
+            rows: 16,
+            rows_per_page: 8,
+            ocr_quality: 0.9799,
+            poll_interval_ms: 300,
+        }
+    }
+
+    /// ROSS-Tech VCDS, diagnostic software on a laptop.
+    pub fn vcds() -> Self {
+        ToolProfile {
+            name: "VCDS",
+            cols: 80,
+            rows: 24,
+            rows_per_page: 12,
+            ocr_quality: 0.998,
+            poll_interval_ms: 200,
+        }
+    }
+
+    /// Toyota TIS Techstream, diagnostic software on a laptop.
+    pub fn techstream() -> Self {
+        ToolProfile {
+            name: "Techstream",
+            cols: 80,
+            rows: 24,
+            rows_per_page: 12,
+            ocr_quality: 0.998,
+            poll_interval_ms: 200,
+        }
+    }
+
+    /// "ChevroSys Scan Free"-style OBD telematics app on a phone.
+    pub fn chevrosys_app() -> Self {
+        ToolProfile {
+            name: "ChevroSys Scan Free",
+            cols: 40,
+            rows: 18,
+            rows_per_page: 8,
+            ocr_quality: 0.996,
+            poll_interval_ms: 400,
+        }
+    }
+
+    /// Looks a profile up by the name used in Tab. 3.
+    pub fn by_name(name: &str) -> Option<ToolProfile> {
+        match name {
+            "AUTEL 919" => Some(Self::autel_919()),
+            "LAUNCH X431" => Some(Self::launch_x431()),
+            "VCDS" => Some(Self::vcds()),
+            "Techstream" => Some(Self::techstream()),
+            "ChevroSys Scan Free" => Some(Self::chevrosys_app()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autel_screen_larger_than_launch() {
+        let autel = ToolProfile::autel_919();
+        let launch = ToolProfile::launch_x431();
+        assert!(autel.cols > launch.cols);
+        assert!(autel.ocr_quality > launch.ocr_quality);
+    }
+
+    #[test]
+    fn lookup_by_table3_names() {
+        for name in ["AUTEL 919", "LAUNCH X431", "VCDS", "Techstream"] {
+            let p = ToolProfile::by_name(name).unwrap();
+            assert_eq!(p.name, name);
+        }
+        assert!(ToolProfile::by_name("Bosch KTS").is_none());
+    }
+
+    #[test]
+    fn all_profiles_have_sane_geometry() {
+        for p in [
+            ToolProfile::autel_919(),
+            ToolProfile::launch_x431(),
+            ToolProfile::vcds(),
+            ToolProfile::techstream(),
+            ToolProfile::chevrosys_app(),
+        ] {
+            assert!(p.rows_per_page < p.rows);
+            assert!(p.cols >= 40);
+            assert!(p.ocr_quality > 0.9 && p.ocr_quality <= 1.0);
+            assert!(p.poll_interval_ms >= 100);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The rendered screen: what camera a/b film and the robotic clicker taps.
+//!
+//! A [`Screenshot`] is a character grid plus a widget list. The widget
+//! rectangles give the (X, Y) coordinates the paper's UI analyzer feeds to
+//! the planner; the widget texts are what the OCR channel (with noise)
+//! extracts. A timestamp overlay in the corner models the "Timestamp
+//! Camera Free" app the paper uses on camera b.
+
+use dpr_can::Micros;
+use serde::{Deserialize, Serialize};
+
+/// What role a widget plays on screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WidgetKind {
+    /// Page title / header.
+    Title,
+    /// A tappable button or menu row.
+    Button,
+    /// A static label (e.g. a signal name).
+    Label,
+    /// A live value cell (the OCR targets).
+    Value,
+    /// The camera timestamp overlay.
+    Timestamp,
+}
+
+/// One rectangle of text on the screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Widget {
+    /// The rendered text.
+    pub text: String,
+    /// Left edge (character column).
+    pub x: usize,
+    /// Top edge (character row).
+    pub y: usize,
+    /// Width in characters.
+    pub w: usize,
+    /// The widget's role.
+    pub kind: WidgetKind,
+}
+
+impl Widget {
+    /// The click point at the widget's center.
+    pub fn center(&self) -> (usize, usize) {
+        (self.x + self.w / 2, self.y)
+    }
+
+    /// Whether a click at `(x, y)` hits this widget.
+    pub fn hit(&self, x: usize, y: usize) -> bool {
+        y == self.y && x >= self.x && x < self.x + self.w
+    }
+}
+
+/// A rendered screen at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Screenshot {
+    /// When the frame was captured (the tool's wall clock — the camera
+    /// timestamp overlay renders this same value).
+    pub at: Micros,
+    /// Grid width in characters.
+    pub cols: usize,
+    /// Grid height in characters.
+    pub rows: usize,
+    /// All widgets, in render order.
+    pub widgets: Vec<Widget>,
+}
+
+impl Screenshot {
+    /// Creates an empty screen.
+    pub fn new(at: Micros, cols: usize, rows: usize) -> Self {
+        Screenshot {
+            at,
+            cols,
+            rows,
+            widgets: Vec::new(),
+        }
+    }
+
+    /// Adds a widget, clipping its text to the grid width.
+    pub fn push(&mut self, kind: WidgetKind, x: usize, y: usize, text: impl Into<String>) {
+        let mut text: String = text.into();
+        let max = self.cols.saturating_sub(x);
+        if text.len() > max {
+            text.truncate(max);
+        }
+        if text.is_empty() || y >= self.rows {
+            return;
+        }
+        let w = text.len();
+        self.widgets.push(Widget { text, x, y, w, kind });
+    }
+
+    /// The widget hit by a click, topmost last-rendered first.
+    pub fn widget_at(&self, x: usize, y: usize) -> Option<&Widget> {
+        self.widgets.iter().rev().find(|w| w.hit(x, y))
+    }
+
+    /// All widgets of one kind.
+    pub fn widgets_of(&self, kind: WidgetKind) -> impl Iterator<Item = &Widget> {
+        self.widgets.iter().filter(move |w| w.kind == kind)
+    }
+
+    /// Renders the grid as text lines (for debugging and golden tests).
+    pub fn render_text(&self) -> Vec<String> {
+        let mut grid = vec![vec![' '; self.cols]; self.rows];
+        for w in &self.widgets {
+            for (i, ch) in w.text.chars().enumerate() {
+                if w.x + i < self.cols && w.y < self.rows {
+                    grid[w.y][w.x + i] = ch;
+                }
+            }
+        }
+        grid.into_iter().map(|row| row.into_iter().collect()).collect()
+    }
+
+    /// The value widget on the same row as a label widget, if any — how
+    /// the screenshot-analysis module pairs names with readings.
+    pub fn value_for_label(&self, label: &str) -> Option<&Widget> {
+        let row = self
+            .widgets
+            .iter()
+            .find(|w| w.kind == WidgetKind::Label && w.text == label)?
+            .y;
+        self.widgets
+            .iter()
+            .find(|w| w.kind == WidgetKind::Value && w.y == row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shot() -> Screenshot {
+        let mut s = Screenshot::new(Micros::from_secs(1), 40, 10);
+        s.push(WidgetKind::Title, 0, 0, "Read Data Stream");
+        s.push(WidgetKind::Label, 1, 2, "Engine Speed");
+        s.push(WidgetKind::Value, 25, 2, "2497");
+        s.push(WidgetKind::Button, 1, 9, "[Back]");
+        s.push(WidgetKind::Timestamp, 30, 9, "1.000s");
+        s
+    }
+
+    #[test]
+    fn hit_testing() {
+        let s = shot();
+        assert_eq!(s.widget_at(3, 9).unwrap().text, "[Back]");
+        assert_eq!(s.widget_at(26, 2).unwrap().text, "2497");
+        assert!(s.widget_at(39, 5).is_none());
+    }
+
+    #[test]
+    fn clipping_at_grid_edge() {
+        let mut s = Screenshot::new(Micros::ZERO, 10, 3);
+        s.push(WidgetKind::Label, 6, 1, "longtext!!");
+        assert_eq!(s.widgets[0].text, "long");
+        // Entirely off-grid widgets are dropped.
+        s.push(WidgetKind::Label, 10, 1, "gone");
+        s.push(WidgetKind::Label, 0, 5, "gone");
+        assert_eq!(s.widgets.len(), 1);
+    }
+
+    #[test]
+    fn label_value_pairing() {
+        let s = shot();
+        assert_eq!(s.value_for_label("Engine Speed").unwrap().text, "2497");
+        assert!(s.value_for_label("Coolant").is_none());
+    }
+
+    #[test]
+    fn render_text_places_characters() {
+        let s = shot();
+        let lines = s.render_text();
+        assert_eq!(lines.len(), 10);
+        assert!(lines[0].starts_with("Read Data Stream"));
+        assert!(lines[2].contains("Engine Speed"));
+        assert!(lines[2].contains("2497"));
+    }
+
+    #[test]
+    fn widget_center_and_kind_filter() {
+        let s = shot();
+        let back = s.widgets_of(WidgetKind::Button).next().unwrap();
+        assert_eq!(back.center(), (1 + 3, 9));
+        assert_eq!(s.widgets_of(WidgetKind::Value).count(), 1);
+    }
+}

@@ -1,0 +1,487 @@
+//! The tool's menu state machine and screen renderer.
+
+use std::collections::BTreeMap;
+
+use dpr_can::Micros;
+use serde::{Deserialize, Serialize};
+
+
+use crate::database::VehicleDatabase;
+use crate::profile::ToolProfile;
+use crate::screen::{Screenshot, WidgetKind};
+
+/// Where the tool's UI currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScreenState {
+    /// The ECU selection list.
+    EcuList,
+    /// The per-ECU function menu.
+    FunctionMenu {
+        /// Selected ECU index.
+        ecu: usize,
+    },
+    /// A live data-stream page.
+    DataStream {
+        /// Selected ECU index.
+        ecu: usize,
+        /// Page number (0-based).
+        page: usize,
+    },
+    /// The active-test page.
+    ActiveTest {
+        /// Selected ECU index.
+        ecu: usize,
+        /// Page number (0-based).
+        page: usize,
+    },
+    /// The trouble-code view.
+    DtcView {
+        /// Selected ECU index.
+        ecu: usize,
+    },
+}
+
+/// A side effect requested by a click (executed by the session).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ToolAction {
+    /// Run the three-message IO-control procedure for a test row.
+    RunTest {
+        /// ECU index in the database.
+        ecu: usize,
+        /// Test index within the ECU.
+        test: usize,
+    },
+    /// Read the ECU's stored trouble codes (service 0x19).
+    ReadDtcs {
+        /// ECU index in the database.
+        ecu: usize,
+    },
+    /// Clear the ECU's trouble codes (service 0x14) — the action the
+    /// collector's UI blacklist exists to avoid.
+    ClearDtcs {
+        /// ECU index in the database.
+        ecu: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DisplayedValue {
+    text: String,
+    updated_at: Micros,
+}
+
+/// The simulated diagnostic tool.
+///
+/// The tool is a pure UI state machine: clicks navigate menus, the
+/// [`session`](crate::session) refreshes displayed values from the bus.
+/// DP-Reverser only ever sees [`render`](DiagnosticTool::render)ed
+/// screenshots and the resulting bus traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticTool {
+    profile: ToolProfile,
+    db: VehicleDatabase,
+    state: ScreenState,
+    displayed: BTreeMap<(usize, usize), DisplayedValue>,
+    dtc_texts: BTreeMap<usize, Vec<String>>,
+}
+
+impl DiagnosticTool {
+    /// Creates a tool showing the ECU list of the given database.
+    pub fn new(profile: ToolProfile, db: VehicleDatabase) -> Self {
+        DiagnosticTool {
+            profile,
+            db,
+            state: ScreenState::EcuList,
+            displayed: BTreeMap::new(),
+            dtc_texts: BTreeMap::new(),
+        }
+    }
+
+    /// The tool's profile.
+    pub fn profile(&self) -> &ToolProfile {
+        &self.profile
+    }
+
+    /// The embedded vehicle database.
+    pub fn database(&self) -> &VehicleDatabase {
+        &self.db
+    }
+
+    /// Current UI state.
+    pub fn state(&self) -> ScreenState {
+        self.state
+    }
+
+    /// Jumps directly to a data-stream page (used by scripted experiments;
+    /// the CPS pipeline navigates by clicking instead).
+    pub fn goto_data_stream(&mut self, ecu: usize, page: usize) {
+        self.state = ScreenState::DataStream { ecu, page };
+    }
+
+    /// Jumps directly to the active-test page.
+    pub fn goto_active_test(&mut self, ecu: usize) {
+        self.state = ScreenState::ActiveTest { ecu, page: 0 };
+    }
+
+    /// The `(ecu, stream)` indices the current page polls.
+    pub fn poll_targets(&self) -> Vec<(usize, usize)> {
+        match self.state {
+            ScreenState::DataStream { ecu, page } => {
+                let streams = &self.db.ecus[ecu].streams;
+                let per = self.profile.rows_per_page;
+                (page * per..((page + 1) * per).min(streams.len()))
+                    .map(|i| (ecu, i))
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Updates a displayed value (called by the session after decoding a
+    /// response).
+    pub fn set_displayed(&mut self, ecu: usize, stream: usize, value: f64, at: Micros) {
+        let text = self.db.ecus[ecu].streams[stream].quantity.render(value);
+        self.displayed.insert(
+            (ecu, stream),
+            DisplayedValue {
+                text,
+                updated_at: at,
+            },
+        );
+    }
+
+    /// Stores the trouble codes read for an ECU (displayed on its DTC
+    /// view) in the conventional `P`-code rendering.
+    pub fn set_dtcs(&mut self, ecu: usize, dtcs: &[(u16, u8)]) {
+        self.dtc_texts.insert(
+            ecu,
+            dtcs.iter()
+                .map(|(code, status)| format!("P{code:04X} [{status:02X}]"))
+                .collect(),
+        );
+    }
+
+    /// The rendered DTC strings for an ECU, if read.
+    pub fn dtcs_shown(&self, ecu: usize) -> Option<&[String]> {
+        self.dtc_texts.get(&ecu).map(|v| v.as_slice())
+    }
+
+    /// The currently displayed text of a stream row, if any.
+    pub fn displayed_text(&self, ecu: usize, stream: usize) -> Option<&str> {
+        self.displayed.get(&(ecu, stream)).map(|d| d.text.as_str())
+    }
+
+    /// Renders the current screen at time `now`.
+    pub fn render(&self, now: Micros) -> Screenshot {
+        let p = &self.profile;
+        let mut s = Screenshot::new(now, p.cols, p.rows);
+        // Camera-b style timestamp overlay, bottom-right.
+        let ts = format!("{:.3}s", now.as_secs_f64());
+        let ts_x = p.cols.saturating_sub(ts.len() + 1);
+        match self.state {
+            ScreenState::EcuList => {
+                s.push(WidgetKind::Title, 1, 0, format!("{} - Select System", self.db.vehicle));
+                for (i, ecu) in self.db.ecus.iter().enumerate() {
+                    if 2 + i >= p.rows - 1 {
+                        break;
+                    }
+                    s.push(WidgetKind::Button, 2, 2 + i, &ecu.name);
+                }
+            }
+            ScreenState::FunctionMenu { ecu } => {
+                let entry = &self.db.ecus[ecu];
+                s.push(WidgetKind::Title, 1, 0, format!("{} - Functions", entry.name));
+                s.push(WidgetKind::Button, 2, 2, "Read Data Stream");
+                if !entry.tests.is_empty() {
+                    s.push(WidgetKind::Button, 2, 4, "Active Test");
+                }
+                if entry.dtc_support {
+                    s.push(WidgetKind::Button, 2, 6, "Read Trouble Codes");
+                    s.push(WidgetKind::Button, 2, 8, "Clear Trouble Codes");
+                }
+                s.push(WidgetKind::Button, 2, p.rows - 2, "[Back]");
+            }
+            ScreenState::DtcView { ecu } => {
+                let entry = &self.db.ecus[ecu];
+                s.push(
+                    WidgetKind::Title,
+                    1,
+                    0,
+                    format!("{} - Trouble Codes", entry.name),
+                );
+                match self.dtc_texts.get(&ecu) {
+                    Some(codes) if !codes.is_empty() => {
+                        for (row, code) in codes.iter().take(p.rows - 4).enumerate() {
+                            s.push(WidgetKind::Label, 2, 2 + row, code);
+                        }
+                    }
+                    _ => {
+                        s.push(WidgetKind::Label, 2, 2, "No trouble codes stored");
+                    }
+                }
+                s.push(WidgetKind::Button, 2, p.rows - 2, "[Back]");
+            }
+            ScreenState::DataStream { ecu, page } => {
+                let entry = &self.db.ecus[ecu];
+                s.push(
+                    WidgetKind::Title,
+                    1,
+                    0,
+                    format!("{} - Data Stream p{}", entry.name, page + 1),
+                );
+                let value_col = p.cols.saturating_sub(18);
+                for (row, (e, i)) in self.poll_targets().into_iter().enumerate() {
+                    debug_assert_eq!(e, ecu);
+                    let stream = &entry.streams[i];
+                    s.push(WidgetKind::Label, 1, 2 + row, &stream.label);
+                    let text = self
+                        .displayed
+                        .get(&(ecu, i))
+                        .map(|d| d.text.clone())
+                        .unwrap_or_else(|| "---".to_string());
+                    s.push(WidgetKind::Value, value_col, 2 + row, text);
+                    s.push(
+                        WidgetKind::Label,
+                        value_col + 10,
+                        2 + row,
+                        stream.quantity.unit(),
+                    );
+                }
+                s.push(WidgetKind::Button, 2, p.rows - 2, "[Back]");
+                let pages = entry.streams.len().div_ceil(p.rows_per_page);
+                if page + 1 < pages {
+                    s.push(WidgetKind::Button, 12, p.rows - 2, "[Next Page]");
+                }
+                if page > 0 {
+                    s.push(WidgetKind::Button, 26, p.rows - 2, "[Prev Page]");
+                }
+            }
+            ScreenState::ActiveTest { ecu, page } => {
+                let entry = &self.db.ecus[ecu];
+                s.push(
+                    WidgetKind::Title,
+                    1,
+                    0,
+                    format!("{} - Active Test p{}", entry.name, page + 1),
+                );
+                let per = p.rows_per_page;
+                let start = page * per;
+                for (row, i) in (start..(start + per).min(entry.tests.len())).enumerate() {
+                    s.push(WidgetKind::Button, 2, 2 + row, &entry.tests[i].label);
+                }
+                s.push(WidgetKind::Button, 2, p.rows - 2, "[Back]");
+                let pages = entry.tests.len().div_ceil(per);
+                if page + 1 < pages {
+                    s.push(WidgetKind::Button, 12, p.rows - 2, "[Next Page]");
+                }
+                if page > 0 {
+                    s.push(WidgetKind::Button, 26, p.rows - 2, "[Prev Page]");
+                }
+            }
+        }
+        s.push(WidgetKind::Timestamp, ts_x, p.rows - 1, ts);
+        s
+    }
+
+    /// Processes a click at `(x, y)` against the current screen. Returns
+    /// the side effect the session must execute, if any.
+    pub fn click(&mut self, x: usize, y: usize, now: Micros) -> Option<ToolAction> {
+        let shot = self.render(now);
+        let widget = shot.widget_at(x, y)?.clone();
+        if widget.kind != WidgetKind::Button {
+            return None;
+        }
+        match self.state {
+            ScreenState::EcuList => {
+                if let Some(idx) = self.db.ecus.iter().position(|e| e.name == widget.text) {
+                    self.state = ScreenState::FunctionMenu { ecu: idx };
+                }
+                None
+            }
+            ScreenState::FunctionMenu { ecu } => {
+                match widget.text.as_str() {
+                    "Read Data Stream" => {
+                        self.state = ScreenState::DataStream { ecu, page: 0 };
+                        None
+                    }
+                    "Active Test" => {
+                        self.state = ScreenState::ActiveTest { ecu, page: 0 };
+                        None
+                    }
+                    "Read Trouble Codes" => {
+                        self.state = ScreenState::DtcView { ecu };
+                        Some(ToolAction::ReadDtcs { ecu })
+                    }
+                    "Clear Trouble Codes" => Some(ToolAction::ClearDtcs { ecu }),
+                    "[Back]" => {
+                        self.state = ScreenState::EcuList;
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            ScreenState::DtcView { ecu } => {
+                if widget.text == "[Back]" {
+                    self.state = ScreenState::FunctionMenu { ecu };
+                }
+                None
+            }
+            ScreenState::DataStream { ecu, page } => {
+                match widget.text.as_str() {
+                    "[Back]" => {
+                        self.state = ScreenState::FunctionMenu { ecu };
+                        self.displayed.retain(|(e, _), _| *e != ecu);
+                    }
+                    "[Next Page]" => self.state = ScreenState::DataStream { ecu, page: page + 1 },
+                    "[Prev Page]" => {
+                        self.state = ScreenState::DataStream {
+                            ecu,
+                            page: page.saturating_sub(1),
+                        }
+                    }
+                    _ => {}
+                }
+                None
+            }
+            ScreenState::ActiveTest { ecu, page } => match widget.text.as_str() {
+                "[Back]" => {
+                    self.state = ScreenState::FunctionMenu { ecu };
+                    None
+                }
+                "[Next Page]" => {
+                    self.state = ScreenState::ActiveTest { ecu, page: page + 1 };
+                    None
+                }
+                "[Prev Page]" => {
+                    self.state = ScreenState::ActiveTest {
+                        ecu,
+                        page: page.saturating_sub(1),
+                    };
+                    None
+                }
+                label => self.db.ecus[ecu]
+                    .tests
+                    .iter()
+                    .position(|t| t.label == label)
+                    .map(|test| ToolAction::RunTest { ecu, test }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::VehicleDatabase;
+    use dpr_vehicle::profiles::{self, CarId};
+
+    fn tool() -> DiagnosticTool {
+        let car = profiles::build(CarId::A, 3);
+        let db = VehicleDatabase::for_vehicle(&car);
+        DiagnosticTool::new(ToolProfile::autel_919(), db)
+    }
+
+    fn click_button(tool: &mut DiagnosticTool, text: &str, now: Micros) -> Option<ToolAction> {
+        let shot = tool.render(now);
+        let w = shot
+            .widgets_of(WidgetKind::Button)
+            .find(|w| w.text == text)
+            .unwrap_or_else(|| panic!("button {text:?} not on screen"))
+            .clone();
+        let (x, y) = w.center();
+        tool.click(x, y, now)
+    }
+
+    #[test]
+    fn navigation_walks_menus() {
+        let mut t = tool();
+        assert_eq!(t.state(), ScreenState::EcuList);
+        click_button(&mut t, "Engine", Micros::ZERO);
+        assert!(matches!(t.state(), ScreenState::FunctionMenu { ecu: 0 }));
+        click_button(&mut t, "Read Data Stream", Micros::ZERO);
+        assert!(matches!(t.state(), ScreenState::DataStream { ecu: 0, page: 0 }));
+        click_button(&mut t, "[Back]", Micros::ZERO);
+        assert!(matches!(t.state(), ScreenState::FunctionMenu { ecu: 0 }));
+        click_button(&mut t, "[Back]", Micros::ZERO);
+        assert_eq!(t.state(), ScreenState::EcuList);
+    }
+
+    #[test]
+    fn data_stream_pages_and_poll_targets() {
+        let mut t = tool();
+        t.goto_data_stream(0, 0);
+        let targets = t.poll_targets();
+        assert!(!targets.is_empty());
+        assert!(targets.len() <= t.profile().rows_per_page);
+        assert!(targets.iter().all(|&(e, _)| e == 0));
+    }
+
+    #[test]
+    fn displayed_values_render_on_screen() {
+        let mut t = tool();
+        t.goto_data_stream(0, 0);
+        t.set_displayed(0, 0, 2497.3, Micros::from_secs(1));
+        let shot = t.render(Micros::from_secs(1));
+        let label = &t.database().ecus[0].streams[0].label.clone();
+        let value = shot.value_for_label(label).expect("value rendered");
+        assert_ne!(value.text, "---");
+        // Unpolled rows show the placeholder.
+        let second_label = &t.database().ecus[0].streams[1].label.clone();
+        assert_eq!(shot.value_for_label(second_label).unwrap().text, "---");
+    }
+
+    #[test]
+    fn active_test_click_emits_action() {
+        let mut t = tool();
+        // Find an ECU with tests (Car A has 11 spread over body ECUs).
+        let ecu_with_tests = t
+            .database()
+            .ecus
+            .iter()
+            .position(|e| !e.tests.is_empty())
+            .expect("Car A has active tests");
+        t.goto_active_test(ecu_with_tests);
+        let first_test = t.database().ecus[ecu_with_tests].tests[0].label.clone();
+        let action = click_button(&mut t, &first_test, Micros::ZERO);
+        assert_eq!(
+            action,
+            Some(ToolAction::RunTest {
+                ecu: ecu_with_tests,
+                test: 0
+            })
+        );
+    }
+
+    #[test]
+    fn timestamp_overlay_always_present() {
+        let mut t = tool();
+        for state in [
+            ScreenState::EcuList,
+            ScreenState::FunctionMenu { ecu: 0 },
+            ScreenState::DataStream { ecu: 0, page: 0 },
+        ] {
+            t.state = state;
+            let shot = t.render(Micros::from_millis(12345));
+            let ts: Vec<_> = shot.widgets_of(WidgetKind::Timestamp).collect();
+            assert_eq!(ts.len(), 1);
+            assert_eq!(ts[0].text, "12.345s");
+        }
+    }
+
+    #[test]
+    fn leaving_data_stream_clears_displayed_values() {
+        let mut t = tool();
+        t.goto_data_stream(0, 0);
+        t.set_displayed(0, 0, 42.0, Micros::ZERO);
+        click_button(&mut t, "[Back]", Micros::ZERO);
+        assert_eq!(t.displayed_text(0, 0), None);
+    }
+
+    #[test]
+    fn clicks_outside_buttons_do_nothing() {
+        let mut t = tool();
+        let before = t.state();
+        assert_eq!(t.click(0, 1, Micros::ZERO), None);
+        assert_eq!(t.state(), before);
+    }
+}

@@ -1,0 +1,104 @@
+//! Transport-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the transport state machines and stream decoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The payload exceeds what the scheme can express (ISO-TP classic
+    /// addressing carries at most 4095 bytes).
+    PayloadTooLarge {
+        /// Requested payload length.
+        len: usize,
+        /// Maximum the scheme supports.
+        max: usize,
+    },
+    /// Attempted to send an empty payload.
+    EmptyPayload,
+    /// A consecutive/data frame arrived with the wrong sequence number.
+    SequenceMismatch {
+        /// Sequence number the receiver expected.
+        expected: u8,
+        /// Sequence number actually observed.
+        got: u8,
+    },
+    /// A frame arrived that is not valid in the current state
+    /// (e.g. a consecutive frame with no first frame in flight).
+    UnexpectedFrame {
+        /// Short description of the offending frame kind.
+        kind: &'static str,
+        /// The state the machine was in.
+        state: &'static str,
+    },
+    /// The frame bytes do not parse as any frame of the scheme.
+    MalformedFrame(String),
+    /// A peer signalled buffer overflow (ISO-TP flow status `OVFLW`).
+    Overflow,
+    /// A timer expired while waiting for the peer.
+    Timeout {
+        /// Which protocol timer expired (e.g. `"N_Bs"`).
+        timer: &'static str,
+    },
+    /// The endpoint is already busy transmitting a message.
+    Busy,
+    /// A VW TP 2.0 operation needs an open channel but none is established.
+    ChannelNotOpen,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::PayloadTooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds scheme maximum of {max}")
+            }
+            TransportError::EmptyPayload => write!(f, "cannot send an empty payload"),
+            TransportError::SequenceMismatch { expected, got } => {
+                write!(f, "sequence mismatch: expected {expected}, got {got}")
+            }
+            TransportError::UnexpectedFrame { kind, state } => {
+                write!(f, "unexpected {kind} frame in state {state}")
+            }
+            TransportError::MalformedFrame(msg) => write!(f, "malformed frame: {msg}"),
+            TransportError::Overflow => write!(f, "peer signalled receive buffer overflow"),
+            TransportError::Timeout { timer } => write!(f, "protocol timer {timer} expired"),
+            TransportError::Busy => write!(f, "endpoint is busy with a previous transmission"),
+            TransportError::ChannelNotOpen => {
+                write!(f, "transport channel is not open (VW TP 2.0 setup missing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let samples: Vec<TransportError> = vec![
+            TransportError::PayloadTooLarge { len: 9000, max: 4095 },
+            TransportError::EmptyPayload,
+            TransportError::SequenceMismatch { expected: 3, got: 5 },
+            TransportError::UnexpectedFrame { kind: "consecutive", state: "idle" },
+            TransportError::MalformedFrame("empty data".into()),
+            TransportError::Overflow,
+            TransportError::Timeout { timer: "N_Bs" },
+            TransportError::Busy,
+            TransportError::ChannelNotOpen,
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TransportError>();
+    }
+}

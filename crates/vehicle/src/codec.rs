@@ -1,0 +1,317 @@
+//! Encoding physical sensor values into raw response bytes.
+//!
+//! The ECU holds a physical value (say 771.2 rpm) and must store raw bytes
+//! in the response such that the tool's proprietary formula recovers the
+//! value. [`EsvCodec`] pairs a formula with an [`EncodeStrategy`] deciding
+//! how the one or two raw bytes are derived — including the quirks the
+//! paper observed in real traffic (constant scale bytes like the vehicle
+//! speed `X0 ≡ 100`, or the engine speed low byte `X1 ≡ 128`).
+
+use dpr_protocol::EsvFormula;
+use serde::{Deserialize, Serialize};
+
+/// How raw bytes are derived from a physical value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EncodeStrategy {
+    /// One raw byte: `x0 = f⁻¹(y)`. For single-variable formulas.
+    X0Only,
+    /// Two raw bytes: `x0` is the quotient and `x1` the residual of an
+    /// [`EsvFormula::Affine2`] — the natural big/little byte split.
+    Split,
+    /// `x1` is pinned to a constant; `x0 = f⁻¹(y | x1)`. Reproduces the
+    /// paper's Engine Speed capture where `X1 ≡ 128`.
+    FixedX1(u8),
+    /// `x0` is pinned to a constant (a scale byte); `x1 = f⁻¹(y | x0)`.
+    /// Reproduces the paper's Vehicle Speed capture where `X0 ≡ 100`.
+    FixedX0(u8),
+    /// Both bytes vary: the raw product `(y-b)/a` of an
+    /// [`EsvFormula::Product`] is factored as `x0·x1` with `x1` the
+    /// smallest scale that fits `x0` into a byte. This is how the paper's
+    /// Car K engine speed (`Y = X0·X1/5`, Tab. 7) presents on the wire —
+    /// GP must recover the genuine two-variable product.
+    ProductSplit,
+}
+
+/// A formula plus the strategy for inverting it — the ECU-side codec for
+/// one ESV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EsvCodec {
+    /// The proprietary decoding formula (what the tool applies).
+    pub formula: EsvFormula,
+    /// How the ECU derives raw bytes from the physical value.
+    pub strategy: EncodeStrategy,
+}
+
+impl EsvCodec {
+    /// A codec for a single-variable formula.
+    pub fn single(formula: EsvFormula) -> Self {
+        EsvCodec {
+            formula,
+            strategy: EncodeStrategy::X0Only,
+        }
+    }
+
+    /// Number of raw bytes this codec produces (1 or 2).
+    pub fn width(&self) -> usize {
+        match self.strategy {
+            EncodeStrategy::X0Only => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether both raw bytes genuinely vary with the value (relevant to
+    /// what GP can recover: pinned bytes collapse two-variable formulas).
+    pub fn both_vary(&self) -> bool {
+        matches!(
+            self.strategy,
+            EncodeStrategy::Split | EncodeStrategy::ProductSplit
+        )
+    }
+
+    /// Encodes a physical value into raw bytes. Values are clamped into
+    /// the representable byte range, mirroring ECU saturation.
+    pub fn encode(&self, y: f64) -> (u8, Option<u8>) {
+        fn byte(v: f64) -> u8 {
+            v.round().clamp(0.0, 255.0) as u8
+        }
+        match self.strategy {
+            EncodeStrategy::X0Only => {
+                let x0 = self.formula.encode_x0(y, 0.0).unwrap_or(0.0);
+                (byte(x0), None)
+            }
+            EncodeStrategy::Split => {
+                if let EsvFormula::Affine2 { a, b, c } = self.formula {
+                    if a != 0.0 && b != 0.0 {
+                        let x0 = ((y - c) / a).floor().clamp(0.0, 255.0);
+                        let x1 = ((y - c - a * x0) / b).round().clamp(0.0, 255.0);
+                        return (x0 as u8, Some(x1 as u8));
+                    }
+                }
+                // Degenerate affine: fall back to x0 inversion.
+                let x0 = self.formula.encode_x0(y, 0.0).unwrap_or(0.0);
+                (byte(x0), Some(0))
+            }
+            EncodeStrategy::FixedX1(x1) => {
+                let x0 = self.formula.encode_x0(y, f64::from(x1)).unwrap_or(0.0);
+                (byte(x0), Some(x1))
+            }
+            EncodeStrategy::FixedX0(x0) => {
+                let x1 = self.encode_x1(y, f64::from(x0)).unwrap_or(0.0);
+                (x0, Some(byte(x1)))
+            }
+            EncodeStrategy::ProductSplit => {
+                if let EsvFormula::Product { a, b } = self.formula {
+                    if a != 0.0 {
+                        let raw = ((y - b) / a).max(0.0);
+                        // Scale byte: the next power of two that brings x0
+                        // into a byte. Powers of two keep x0 well spread
+                        // (128..255 within a band) instead of pinning it
+                        // at 255, so both bytes genuinely vary.
+                        let mut x1 = 1.0f64;
+                        while raw / x1 > 255.0 && x1 < 255.0 {
+                            x1 = (x1 * 2.0).min(255.0);
+                        }
+                        let x0 = (raw / x1).round().clamp(0.0, 255.0);
+                        return (x0 as u8, Some(x1 as u8));
+                    }
+                }
+                let x0 = self.formula.encode_x0(y, 1.0).unwrap_or(0.0);
+                (byte(x0), Some(1))
+            }
+        }
+    }
+
+    /// Decodes raw bytes back to the physical value (the tool's direction).
+    pub fn decode(&self, x0: u8, x1: Option<u8>) -> f64 {
+        self.formula
+            .eval(f64::from(x0), x1.map_or(0.0, f64::from))
+    }
+
+    /// Solves the formula for `x1` given `y` and a fixed `x0`.
+    fn encode_x1(&self, y: f64, x0: f64) -> Option<f64> {
+        match self.formula {
+            EsvFormula::Affine2 { a, b, c } => (b != 0.0).then(|| (y - a * x0 - c) / b),
+            EsvFormula::Product { a, b } => {
+                (a != 0.0 && x0 != 0.0).then(|| (y - b) / (a * x0))
+            }
+            EsvFormula::OffsetProduct { a, k } => {
+                (a != 0.0 && x0 != 0.0).then(|| y / (a * x0) + k)
+            }
+            _ => None,
+        }
+    }
+
+    /// The quantization step of the codec: the change in decoded value per
+    /// unit change of the driven raw byte. Used by tests and by the
+    /// equivalence checker to pick tolerances.
+    pub fn quantization(&self) -> f64 {
+        match (self.formula, self.strategy) {
+            (EsvFormula::Linear { a, .. }, _) => a.abs(),
+            (EsvFormula::Affine2 { b, .. }, EncodeStrategy::Split) => b.abs(),
+            (EsvFormula::Affine2 { a, .. }, EncodeStrategy::FixedX1(_)) => a.abs(),
+            (EsvFormula::Product { a, .. }, EncodeStrategy::FixedX1(x1)) => {
+                (a * f64::from(x1)).abs()
+            }
+            (EsvFormula::Product { a, .. }, EncodeStrategy::FixedX0(x0)) => {
+                (a * f64::from(x0)).abs()
+            }
+            (EsvFormula::OffsetProduct { a, .. }, EncodeStrategy::FixedX0(x0)) => {
+                (a * f64::from(x0)).abs()
+            }
+            (EsvFormula::OffsetProduct { a, k }, EncodeStrategy::FixedX1(x1)) => {
+                (a * (f64::from(x1) - k)).abs()
+            }
+            // ProductSplit rounds x0 after choosing the scale x1; the step
+            // is a times the largest scale in use (~ raw/255 + 1).
+            (EsvFormula::Product { a, .. }, EncodeStrategy::ProductSplit) => a.abs() * 256.0,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_round_trip() {
+        let codec = EsvCodec::single(EsvFormula::Linear { a: 0.5, b: 0.0 });
+        let (x0, x1) = codec.encode(60.0);
+        assert_eq!(x1, None);
+        assert_eq!(codec.decode(x0, None), 60.0);
+    }
+
+    #[test]
+    fn split_affine_round_trip() {
+        // OBD-style RPM: 64·X0 + 0.25·X1.
+        let codec = EsvCodec {
+            formula: EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+            strategy: EncodeStrategy::Split,
+        };
+        for rpm in [0.0, 812.25, 3000.0, 6500.5] {
+            let (x0, x1) = codec.encode(rpm);
+            let back = codec.decode(x0, x1);
+            assert!((back - rpm).abs() <= 0.25 + 1e-9, "{rpm} -> {back}");
+        }
+    }
+
+    #[test]
+    fn fixed_x1_reproduces_paper_rpm_quirk() {
+        let codec = EsvCodec {
+            formula: EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+            strategy: EncodeStrategy::FixedX1(128),
+        };
+        let (x0, x1) = codec.encode(2000.0);
+        assert_eq!(x1, Some(128));
+        let back = codec.decode(x0, x1);
+        assert!((back - 2000.0).abs() <= 64.0);
+    }
+
+    #[test]
+    fn fixed_x0_reproduces_paper_speed_quirk() {
+        // Vehicle speed: Y = 0.01·X0·X1 with the scale byte X0 = 100, so
+        // effectively Y = X1.
+        let codec = EsvCodec {
+            formula: EsvFormula::Product { a: 0.01, b: 0.0 },
+            strategy: EncodeStrategy::FixedX0(100),
+        };
+        let (x0, x1) = codec.encode(88.0);
+        assert_eq!(x0, 100);
+        assert_eq!(x1, Some(88));
+        assert_eq!(codec.decode(x0, x1), 88.0);
+    }
+
+    #[test]
+    fn offset_product_with_fixed_scale() {
+        // Temperature: Y = 0.1·X0·(X1 − 100) with X0 = 10 → Y = X1 − 100.
+        let codec = EsvCodec {
+            formula: EsvFormula::OffsetProduct { a: 0.1, k: 100.0 },
+            strategy: EncodeStrategy::FixedX0(10),
+        };
+        let (x0, x1) = codec.encode(55.0);
+        assert_eq!(x0, 10);
+        assert_eq!(x1, Some(155));
+        assert_eq!(codec.decode(x0, x1), 55.0);
+    }
+
+    #[test]
+    fn product_split_varies_both_bytes() {
+        // Car K engine speed: Y = X0*X1/5.
+        let codec = EsvCodec {
+            formula: EsvFormula::Product { a: 0.2, b: 0.0 },
+            strategy: EncodeStrategy::ProductSplit,
+        };
+        let mut seen_x0 = std::collections::BTreeSet::new();
+        let mut seen_x1 = std::collections::BTreeSet::new();
+        for rpm in (500..8000).step_by(250) {
+            let y = f64::from(rpm);
+            let (x0, x1) = codec.encode(y);
+            seen_x0.insert(x0);
+            seen_x1.insert(x1.unwrap());
+            let back = codec.decode(x0, x1);
+            assert!(
+                (back - y).abs() <= codec.quantization(),
+                "{y} -> ({x0},{x1:?}) -> {back}"
+            );
+        }
+        assert!(seen_x0.len() > 5, "x0 must vary");
+        assert!(seen_x1.len() > 3, "x1 must vary");
+    }
+
+    #[test]
+    fn clamping_saturates_not_panics() {
+        let codec = EsvCodec::single(EsvFormula::IDENTITY);
+        assert_eq!(codec.encode(1000.0).0, 255);
+        assert_eq!(codec.encode(-5.0).0, 0);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(EsvCodec::single(EsvFormula::IDENTITY).width(), 1);
+        let two = EsvCodec {
+            formula: EsvFormula::Product { a: 0.2, b: 0.0 },
+            strategy: EncodeStrategy::FixedX0(100),
+        };
+        assert_eq!(two.width(), 2);
+    }
+
+    #[test]
+    fn quantization_reflects_strategy() {
+        let codec = EsvCodec {
+            formula: EsvFormula::Product { a: 0.01, b: 0.0 },
+            strategy: EncodeStrategy::FixedX0(100),
+        };
+        assert!((codec.quantization() - 1.0).abs() < 1e-12);
+        let linear = EsvCodec::single(EsvFormula::Linear { a: 0.5, b: 3.0 });
+        assert_eq!(linear.quantization(), 0.5);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_quantization() {
+        let codecs = [
+            EsvCodec::single(EsvFormula::Linear { a: 0.392, b: 0.0 }),
+            EsvCodec::single(EsvFormula::Linear { a: 1.0, b: -40.0 }),
+            EsvCodec {
+                formula: EsvFormula::Product { a: 0.2, b: 0.0 },
+                strategy: EncodeStrategy::FixedX0(50),
+            },
+            EsvCodec {
+                formula: EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+                strategy: EncodeStrategy::Split,
+            },
+        ];
+        for codec in codecs {
+            for i in 0..40 {
+                // Probe mid-range values safely representable by the codec.
+                let y_mid = codec.decode(100, Some(100));
+                let y = y_mid * (0.5 + f64::from(i) / 80.0);
+                let (x0, x1) = codec.encode(y);
+                let back = codec.decode(x0, x1);
+                assert!(
+                    (back - y).abs() <= codec.quantization() + 1e-9,
+                    "{codec:?}: {y} -> {back}"
+                );
+            }
+        }
+    }
+}

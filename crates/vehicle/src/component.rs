@@ -1,0 +1,186 @@
+//! Controllable components and the IO-control state machine.
+//!
+//! The paper's §4.5 finds that every recovered control procedure follows
+//! the same three-message pattern: **freeze current state** (0x02), then
+//! **short-term adjustment** with the control state (0x03), then **return
+//! control to the ECU** (0x00). [`Component`] implements exactly that
+//! state machine and records every accepted action so experiments (and the
+//! Tab. 13 replay attack demo) can verify that injected messages actually
+//! trigger behaviour.
+
+use dpr_can::Micros;
+use dpr_protocol::uds::IoControlParameter;
+use serde::{Deserialize, Serialize};
+
+/// The control state of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ControlState {
+    /// The ECU controls the component normally.
+    #[default]
+    EcuControlled,
+    /// State frozen, awaiting an adjustment.
+    Frozen,
+    /// The tester is actively driving the component.
+    Adjusted,
+}
+
+/// A record of one accepted control action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentAction {
+    /// When the action was accepted.
+    pub at: Micros,
+    /// The IO-control parameter that triggered it.
+    pub param: IoControlParameter,
+    /// The control-state bytes that accompanied it (empty for freeze /
+    /// return).
+    pub state: Vec<u8>,
+}
+
+/// A controllable vehicle component (fog light, wiper, door lock, window…).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    name: String,
+    state: ControlState,
+    actions: Vec<ComponentAction>,
+    /// Whether the component rejects adjustment without a prior freeze —
+    /// most real ECUs accept either; some insist on the full procedure.
+    strict_procedure: bool,
+}
+
+impl Component {
+    /// Creates a component that accepts adjustments with or without a
+    /// prior freeze (the common, lenient behaviour).
+    pub fn new(name: impl Into<String>) -> Self {
+        Component {
+            name: name.into(),
+            state: ControlState::EcuControlled,
+            actions: Vec::new(),
+            strict_procedure: false,
+        }
+    }
+
+    /// Makes the component insist on freeze-before-adjust.
+    pub fn strict(mut self) -> Self {
+        self.strict_procedure = true;
+        self
+    }
+
+    /// The component's display name (what the tool UI shows).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current control state.
+    pub fn state(&self) -> ControlState {
+        self.state
+    }
+
+    /// Every accepted action, oldest first.
+    pub fn actions(&self) -> &[ComponentAction] {
+        &self.actions
+    }
+
+    /// Handles one IO-control request. Returns `true` (and records the
+    /// action) if the request is accepted in the current state.
+    pub fn handle(&mut self, param: IoControlParameter, state: &[u8], at: Micros) -> bool {
+        let accepted = match param {
+            IoControlParameter::FreezeCurrentState => {
+                self.state = ControlState::Frozen;
+                true
+            }
+            IoControlParameter::ShortTermAdjustment => {
+                if self.strict_procedure && self.state == ControlState::EcuControlled {
+                    false
+                } else {
+                    self.state = ControlState::Adjusted;
+                    true
+                }
+            }
+            IoControlParameter::ReturnControlToEcu | IoControlParameter::ResetToDefault => {
+                self.state = ControlState::EcuControlled;
+                true
+            }
+        };
+        if accepted {
+            self.actions.push(ComponentAction {
+                at,
+                param,
+                state: state.to_vec(),
+            });
+        }
+        accepted
+    }
+
+    /// Whether the component was actually driven (an adjustment was
+    /// accepted) — the success criterion for the replay experiment.
+    pub fn was_adjusted(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| a.param == IoControlParameter::ShortTermAdjustment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Micros {
+        Micros::from_millis(ms)
+    }
+
+    #[test]
+    fn full_procedure_walks_the_state_machine() {
+        let mut c = Component::new("fog light");
+        assert_eq!(c.state(), ControlState::EcuControlled);
+
+        assert!(c.handle(IoControlParameter::FreezeCurrentState, &[], t(0)));
+        assert_eq!(c.state(), ControlState::Frozen);
+
+        assert!(c.handle(
+            IoControlParameter::ShortTermAdjustment,
+            &[0x05, 0x01, 0x00, 0x00],
+            t(10)
+        ));
+        assert_eq!(c.state(), ControlState::Adjusted);
+        assert!(c.was_adjusted());
+
+        assert!(c.handle(IoControlParameter::ReturnControlToEcu, &[], t(20)));
+        assert_eq!(c.state(), ControlState::EcuControlled);
+        assert_eq!(c.actions().len(), 3);
+    }
+
+    #[test]
+    fn lenient_component_accepts_direct_adjustment() {
+        let mut c = Component::new("wiper");
+        assert!(c.handle(IoControlParameter::ShortTermAdjustment, &[0x1C], t(0)));
+        assert!(c.was_adjusted());
+    }
+
+    #[test]
+    fn strict_component_requires_freeze_first() {
+        let mut c = Component::new("window").strict();
+        assert!(!c.handle(IoControlParameter::ShortTermAdjustment, &[0x01], t(0)));
+        assert!(!c.was_adjusted());
+        assert!(c.handle(IoControlParameter::FreezeCurrentState, &[], t(1)));
+        assert!(c.handle(IoControlParameter::ShortTermAdjustment, &[0x01], t(2)));
+        assert!(c.was_adjusted());
+    }
+
+    #[test]
+    fn actions_record_state_bytes_and_times() {
+        let mut c = Component::new("lock");
+        c.handle(IoControlParameter::ShortTermAdjustment, &[0xB0, 0x03], t(5));
+        let a = &c.actions()[0];
+        assert_eq!(a.state, vec![0xB0, 0x03]);
+        assert_eq!(a.at, t(5));
+        assert_eq!(a.param, IoControlParameter::ShortTermAdjustment);
+    }
+
+    #[test]
+    fn reset_to_default_returns_control() {
+        let mut c = Component::new("light");
+        c.handle(IoControlParameter::ShortTermAdjustment, &[], t(0));
+        assert!(c.handle(IoControlParameter::ResetToDefault, &[], t(1)));
+        assert_eq!(c.state(), ControlState::EcuControlled);
+    }
+}

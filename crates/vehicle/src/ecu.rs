@@ -1,0 +1,830 @@
+//! The ECU model: proprietary data tables, sensors, and request handling.
+
+use std::collections::BTreeMap;
+
+use dpr_can::{CanId, Micros};
+use dpr_protocol::kwp::{FormulaTypeTable, KwpRequest, KwpResponse, LocalId, RawEsv};
+use dpr_protocol::obd::{self, Pid};
+use dpr_protocol::uds::{Did, Nrc, UdsRequest, UdsResponse};
+use dpr_protocol::{EsvFormula, Quantity};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::EsvCodec;
+use crate::component::Component;
+use crate::signal::SignalGenerator;
+
+/// Which transport scheme the ECU speaks on the diagnostic bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// ISO 15765-2.
+    IsoTp,
+    /// VW TP 2.0.
+    VwTp,
+    /// The BMW/Mini raw ECU-id-prefix scheme.
+    BmwRaw,
+}
+
+/// Which application protocol the ECU speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Unified Diagnostic Services (ISO 14229).
+    Uds,
+    /// Keyword Protocol 2000.
+    Kwp2000,
+}
+
+/// Identifies one readable signal within a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EsvId {
+    /// A UDS data identifier.
+    Uds(Did),
+    /// One slot of a KWP read-data-by-local-identifier block.
+    Kwp {
+        /// The block's local identifier.
+        local_id: LocalId,
+        /// The position of the ESV within the block.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for EsvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EsvId::Uds(did) => write!(f, "DID {did}"),
+            EsvId::Kwp { local_id, slot } => write!(f, "local id {local_id} slot {slot}"),
+        }
+    }
+}
+
+/// A sensor: a physical quantity and the generator producing its value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensor {
+    /// Name, unit, and plausible range.
+    pub quantity: Quantity,
+    /// The deterministic value source.
+    pub generator: SignalGenerator,
+}
+
+impl Sensor {
+    /// The (range-clamped) physical value at time `t`.
+    pub fn value_at(&self, t: Micros) -> f64 {
+        self.quantity.clamp(self.generator.value_at(t))
+    }
+}
+
+/// The ground-truth description of one readable ESV — what DP-Reverser
+/// tries to recover from the outside.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EsvPoint {
+    /// Which ECU serves it.
+    pub ecu: String,
+    /// Its identifier.
+    pub id: EsvId,
+    /// The displayed quantity.
+    pub quantity: Quantity,
+    /// The proprietary decoding formula.
+    pub formula: EsvFormula,
+}
+
+/// A signal mirrored on the car's dashboard (used as independent ground
+/// truth in the paper's Tab. 7 validation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DashboardSignal {
+    /// The signal's ESV identity in the diagnostic tables.
+    pub id: EsvId,
+    /// The dashboard label.
+    pub label: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct UdsPoint {
+    sensor: Sensor,
+    codec: EsvCodec,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct KwpSlot {
+    sensor: Sensor,
+    f_type: u8,
+    codec: EsvCodec,
+    /// Filler slots exist on the wire (real measuring blocks carry more
+    /// values than a tool displays) but are not part of the tool database
+    /// or the ground-truth ESV inventory.
+    hidden: bool,
+}
+
+/// Keys addressing controllable components across the three IO-control
+/// services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentKey {
+    /// UDS IO control (service 0x2F) by DID.
+    UdsDid(Did),
+    /// KWP IO control by local identifier (service 0x30).
+    KwpLocal(LocalId),
+    /// KWP IO control by common identifier (service 0x2F).
+    KwpCommon(u16),
+}
+
+/// One electronic control unit.
+///
+/// An `Ecu` is addressed by a request/response CAN-id pair, speaks one
+/// application protocol (plus optionally OBD-II on the engine controller),
+/// and owns the proprietary tables DP-Reverser recovers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecu {
+    name: String,
+    request_id: CanId,
+    response_id: CanId,
+    transport: TransportKind,
+    protocol: Protocol,
+    /// ECU address byte for VW TP channel setup / BMW raw addressing.
+    pub address: u8,
+    uds_points: BTreeMap<Did, UdsPoint>,
+    kwp_blocks: BTreeMap<LocalId, Vec<KwpSlot>>,
+    kwp_table: FormulaTypeTable,
+    obd_pids: BTreeMap<u8, SignalGenerator>,
+    components: BTreeMap<ComponentKey, Component>,
+    /// Components requiring a security unlock before IO control.
+    secured_components: std::collections::BTreeSet<ComponentKey>,
+    /// Seed-key secret for UDS SecurityAccess (0x27); `None` disables the
+    /// service. The algorithm is a simple XOR whitening — the paper's §6
+    /// places real seed-key schemes outside formula inference, so the
+    /// simulation only needs the handshake's traffic shape.
+    pub security_secret: Option<u16>,
+    /// Whether a valid key has been presented this session.
+    unlocked: bool,
+    /// Monotonic counter feeding seed generation.
+    seed_counter: u16,
+    /// The last seed handed out, awaiting its key.
+    last_seed: Option<[u8; 2]>,
+    /// Stored diagnostic trouble codes `(code, status)`.
+    dtcs: Vec<(u16, u8)>,
+    /// Fixed handling latency before a response is sent.
+    pub response_delay: Micros,
+}
+
+impl Ecu {
+    /// Creates an ECU with no data points yet.
+    pub fn new(
+        name: impl Into<String>,
+        request_id: CanId,
+        response_id: CanId,
+        transport: TransportKind,
+        protocol: Protocol,
+    ) -> Self {
+        Ecu {
+            name: name.into(),
+            request_id,
+            response_id,
+            transport,
+            protocol,
+            address: 0x01,
+            uds_points: BTreeMap::new(),
+            kwp_blocks: BTreeMap::new(),
+            kwp_table: FormulaTypeTable::standard(),
+            obd_pids: BTreeMap::new(),
+            components: BTreeMap::new(),
+            secured_components: std::collections::BTreeSet::new(),
+            security_secret: None,
+            unlocked: false,
+            seed_counter: 0,
+            last_seed: None,
+            dtcs: Vec::new(),
+            response_delay: Micros::from_millis(2),
+        }
+    }
+
+    /// The ECU's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The CAN id requests arrive on.
+    pub fn request_id(&self) -> CanId {
+        self.request_id
+    }
+
+    /// The CAN id responses leave on.
+    pub fn response_id(&self) -> CanId {
+        self.response_id
+    }
+
+    /// The transport scheme.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The application protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The ECU's KWP formula-type table.
+    pub fn kwp_table(&self) -> &FormulaTypeTable {
+        &self.kwp_table
+    }
+
+    /// Adds a UDS readable data point.
+    pub fn add_uds_point(&mut self, did: Did, sensor: Sensor, codec: EsvCodec) -> &mut Self {
+        self.uds_points.insert(did, UdsPoint { sensor, codec });
+        self
+    }
+
+    /// Adds one ESV slot to a KWP measuring block. `codec` must use the
+    /// formula registered for `f_type` in the ECU's table.
+    pub fn add_kwp_slot(
+        &mut self,
+        local_id: LocalId,
+        f_type: u8,
+        sensor: Sensor,
+        codec: EsvCodec,
+    ) -> &mut Self {
+        self.kwp_blocks.entry(local_id).or_default().push(KwpSlot {
+            sensor,
+            f_type,
+            codec,
+            hidden: false,
+        });
+        self
+    }
+
+    /// Adds a *hidden* filler slot to a KWP measuring block: encoded in
+    /// responses like any other ESV, but absent from the ground-truth
+    /// inventory and the tool's display — the undisplayed remainder of a
+    /// real measuring block.
+    pub fn add_kwp_filler_slot(
+        &mut self,
+        local_id: LocalId,
+        f_type: u8,
+        sensor: Sensor,
+        codec: EsvCodec,
+    ) -> &mut Self {
+        self.kwp_blocks.entry(local_id).or_default().push(KwpSlot {
+            sensor,
+            f_type,
+            codec,
+            hidden: true,
+        });
+        self
+    }
+
+    /// Declares OBD-II support for a PID.
+    pub fn add_obd_pid(&mut self, pid: Pid, generator: SignalGenerator) -> &mut Self {
+        self.obd_pids.insert(pid.0, generator);
+        self
+    }
+
+    /// Stores a diagnostic trouble code.
+    pub fn add_dtc(&mut self, code: u16, status: u8) -> &mut Self {
+        self.dtcs.push((code, status));
+        self
+    }
+
+    /// The stored trouble codes.
+    pub fn dtcs(&self) -> &[(u16, u8)] {
+        &self.dtcs
+    }
+
+    /// Whether the ECU answers OBD-II mode-01 requests.
+    pub fn supports_obd(&self) -> bool {
+        !self.obd_pids.is_empty()
+    }
+
+    /// Adds a controllable component.
+    pub fn add_component(&mut self, key: ComponentKey, component: Component) -> &mut Self {
+        self.components.insert(key, component);
+        self
+    }
+
+    /// Marks a component as gated behind SecurityAccess: IO control is
+    /// rejected with NRC 0x33 until a valid key has been presented.
+    pub fn secure_component(&mut self, key: ComponentKey) -> &mut Self {
+        self.secured_components.insert(key);
+        self
+    }
+
+    /// Whether a component is security-gated.
+    pub fn is_secured(&self, key: ComponentKey) -> bool {
+        self.secured_components.contains(&key)
+    }
+
+    /// Whether the ECU is currently unlocked.
+    pub fn is_unlocked(&self) -> bool {
+        self.unlocked
+    }
+
+    /// The expected key for a seed under the simulation's XOR whitening
+    /// scheme (`key = seed ^ secret`, per byte pair).
+    pub fn expected_key(seed: [u8; 2], secret: u16) -> [u8; 2] {
+        let k = u16::from_be_bytes(seed) ^ secret;
+        k.to_be_bytes()
+    }
+
+    /// Access to a component (e.g. to assert on its action log).
+    pub fn component(&self, key: ComponentKey) -> Option<&Component> {
+        self.components.get(&key)
+    }
+
+    /// Iterates over component keys.
+    pub fn component_keys(&self) -> impl Iterator<Item = ComponentKey> + '_ {
+        self.components.keys().copied()
+    }
+
+    /// The lengths of the ECU's KWP measuring blocks (all slots, hidden
+    /// fillers included).
+    pub fn kwp_block_lengths(&self) -> Vec<(LocalId, usize)> {
+        self.kwp_blocks
+            .iter()
+            .map(|(lid, slots)| (*lid, slots.len()))
+            .collect()
+    }
+
+    /// Ground-truth descriptions of every readable ESV on this ECU.
+    pub fn esv_points(&self) -> Vec<EsvPoint> {
+        let mut out = Vec::new();
+        for (did, p) in &self.uds_points {
+            out.push(EsvPoint {
+                ecu: self.name.clone(),
+                id: EsvId::Uds(*did),
+                quantity: p.sensor.quantity.clone(),
+                formula: p.codec.formula,
+            });
+        }
+        for (lid, slots) in &self.kwp_blocks {
+            for (i, s) in slots.iter().enumerate().filter(|(_, s)| !s.hidden) {
+                out.push(EsvPoint {
+                    ecu: self.name.clone(),
+                    id: EsvId::Kwp {
+                        local_id: *lid,
+                        slot: i,
+                    },
+                    quantity: s.sensor.quantity.clone(),
+                    formula: s.codec.formula,
+                });
+            }
+        }
+        out
+    }
+
+    /// The ground-truth sensor value behind an ESV at time `t` (what the
+    /// dashboard would show).
+    pub fn true_value(&self, id: EsvId, t: Micros) -> Option<f64> {
+        match id {
+            EsvId::Uds(did) => self.uds_points.get(&did).map(|p| p.sensor.value_at(t)),
+            EsvId::Kwp { local_id, slot } => self
+                .kwp_blocks
+                .get(&local_id)
+                .and_then(|slots| slots.get(slot))
+                .map(|s| s.sensor.value_at(t)),
+        }
+    }
+
+    /// Handles one application-layer request payload, returning the
+    /// response payload (if the ECU answers at all).
+    pub fn handle(&mut self, payload: &[u8], now: Micros) -> Option<Vec<u8>> {
+        // OBD-II mode 01 is answered regardless of the main protocol if
+        // the ECU declares PIDs (the engine controller does).
+        if payload.first() == Some(&0x01) && !self.obd_pids.is_empty() {
+            return Some(self.handle_obd(payload, now));
+        }
+        // Some UDS vehicles (the paper's Toyota/Lexus, Tab. 11 "service
+        // 30" rows) expose IO control through the KWP-style 0x30 service;
+        // route it to the KWP handler when such components exist.
+        if payload.first() == Some(&0x30)
+            && self
+                .components
+                .keys()
+                .any(|k| matches!(k, ComponentKey::KwpLocal(_)))
+        {
+            return Some(self.handle_kwp(payload, now));
+        }
+        match self.protocol {
+            Protocol::Uds => Some(self.handle_uds(payload, now)),
+            Protocol::Kwp2000 => Some(self.handle_kwp(payload, now)),
+        }
+    }
+
+    fn handle_obd(&self, payload: &[u8], now: Micros) -> Vec<u8> {
+        let Ok(pid) = obd::parse_request(payload) else {
+            return vec![0x7F, 0x01, 0x12];
+        };
+        let (Some(generator), Some(spec)) = (self.obd_pids.get(&pid.0), obd::pid_spec(pid))
+        else {
+            return vec![0x7F, 0x01, 0x31];
+        };
+        let value = spec.quantity.clamp(generator.value_at(now));
+        obd::encode_response(pid, &spec.encode(value))
+    }
+
+    fn handle_uds(&mut self, payload: &[u8], now: Micros) -> Vec<u8> {
+        let request = match UdsRequest::parse(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                let sid = payload.first().copied().unwrap_or(0);
+                return UdsResponse::Negative {
+                    sid,
+                    nrc: Nrc::IncorrectMessageLength,
+                }
+                .encode();
+            }
+        };
+        match request {
+            UdsRequest::SessionControl { session } => {
+                UdsResponse::SessionControl { session }.encode()
+            }
+            UdsRequest::ReadDtc { mask } => UdsResponse::DtcReport {
+                dtcs: self
+                    .dtcs
+                    .iter()
+                    .filter(|(_, status)| status & mask != 0 || mask == 0xFF)
+                    .copied()
+                    .collect(),
+            }
+            .encode(),
+            UdsRequest::ClearDtc => {
+                self.dtcs.clear();
+                UdsResponse::ClearDtc.encode()
+            }
+            UdsRequest::EcuReset { kind } => UdsResponse::EcuReset { kind }.encode(),
+            UdsRequest::TesterPresent => UdsResponse::TesterPresent.encode(),
+            UdsRequest::ReadDataById { dids } => {
+                let mut records = Vec::with_capacity(dids.len());
+                for did in dids {
+                    let Some(point) = self.uds_points.get(&did) else {
+                        return UdsResponse::Negative {
+                            sid: 0x22,
+                            nrc: Nrc::RequestOutOfRange,
+                        }
+                        .encode();
+                    };
+                    let value = point.sensor.value_at(now);
+                    let (x0, x1) = point.codec.encode(value);
+                    let mut data = vec![x0];
+                    if let Some(b) = x1 {
+                        data.push(b);
+                    }
+                    records.push((did, data));
+                }
+                UdsResponse::ReadDataById { records }.encode()
+            }
+            UdsRequest::SecurityAccess { level, key } => {
+                let Some(secret) = self.security_secret else {
+                    return UdsResponse::Negative {
+                        sid: 0x27,
+                        nrc: Nrc::ServiceNotSupported,
+                    }
+                    .encode();
+                };
+                if level % 2 == 1 {
+                    // Seed request: derive a session seed from the counter.
+                    self.seed_counter = self.seed_counter.wrapping_mul(31).wrapping_add(17);
+                    let seed = self.seed_counter.to_be_bytes();
+                    self.last_seed = Some(seed);
+                    UdsResponse::SecurityAccess {
+                        level,
+                        seed: seed.to_vec(),
+                    }
+                    .encode()
+                } else {
+                    let Some(seed) = self.last_seed else {
+                        return UdsResponse::Negative {
+                            sid: 0x27,
+                            nrc: Nrc::ConditionsNotCorrect,
+                        }
+                        .encode();
+                    };
+                    let expected = Self::expected_key(seed, secret);
+                    if key == expected {
+                        self.unlocked = true;
+                        UdsResponse::SecurityAccess {
+                            level,
+                            seed: vec![],
+                        }
+                        .encode()
+                    } else {
+                        UdsResponse::Negative {
+                            sid: 0x27,
+                            nrc: Nrc::InvalidKey,
+                        }
+                        .encode()
+                    }
+                }
+            }
+            UdsRequest::IoControl { did, param, state } => {
+                if self.secured_components.contains(&ComponentKey::UdsDid(did)) && !self.unlocked {
+                    return UdsResponse::Negative {
+                        sid: 0x2F,
+                        nrc: Nrc::SecurityAccessDenied,
+                    }
+                    .encode();
+                }
+                let Some(component) = self.components.get_mut(&ComponentKey::UdsDid(did)) else {
+                    return UdsResponse::Negative {
+                        sid: 0x2F,
+                        nrc: Nrc::RequestOutOfRange,
+                    }
+                    .encode();
+                };
+                if component.handle(param, &state, now) {
+                    UdsResponse::IoControl { did, param, state }.encode()
+                } else {
+                    UdsResponse::Negative {
+                        sid: 0x2F,
+                        nrc: Nrc::ConditionsNotCorrect,
+                    }
+                    .encode()
+                }
+            }
+        }
+    }
+
+    fn handle_kwp(&mut self, payload: &[u8], now: Micros) -> Vec<u8> {
+        let request = match KwpRequest::parse(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                let sid = payload.first().copied().unwrap_or(0);
+                return KwpResponse::Negative { sid, code: 0x13 }.encode();
+            }
+        };
+        match request {
+            KwpRequest::StartDiagnosticSession { session } => {
+                KwpResponse::StartDiagnosticSession { session }.encode()
+            }
+            KwpRequest::ReadDataByLocalId { local_id } => {
+                let Some(slots) = self.kwp_blocks.get(&local_id) else {
+                    return KwpResponse::Negative {
+                        sid: 0x21,
+                        code: 0x31,
+                    }
+                    .encode();
+                };
+                let esvs = slots
+                    .iter()
+                    .map(|s| {
+                        let value = s.sensor.value_at(now);
+                        let (x0, x1) = s.codec.encode(value);
+                        RawEsv {
+                            f_type: s.f_type,
+                            x0,
+                            x1: x1.unwrap_or(0),
+                        }
+                    })
+                    .collect();
+                KwpResponse::ReadDataByLocalId { local_id, esvs }.encode()
+            }
+            KwpRequest::IoControlByLocalId { local_id, ecr } => {
+                let Some(component) = self.components.get_mut(&ComponentKey::KwpLocal(local_id))
+                else {
+                    return KwpResponse::Negative {
+                        sid: 0x30,
+                        code: 0x31,
+                    }
+                    .encode();
+                };
+                // First ECR byte doubles as the IO-control parameter where
+                // present; an empty ECR means "return control".
+                let param = ecr
+                    .first()
+                    .and_then(|&b| dpr_protocol::uds::IoControlParameter::from_raw(b))
+                    .unwrap_or(dpr_protocol::uds::IoControlParameter::ShortTermAdjustment);
+                let state = if ecr.len() > 1 { ecr[1..].to_vec() } else { vec![] };
+                if component.handle(param, &state, now) {
+                    KwpResponse::IoControlByLocalId {
+                        local_id,
+                        status: vec![0x01],
+                    }
+                    .encode()
+                } else {
+                    KwpResponse::Negative {
+                        sid: 0x30,
+                        code: 0x22,
+                    }
+                    .encode()
+                }
+            }
+            KwpRequest::IoControlByCommonId { common_id, ecr } => {
+                let Some(component) = self.components.get_mut(&ComponentKey::KwpCommon(common_id))
+                else {
+                    return KwpResponse::Negative {
+                        sid: 0x2F,
+                        code: 0x31,
+                    }
+                    .encode();
+                };
+                let param = ecr
+                    .first()
+                    .and_then(|&b| dpr_protocol::uds::IoControlParameter::from_raw(b))
+                    .unwrap_or(dpr_protocol::uds::IoControlParameter::ShortTermAdjustment);
+                let state = if ecr.len() > 1 { ecr[1..].to_vec() } else { vec![] };
+                if component.handle(param, &state, now) {
+                    KwpResponse::IoControlByCommonId {
+                        common_id,
+                        status: vec![0x01],
+                    }
+                    .encode()
+                } else {
+                    KwpResponse::Negative {
+                        sid: 0x2F,
+                        code: 0x22,
+                    }
+                    .encode()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_protocol::uds::IoControlParameter;
+
+    fn sensor(name: &str, min: f64, max: f64) -> Sensor {
+        Sensor {
+            quantity: Quantity::new(name, "u", min, max),
+            generator: SignalGenerator::Ramp {
+                from: min,
+                to: max,
+                period: Micros::from_secs(10),
+            },
+        }
+    }
+
+    fn uds_ecu() -> Ecu {
+        let mut ecu = Ecu::new(
+            "Engine",
+            CanId::standard(0x7E0).unwrap(),
+            CanId::standard(0x7E8).unwrap(),
+            TransportKind::IsoTp,
+            Protocol::Uds,
+        );
+        ecu.add_uds_point(
+            Did(0xF40D),
+            sensor("Vehicle Speed", 0.0, 255.0),
+            EsvCodec::single(EsvFormula::IDENTITY),
+        );
+        ecu.add_component(
+            ComponentKey::UdsDid(Did(0x0950)),
+            Component::new("fog light"),
+        );
+        ecu
+    }
+
+    #[test]
+    fn uds_read_round_trips_through_formula() {
+        let mut ecu = uds_ecu();
+        // Ramp at t=2s of a 10s 0..255 sweep → 51.
+        let rsp = ecu
+            .handle(&[0x22, 0xF4, 0x0D], Micros::from_secs(2))
+            .unwrap();
+        assert_eq!(rsp, vec![0x62, 0xF4, 0x0D, 51]);
+    }
+
+    #[test]
+    fn unknown_did_rejected() {
+        let mut ecu = uds_ecu();
+        let rsp = ecu.handle(&[0x22, 0xAA, 0xBB], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x22, 0x31]);
+    }
+
+    #[test]
+    fn io_control_procedure_drives_component() {
+        let mut ecu = uds_ecu();
+        for req in dpr_protocol::uds::io_control_procedure(Did(0x0950), vec![0x05, 0x01]) {
+            let rsp = ecu.handle(&req.encode(), Micros::ZERO).unwrap();
+            assert_eq!(rsp[0], 0x6F, "each step must be accepted: {rsp:02X?}");
+        }
+        let c = ecu.component(ComponentKey::UdsDid(Did(0x0950))).unwrap();
+        assert!(c.was_adjusted());
+        assert_eq!(c.actions().len(), 3);
+        assert_eq!(c.actions()[1].param, IoControlParameter::ShortTermAdjustment);
+    }
+
+    #[test]
+    fn kwp_block_returns_three_byte_esvs() {
+        let mut ecu = Ecu::new(
+            "Engine",
+            CanId::standard(0x200).unwrap(),
+            CanId::standard(0x300).unwrap(),
+            TransportKind::VwTp,
+            Protocol::Kwp2000,
+        );
+        let table = ecu.kwp_table().clone();
+        let rpm_formula = *table.get(0x01).unwrap();
+        ecu.add_kwp_slot(
+            LocalId(0x07),
+            0x01,
+            sensor("Engine Speed", 0.0, 8000.0),
+            EsvCodec {
+                formula: rpm_formula,
+                strategy: crate::codec::EncodeStrategy::FixedX1(160),
+            },
+        );
+        let rsp = ecu.handle(&[0x21, 0x07], Micros::from_secs(5)).unwrap();
+        assert_eq!(rsp[0], 0x61);
+        assert_eq!(rsp[1], 0x07);
+        assert_eq!(rsp.len(), 2 + 3);
+        let esv = RawEsv {
+            f_type: rsp[2],
+            x0: rsp[3],
+            x1: rsp[4],
+        };
+        assert_eq!(esv.f_type, 0x01);
+        // Decoding with the table recovers the ramp value (~4000 at t=5s
+        // of a 10s 0..8000 sweep) within quantization.
+        let decoded = table.decode(esv).unwrap();
+        assert!((decoded - 4000.0).abs() <= 160.0 * 0.2 + 1e-9, "{decoded}");
+    }
+
+    #[test]
+    fn obd_handled_alongside_uds() {
+        let mut ecu = uds_ecu();
+        ecu.add_obd_pid(
+            Pid(0x0D),
+            SignalGenerator::Constant(88.0),
+        );
+        let rsp = ecu.handle(&[0x01, 0x0D], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x41, 0x0D, 88]);
+        // Unsupported PID → OBD negative.
+        let rsp = ecu.handle(&[0x01, 0x0C], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x01, 0x31]);
+    }
+
+    #[test]
+    fn esv_points_expose_ground_truth() {
+        let ecu = uds_ecu();
+        let points = ecu.esv_points();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].id, EsvId::Uds(Did(0xF40D)));
+        assert_eq!(points[0].formula, EsvFormula::IDENTITY);
+        assert_eq!(points[0].ecu, "Engine");
+    }
+
+    #[test]
+    fn true_value_matches_sensor() {
+        let ecu = uds_ecu();
+        let v = ecu.true_value(EsvId::Uds(Did(0xF40D)), Micros::from_secs(2));
+        assert!((v.unwrap() - 51.0).abs() < 0.5);
+        assert_eq!(ecu.true_value(EsvId::Uds(Did(0x9999)), Micros::ZERO), None);
+    }
+
+    #[test]
+    fn security_gated_component_requires_unlock() {
+        let mut ecu = uds_ecu();
+        ecu.security_secret = Some(0xBEEF);
+        ecu.secure_component(ComponentKey::UdsDid(Did(0x0950)));
+
+        // Direct control is rejected with NRC 0x33.
+        let rsp = ecu
+            .handle(&[0x2F, 0x09, 0x50, 0x03, 0x01], Micros::ZERO)
+            .unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x2F, 0x33]);
+
+        // Key before seed: conditions not correct.
+        let rsp = ecu.handle(&[0x27, 0x02, 0x00, 0x00], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x27, 0x22]);
+
+        // Seed request, then the correct key unlocks.
+        let rsp = ecu.handle(&[0x27, 0x01], Micros::ZERO).unwrap();
+        assert_eq!(rsp[0], 0x67);
+        let seed = [rsp[2], rsp[3]];
+        let key = Ecu::expected_key(seed, 0xBEEF);
+        let rsp = ecu
+            .handle(&[0x27, 0x02, key[0], key[1]], Micros::ZERO)
+            .unwrap();
+        assert_eq!(rsp, vec![0x67, 0x02]);
+        assert!(ecu.is_unlocked());
+
+        // Control now succeeds.
+        let rsp = ecu
+            .handle(&[0x2F, 0x09, 0x50, 0x03, 0x01], Micros::ZERO)
+            .unwrap();
+        assert_eq!(rsp[0], 0x6F);
+    }
+
+    #[test]
+    fn wrong_key_rejected_and_stays_locked() {
+        let mut ecu = uds_ecu();
+        ecu.security_secret = Some(0x1234);
+        ecu.secure_component(ComponentKey::UdsDid(Did(0x0950)));
+        let rsp = ecu.handle(&[0x27, 0x01], Micros::ZERO).unwrap();
+        assert_eq!(rsp[0], 0x67);
+        let rsp = ecu.handle(&[0x27, 0x02, 0xDE, 0xAD], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x27, 0x35]);
+        assert!(!ecu.is_unlocked());
+    }
+
+    #[test]
+    fn security_service_absent_by_default() {
+        let mut ecu = uds_ecu();
+        let rsp = ecu.handle(&[0x27, 0x01], Micros::ZERO).unwrap();
+        assert_eq!(rsp, vec![0x7F, 0x27, 0x11]);
+    }
+
+    #[test]
+    fn malformed_payload_gets_negative_response() {
+        let mut ecu = uds_ecu();
+        let rsp = ecu.handle(&[0x22], Micros::ZERO).unwrap();
+        assert_eq!(rsp[0], 0x7F);
+    }
+}

@@ -1,0 +1,47 @@
+//! Vehicle simulator: the "18 real vehicles" substrate of the evaluation.
+//!
+//! The paper's hardware — real cars with proprietary ECU tables — is
+//! replaced by this simulator (see DESIGN.md for the substitution
+//! argument). A [`Vehicle`] is a set of [`Ecu`]s behind an OBD port; each
+//! ECU owns
+//!
+//! * **sensors** whose physical values evolve over logical time
+//!   ([`signal`]),
+//! * a proprietary **DID / local-id table** mapping identifiers to sensors
+//!   and to the [`EsvFormula`](dpr_protocol::EsvFormula) used to encode raw
+//!   response bytes ([`codec`]),
+//! * **controllable components** implementing the UDS/KWP IO-control state
+//!   machine (freeze → short-term adjustment → return control, the pattern
+//!   the paper's Tab. 11 recovers) ([`component`]),
+//! * and a transport endpoint (ISO-TP, VW TP 2.0, or BMW raw, per car).
+//!
+//! The [`profiles`] module instantiates the 18 cars of the paper's Tab. 3
+//! with per-car ESV/ECR counts matching Tabs. 6 and 11, deterministically
+//! from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_vehicle::profiles::{self, CarId};
+//!
+//! let car = profiles::build(CarId::A, 7);
+//! assert_eq!(car.name(), "Skoda Octavia");
+//! assert!(car.ecus().len() >= 2);
+//! // Car A (Tab. 6): 28 ESVs with formulas, 0 enum ESVs.
+//! assert_eq!(car.esv_points().filter(|p| p.formula.has_formula()).count(), 28);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod component;
+pub mod ecu;
+pub mod profiles;
+pub mod signal;
+mod vehicle;
+
+pub use codec::{EncodeStrategy, EsvCodec};
+pub use component::{Component, ComponentAction, ControlState};
+pub use ecu::{DashboardSignal, Ecu, EsvPoint, TransportKind};
+pub use vehicle::{run_exchange, AttachedVehicle, SessionError, Vehicle};

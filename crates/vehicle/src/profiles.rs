@@ -1,0 +1,926 @@
+//! The 18 evaluation vehicles of the paper's Tab. 3.
+//!
+//! Each profile reproduces the car's protocol and transport scheme
+//! (Tab. 3), its per-car counts of formula and enumeration ESVs (Tab. 6),
+//! and its controllable-component count and IO-control service (Tab. 11).
+//! The proprietary content — which DID/local-id maps to which sensor and
+//! formula — is generated deterministically from a seed, cycling through
+//! archetype pools, so every experiment run sees the same "manufacturer
+//! secrets" without us hard-coding 570 tables by hand.
+//!
+//! Cars F, K, L, and R additionally pin the exact dashboard-mirrored
+//! formulas of Tab. 7 (`Y = X`, `Y = X0·X1/5`, `Y = 0.5·X`, and
+//! `Y = 64·X0 + 0.25·X1`).
+
+use dpr_can::{CanId, Micros};
+use dpr_protocol::kwp::LocalId;
+use dpr_protocol::obd::{self, Pid};
+use dpr_protocol::uds::Did;
+use dpr_protocol::{EsvFormula, Quantity};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{EncodeStrategy, EsvCodec};
+use crate::component::Component;
+use crate::ecu::{ComponentKey, Ecu, EsvId, Protocol, Sensor, TransportKind};
+use crate::signal::SignalGenerator;
+use crate::vehicle::Vehicle;
+
+/// The cars of Tab. 3, identified the way the paper labels them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CarId {
+    A, B, C, D, E, F, G, H, I, J, K, L, M, N, O, P, Q, R,
+}
+
+impl CarId {
+    /// All eighteen cars in paper order.
+    pub const ALL: [CarId; 18] = [
+        CarId::A, CarId::B, CarId::C, CarId::D, CarId::E, CarId::F,
+        CarId::G, CarId::H, CarId::I, CarId::J, CarId::K, CarId::L,
+        CarId::M, CarId::N, CarId::O, CarId::P, CarId::Q, CarId::R,
+    ];
+}
+
+impl std::fmt::Display for CarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Car {self:?}")
+    }
+}
+
+/// Which IO-control service a car's active tests use (Tab. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcrService {
+    /// UDS IO control, service id 0x2F.
+    Uds2F,
+    /// Input output control by local identifier, service id 0x30.
+    Local30,
+}
+
+/// The static facts of one evaluation car, straight from Tabs. 3, 6, 11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CarSpec {
+    /// Paper label.
+    pub id: CarId,
+    /// Vehicle model (Tab. 3).
+    pub model: &'static str,
+    /// Application protocol (Tab. 3).
+    pub protocol: Protocol,
+    /// Transport scheme (derived: VW-group cars use VW TP 2.0, BMW/Mini
+    /// use the raw scheme, everything else ISO-TP).
+    pub transport: TransportKind,
+    /// Diagnostic tool used in the paper (Tab. 3).
+    pub tool: &'static str,
+    /// ESVs decoded through a formula (Tab. 6, "#ESV (formula)").
+    pub formula_esvs: usize,
+    /// Enumeration ESVs without a formula (Tab. 6, "#ESV (Enum)").
+    pub enum_esvs: usize,
+    /// Controllable components (Tab. 11, "#ECR"); zero if the car was not
+    /// part of the ECR experiment.
+    pub ecrs: usize,
+    /// IO-control service for those components (Tab. 11).
+    pub ecr_service: Option<EcrService>,
+}
+
+/// The Tab. 3/6/11 facts for a car.
+pub fn spec(id: CarId) -> CarSpec {
+    use CarId::*;
+    use Protocol::*;
+    use TransportKind::*;
+    let (model, protocol, transport, tool) = match id {
+        A => ("Skoda Octavia", Uds, IsoTp, "LAUNCH X431"),
+        B => ("Volkswagen Magotan", Kwp2000, VwTp, "VCDS"),
+        C => ("Volkswagen Lavida", Kwp2000, VwTp, "LAUNCH X431"),
+        D => ("Lexus NX300", Uds, IsoTp, "Techstream"),
+        E => ("Mini Cooper R56", Uds, BmwRaw, "AUTEL 919"),
+        F => ("Mini Cooper R59", Uds, BmwRaw, "AUTEL 919"),
+        G => ("BMW i3", Uds, BmwRaw, "AUTEL 919"),
+        H => ("RongWei MARVEL X", Uds, IsoTp, "AUTEL 919"),
+        I => ("Changan Eado", Uds, IsoTp, "AUTEL 919"),
+        J => ("BMW 532Li", Uds, BmwRaw, "AUTEL 919"),
+        K => ("Volkswagen Passat", Kwp2000, VwTp, "AUTEL 919"),
+        L => ("Toyota Corolla", Uds, IsoTp, "AUTEL 919"),
+        M => ("Peugeot 308", Uds, IsoTp, "AUTEL 919"),
+        N => ("Kia k2 (UC)", Uds, IsoTp, "AUTEL 919"),
+        O => ("Ford Kuga", Uds, IsoTp, "AUTEL 919"),
+        P => ("Honda Accord", Uds, IsoTp, "AUTEL 919"),
+        Q => ("Nissan Teana", Uds, IsoTp, "AUTEL 919"),
+        R => ("Audi A4L", Uds, IsoTp, "AUTEL 919"),
+    };
+    let (formula_esvs, enum_esvs) = match id {
+        A => (28, 0), B => (8, 0), C => (5, 0), D => (12, 5), E => (5, 4),
+        F => (8, 5), G => (5, 22), H => (5, 13), I => (11, 0), J => (20, 20),
+        K => (41, 0), L => (29, 20), M => (4, 14), N => (26, 19), O => (18, 9),
+        P => (7, 6), Q => (18, 17), R => (40, 2),
+    };
+    let (ecrs, ecr_service) = match id {
+        A => (11, Some(EcrService::Uds2F)),
+        D => (5, Some(EcrService::Local30)),
+        E => (3, Some(EcrService::Local30)),
+        F => (5, Some(EcrService::Local30)),
+        H => (6, Some(EcrService::Uds2F)),
+        I => (10, Some(EcrService::Uds2F)),
+        J => (27, Some(EcrService::Local30)),
+        N => (21, Some(EcrService::Uds2F)),
+        O => (4, Some(EcrService::Uds2F)),
+        Q => (32, Some(EcrService::Local30)),
+        _ => (0, None),
+    };
+    CarSpec {
+        id,
+        model,
+        protocol,
+        transport,
+        tool,
+        formula_esvs,
+        enum_esvs,
+        ecrs,
+        ecr_service,
+    }
+}
+
+/// ECU names used round-robin when distributing data points.
+const ECU_NAMES: [&str; 6] = [
+    "Engine",
+    "Body Control",
+    "ABS",
+    "Instrument Cluster",
+    "Transmission",
+    "Airbag",
+];
+
+/// Per-ECU DID bases, so identifiers never collide within a car.
+const DID_BASES: [u16; 6] = [0xF400, 0x0900, 0xDB00, 0x2000, 0x3000, 0x1000];
+
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// A one-variable UDS formula archetype: quantity, generator, codec.
+fn uds_archetype(index: usize, seed: u64) -> (Sensor, EsvCodec) {
+    // Jitter multiplies linear/square scale factors so each car's table is
+    // its own "proprietary" variant while staying byte-representable.
+    let jitter = [1.0, 1.25, 1.5, 2.0][(seed % 4) as usize];
+    let walk = |start: f64, step: f64, min: f64, max: f64| SignalGenerator::Walk {
+        start,
+        step,
+        min,
+        max,
+        dwell: Micros::from_millis(400),
+        seed: mix(seed, 11, index as u64),
+    };
+    let sine = |mean: f64, amp: f64, secs: u64| SignalGenerator::Sine {
+        mean,
+        amplitude: amp,
+        period: Micros::from_secs(secs),
+    };
+    let ramp = |from: f64, to: f64, secs: u64| SignalGenerator::Ramp {
+        from,
+        to,
+        period: Micros::from_secs(secs),
+    };
+    match index % 12 {
+        0 => (
+            Sensor {
+                quantity: Quantity::new("Engine Speed", "rpm", 0.0, 16383.75).with_decimals(0),
+                generator: sine(2500.0, 1800.0, 20 + seed % 13),
+            },
+            EsvCodec {
+                formula: EsvFormula::Affine2 { a: 64.0, b: 0.25, c: 0.0 },
+                strategy: EncodeStrategy::Split,
+            },
+        ),
+        1 => (
+            Sensor {
+                quantity: Quantity::new("Vehicle Speed", "km/h", 0.0, 255.0).with_decimals(0),
+                generator: walk(60.0, 8.0, 0.0, 200.0),
+            },
+            EsvCodec::single(EsvFormula::IDENTITY),
+        ),
+        2 => (
+            Sensor {
+                quantity: Quantity::new("Coolant Temperature", "degC", -40.0, 215.0)
+                    .with_decimals(0),
+                generator: ramp(20.0, 110.0, 45 + seed % 31),
+            },
+            EsvCodec::single(EsvFormula::Linear { a: 1.0, b: -40.0 }),
+        ),
+        3 => (
+            Sensor {
+                quantity: Quantity::new("Throttle Position", "%", 0.0, 100.0),
+                generator: walk(15.0, 6.0, 0.0, 100.0),
+            },
+            EsvCodec::single(EsvFormula::Linear { a: 100.0 / 255.0 / jitter, b: 0.0 }),
+        ),
+        4 => (
+            Sensor {
+                quantity: Quantity::new("Battery Voltage", "V", 0.0, 25.5).with_decimals(1),
+                generator: sine(12.8, 1.5, 9 + seed % 7),
+            },
+            EsvCodec::single(EsvFormula::Linear { a: 0.1, b: 0.0 }),
+        ),
+        5 => (
+            Sensor {
+                quantity: Quantity::new("Injection Quantity", "mg/st", 0.0, 120.0)
+                    .with_decimals(1),
+                generator: sine(55.0, 40.0, 15 + seed % 9),
+            },
+            // A genuine two-variable product on the wire (mantissa ×
+            // scale byte), like the KWP engine-speed family.
+            EsvCodec {
+                formula: EsvFormula::Product { a: 0.002 * jitter, b: 0.0 },
+                strategy: EncodeStrategy::ProductSplit,
+            },
+        ),
+        6 => (
+            Sensor {
+                quantity: Quantity::new("Fuel Rate", "l/h", 5.0, 100.0).with_decimals(1),
+                generator: walk(20.0, 4.0, 5.0, 100.0),
+            },
+            EsvCodec::single(EsvFormula::Inverse { a: 1000.0, b: 0.0 }),
+        ),
+        7 => (
+            Sensor {
+                quantity: Quantity::new("Air Mass Flow", "kg/h", 1.0, 650.25).with_decimals(1),
+                generator: sine(300.0, 200.0, 17 + seed % 11),
+            },
+            EsvCodec::single(EsvFormula::Square { a: 0.01 * jitter, b: 0.0 }),
+        ),
+        8 => (
+            Sensor {
+                quantity: Quantity::new("Fuel Trim", "%", -100.0, 99.2).with_decimals(1),
+                generator: sine(0.0, 20.0, 13 + seed % 9),
+            },
+            EsvCodec::single(EsvFormula::Linear { a: 0.78125, b: -100.0 }),
+        ),
+        9 => (
+            Sensor {
+                quantity: Quantity::new("Oil Temperature", "degC", -40.0, 215.0).with_decimals(0),
+                // Sine, not ramp: oil temperature must be distinguishable
+                // from the coolant ramp within one observation window, or
+                // label association between the two becomes ambiguous.
+                generator: sine(70.0, 30.0, 13 + seed % 7),
+            },
+            EsvCodec::single(EsvFormula::Linear { a: 1.0, b: -40.0 }),
+        ),
+        10 => (
+            Sensor {
+                // Encoded as a period; displayed as a flow rate — the
+                // inverse encoding family.
+                quantity: Quantity::new("Fuel Flow", "ml/s", 2.0, 25.0).with_decimals(1),
+                generator: walk(10.0, 2.0, 2.5, 24.0),
+            },
+            EsvCodec::single(EsvFormula::Inverse { a: 500.0, b: 0.0 }),
+        ),
+        _ => (
+            Sensor {
+                // Square-companded encoding: fine resolution at low
+                // pressures, coarse at high.
+                quantity: Quantity::new("Charge Pressure", "kPa", 0.0, 520.2).with_decimals(0),
+                generator: walk(150.0, 30.0, 10.0, 480.0),
+            },
+            EsvCodec::single(EsvFormula::Square { a: 0.008 * jitter, b: 0.0 }),
+        ),
+    }
+}
+
+/// A KWP measuring-block archetype: `(f_type, sensor, strategy)`. The
+/// formula always comes from the car's standard formula-type table.
+fn kwp_archetype(index: usize, seed: u64) -> (u8, Sensor, EncodeStrategy) {
+    let walk = |start: f64, step: f64, min: f64, max: f64| SignalGenerator::Walk {
+        start,
+        step,
+        min,
+        max,
+        dwell: Micros::from_millis(400),
+        seed: mix(seed, 23, index as u64),
+    };
+    let sine = |mean: f64, amp: f64, secs: u64| SignalGenerator::Sine {
+        mean,
+        amplitude: amp,
+        period: Micros::from_secs(secs),
+    };
+    let ramp = |from: f64, to: f64, secs: u64| SignalGenerator::Ramp {
+        from,
+        to,
+        period: Micros::from_secs(secs),
+    };
+    match index % 10 {
+        0 => (
+            0x01,
+            Sensor {
+                quantity: Quantity::new("Engine Speed", "rpm", 0.0, 8000.0).with_decimals(0),
+                generator: sine(2500.0, 1800.0, 20 + seed % 13),
+            },
+            EncodeStrategy::ProductSplit,
+        ),
+        1 => (
+            0x07,
+            Sensor {
+                quantity: Quantity::new("Vehicle Speed", "km/h", 0.0, 255.0).with_decimals(0),
+                generator: walk(60.0, 8.0, 0.0, 200.0),
+            },
+            // The paper's observation: the scale byte X0 is pinned at 100,
+            // collapsing 0.01·X0·X1 to Y = X1.
+            EncodeStrategy::FixedX0(100),
+        ),
+        2 => (
+            0x05,
+            Sensor {
+                quantity: Quantity::new("Coolant Temperature", "degC", -40.0, 120.0)
+                    .with_decimals(1),
+                generator: ramp(20.0, 105.0, 45 + seed % 31),
+            },
+            EncodeStrategy::FixedX0(10),
+        ),
+        3 => (
+            0x02,
+            Sensor {
+                quantity: Quantity::new("Duty Cycle", "%", 0.0, 100.0),
+                generator: walk(40.0, 7.0, 0.0, 100.0),
+            },
+            EncodeStrategy::FixedX0(200),
+        ),
+        4 => (
+            0x06,
+            Sensor {
+                quantity: Quantity::new("Battery Voltage", "V", 0.0, 17.8).with_decimals(2),
+                generator: sine(12.8, 1.5, 9 + seed % 7),
+            },
+            EncodeStrategy::FixedX0(7),
+        ),
+        5 => (
+            0x09,
+            Sensor {
+                quantity: Quantity::new("Idle Speed", "x32 rpm", 0.0, 255.0).with_decimals(0),
+                generator: walk(25.0, 3.0, 15.0, 40.0),
+            },
+            EncodeStrategy::X0Only,
+        ),
+        6 => (
+            0x0B,
+            Sensor {
+                quantity: Quantity::new("Oil Temperature", "degC", -40.0, 215.0).with_decimals(0),
+                // Sine, not ramp — see the UDS oil-temperature archetype.
+                generator: sine(70.0, 30.0, 13 + seed % 7),
+            },
+            EncodeStrategy::X0Only,
+        ),
+        7 => (
+            0x04,
+            Sensor {
+                quantity: Quantity::new("Torque Assistance", "Nm", -12.8, 12.7).with_decimals(2),
+                generator: sine(0.0, 10.0, 11 + seed % 5),
+            },
+            EncodeStrategy::FixedX0(100),
+        ),
+        8 => (
+            0x0D,
+            Sensor {
+                quantity: Quantity::new("Air Flow", "kg/h", 0.0, 650.25).with_decimals(1),
+                generator: sine(300.0, 200.0, 17 + seed % 11),
+            },
+            EncodeStrategy::X0Only,
+        ),
+        _ => (
+            0x0F,
+            Sensor {
+                quantity: Quantity::new("Fuel Trim", "%", -100.0, 99.2).with_decimals(1),
+                generator: sine(0.0, 20.0, 13 + seed % 9),
+            },
+            EncodeStrategy::X0Only,
+        ),
+    }
+}
+
+/// An enumeration archetype (no formula): quantity plus a stepping signal.
+fn enum_archetype(index: usize, seed: u64) -> Sensor {
+    let specs: [(&str, f64); 8] = [
+        ("Door Status", 1.0),
+        ("Gear Position", 5.0),
+        ("Light Switch", 2.0),
+        ("Central Lock Status", 1.0),
+        ("A/C Status", 1.0),
+        ("Window Position", 4.0),
+        ("Wiper Mode", 3.0),
+        ("Seatbelt Status", 1.0),
+    ];
+    let (name, max) = specs[index % specs.len()];
+    let values: Vec<f64> = (0..=(max as usize)).map(|v| v as f64).collect();
+    Sensor {
+        quantity: Quantity::new(name, "state", 0.0, max).with_decimals(0),
+        generator: SignalGenerator::Steps {
+            values,
+            dwell: Micros::from_millis(1500 + (mix(seed, 31, index as u64) % 2000)),
+        },
+    }
+}
+
+/// Component name pool for the ECR experiment.
+const COMPONENT_NAMES: [&str; 12] = [
+    "Fog Light Left",
+    "Fog Light Right",
+    "Wiper Motor",
+    "Door Lock",
+    "Trunk Release",
+    "Horn",
+    "Turn Signal Left",
+    "Turn Signal Right",
+    "Fuel Pump",
+    "Cooling Fan",
+    "Window Lift",
+    "High Beam",
+];
+
+/// Builds the simulated vehicle for a Tab. 3 car. `seed` controls every
+/// "proprietary" choice (formula assignment, signal shapes); the per-car
+/// counts always match Tabs. 6 and 11 exactly.
+pub fn build(id: CarId, seed: u64) -> Vehicle {
+    let spec = spec(id);
+    let car_seed = mix(seed, id as u64 + 1, 0xCA7);
+    let total_points = spec.formula_esvs + spec.enum_esvs;
+    let ecu_count = (total_points / 9).clamp(2, 6);
+
+    let mut vehicle = Vehicle::new(spec.model);
+    let mut ecus: Vec<Ecu> = (0..ecu_count)
+        .map(|i| {
+            let (req, rsp, addr) = match spec.transport {
+                TransportKind::IsoTp => {
+                    if i == 0 {
+                        (0x7E0, 0x7E8, 0x01)
+                    } else {
+                        (0x710 + i as u16, 0x718 + i as u16, i as u8 + 1)
+                    }
+                }
+                TransportKind::VwTp => (0x740 + i as u16, 0x300 + i as u16, i as u8 + 1),
+                // BMW raw: every ECU listens on the tester id 0x6F1 and is
+                // selected by the address byte; responses leave on
+                // 0x600 + address.
+                TransportKind::BmwRaw => (0x6F1, 0x640 + i as u16, 0x40 + i as u8),
+            };
+            let mut ecu = Ecu::new(
+                ECU_NAMES[i],
+                CanId::standard(req).expect("profile ids are 11-bit"),
+                CanId::standard(rsp).expect("profile ids are 11-bit"),
+                spec.transport,
+                spec.protocol,
+            );
+            ecu.address = addr;
+            ecu
+        })
+        .collect();
+
+    // ——— formula ESVs ———
+    let mut formula_slots: Vec<(usize, Sensor, EsvCodec, Option<u8>)> = Vec::new();
+    // Pinned Tab. 7 dashboard formulas come first on the engine ECU.
+    match id {
+        CarId::F => {
+            formula_slots.push((
+                0,
+                Sensor {
+                    quantity: Quantity::new("Engine Speed", "x32 rpm", 0.0, 255.0)
+                        .with_decimals(0),
+                    generator: SignalGenerator::Sine {
+                        mean: 90.0,
+                        amplitude: 60.0,
+                        period: Micros::from_secs(20),
+                    },
+                },
+                EsvCodec::single(EsvFormula::IDENTITY),
+                None,
+            ));
+        }
+        CarId::K => {
+            let (f_type, sensor, strategy) = kwp_archetype(0, car_seed);
+            let formula = *dpr_protocol::kwp::FormulaTypeTable::standard()
+                .get(f_type)
+                .expect("table has type 0x01");
+            formula_slots.push((0, sensor, EsvCodec { formula, strategy }, Some(f_type)));
+        }
+        CarId::L => {
+            formula_slots.push((
+                0,
+                Sensor {
+                    quantity: Quantity::new("Coolant Temperature", "degC", 0.0, 127.5)
+                        .with_decimals(1),
+                    generator: SignalGenerator::Ramp {
+                        from: 20.0,
+                        to: 105.0,
+                        period: Micros::from_secs(50),
+                    },
+                },
+                EsvCodec::single(EsvFormula::Linear { a: 0.5, b: 0.0 }),
+                None,
+            ));
+        }
+        CarId::R => {
+            let (sensor, codec) = uds_archetype(0, car_seed);
+            formula_slots.push((0, sensor, codec, None));
+        }
+        _ => {}
+    }
+    while formula_slots.len() < spec.formula_esvs {
+        let i = formula_slots.len();
+        let point_seed = mix(car_seed, 101, i as u64);
+        match spec.protocol {
+            Protocol::Uds => {
+                let (sensor, codec) = uds_archetype(i, point_seed);
+                formula_slots.push((i % ecu_count, sensor, codec, None));
+            }
+            Protocol::Kwp2000 => {
+                let (f_type, sensor, strategy) = kwp_archetype(i, point_seed);
+                let formula = *dpr_protocol::kwp::FormulaTypeTable::standard()
+                    .get(f_type)
+                    .expect("archetype f_types exist in the standard table");
+                formula_slots.push((i % ecu_count, sensor, EsvCodec { formula, strategy }, Some(f_type)));
+            }
+        }
+    }
+
+    // ——— enumeration ESVs ———
+    let mut enum_slots: Vec<(usize, Sensor)> = Vec::new();
+    for i in 0..spec.enum_esvs {
+        let point_seed = mix(car_seed, 202, i as u64);
+        // Enumerations live on body-domain ECUs where possible.
+        let ecu_idx = if ecu_count > 1 { 1 + i % (ecu_count - 1) } else { 0 };
+        enum_slots.push((ecu_idx, enum_archetype(i, point_seed)));
+    }
+
+    // Materialize points into ECU tables.
+    let mut per_ecu_counter = vec![0usize; ecu_count];
+    let mut dashboard: Vec<(EsvId, String)> = Vec::new();
+    for (slot_idx, (ecu_idx, sensor, codec, f_type)) in formula_slots.into_iter().enumerate() {
+        let n = per_ecu_counter[ecu_idx];
+        per_ecu_counter[ecu_idx] += 1;
+        let label = sensor.quantity.name().to_string();
+        let esv_id = match spec.protocol {
+            Protocol::Uds => {
+                let did = Did(DID_BASES[ecu_idx] + n as u16);
+                ecus[ecu_idx].add_uds_point(did, sensor, codec);
+                EsvId::Uds(did)
+            }
+            Protocol::Kwp2000 => {
+                // Up to three displayed ESVs per measuring block; blocks
+                // are padded to full length with hidden filler slots below.
+                let local_id = LocalId(0x01 + (n / 3) as u8 + (ecu_idx as u8) * 0x20);
+                let slot = n % 3;
+                ecus[ecu_idx].add_kwp_slot(
+                    local_id,
+                    f_type.expect("KWP slots always carry a formula type"),
+                    sensor,
+                    codec,
+                );
+                EsvId::Kwp { local_id, slot }
+            }
+        };
+        // The pinned Tab. 7 signal is always slot 0 on the engine ECU.
+        if slot_idx == 0 && matches!(id, CarId::F | CarId::K | CarId::L | CarId::R) {
+            dashboard.push((esv_id, label));
+        }
+    }
+    for (ecu_idx, sensor) in enum_slots {
+        let n = per_ecu_counter[ecu_idx];
+        per_ecu_counter[ecu_idx] += 1;
+        match spec.protocol {
+            Protocol::Uds => {
+                let did = Did(DID_BASES[ecu_idx] + n as u16);
+                ecus[ecu_idx].add_uds_point(
+                    did,
+                    sensor,
+                    EsvCodec::single(EsvFormula::Enumeration),
+                );
+            }
+            Protocol::Kwp2000 => {
+                let local_id = LocalId(0x01 + (n / 3) as u8 + (ecu_idx as u8) * 0x20);
+                ecus[ecu_idx].add_kwp_slot(
+                    local_id,
+                    dpr_protocol::kwp::ENUM_TYPE,
+                    sensor,
+                    EsvCodec::single(EsvFormula::Enumeration),
+                );
+            }
+        }
+    }
+
+    // ——— pad KWP measuring blocks with hidden filler slots ———
+    // Real VW measuring-block responses carry far more values than the
+    // tool displays; the undisplayed remainder is what makes 75.2% of the
+    // paper's Tab. 9 KWP frames multi-frame. Pad every block to 15 slots
+    // (a 47-byte response spanning seven VW TP 2.0 frames).
+    if spec.protocol == Protocol::Kwp2000 {
+        for ecu in ecus.iter_mut() {
+            let blocks: Vec<(LocalId, usize)> = ecu
+                .kwp_block_lengths()
+                .into_iter()
+                .collect();
+            for (local_id, len) in blocks {
+                for k in len..15 {
+                    let filler_seed = mix(car_seed, 505, (local_id.0 as u64) << 8 | k as u64);
+                    // Fillers are near-constant status bytes, as the
+                    // undisplayed remainder of real measuring blocks is —
+                    // and constants cannot spuriously claim a displayed
+                    // label during association.
+                    let value = (filler_seed % 6) as f64;
+                    ecu.add_kwp_filler_slot(
+                        local_id,
+                        dpr_protocol::kwp::ENUM_TYPE,
+                        Sensor {
+                            quantity: Quantity::new("Status", "state", 0.0, 255.0)
+                                .with_decimals(0),
+                            generator: SignalGenerator::Constant(value),
+                        },
+                        EsvCodec::single(EsvFormula::Enumeration),
+                    );
+                }
+            }
+        }
+    }
+
+    // ——— controllable components (Tab. 11) ———
+    for i in 0..spec.ecrs {
+        let ecu_idx = if ecu_count > 1 { 1 + i % (ecu_count - 1) } else { 0 };
+        let name = COMPONENT_NAMES[i % COMPONENT_NAMES.len()];
+        let component = if mix(car_seed, 303, i as u64).is_multiple_of(3) {
+            Component::new(name).strict()
+        } else {
+            Component::new(name)
+        };
+        let key = match spec.ecr_service.expect("ecrs > 0 implies a service") {
+            EcrService::Uds2F => ComponentKey::UdsDid(Did(0x0950 + i as u16)),
+            EcrService::Local30 => ComponentKey::KwpLocal(LocalId(0x11 + i as u8)),
+        };
+        ecus[ecu_idx].add_component(key, component);
+        // Every third UDS-controlled component sits behind SecurityAccess
+        // (real body/chassis ECUs gate actuators this way); the hosting
+        // ECU gets a per-car seed-key secret.
+        if spec.ecr_service == Some(EcrService::Uds2F) && i % 3 == 2 {
+            let secret = (mix(car_seed, 606, 0) & 0xFFFF) as u16;
+            ecus[ecu_idx].security_secret.get_or_insert(secret);
+            ecus[ecu_idx].secure_component(key);
+        }
+    }
+
+    // ——— OBD-II on the engine controller (every car supports it) ———
+    let obd_gens: Vec<(Pid, SignalGenerator)> = vec![
+        (Pid(0x0C), SignalGenerator::Sine {
+            mean: 2500.0,
+            amplitude: 1800.0,
+            period: Micros::from_secs(20),
+        }),
+        (Pid(0x0D), SignalGenerator::Walk {
+            start: 60.0,
+            step: 8.0,
+            min: 0.0,
+            max: 200.0,
+            dwell: Micros::from_millis(400),
+            seed: mix(car_seed, 404, 1),
+        }),
+        (Pid(0x05), SignalGenerator::Ramp {
+            from: 20.0,
+            to: 110.0,
+            period: Micros::from_secs(50),
+        }),
+        (Pid(0x11), SignalGenerator::Walk {
+            start: 15.0,
+            step: 6.0,
+            min: 0.0,
+            max: 100.0,
+            dwell: Micros::from_millis(400),
+            seed: mix(car_seed, 404, 2),
+        }),
+        (Pid(0x04), SignalGenerator::Walk {
+            start: 30.0,
+            step: 9.0,
+            min: 0.0,
+            max: 100.0,
+            dwell: Micros::from_millis(400),
+            seed: mix(car_seed, 404, 3),
+        }),
+        (Pid(0x2F), SignalGenerator::Ramp {
+            from: 80.0,
+            to: 20.0,
+            period: Micros::from_secs(300),
+        }),
+        (Pid(0x0B), SignalGenerator::Walk {
+            start: 100.0,
+            step: 15.0,
+            min: 20.0,
+            max: 250.0,
+            dwell: Micros::from_millis(400),
+            seed: mix(car_seed, 404, 4),
+        }),
+        (Pid(0x0F), SignalGenerator::Ramp {
+            from: 15.0,
+            to: 45.0,
+            period: Micros::from_secs(120),
+        }),
+        (Pid(0x42), SignalGenerator::Sine {
+            mean: 13.8,
+            amplitude: 0.8,
+            period: Micros::from_secs(9),
+        }),
+        (Pid(0x46), SignalGenerator::Constant(24.0)),
+    ];
+    // OBD-II is mandated over ISO 15765 regardless of the proprietary
+    // transport: ISO-TP cars answer it on the engine controller; VW TP and
+    // BMW-raw cars expose it through a dedicated gateway ECU on the
+    // standard 0x7E0/0x7E8 pair.
+    if spec.transport == TransportKind::IsoTp {
+        for (pid, generator) in obd_gens {
+            debug_assert!(obd::pid_spec(pid).is_some());
+            ecus[0].add_obd_pid(pid, generator);
+        }
+    } else {
+        let mut gateway = Ecu::new(
+            "OBD Gateway",
+            CanId::standard(0x7E0).expect("standard OBD request id"),
+            CanId::standard(0x7E8).expect("standard OBD response id"),
+            TransportKind::IsoTp,
+            Protocol::Uds,
+        );
+        for (pid, generator) in obd_gens {
+            debug_assert!(obd::pid_spec(pid).is_some());
+            gateway.add_obd_pid(pid, generator);
+        }
+        ecus.push(gateway);
+    }
+
+    // A few stored trouble codes per car (UDS cars): realistic DTC-read
+    // traffic for the tool and the app corpus, and a safety invariant for
+    // the collector (it must never clear them — its UI blacklist).
+    if spec.protocol == Protocol::Uds {
+        let n_dtcs = (mix(car_seed, 707, 0) % 4) as usize + 1;
+        for d in 0..n_dtcs {
+            let h = mix(car_seed, 708, d as u64);
+            let code = 0x0100 | (h % 0x0400) as u16;
+            let status = 0x08 | ((h >> 16) as u8 & 0x27);
+            let ecu_idx = d % ecus.len();
+            ecus[ecu_idx].add_dtc(code, status);
+        }
+    }
+
+    for ecu in ecus {
+        vehicle.add_ecu(ecu);
+    }
+    for (esv_id, label) in dashboard {
+        vehicle.add_dashboard_signal(esv_id, label);
+    }
+    vehicle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_tab6_for_every_car() {
+        for id in CarId::ALL {
+            let s = spec(id);
+            let car = build(id, 42);
+            let formula = car
+                .esv_points()
+                .filter(|p| p.formula.has_formula())
+                .count();
+            let enums = car
+                .esv_points()
+                .filter(|p| !p.formula.has_formula())
+                .count();
+            assert_eq!(formula, s.formula_esvs, "{id}: formula ESV count");
+            assert_eq!(enums, s.enum_esvs, "{id}: enum ESV count");
+        }
+    }
+
+    #[test]
+    fn tab6_totals() {
+        let total_formula: usize = CarId::ALL.iter().map(|&c| spec(c).formula_esvs).sum();
+        let total_enum: usize = CarId::ALL.iter().map(|&c| spec(c).enum_esvs).sum();
+        assert_eq!(total_formula, 290, "Tab. 6 total #ESV (formula)");
+        assert_eq!(total_enum, 156, "Tab. 6 total #ESV (Enum)");
+    }
+
+    #[test]
+    fn tab11_totals() {
+        let total_ecrs: usize = CarId::ALL.iter().map(|&c| spec(c).ecrs).sum();
+        assert_eq!(total_ecrs, 124, "Tab. 11 total #ECR");
+        let cars_with_ecrs = CarId::ALL.iter().filter(|&&c| spec(c).ecrs > 0).count();
+        assert_eq!(cars_with_ecrs, 10, "Tab. 11 covers ten vehicles");
+    }
+
+    #[test]
+    fn component_counts_match_tab11() {
+        for id in [CarId::A, CarId::J, CarId::Q] {
+            let s = spec(id);
+            let car = build(id, 7);
+            let components: usize = car
+                .ecus()
+                .iter()
+                .map(|e| e.component_keys().count())
+                .sum();
+            assert_eq!(components, s.ecrs, "{id}");
+        }
+    }
+
+    #[test]
+    fn transports_follow_manufacturer() {
+        assert_eq!(spec(CarId::B).transport, TransportKind::VwTp);
+        assert_eq!(spec(CarId::K).transport, TransportKind::VwTp);
+        assert_eq!(spec(CarId::G).transport, TransportKind::BmwRaw);
+        assert_eq!(spec(CarId::J).transport, TransportKind::BmwRaw);
+        assert_eq!(spec(CarId::L).transport, TransportKind::IsoTp);
+    }
+
+    #[test]
+    fn dashboard_cars_have_pinned_formulas() {
+        // Tab. 7: F → Y = X, K → Y = X0·X1/5, L → Y = 0.5X, R → affine2.
+        let f = build(CarId::F, 1);
+        assert_eq!(f.dashboard().len(), 1);
+        let fp = f
+            .esv_points()
+            .find(|p| p.id == f.dashboard()[0].id)
+            .unwrap();
+        assert_eq!(fp.formula, EsvFormula::IDENTITY);
+
+        let k = build(CarId::K, 1);
+        let kp = k
+            .esv_points()
+            .find(|p| p.id == k.dashboard()[0].id)
+            .unwrap();
+        assert_eq!(kp.formula, EsvFormula::Product { a: 0.2, b: 0.0 });
+
+        let l = build(CarId::L, 1);
+        let lp = l
+            .esv_points()
+            .find(|p| p.id == l.dashboard()[0].id)
+            .unwrap();
+        assert_eq!(lp.formula, EsvFormula::Linear { a: 0.5, b: 0.0 });
+
+        let r = build(CarId::R, 1);
+        let rp = r
+            .esv_points()
+            .find(|p| p.id == r.dashboard()[0].id)
+            .unwrap();
+        assert!(matches!(rp.formula, EsvFormula::Affine2 { .. }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(CarId::N, 9);
+        let b = build(CarId::N, 9);
+        let pa: Vec<_> = a.esv_points().collect();
+        let pb: Vec<_> = b.esv_points().collect();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn different_seeds_vary_proprietary_content() {
+        let a = build(CarId::A, 1);
+        let b = build(CarId::A, 2);
+        let fa: Vec<_> = a.esv_points().map(|p| p.formula).collect();
+        let fb: Vec<_> = b.esv_points().map(|p| p.formula).collect();
+        // Counts equal, content (jittered coefficients) differs somewhere.
+        assert_eq!(fa.len(), fb.len());
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn engine_ecu_answers_obd() {
+        let mut bus = dpr_can::CanBus::new();
+        let car = build(CarId::L, 3).attach(&mut bus);
+        let engine = car.ecu("Engine").unwrap();
+        let mut engine = engine.clone();
+        let rsp = engine.handle(&[0x01, 0x0D], Micros::from_secs(1)).unwrap();
+        assert_eq!(rsp[0], 0x41);
+        assert_eq!(rsp[1], 0x0D);
+    }
+
+    #[test]
+    fn every_car_attaches_and_serves_reads() {
+        use dpr_transport::isotp::IsoTpEndpoint;
+        use dpr_transport::Endpoint;
+
+        // Exercise an end-to-end read on every ISO-TP car.
+        for id in CarId::ALL {
+            let s = spec(id);
+            if s.transport != TransportKind::IsoTp {
+                continue;
+            }
+            let mut bus = dpr_can::CanBus::new();
+            let tester_node = bus.attach("tester");
+            let mut car = build(id, 5).attach(&mut bus);
+            let points = car.esv_points();
+            let Some(point) = points.iter().find(|p| matches!(p.id, EsvId::Uds(_))) else {
+                continue;
+            };
+            let EsvId::Uds(did) = point.id else { unreachable!() };
+            let ecu = car.ecus().find(|e| e.name() == point.ecu).unwrap();
+            let mut tester = IsoTpEndpoint::new(ecu.request_id(), ecu.response_id());
+            tester
+                .send(&dpr_protocol::uds::UdsRequest::ReadDataById { dids: vec![did] }.encode(), Micros::ZERO)
+                .unwrap();
+            crate::vehicle::run_exchange(&mut bus, tester_node, &mut tester, &mut car).unwrap();
+            let rsp = tester.receive().unwrap_or_else(|| panic!("{id}: no response"));
+            assert_eq!(rsp[0], 0x62, "{id}: {rsp:02X?}");
+        }
+    }
+}

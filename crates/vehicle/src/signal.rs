@@ -1,0 +1,221 @@
+//! Deterministic sensor signal generators.
+//!
+//! Every generator is a *pure function of logical time*: the same `Micros`
+//! always yields the same value, so captures are reproducible and the
+//! alignment machinery can be tested exactly. "Random" walks derive their
+//! randomness from a seed hashed with the step index.
+
+use dpr_can::Micros;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic signal shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SignalGenerator {
+    /// A constant value.
+    Constant(f64),
+    /// Linear sweep from `from` to `to` over `period`, then repeat.
+    Ramp {
+        /// Start value of each sweep.
+        from: f64,
+        /// End value of each sweep.
+        to: f64,
+        /// Sweep duration.
+        period: Micros,
+    },
+    /// `mean + amplitude·sin(2πt/period)`.
+    Sine {
+        /// Center of the oscillation.
+        mean: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Oscillation period.
+        period: Micros,
+    },
+    /// A bounded pseudo-random walk: steps every `dwell`, each step drawn
+    /// deterministically from `seed` and the step index.
+    Walk {
+        /// Start (and center) value.
+        start: f64,
+        /// Maximum per-step change.
+        step: f64,
+        /// Lower clamp.
+        min: f64,
+        /// Upper clamp.
+        max: f64,
+        /// Time between steps.
+        dwell: Micros,
+        /// Seed for the deterministic noise.
+        seed: u64,
+    },
+    /// Cycles through a fixed list of values, holding each for `dwell` —
+    /// models enumeration signals (door open/closed, gear position).
+    Steps {
+        /// The values to cycle through.
+        values: Vec<f64>,
+        /// Hold time per value.
+        dwell: Micros,
+    },
+}
+
+/// SplitMix64: a tiny, high-quality deterministic hash for the walk noise.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in [-1, 1] from a seed and index.
+fn noise(seed: u64, index: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(index));
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+impl SignalGenerator {
+    /// The signal value at logical time `t`.
+    pub fn value_at(&self, t: Micros) -> f64 {
+        match self {
+            SignalGenerator::Constant(v) => *v,
+            SignalGenerator::Ramp { from, to, period } => {
+                let p = period.as_micros().max(1);
+                let phase = (t.as_micros() % p) as f64 / p as f64;
+                from + (to - from) * phase
+            }
+            SignalGenerator::Sine {
+                mean,
+                amplitude,
+                period,
+            } => {
+                let p = period.as_micros().max(1);
+                let phase = (t.as_micros() % p) as f64 / p as f64;
+                mean + amplitude * (2.0 * std::f64::consts::PI * phase).sin()
+            }
+            SignalGenerator::Walk {
+                start,
+                step,
+                min,
+                max,
+                dwell,
+                seed,
+            } => {
+                let d = dwell.as_micros().max(1);
+                let n = t.as_micros() / d;
+                // Sum of the first n steps, computed incrementally but
+                // bounded: clamp as we go so the walk stays in range.
+                let mut v = *start;
+                // Cap the walk length to keep value_at O(1)-ish for the
+                // simulation horizons we use (minutes of logical time).
+                let steps = n.min(100_000);
+                // Mild mean reversion toward the range centre keeps the
+                // walk lively instead of sticking at a clamp boundary —
+                // matching how real sensor values behave around an
+                // operating point.
+                let center = (*min + *max) / 2.0;
+                for i in 0..steps {
+                    v = (v + step * noise(*seed, i) + 0.08 * (center - v)).clamp(*min, *max);
+                }
+                v
+            }
+            SignalGenerator::Steps { values, dwell } => {
+                if values.is_empty() {
+                    return 0.0;
+                }
+                let d = dwell.as_micros().max(1);
+                let idx = (t.as_micros() / d) as usize % values.len();
+                values[idx]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let g = SignalGenerator::Constant(42.0);
+        assert_eq!(g.value_at(Micros::ZERO), 42.0);
+        assert_eq!(g.value_at(Micros::from_secs(100)), 42.0);
+    }
+
+    #[test]
+    fn ramp_sweeps_and_wraps() {
+        let g = SignalGenerator::Ramp {
+            from: 0.0,
+            to: 100.0,
+            period: Micros::from_secs(10),
+        };
+        assert_eq!(g.value_at(Micros::ZERO), 0.0);
+        assert!((g.value_at(Micros::from_secs(5)) - 50.0).abs() < 1e-9);
+        // Wraps after the period.
+        assert!((g.value_at(Micros::from_secs(15)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_oscillates_around_mean() {
+        let g = SignalGenerator::Sine {
+            mean: 2000.0,
+            amplitude: 500.0,
+            period: Micros::from_secs(8),
+        };
+        assert!((g.value_at(Micros::ZERO) - 2000.0).abs() < 1e-6);
+        assert!((g.value_at(Micros::from_secs(2)) - 2500.0).abs() < 1e-6);
+        assert!((g.value_at(Micros::from_secs(6)) - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_bounded() {
+        let g = SignalGenerator::Walk {
+            start: 50.0,
+            step: 5.0,
+            min: 0.0,
+            max: 100.0,
+            dwell: Micros::from_millis(100),
+            seed: 7,
+        };
+        let a = g.value_at(Micros::from_secs(3));
+        let b = g.value_at(Micros::from_secs(3));
+        assert_eq!(a, b, "walk must be a pure function of time");
+        for s in 0..50 {
+            let v = g.value_at(Micros::from_millis(s * 250));
+            assert!((0.0..=100.0).contains(&v));
+        }
+        // And it actually moves.
+        assert_ne!(g.value_at(Micros::ZERO), g.value_at(Micros::from_secs(10)));
+    }
+
+    #[test]
+    fn steps_cycle_through_values() {
+        let g = SignalGenerator::Steps {
+            values: vec![0.0, 1.0],
+            dwell: Micros::from_secs(1),
+        };
+        assert_eq!(g.value_at(Micros::from_millis(500)), 0.0);
+        assert_eq!(g.value_at(Micros::from_millis(1500)), 1.0);
+        assert_eq!(g.value_at(Micros::from_millis(2500)), 0.0);
+    }
+
+    #[test]
+    fn empty_steps_yield_zero() {
+        let g = SignalGenerator::Steps {
+            values: vec![],
+            dwell: Micros::from_secs(1),
+        };
+        assert_eq!(g.value_at(Micros::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_walks() {
+        let make = |seed| SignalGenerator::Walk {
+            start: 50.0,
+            step: 5.0,
+            min: 0.0,
+            max: 100.0,
+            dwell: Micros::from_millis(100),
+            seed,
+        };
+        let t = Micros::from_secs(5);
+        assert_ne!(make(1).value_at(t), make(2).value_at(t));
+    }
+}

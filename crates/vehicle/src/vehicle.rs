@@ -1,0 +1,380 @@
+//! The vehicle runtime: ECUs bound to a bus behind the OBD port.
+
+use std::fmt;
+
+use dpr_can::{CanBus, Micros, NodeHandle};
+use dpr_transport::bmw::BmwRawEndpoint;
+use dpr_transport::isotp::IsoTpEndpoint;
+use dpr_transport::vwtp::VwTpEndpoint;
+use dpr_transport::{Endpoint, TransportError};
+
+use crate::ecu::{DashboardSignal, Ecu, EsvId, EsvPoint, TransportKind};
+
+/// The tester's address byte in the BMW raw scheme.
+pub const TESTER_ADDRESS: u8 = 0xF1;
+
+/// A vehicle: a named set of ECUs plus dashboard metadata. Build one from
+/// a Tab. 3 profile ([`crate::profiles::build`]) or assemble it manually,
+/// then [`attach`](Vehicle::attach) it to a bus.
+#[derive(Debug, Clone)]
+pub struct Vehicle {
+    name: String,
+    ecus: Vec<Ecu>,
+    dashboard: Vec<DashboardSignal>,
+}
+
+impl Vehicle {
+    /// Creates an empty vehicle.
+    pub fn new(name: impl Into<String>) -> Self {
+        Vehicle {
+            name: name.into(),
+            ecus: Vec::new(),
+            dashboard: Vec::new(),
+        }
+    }
+
+    /// The vehicle model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an ECU.
+    pub fn add_ecu(&mut self, ecu: Ecu) -> &mut Self {
+        self.ecus.push(ecu);
+        self
+    }
+
+    /// Marks an ESV as mirrored on the dashboard (Tab. 7 ground truth).
+    pub fn add_dashboard_signal(&mut self, id: EsvId, label: impl Into<String>) -> &mut Self {
+        self.dashboard.push(DashboardSignal {
+            id,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// The ECUs.
+    pub fn ecus(&self) -> &[Ecu] {
+        &self.ecus
+    }
+
+    /// Dashboard-mirrored signals.
+    pub fn dashboard(&self) -> &[DashboardSignal] {
+        &self.dashboard
+    }
+
+    /// Ground truth for every readable ESV across all ECUs.
+    pub fn esv_points(&self) -> impl Iterator<Item = EsvPoint> + '_ {
+        self.ecus.iter().flat_map(|e| e.esv_points())
+    }
+
+    /// The true sensor value behind an ESV at time `t`, scanning all ECUs.
+    pub fn true_value(&self, id: EsvId, t: Micros) -> Option<f64> {
+        self.ecus.iter().find_map(|e| e.true_value(id, t))
+    }
+
+    /// The `(request id, response id)` of the ECU answering OBD-II, if
+    /// the vehicle has one (all profile-built vehicles do: OBD-II runs
+    /// over ISO-TP even on VW TP / BMW-raw cars, via a gateway ECU).
+    pub fn obd_ids(&self) -> Option<(dpr_can::CanId, dpr_can::CanId)> {
+        self.ecus
+            .iter()
+            .find(|e| e.supports_obd())
+            .map(|e| (e.request_id(), e.response_id()))
+    }
+
+    /// Binds every ECU to the bus, creating one node and one transport
+    /// endpoint per ECU.
+    pub fn attach(self, bus: &mut CanBus) -> AttachedVehicle {
+        let runtimes = self
+            .ecus
+            .into_iter()
+            .map(|ecu| {
+                let node = bus.attach(format!("{}/{}", self.name, ecu.name()));
+                let endpoint: Box<dyn Endpoint> = match ecu.transport() {
+                    TransportKind::IsoTp => {
+                        Box::new(IsoTpEndpoint::new(ecu.response_id(), ecu.request_id()))
+                    }
+                    TransportKind::VwTp => Box::new(VwTpEndpoint::responder(
+                        ecu.response_id(),
+                        ecu.request_id(),
+                        ecu.address,
+                    )),
+                    TransportKind::BmwRaw => Box::new(BmwRawEndpoint::new(
+                        ecu.response_id(),
+                        ecu.request_id(),
+                        TESTER_ADDRESS,
+                        ecu.address,
+                    )),
+                };
+                EcuRuntime {
+                    ecu,
+                    endpoint,
+                    node,
+                }
+            })
+            .collect();
+        AttachedVehicle {
+            name: self.name,
+            dashboard: self.dashboard,
+            runtimes,
+        }
+    }
+}
+
+struct EcuRuntime {
+    ecu: Ecu,
+    endpoint: Box<dyn Endpoint>,
+    node: NodeHandle,
+}
+
+/// A vehicle bound to a bus: ECUs with live transport endpoints.
+pub struct AttachedVehicle {
+    name: String,
+    dashboard: Vec<DashboardSignal>,
+    runtimes: Vec<EcuRuntime>,
+}
+
+impl fmt::Debug for AttachedVehicle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttachedVehicle")
+            .field("name", &self.name)
+            .field("ecus", &self.runtimes.len())
+            .finish()
+    }
+}
+
+impl AttachedVehicle {
+    /// The vehicle model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dashboard-mirrored signals.
+    pub fn dashboard(&self) -> &[DashboardSignal] {
+        &self.dashboard
+    }
+
+    /// Immutable access to the ECUs (for ground truth and assertions).
+    pub fn ecus(&self) -> impl Iterator<Item = &Ecu> {
+        self.runtimes.iter().map(|r| &r.ecu)
+    }
+
+    /// Looks up an ECU by name.
+    pub fn ecu(&self, name: &str) -> Option<&Ecu> {
+        self.runtimes
+            .iter()
+            .map(|r| &r.ecu)
+            .find(|e| e.name() == name)
+    }
+
+    /// Ground truth for every readable ESV.
+    pub fn esv_points(&self) -> Vec<EsvPoint> {
+        self.runtimes
+            .iter()
+            .flat_map(|r| r.ecu.esv_points())
+            .collect()
+    }
+
+    /// The true sensor value behind an ESV at time `t`.
+    pub fn true_value(&self, id: EsvId, t: Micros) -> Option<f64> {
+        self.runtimes.iter().find_map(|r| r.ecu.true_value(id, t))
+    }
+
+    /// The `(request id, response id)` of the OBD-capable ECU, if any.
+    pub fn obd_ids(&self) -> Option<(dpr_can::CanId, dpr_can::CanId)> {
+        self.runtimes
+            .iter()
+            .map(|r| &r.ecu)
+            .find(|e| e.supports_obd())
+            .map(|e| (e.request_id(), e.response_id()))
+    }
+
+    /// The dashboard reading at time `t`: label and true value per signal.
+    pub fn dashboard_read(&self, t: Micros) -> Vec<(String, f64)> {
+        self.dashboard
+            .iter()
+            .filter_map(|d| {
+                self.true_value(d.id, t)
+                    .map(|v| (d.label.clone(), v))
+            })
+            .collect()
+    }
+}
+
+/// Error while running a diagnostic exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A transport state machine raised an error.
+    Transport(TransportError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Transport(e) => write!(f, "transport error during session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<TransportError> for SessionError {
+    fn from(e: TransportError) -> Self {
+        SessionError::Transport(e)
+    }
+}
+
+/// Drives a full request/response exchange between a tester endpoint and
+/// the vehicle until the bus is quiescent: transport frames flow, ECUs
+/// execute application logic, and responses travel back. Returns the time
+/// at which the system went quiescent.
+///
+/// # Errors
+///
+/// Propagates transport errors from either side.
+pub fn run_exchange(
+    bus: &mut CanBus,
+    tester_node: NodeHandle,
+    tester: &mut dyn Endpoint,
+    vehicle: &mut AttachedVehicle,
+) -> Result<Micros, SessionError> {
+    loop {
+        let mut moved = false;
+        let now = bus.now();
+
+        for out in tester.outgoing(now) {
+            bus.transmit(tester_node, out.frame, out.ready_at);
+            moved = true;
+        }
+        for rt in &mut vehicle.runtimes {
+            for out in rt.endpoint.outgoing(now) {
+                bus.transmit(rt.node, out.frame, out.ready_at);
+                moved = true;
+            }
+        }
+
+        if let Some(entry) = bus.step() {
+            moved = true;
+            tester.handle_frame(&entry.frame, entry.at)?;
+            for rt in &mut vehicle.runtimes {
+                rt.endpoint.handle_frame(&entry.frame, entry.at)?;
+            }
+        }
+
+        // Application layer: ECUs answer completed requests.
+        let now = bus.now();
+        for rt in &mut vehicle.runtimes {
+            while let Some(request) = rt.endpoint.receive() {
+                if let Some(response) = rt.ecu.handle(&request, now) {
+                    rt.endpoint
+                        .send(&response, now + rt.ecu.response_delay)?;
+                    moved = true;
+                }
+            }
+        }
+
+        if !moved && bus.pending_len() == 0 {
+            return Ok(bus.now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::EsvCodec;
+    use crate::ecu::{ComponentKey, Protocol, Sensor};
+    use crate::signal::SignalGenerator;
+    use crate::Component;
+    use dpr_can::CanId;
+    use dpr_protocol::uds::Did;
+    use dpr_protocol::{EsvFormula, Quantity};
+
+    fn test_vehicle() -> Vehicle {
+        let mut ecu = Ecu::new(
+            "Engine",
+            CanId::standard(0x7E0).unwrap(),
+            CanId::standard(0x7E8).unwrap(),
+            TransportKind::IsoTp,
+            Protocol::Uds,
+        );
+        ecu.add_uds_point(
+            Did(0xF40D),
+            Sensor {
+                quantity: Quantity::new("Vehicle Speed", "km/h", 0.0, 255.0),
+                generator: SignalGenerator::Constant(88.0),
+            },
+            EsvCodec::single(EsvFormula::IDENTITY),
+        );
+        ecu.add_component(
+            ComponentKey::UdsDid(Did(0x0950)),
+            Component::new("fog light"),
+        );
+        let mut v = Vehicle::new("Test Car");
+        v.add_ecu(ecu);
+        v.add_dashboard_signal(EsvId::Uds(Did(0xF40D)), "Speed");
+        v
+    }
+
+    #[test]
+    fn full_uds_read_over_the_bus() {
+        let mut bus = CanBus::new();
+        let tester_node = bus.attach("tester");
+        let mut vehicle = test_vehicle().attach(&mut bus);
+        let mut tester = IsoTpEndpoint::new(
+            CanId::standard(0x7E0).unwrap(),
+            CanId::standard(0x7E8).unwrap(),
+        );
+
+        tester.send(&[0x22, 0xF4, 0x0D], Micros::ZERO).unwrap();
+        run_exchange(&mut bus, tester_node, &mut tester, &mut vehicle).unwrap();
+
+        let response = tester.receive().expect("ECU should answer");
+        assert_eq!(response, vec![0x62, 0xF4, 0x0D, 88]);
+    }
+
+    #[test]
+    fn io_control_over_the_bus_drives_component() {
+        let mut bus = CanBus::new();
+        let tester_node = bus.attach("tester");
+        let mut vehicle = test_vehicle().attach(&mut bus);
+        let mut tester = IsoTpEndpoint::new(
+            CanId::standard(0x7E0).unwrap(),
+            CanId::standard(0x7E8).unwrap(),
+        );
+
+        for req in dpr_protocol::uds::io_control_procedure(Did(0x0950), vec![0x05, 0x01]) {
+            tester.send(&req.encode(), bus.now()).unwrap();
+            run_exchange(&mut bus, tester_node, &mut tester, &mut vehicle).unwrap();
+            let rsp = tester.receive().expect("response expected");
+            assert_eq!(rsp[0], 0x6F);
+        }
+        let ecu = vehicle.ecu("Engine").unwrap();
+        assert!(ecu
+            .component(ComponentKey::UdsDid(Did(0x0950)))
+            .unwrap()
+            .was_adjusted());
+    }
+
+    #[test]
+    fn dashboard_reads_true_values() {
+        let mut bus = CanBus::new();
+        let vehicle = test_vehicle().attach(&mut bus);
+        let read = vehicle.dashboard_read(Micros::from_secs(1));
+        assert_eq!(read, vec![("Speed".to_string(), 88.0)]);
+    }
+
+    #[test]
+    fn unknown_esv_yields_none() {
+        let mut bus = CanBus::new();
+        let vehicle = test_vehicle().attach(&mut bus);
+        assert_eq!(vehicle.true_value(EsvId::Uds(Did(0x1234)), Micros::ZERO), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the vehicle substrate: codec round trips,
+//! ECU handler totality, and profile invariants.
+
+use dpr_can::Micros;
+use dpr_protocol::EsvFormula;
+use dpr_vehicle::codec::{EncodeStrategy, EsvCodec};
+use dpr_vehicle::profiles::{self, CarId};
+use proptest::prelude::*;
+
+fn arb_linear() -> impl Strategy<Value = EsvCodec> {
+    (0.05f64..4.0, -100.0f64..100.0)
+        .prop_map(|(a, b)| EsvCodec::single(EsvFormula::Linear { a, b }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Linear codecs: encode → decode lands within one quantization step
+    /// for any representable value.
+    #[test]
+    fn linear_codec_round_trip(codec in arb_linear(), t in 0.0f64..1.0) {
+        // A value representable by the byte range of this codec.
+        let lo = codec.decode(0, None);
+        let hi = codec.decode(255, None);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let y = lo + (hi - lo) * t;
+        let (x0, x1) = codec.encode(y);
+        let back = codec.decode(x0, x1);
+        prop_assert!(
+            (back - y).abs() <= codec.quantization() / 2.0 + 1e-9,
+            "{codec:?}: {y} -> {back}"
+        );
+    }
+
+    /// ProductSplit: both bytes decode back within quantization across the
+    /// representable range, and the encoding never panics.
+    #[test]
+    fn product_split_round_trip(a in 0.001f64..0.5, t in 0.0f64..1.0) {
+        let codec = EsvCodec {
+            formula: EsvFormula::Product { a, b: 0.0 },
+            strategy: EncodeStrategy::ProductSplit,
+        };
+        let max = a * 255.0 * 255.0;
+        let y = max * t;
+        let (x0, x1) = codec.encode(y);
+        let back = codec.decode(x0, x1);
+        prop_assert!(
+            (back - y).abs() <= codec.quantization() + 1e-9,
+            "y={y} -> ({x0},{x1:?}) -> {back} (step {})",
+            codec.quantization()
+        );
+    }
+
+    /// Every ECU handler is total: arbitrary payloads never panic and
+    /// always produce some response for its protocol.
+    #[test]
+    fn ecu_handler_is_total(payload in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let car = profiles::build(CarId::A, 1);
+        let mut ecu = car.ecus()[0].clone();
+        let _ = ecu.handle(&payload, Micros::from_secs(1));
+    }
+
+    /// Profile determinism across arbitrary seeds: same seed, same tables.
+    #[test]
+    fn profiles_deterministic(seed in any::<u64>()) {
+        let a = profiles::build(CarId::E, seed);
+        let b = profiles::build(CarId::E, seed);
+        let pa: Vec<_> = a.esv_points().collect();
+        let pb: Vec<_> = b.esv_points().collect();
+        prop_assert_eq!(pa, pb);
+    }
+}
+
+/// Tab. 6 / Tab. 11 invariants hold for every car under many seeds.
+#[test]
+fn per_car_counts_invariant_across_seeds() {
+    for seed in [1u64, 99, 12345] {
+        for id in CarId::ALL {
+            let spec = profiles::spec(id);
+            let car = profiles::build(id, seed);
+            let formula = car.esv_points().filter(|p| p.formula.has_formula()).count();
+            let enums = car.esv_points().filter(|p| !p.formula.has_formula()).count();
+            assert_eq!(formula, spec.formula_esvs, "{id} seed {seed}");
+            assert_eq!(enums, spec.enum_esvs, "{id} seed {seed}");
+            let components: usize = car
+                .ecus()
+                .iter()
+                .map(|e| e.component_keys().count())
+                .sum();
+            assert_eq!(components, spec.ecrs, "{id} seed {seed}");
+        }
+    }
+}
+
+/// Sensor values always respect their quantity's plausible range.
+#[test]
+fn sensors_stay_in_range_over_time() {
+    let car = profiles::build(CarId::R, 7);
+    for point in car.esv_points() {
+        for secs in [0u64, 3, 17, 61, 300] {
+            let v = car
+                .true_value(point.id, Micros::from_secs(secs))
+                .expect("point exists");
+            assert!(
+                point.quantity.contains(v),
+                "{}: {v} outside [{}, {}] at t={secs}s",
+                point.quantity.name(),
+                point.quantity.min(),
+                point.quantity.max()
+            );
+        }
+    }
+}

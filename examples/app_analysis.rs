@@ -1,0 +1,67 @@
+//! Telematics-app analysis (paper §4.6, Tab. 12).
+//!
+//! ```text
+//! cargo run --release --example app_analysis
+//! ```
+//!
+//! Runs Alg. 1 over the synthetic 160-app corpus and prints the Tab. 12
+//! population: which apps carry UDS/KWP 2000 formulas, which only OBD-II,
+//! and how many resist extraction — the paper's argument for using
+//! professional diagnostic tools instead of apps.
+
+use dpr_appscan::corpus::{table12_corpus, AppKind};
+use dpr_appscan::{extract_formulas, ProtocolClass, DEFAULT_SOURCE_APIS};
+
+fn main() {
+    let corpus = table12_corpus(2023);
+    println!("== analyzing {} telematics apps (Alg. 1) ==\n", corpus.len());
+
+    let mut uds_kwp_apps = 0;
+    let mut obd_apps = 0;
+    let mut empty_apps = 0;
+    println!("{:36} {:>6} {:>6} {:>7}", "app", "UDS", "KWP", "OBD-II");
+    for app in &corpus {
+        let formulas = extract_formulas(&app.program, &DEFAULT_SOURCE_APIS);
+        let uds = formulas.iter().filter(|f| f.protocol == ProtocolClass::Uds).count();
+        let kwp = formulas
+            .iter()
+            .filter(|f| f.protocol == ProtocolClass::Kwp2000)
+            .count();
+        let obd = formulas
+            .iter()
+            .filter(|f| f.protocol == ProtocolClass::ObdII)
+            .count();
+        if uds + kwp > 0 {
+            uds_kwp_apps += 1;
+            println!("{:36} {uds:>6} {kwp:>6} {obd:>7}", app.name);
+        } else if obd > 0 {
+            obd_apps += 1;
+            println!("{:36} {uds:>6} {kwp:>6} {obd:>7}", app.name);
+        } else {
+            empty_apps += 1;
+        }
+        // Show one example formula per protocol-rich app.
+        if uds + kwp > 0 {
+            if let Some(f) = formulas.first() {
+                println!(
+                    "{:36}   e.g. when response starts with \"{}\": Y = {}",
+                    "", f.conditions.first().map(String::as_str).unwrap_or(""), f.formula
+                );
+            }
+        }
+    }
+    println!(
+        "\nsummary: {uds_kwp_apps} apps with UDS/KWP formulas (paper: 3), \
+         {obd_apps} with OBD-II only, {empty_apps} with none"
+    );
+    let resistant = corpus
+        .iter()
+        .filter(|a| a.kind == AppKind::ExtractionResistant)
+        .count();
+    println!(
+        "of the formula-free apps, {resistant} actually contain formulas that \
+         resist taint analysis (paper: 13)"
+    );
+    println!("\nconclusion (paper §4.6): professional diagnostic tools expose far more");
+    println!("proprietary protocol surface than telematics apps — hence DP-Reverser.");
+}

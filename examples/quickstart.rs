@@ -1,0 +1,97 @@
+//! Quickstart: reverse engineer one simulated vehicle end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's Car O (Ford Kuga: 18 formula ESVs, 9 enumerations,
+//! 4 active tests), lets the robotic clicker drive the AUTEL 919 through
+//! every ECU, reverse engineers the capture, and prints the recovered
+//! protocol next to the ground truth.
+
+use dp_reverser::{evaluate, DpReverser, PipelineConfig};
+use dpr_can::Micros;
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::Scheme;
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    let id = CarId::O;
+    let spec = profiles::spec(id);
+    println!("== DP-Reverser quickstart ==");
+    println!("car: {} ({id}), tool: {}, seed {seed}\n", spec.model, spec.tool);
+
+    // 1. Simulate the car and let the CPS collect data.
+    let car = profiles::build(id, seed);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).expect("known tool"));
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(8),
+            ..CollectConfig::default()
+        },
+    )?;
+    println!(
+        "collected: {} CAN frames, {} video frames, {} clicks ({:.0} cells of stylus travel)",
+        report.log.len(),
+        report.frames.len(),
+        report.clicker.clicks(),
+        report.clicker.total_distance(),
+    );
+
+    // 2. Reverse engineer from capture + video only.
+    let pipeline = DpReverser::new(PipelineConfig::paper(Scheme::IsoTp, seed));
+    let result = pipeline.analyze(&report.log, &report.frames, Some(&report.execution));
+
+    println!(
+        "\nframe mix: {:.1}% single, {:.1}% multi-frame, {} control frames",
+        result.stats.single_share() * 100.0,
+        result.stats.multi_share() * 100.0,
+        result.stats.control,
+    );
+
+    println!("\nrecovered ESVs (canonicalized where a closed form explains the model):");
+    for esv in &result.esvs {
+        println!(
+            "  {:14} {:24} => {}",
+            format!("{}", esv.key),
+            esv.label,
+            esv.pretty_formula()
+        );
+    }
+    println!("\nrecovered control records:");
+    for ecr in &result.ecrs {
+        println!(
+            "  {:?} state {:02X?} ({}) — {}",
+            ecr.target,
+            ecr.state,
+            if ecr.complete_pattern {
+                "freeze/adjust/return"
+            } else {
+                "partial pattern"
+            },
+            ecr.label.as_deref().unwrap_or("unlabelled"),
+        );
+    }
+
+    // 3. Export the recovered protocol (the §2.1 defender deliverable).
+    let report_md = dp_reverser::report::to_markdown(&result, spec.model);
+    let path = std::env::temp_dir().join("dp_reverser_quickstart_report.md");
+    std::fs::write(&path, &report_md)?;
+    println!("\nfull protocol report written to {}", path.display());
+
+    // 4. Score against ground truth.
+    let precision = evaluate(&result, &report.vehicle);
+    println!(
+        "\nprecision: {}/{} formulas correct ({:.1}%), {}/{} enumerations, {} missed",
+        precision.formula_correct,
+        precision.formula_total,
+        precision.formula_precision() * 100.0,
+        precision.enum_correct,
+        precision.enum_total,
+        precision.missed,
+    );
+    Ok(())
+}

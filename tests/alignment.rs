@@ -1,0 +1,113 @@
+//! Clock-alignment integration (paper §9.4): the camera clock is skewed
+//! against the bus clock; the pipeline must estimate and undo the offset
+//! before pairing (X, Y) samples, using decodable OBD-II traffic.
+
+use dp_reverser::{Alignment, DpReverser, PipelineConfig};
+use dpr_can::Micros;
+use dpr_cps::clock::{align_by_obd, ntp_sync, SkewedClock};
+use dpr_frames::Scheme;
+use dpr_ocr::{read_frames, OcrChannel};
+use dpr_tool::database::obd_database;
+use dpr_tool::{ToolProfile, ToolSession, UiFrame};
+use dpr_vehicle::profiles::{self, CarId};
+
+/// Collects an OBD app session and returns (log, frames).
+fn obd_session(seed: u64) -> (dpr_can::BusLog, Vec<UiFrame>) {
+    let car = profiles::build(CarId::L, seed);
+    let (req, rsp) = car.obd_ids().expect("profile cars expose OBD-II");
+    let db = obd_database("Simulator", req, rsp);
+    let mut session = ToolSession::with_database(car, ToolProfile::chevrosys_app(), db);
+    session.tool_mut().goto_data_stream(0, 0);
+    session.wait(Micros::from_secs(8)).unwrap();
+    let (log, frames, _) = session.into_artifacts();
+    (log, frames)
+}
+
+/// Applies a camera-clock offset to recorded frames.
+fn skew_frames(frames: &[UiFrame], clock: SkewedClock) -> Vec<UiFrame> {
+    frames
+        .iter()
+        .map(|f| {
+            let mut shot = f.screenshot.clone();
+            shot.at = clock.to_local(shot.at);
+            UiFrame {
+                at: clock.to_local(f.at),
+                screenshot: shot,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn obd_alignment_estimates_camera_offset() {
+    let (log, frames) = obd_session(3);
+    let true_offset: i64 = 1_250_000; // camera 1.25 s ahead of the bus
+    let skewed = skew_frames(&frames, SkewedClock::with_offset_us(true_offset));
+
+    let readings = read_frames(&skewed, &OcrChannel::perfect());
+    let estimated = align_by_obd(&log, &readings).expect("OBD traffic must match");
+    assert!(
+        (estimated - true_offset).abs() < 400_000,
+        "estimated {estimated} vs true {true_offset}"
+    );
+}
+
+#[test]
+fn pipeline_with_obd_alignment_still_infers_formulas() {
+    let (log, frames) = obd_session(5);
+    let true_offset: i64 = 900_000;
+    let skewed = skew_frames(&frames, SkewedClock::with_offset_us(true_offset));
+
+    let mut config = PipelineConfig::fast(Scheme::IsoTp, 5);
+    config.align = Alignment::ByObd;
+    let result = DpReverser::new(config).analyze(&log, &skewed, None);
+    assert!(
+        (result.alignment_offset_us - true_offset).abs() < 400_000,
+        "pipeline estimated {}",
+        result.alignment_offset_us
+    );
+    assert!(
+        result.formula_esvs().count() >= 5,
+        "only {} formulas under skew",
+        result.formula_esvs().count()
+    );
+}
+
+#[test]
+fn misaligned_clocks_without_correction_hurt() {
+    // With a large uncorrected offset, pairing fails (or produces garbage)
+    // — demonstrating why §9.4 exists.
+    let (log, frames) = obd_session(7);
+    let skewed = skew_frames(&frames, SkewedClock::with_offset_us(20_000_000));
+    let mut config = PipelineConfig::fast(Scheme::IsoTp, 7);
+    config.align = Alignment::None;
+    let result = DpReverser::new(config).analyze(&log, &skewed, None);
+    let aligned_count = {
+        let mut config = PipelineConfig::fast(Scheme::IsoTp, 7);
+        config.align = Alignment::ByObd;
+        DpReverser::new(config)
+            .analyze(&log, &skewed, None)
+            .formula_esvs()
+            .count()
+    };
+    assert!(
+        result.formula_esvs().count() < aligned_count || aligned_count == 0,
+        "unaligned {} vs aligned {aligned_count}",
+        result.formula_esvs().count()
+    );
+}
+
+#[test]
+fn ntp_alignment_is_an_alternative() {
+    // §9.4 method 1: simulate the NTP estimate and hand it to the
+    // pipeline as a fixed offset.
+    let (log, frames) = obd_session(9);
+    let true_offset: i64 = 2_000_000;
+    let skewed = skew_frames(&frames, SkewedClock::with_offset_us(true_offset));
+    let estimated = ntp_sync(true_offset, Micros::from_millis(8), 1);
+
+    let mut config = PipelineConfig::fast(Scheme::IsoTp, 9);
+    config.align = Alignment::FixedOffset(estimated.offset_us);
+    let result = DpReverser::new(config).analyze(&log, &skewed, None);
+    assert!(result.formula_esvs().count() >= 5);
+}

@@ -1,0 +1,92 @@
+//! ECR / IO-control integration (paper §4.5 and Tab. 11): active tests on
+//! the Tab. 11 cars are driven by the collector, and the pipeline must
+//! recover every control record, the three-message pattern, and the
+//! component semantics.
+
+use dp_reverser::{DpReverser, PipelineConfig};
+use dpr_can::Micros;
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::{EcrTarget, Scheme};
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+use dpr_vehicle::TransportKind;
+
+fn scheme_for(id: CarId) -> Scheme {
+    match profiles::spec(id).transport {
+        TransportKind::IsoTp => Scheme::IsoTp,
+        TransportKind::VwTp => Scheme::VwTp,
+        TransportKind::BmwRaw => Scheme::BmwRaw,
+    }
+}
+
+fn recover_ecrs(id: CarId, seed: u64) -> (Vec<dp_reverser::RecoveredEcr>, usize) {
+    let spec = profiles::spec(id);
+    let car = profiles::build(id, seed);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).unwrap());
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(1),
+            ..CollectConfig::default()
+        },
+    )
+    .unwrap();
+    let pipeline = DpReverser::new(PipelineConfig::fast(scheme_for(id), seed));
+    let result = pipeline.analyze(&report.log, &report.frames, Some(&report.execution));
+    (result.ecrs, spec.ecrs)
+}
+
+#[test]
+fn uds_2f_car_recovers_all_ecrs() {
+    // Car H: 6 ECRs over service 0x2F.
+    let (ecrs, expected) = recover_ecrs(CarId::H, 3);
+    assert_eq!(ecrs.len(), expected);
+    assert!(ecrs.iter().all(|e| matches!(e.target, EcrTarget::Id2F(_))));
+    assert!(
+        ecrs.iter().all(|e| e.complete_pattern),
+        "every procedure follows freeze/adjust/return: {ecrs:#?}"
+    );
+}
+
+#[test]
+fn service_30_car_recovers_all_ecrs() {
+    // Car D (Lexus NX300): 5 ECRs over the 0x30 service.
+    let (ecrs, expected) = recover_ecrs(CarId::D, 5);
+    assert_eq!(ecrs.len(), expected);
+    assert!(ecrs
+        .iter()
+        .all(|e| matches!(e.target, EcrTarget::Local30(_))));
+}
+
+#[test]
+fn ecr_semantics_from_click_log() {
+    let (ecrs, _) = recover_ecrs(CarId::O, 7);
+    // Car O has 4 components with distinct names; each recovered ECR must
+    // carry the clicked button's label.
+    assert_eq!(ecrs.len(), 4);
+    let mut labels: Vec<&str> = ecrs
+        .iter()
+        .map(|e| e.label.as_deref().expect("label recovered"))
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), 4, "labels must be distinct: {labels:?}");
+}
+
+#[test]
+fn control_state_bytes_recovered_verbatim() {
+    let (ecrs, _) = recover_ecrs(CarId::O, 11);
+    for e in &ecrs {
+        // The tool sends a 4-byte control state (duration + selector +
+        // padding, the paper's fog-light shape).
+        assert_eq!(e.state.len(), 4, "{e:?}");
+        assert_eq!(&e.state[2..], &[0x00, 0x00]);
+    }
+}
+
+#[test]
+fn bmw_raw_car_recovers_ecrs_over_service_30() {
+    // Car J (BMW 532Li): 27 ECRs over 0x30 on the raw transport.
+    let (ecrs, expected) = recover_ecrs(CarId::J, 13);
+    assert_eq!(ecrs.len(), expected);
+}

@@ -1,0 +1,131 @@
+//! Fault injection: the analysis pipeline must degrade gracefully — never
+//! panic, keep whatever is recoverable — when the capture is damaged
+//! (dropped frames, truncated capture, corrupted bytes). A sniffer in a
+//! car has no flow control over reality.
+
+use dp_reverser::{DpReverser, PipelineConfig};
+use dpr_can::{BusLog, CanFrame, Micros};
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::{analyze_capture, Scheme};
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn collect(id: CarId, seed: u64) -> dpr_cps::CollectionReport {
+    let spec = profiles::spec(id);
+    let car = profiles::build(id, seed);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).unwrap());
+    collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(4),
+            ..CollectConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Drops every frame whose hash falls under `permille`.
+fn drop_frames(log: &BusLog, permille: u64, seed: u64) -> BusLog {
+    log.iter()
+        .enumerate()
+        .filter(|(i, _)| splitmix(seed ^ *i as u64) % 1000 >= permille)
+        .map(|(_, e)| e.clone())
+        .collect()
+}
+
+/// Corrupts one byte in a fraction of frames.
+fn corrupt_frames(log: &BusLog, permille: u64, seed: u64) -> BusLog {
+    log.iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let h = splitmix(seed ^ (i as u64) << 1);
+            if h % 1000 < permille && !e.frame.data().is_empty() {
+                let mut data = e.frame.data().to_vec();
+                let pos = (h >> 10) as usize % data.len();
+                data[pos] ^= (h >> 20) as u8 | 1;
+                dpr_can::TimestampedFrame {
+                    at: e.at,
+                    frame: CanFrame::new(e.frame.id(), &data).unwrap(),
+                }
+            } else {
+                e.clone()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_survives_two_percent_frame_loss() {
+    let report = collect(CarId::P, 17);
+    let lossy = drop_frames(&report.log, 20, 99); // 2% loss
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, 17));
+    let clean = pipeline.analyze(&report.log, &report.frames, None);
+    let damaged = pipeline.analyze(&lossy, &report.frames, None);
+    // Nothing panicked, and most of the protocol is still recovered.
+    assert!(
+        damaged.esvs.len() * 10 >= clean.esvs.len() * 6,
+        "lossy: {} vs clean: {}",
+        damaged.esvs.len(),
+        clean.esvs.len()
+    );
+}
+
+#[test]
+fn pipeline_survives_byte_corruption() {
+    let report = collect(CarId::M, 23);
+    let corrupted = corrupt_frames(&report.log, 30, 5); // 3% of frames
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, 23));
+    let result = pipeline.analyze(&corrupted, &report.frames, None);
+    assert!(
+        !result.esvs.is_empty(),
+        "some signals must survive byte corruption"
+    );
+}
+
+#[test]
+fn frames_analysis_total_on_heavily_damaged_captures() {
+    // 30% loss and 20% corruption together: the analysis must stay total
+    // for every scheme.
+    for (id, scheme) in [
+        (CarId::P, Scheme::IsoTp),
+        (CarId::C, Scheme::VwTp),
+        (CarId::E, Scheme::BmwRaw),
+    ] {
+        let report = collect(id, 31);
+        let mangled = corrupt_frames(&drop_frames(&report.log, 300, 7), 200, 11);
+        let analysis = analyze_capture(&mangled, scheme);
+        // Tally covers every surviving frame.
+        assert_eq!(analysis.stats.total(), mangled.len(), "{id:?}");
+    }
+}
+
+#[test]
+fn truncated_capture_is_fine() {
+    let report = collect(CarId::P, 41);
+    let half: BusLog = report
+        .log
+        .iter()
+        .take(report.log.len() / 2)
+        .cloned()
+        .collect();
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, 41));
+    let result = pipeline.analyze(&half, &report.frames, None);
+    // Half the traffic still pairs with the (full) video for the rows that
+    // were polled in the first half.
+    assert!(result.stats.total() > 0);
+}
+
+#[test]
+fn empty_inputs_yield_empty_results() {
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, 1));
+    let result = pipeline.analyze(&BusLog::new(), &[], None);
+    assert!(result.esvs.is_empty());
+    assert!(result.ecrs.is_empty());
+    assert_eq!(result.stats.total(), 0);
+}

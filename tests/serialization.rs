@@ -1,0 +1,266 @@
+//! Serde round trips for the result model: recovered protocols should be
+//! exportable (e.g. to JSON for a downstream IDS rule generator, the
+//! defender use case of §2.1) and re-importable losslessly.
+
+use dp_reverser::{DpReverser, PipelineConfig, ReverseEngineeringResult};
+use dpr_can::Micros;
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::Scheme;
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+
+fn run_small_car() -> ReverseEngineeringResult {
+    let car = profiles::build(CarId::M, 3);
+    let session = ToolSession::new(car, ToolProfile::autel_919());
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(3),
+            ..CollectConfig::default()
+        },
+    )
+    .unwrap();
+    DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, 3)).analyze(
+        &report.log,
+        &report.frames,
+        Some(&report.execution),
+    )
+}
+
+/// A tiny JSON-ish encoder via serde's data model is overkill to write by
+/// hand; instead round trip through the `serde` test channel: serialize
+/// with a binary-faithful format built from serde primitives. The
+/// workspace's sanctioned crates include only `serde` itself, so we use
+/// its derive plus a simple in-memory round trip via `serde_value`-style
+/// tokens — easiest expressed with JSON-free `postcard`-like checks using
+/// `serde::de::value`. The pragmatic equivalent: serialize to a string
+/// via `format!("{:?}")` is not serde; so instead assert `Serialize` and
+/// `Deserialize` are implemented and round trip a representative subset
+/// through `serde::de::value::MapAccessDeserializer`-free paths — in
+/// practice the cleanest sanctioned check is a round trip through
+/// `bincode`-less manual token streams, which serde does not ship. We
+/// therefore check the contract at compile time and verify `PartialEq`
+/// equality through a clone, plus spot-check the derive works via
+/// `serde::Serialize` into a counting serializer.
+mod counting {
+    use serde::ser::{self, Serialize};
+
+    /// A serializer that counts emitted primitive values — enough to prove
+    /// the whole result tree is serializable without any extra crates.
+    pub struct Counter {
+        pub values: usize,
+    }
+
+    #[derive(Debug)]
+    pub struct Never;
+
+    impl std::fmt::Display for Never {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "counting serializer cannot fail")
+        }
+    }
+
+    impl std::error::Error for Never {}
+
+    impl ser::Error for Never {
+        fn custom<T: std::fmt::Display>(_msg: T) -> Self {
+            Never
+        }
+    }
+
+    macro_rules! count_prim {
+        ($($name:ident: $ty:ty),*) => {
+            $(fn $name(self, _v: $ty) -> Result<(), Never> {
+                self.values += 1;
+                Ok(())
+            })*
+        };
+    }
+
+    impl ser::Serializer for &mut Counter {
+        type Ok = ();
+        type Error = Never;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        count_prim!(
+            serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
+            serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
+            serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+            serialize_f32: f32, serialize_f64: f64, serialize_char: char
+        );
+
+        fn serialize_str(self, _v: &str) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Never> {
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+        ) -> Result<(), Never> {
+            self.values += 1;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<(), Never> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + Serialize>(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            value: &T,
+        ) -> Result<(), Never> {
+            value.serialize(self)
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple(self, _len: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Never> {
+            Ok(self)
+        }
+    }
+
+    macro_rules! seq_impl {
+        ($trait:path, $method:ident) => {
+            impl $trait for &mut Counter {
+                type Ok = ();
+                type Error = Never;
+                fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Never> {
+                    value.serialize(&mut **self)
+                }
+                fn end(self) -> Result<(), Never> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    seq_impl!(ser::SerializeSeq, serialize_element);
+    seq_impl!(ser::SerializeTuple, serialize_element);
+    seq_impl!(ser::SerializeTupleStruct, serialize_field);
+    seq_impl!(ser::SerializeTupleVariant, serialize_field);
+
+    impl ser::SerializeMap for &mut Counter {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Never> {
+            key.serialize(&mut **self)
+        }
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Never> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStruct for &mut Counter {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Never> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStructVariant for &mut Counter {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Never> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn result_model_is_fully_serializable() {
+    let result = run_small_car();
+    assert!(!result.esvs.is_empty());
+    let mut counter = counting::Counter { values: 0 };
+    serde::Serialize::serialize(&result, &mut counter).expect("serialization cannot fail");
+    assert!(
+        counter.values > 50,
+        "a populated result must emit many primitives, got {}",
+        counter.values
+    );
+}
+
+#[test]
+fn deserialize_bound_holds() {
+    // Compile-time proof that the export format can be read back.
+    fn assert_de<T: for<'de> serde::Deserialize<'de>>() {}
+    assert_de::<ReverseEngineeringResult>();
+    assert_de::<dp_reverser::RecoveredEsv>();
+    assert_de::<dp_reverser::PrecisionReport>();
+    assert_de::<dpr_frames::Extraction>();
+}
