@@ -14,7 +14,7 @@
 //! paired samples for one identifier.
 
 use dp_reverser::evaluate;
-use dpr_bench::{analyze, collect_car, EXPERIMENT_SEED};
+use dpr_bench::{analyze_traced, collect_car, print_trace, EXPERIMENT_SEED};
 use dpr_vehicle::profiles::CarId;
 
 fn main() {
@@ -32,7 +32,8 @@ fn main() {
     };
     let seed = EXPERIMENT_SEED ^ (id as u64 + 1);
     let report = collect_car(id, seed, read);
-    let result = analyze(id, seed, &report);
+    let result = analyze_traced(id, seed, &report);
+    print_trace(&result);
     let precision = evaluate(&result, &report.vehicle);
     for v in &precision.verdicts {
         if !v.correct {

@@ -167,7 +167,13 @@ impl CanBus {
                 node.inbox.push(entry.clone());
             }
         }
+        let taps_before = self.taps.len();
         self.taps.retain(|tap| tap.send(entry.clone()).is_ok());
+        dpr_telemetry::counter("can.frames_delivered").inc(1);
+        let dropped = (taps_before - self.taps.len()) as u64;
+        if dropped > 0 {
+            dpr_telemetry::counter("can.tap_drops").inc(dropped);
+        }
         Some(entry)
     }
 

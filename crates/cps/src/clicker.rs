@@ -85,6 +85,7 @@ impl RoboticClicker {
     pub fn click_at(&mut self, x: f64, y: f64) -> Micros {
         let travel = self.move_to(x, y);
         self.clicks += 1;
+        dpr_telemetry::counter("cps.clicks").inc(1);
         travel + self.click_dwell
     }
 }

@@ -126,7 +126,11 @@ pub fn align_by_obd(log: &BusLog, readings: &[OcrReading]) -> Option<i64> {
         return None;
     }
     candidate_offsets.sort_unstable();
-    Some(candidate_offsets[candidate_offsets.len() / 2])
+    let offset = candidate_offsets[candidate_offsets.len() / 2];
+    dpr_telemetry::counter("cps.alignment_estimates").inc(1);
+    dpr_telemetry::counter("cps.alignment_pairs").inc(candidate_offsets.len() as u64);
+    dpr_telemetry::gauge("cps.alignment_offset_us").set(offset);
+    Some(offset)
 }
 
 #[cfg(test)]

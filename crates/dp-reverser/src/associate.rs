@@ -160,13 +160,17 @@ pub fn match_series(
         for (li, (_, y)) in ys.iter().enumerate() {
             let pairs = pair_series(x, y, window);
             let score = score_pairs(&pairs);
+            dpr_telemetry::counter("pipeline.pairs_formed").inc(pairs.len() as u64);
             if score >= threshold {
+                dpr_telemetry::counter("pipeline.matches_above_threshold").inc(1);
                 candidates.push(MatchScore {
                     series_idx: si,
                     label_idx: li,
                     score,
                     pairs,
                 });
+            } else {
+                dpr_telemetry::counter("pipeline.matches_below_threshold").inc(1);
             }
         }
     }
@@ -230,6 +234,7 @@ pub fn match_series_two_pass(
         }
         used_series[c.series_idx] = true;
         used_labels[c.label_idx] = true;
+        dpr_telemetry::counter("pipeline.matches_rescued").inc(1);
         accepted.push(c);
     }
     accepted

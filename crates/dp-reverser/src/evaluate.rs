@@ -531,6 +531,7 @@ mod tests {
             stats: FrameStats::default(),
             negatives: 0,
             alignment_offset_us: 0,
+            trace: Default::default(),
         };
         let report = evaluate(&result, &attached);
         assert_eq!(report.formula_total, 1);

@@ -128,26 +128,37 @@ impl DpReverser {
         frames: &[UiFrame],
         execution: Option<&ExecutionLog>,
     ) -> ReverseEngineeringResult {
+        let registry = dpr_telemetry::registry();
+        let mut tracer = dpr_telemetry::TraceBuilder::new(registry);
+        let _run_span = dpr_telemetry::Span::enter("pipeline");
+
         // ——— diagnostic frames analysis ———
-        let capture = analyze_capture(log, self.config.scheme);
+        let capture = tracer.stage("transport", || {
+            let _span = dpr_telemetry::Span::enter("transport");
+            analyze_capture(log, self.config.scheme)
+        });
 
         // ——— screenshot analysis ———
-        let raw_readings = read_frames(frames, &self.config.ocr);
-        let offset = match self.config.align {
-            Alignment::None => 0,
-            Alignment::FixedOffset(o) => o,
-            Alignment::ByObd => align_by_obd(log, &raw_readings).unwrap_or(0),
-        };
-        let retimed = if offset != 0 {
-            retime_readings(&raw_readings, offset)
-        } else {
-            raw_readings
-        };
-        let readings = if self.config.use_filter {
-            filter_readings(&retimed, &self.config.range_book)
-        } else {
-            retimed.into_iter().filter(|r| r.value.is_some()).collect()
-        };
+        let (readings, offset) = tracer.stage("ocr", || {
+            let _span = dpr_telemetry::Span::enter("ocr");
+            let raw_readings = read_frames(frames, &self.config.ocr);
+            let offset = match self.config.align {
+                Alignment::None => 0,
+                Alignment::FixedOffset(o) => o,
+                Alignment::ByObd => align_by_obd(log, &raw_readings).unwrap_or(0),
+            };
+            let retimed = if offset != 0 {
+                retime_readings(&raw_readings, offset)
+            } else {
+                raw_readings
+            };
+            let readings: Vec<_> = if self.config.use_filter {
+                filter_readings(&retimed, &self.config.range_book)
+            } else {
+                retimed.into_iter().filter(|r| r.value.is_some()).collect()
+            };
+            (readings, offset)
+        });
 
         // Group Y series by (screen, label).
         let mut labels: Vec<(String, String)> = readings
@@ -169,29 +180,36 @@ impl DpReverser {
             .collect();
 
         // ——— request-message analysis: associate ids with labels ———
-        let matches = match_series_two_pass(
-            &capture.extraction.series,
-            &y_series,
-            self.config.pair_window,
-            self.config.match_threshold,
-        );
+        let matches = tracer.stage("association", || {
+            let _span = dpr_telemetry::Span::enter("association");
+            match_series_two_pass(
+                &capture.extraction.series,
+                &y_series,
+                self.config.pair_window,
+                self.config.match_threshold,
+            )
+        });
 
         // ——— response-message analysis: infer formulas ———
-        let mut esvs = Vec::new();
-        for m in matches {
-            if m.pairs.len() < self.config.min_pairs {
-                continue;
+        let mut esvs = tracer.stage("inference", || {
+            let _span = dpr_telemetry::Span::enter("inference");
+            let mut esvs = Vec::new();
+            for m in matches {
+                if m.pairs.len() < self.config.min_pairs {
+                    continue;
+                }
+                let series = &capture.extraction.series[m.series_idx];
+                let ((screen, label), _) = &y_series[m.label_idx];
+                if let Some(esv) = self.infer_one(series, screen, label, &m) {
+                    esvs.push(esv);
+                }
             }
-            let series = &capture.extraction.series[m.series_idx];
-            let ((screen, label), _) = &y_series[m.label_idx];
-            if let Some(esv) = self.infer_one(series, screen, label, &m) {
-                esvs.push(esv);
-            }
-        }
+            esvs
+        });
         esvs.sort_by_key(|e| e.key);
 
         // ——— ECR recovery ———
-        let ecrs = recover_ecrs(&capture.extraction, execution);
+        let ecrs = tracer.stage("ecr", || recover_ecrs(&capture.extraction, execution));
 
         ReverseEngineeringResult {
             esvs,
@@ -199,6 +217,7 @@ impl DpReverser {
             stats: capture.stats,
             negatives: capture.extraction.negatives,
             alignment_offset_us: offset,
+            trace: tracer.finish(),
         }
     }
 

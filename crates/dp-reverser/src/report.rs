@@ -103,6 +103,7 @@ mod tests {
             },
             negatives: 2,
             alignment_offset_us: 0,
+            trace: Default::default(),
         }
     }
 

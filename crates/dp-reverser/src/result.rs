@@ -2,6 +2,7 @@
 
 use dpr_frames::{EcrTarget, FrameStats, SourceKey};
 use dpr_gp::FittedModel;
+use dpr_telemetry::PipelineTrace;
 use serde::{Deserialize, Serialize};
 
 /// What was recovered for one readable signal.
@@ -94,6 +95,9 @@ pub struct ReverseEngineeringResult {
     pub negatives: usize,
     /// The clock offset (camera − bus, µs) the pipeline corrected for.
     pub alignment_offset_us: i64,
+    /// Observability data of the run: per-stage wall time and counters.
+    /// Compares equal by design — wall times are not part of the result.
+    pub trace: PipelineTrace,
 }
 
 impl ReverseEngineeringResult {
@@ -181,6 +185,7 @@ mod tests {
             stats: FrameStats::default(),
             negatives: 0,
             alignment_offset_us: 0,
+            trace: PipelineTrace::default(),
         };
         assert_eq!(result.formula_esvs().count(), 0);
         assert_eq!(result.enum_esvs().count(), 1);

@@ -194,6 +194,8 @@ impl SymbolicRegressor {
     pub fn fit(&mut self, data: &Dataset) -> FittedModel {
         assert!(self.config.population_size > 0, "population must be positive");
         assert!(self.config.tournament_size > 0, "tournament must be positive");
+        let _span = dpr_telemetry::Span::enter("gp.fit");
+        dpr_telemetry::counter("gp.fits").inc(1);
 
         let plan = if self.config.scale {
             ScalePlan::for_dataset(data)
@@ -241,12 +243,14 @@ impl SymbolicRegressor {
         // Closed-form residual correction for missed low-order terms, and
         // a pure low-order candidate raced against the GP winner.
         if self.config.refit {
+            dpr_telemetry::counter("gp.refit_attempts").inc(1);
             if let Some(corrected) = crate::refit::residual_refit(&best.expr, &scaled, self.config.metric) {
                 let (error, fitness) = self.evaluate(&corrected, &scaled, &mut evaluations);
                 if error < best.error {
                     best.expr = corrected;
                     best.error = error;
                     best.fitness = fitness;
+                    dpr_telemetry::counter("gp.refit_applied").inc(1);
                 }
             }
             if let Some(candidate) = crate::refit::loworder_candidate(&scaled) {
@@ -255,6 +259,7 @@ impl SymbolicRegressor {
                     best.expr = candidate;
                     best.error = error;
                     best.fitness = fitness;
+                    dpr_telemetry::counter("gp.refit_applied").inc(1);
                 }
             }
             // Polish again: grafted coefficients interact with the original
@@ -272,6 +277,19 @@ impl SymbolicRegressor {
             evaluations,
         };
         let train_error = model.error_on(data);
+        dpr_telemetry::counter("gp.generations").inc(generations as u64);
+        dpr_telemetry::counter("gp.evaluations").inc(evaluations);
+        if stopped_by_threshold {
+            dpr_telemetry::counter("gp.threshold_stops").inc(1);
+        }
+        // The best-fitness trajectory: one sample per generation, so the
+        // histogram shows how fast the population converged.
+        let trajectory = dpr_telemetry::histogram("gp.best_error_trajectory");
+        for &err in &history {
+            if err.is_finite() {
+                trajectory.record(err);
+            }
+        }
         self.last_report = Some(GpReport {
             best_error_history: history,
             stopped_by_threshold,

@@ -206,6 +206,10 @@ pub fn read_frames(frames: &[UiFrame], channel: &OcrChannel) -> Vec<OcrReading> 
                 .unwrap_or_default();
             let text = channel.read(frame_idx, widget_idx, &value.text);
             let value = text.trim().parse::<f64>().ok();
+            dpr_telemetry::counter("ocr.readings_read").inc(1);
+            if value.is_none() {
+                dpr_telemetry::counter("ocr.readings_unparsed").inc(1);
+            }
             out.push(OcrReading {
                 at: frame.at,
                 screen: screen.clone(),
@@ -379,6 +383,9 @@ pub fn filter_readings(readings: &[OcrReading], book: &RangeBook) -> Vec<OcrRead
         }
     }
     keep.sort_by_key(|r| r.at);
+    dpr_telemetry::counter("ocr.filter_rejected_range").inc((readings.len() - stage1.len()) as u64);
+    dpr_telemetry::counter("ocr.filter_rejected_outlier").inc((stage1.len() - keep.len()) as u64);
+    dpr_telemetry::counter("ocr.filter_kept").inc(keep.len() as u64);
     keep
 }
 

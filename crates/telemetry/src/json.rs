@@ -1,0 +1,900 @@
+//! A small JSON codec over the workspace serde data model.
+//!
+//! [`to_string`] serializes anything implementing `serde::Serialize`;
+//! [`from_str`] parses JSON text back through `serde::Deserialize`. Enum
+//! conventions match the derive macros: a unit variant is its name as a
+//! string, a data-carrying variant is a single-key object
+//! `{"Variant": payload}`.
+
+use serde::de::{self, Deserialize, Visitor};
+use serde::ser::{self, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number without sign or fraction.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Codec failure: unserializable input, malformed text, or a shape
+/// mismatch during deserialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ———————————————————————————— serialization ————————————————————————————
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&to_value(value)?, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep a fraction marker so the value parses back as float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct ValueSerializer;
+
+/// Builds an array across `serialize_element`/`serialize_field` calls.
+struct SeqBuilder {
+    items: Vec<Value>,
+    /// For enum variants: wrap the finished array as `{variant: [...]}`.
+    variant: Option<&'static str>,
+}
+
+/// Builds an object across key/value or field calls.
+struct MapBuilder {
+    entries: Vec<(String, Value)>,
+    pending_key: Option<String>,
+    /// For enum variants: wrap the finished object as `{variant: {...}}`.
+    variant: Option<&'static str>,
+}
+
+impl ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeTupleStruct = SeqBuilder;
+    type SerializeTupleVariant = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeStructVariant = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Value, Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<Value, Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<Value, Error> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        })
+    }
+    fn serialize_u8(self, v: u8) -> Result<Value, Error> {
+        Ok(Value::UInt(v.into()))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Value, Error> {
+        Ok(Value::UInt(v.into()))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Value, Error> {
+        Ok(Value::UInt(v.into()))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Value, Error> {
+        Ok(Value::Float(v.into()))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Float(v))
+    }
+    fn serialize_char(self, v: char) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
+        Ok(Value::Array(v.iter().map(|&b| Value::UInt(b.into())).collect()))
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(
+            variant.to_string(),
+            value.serialize(ValueSerializer)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            pending_key: None,
+            variant: None,
+        })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<MapBuilder, Error> {
+        self.serialize_map(Some(len))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            pending_key: None,
+            variant: Some(variant),
+        })
+    }
+}
+
+impl SeqBuilder {
+    fn push<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        let array = Value::Array(self.items);
+        match self.variant {
+            Some(variant) => Value::Object(vec![(variant.to_string(), array)]),
+            None => array,
+        }
+    }
+}
+
+impl ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTuple for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTupleVariant for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.push(value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl MapBuilder {
+    fn finish(self) -> Value {
+        let object = Value::Object(self.entries);
+        match self.variant {
+            Some(variant) => Value::Object(vec![(variant.to_string(), object)]),
+            None => object,
+        }
+    }
+}
+
+impl ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::Str(s) => s,
+            Value::UInt(n) => n.to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            other => return Err(ser::Error::custom(format!("non-string key {other:?}"))),
+        };
+        self.pending_key = Some(key);
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| ser::Error::custom("serialize_value before serialize_key"))?;
+        self.entries.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((key.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeStructVariant for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((key.to_string(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+// ———————————————————————————— parsing ————————————————————————————
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| Error("dangling escape".into()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad codepoint {code:#x}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+        } else if let Ok(n) = text.parse::<u64>() {
+            Ok(Value::UInt(n))
+        } else if let Ok(n) = text.parse::<i64>() {
+            Ok(Value::Int(n))
+        } else {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error("expected ',' or ']'".into())),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error("expected ',' or '}'".into())),
+            }
+        }
+    }
+}
+
+// ———————————————————————————— deserialization ————————————————————————————
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    from_value(parse(text)?)
+}
+
+/// Deserializes a `T` from a parsed [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+struct ValueDeserializer(Value);
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::UInt(n) => visitor.visit_u64(n),
+            Value::Int(n) => visitor.visit_i64(n),
+            Value::Float(f) => visitor.visit_f64(f),
+            Value::Str(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer {
+                items: items.into(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapDeserializer {
+                entries: entries.into(),
+                pending: None,
+            }),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(ValueDeserializer(other)),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Str(tag) => visitor.visit_enum(EnumDeserializer {
+                tag,
+                payload: None,
+            }),
+            Value::Object(mut entries) => {
+                if entries.len() != 1 {
+                    return Err(Error(format!(
+                        "expected single-key variant object, got {} keys",
+                        entries.len()
+                    )));
+                }
+                let (tag, payload) = entries.pop().expect("one entry");
+                visitor.visit_enum(EnumDeserializer {
+                    tag,
+                    payload: Some(payload),
+                })
+            }
+            other => Err(Error(format!("expected enum, got {other:?}"))),
+        }
+    }
+}
+
+struct SeqDeserializer {
+    items: VecDeque<Value>,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqDeserializer {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.items.pop_front() {
+            None => Ok(None),
+            Some(item) => T::deserialize(ValueDeserializer(item)).map(Some),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len())
+    }
+}
+
+struct MapDeserializer {
+    entries: VecDeque<(String, Value)>,
+    pending: Option<Value>,
+}
+
+impl<'de> de::MapAccess<'de> for MapDeserializer {
+    type Error = Error;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.entries.pop_front() {
+            None => Ok(None),
+            Some((key, value)) => {
+                self.pending = Some(value);
+                K::deserialize(ValueDeserializer(Value::Str(key))).map(Some)
+            }
+        }
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error("next_value before next_key".into()))?;
+        V::deserialize(ValueDeserializer(value))
+    }
+}
+
+struct EnumDeserializer {
+    tag: String,
+    payload: Option<Value>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumDeserializer {
+    type Error = Error;
+    type Variant = VariantDeserializer;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, VariantDeserializer), Error> {
+        let tag = V::deserialize(ValueDeserializer(Value::Str(self.tag)))?;
+        Ok((
+            tag,
+            VariantDeserializer {
+                payload: self.payload,
+            },
+        ))
+    }
+}
+
+struct VariantDeserializer {
+    payload: Option<Value>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantDeserializer {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<(), Error> {
+        match self.payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => Err(Error(format!("unit variant carries data: {other:?}"))),
+        }
+    }
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Error> {
+        let payload = self
+            .payload
+            .ok_or_else(|| Error("newtype variant missing payload".into()))?;
+        T::deserialize(ValueDeserializer(payload))
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, Error> {
+        match self.payload {
+            Some(Value::Array(items)) => visitor.visit_seq(SeqDeserializer {
+                items: items.into(),
+            }),
+            other => Err(Error(format!("expected tuple variant array, got {other:?}"))),
+        }
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.payload {
+            Some(Value::Object(entries)) => visitor.visit_map(MapDeserializer {
+                entries: entries.into(),
+                pending: None,
+            }),
+            other => Err(Error(format!("expected struct variant object, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shade {
+        Plain,
+        Gray(u8),
+        Rgb { r: u8, g: u8, b: u8 },
+        Pair(i32, i32),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        name: String,
+        ratio: f64,
+        flags: Vec<bool>,
+        shade: Shade,
+        fallback: Option<Shade>,
+        table: BTreeMap<String, u64>,
+    }
+
+    #[test]
+    fn round_trips_structs_enums_options_maps() {
+        let mut table = BTreeMap::new();
+        table.insert("alpha".to_string(), 3u64);
+        table.insert("beta".to_string(), 0u64);
+        let doc = Doc {
+            name: "trace \"x\"\n".to_string(),
+            ratio: -0.125,
+            flags: vec![true, false],
+            shade: Shade::Rgb { r: 1, g: 2, b: 3 },
+            fallback: Some(Shade::Gray(9)),
+            table,
+        };
+        let text = to_string(&doc).expect("serialize");
+        let back: Doc = from_str(&text).expect("deserialize");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn unit_and_tuple_variants_round_trip() {
+        for shade in [Shade::Plain, Shade::Pair(-4, 7)] {
+            let text = to_string(&shade).expect("serialize");
+            let back: Shade = from_str(&text).expect("deserialize");
+            assert_eq!(back, shade);
+        }
+        assert_eq!(to_string(&Shade::Plain).expect("serialize"), "\"Plain\"");
+    }
+
+    #[test]
+    fn floats_keep_fraction_marker() {
+        assert_eq!(to_string(&1.0f64).expect("serialize"), "1.0");
+        let v: f64 = from_str("1.0").expect("parse");
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(parse("{\"a\":").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

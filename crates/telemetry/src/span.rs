@@ -1,0 +1,124 @@
+//! RAII wall-clock spans with thread-local nesting.
+//!
+//! [`Span::enter`] pushes a name onto the current thread's span stack and
+//! starts a monotonic clock. Dropping the guard pops the stack, records the
+//! elapsed time into the active registry's `span.<path>` histogram (in
+//! microseconds), and delivers a [`crate::SpanRecord`] to every sink
+//! attached to that registry. The *path* is the dot-joined stack, so a
+//! span `"ocr"` opened inside `"pipeline"` reports as `pipeline.ocr`.
+
+use crate::SpanRecord;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Created by [`Span::enter`]; closing happens on drop.
+#[must_use = "a span measures until dropped; binding it to _ closes it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    state: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    path: String,
+    depth: usize,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a named span on the current thread.
+    ///
+    /// Returns an inert guard (no clock, no record) while telemetry is
+    /// disabled.
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { state: None };
+        }
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            stack.push(name);
+            (stack.join("."), stack.len())
+        });
+        Span {
+            state: Some(OpenSpan {
+                name,
+                path,
+                depth,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The dot-joined path of this span, e.g. `pipeline.ocr`.
+    /// Empty for an inert guard.
+    pub fn path(&self) -> &str {
+        self.state.as_ref().map_or("", |s| s.path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.state.take() else {
+            return;
+        };
+        let wall = open.started.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame; tolerate a torn stack if an inner guard
+            // leaked across threads or was forgotten.
+            if stack.last() == Some(&open.name) {
+                stack.pop();
+            }
+        });
+        let registry = crate::registry();
+        registry
+            .histogram(&format!("span.{}", open.path))
+            .record_duration(wall);
+        registry.notify_span(&SpanRecord {
+            name: open.name,
+            path: open.path,
+            depth: open.depth,
+            wall,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scoped, Collector, Registry};
+    use std::sync::Arc;
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        let reg = Arc::new(Registry::new());
+        let collector = Arc::new(Collector::new());
+        reg.add_sink(collector.clone());
+        scoped(Arc::clone(&reg), || {
+            let outer = Span::enter("pipeline");
+            assert_eq!(outer.path(), "pipeline");
+            {
+                let inner = Span::enter("ocr");
+                assert_eq!(inner.path(), "pipeline.ocr");
+            }
+            {
+                let inner = Span::enter("gp");
+                assert_eq!(inner.path(), "pipeline.gp");
+            }
+        });
+        let paths: Vec<String> = collector
+            .records()
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        assert_eq!(paths, ["pipeline.ocr", "pipeline.gp", "pipeline"]);
+        let snap = reg.snapshot();
+        assert!(snap.histograms.contains_key("span.pipeline.ocr"));
+        assert_eq!(snap.histograms["span.pipeline"].count, 1);
+    }
+}

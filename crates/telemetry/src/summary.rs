@@ -1,0 +1,135 @@
+//! Human-readable rendering of snapshots and traces as aligned text
+//! tables, for CLI output and experiment logs.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::PipelineTrace;
+use std::fmt::Write as _;
+
+/// Renders a metrics snapshot as an aligned table: counters, gauges, then
+/// histograms with count/mean/p50/p99.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let width = key_width(snapshot.counters.keys());
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let width = key_width(snapshot.gauges.keys());
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        let width = key_width(snapshot.histograms.keys());
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  n={:<8} mean={:<12.1} p50={:<12.1} p99={:<12.1}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+        }
+    }
+    out
+}
+
+/// Renders a pipeline trace as a stage table (wall time + top counters)
+/// followed by run totals.
+pub fn render_trace(trace: &PipelineTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeline trace ({} stages):", trace.stages.len());
+    let width = key_width(trace.stages.iter().map(|s| &s.name));
+    for stage in &trace.stages {
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>10}",
+            stage.name,
+            format_us(stage.wall_us),
+        );
+        for (counter, delta) in &stage.counters {
+            let _ = writeln!(out, "    {counter:<40}  +{delta}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>10}   (staged {})",
+        "total",
+        format_us(trace.total_us),
+        format_us(trace.staged_us()),
+    );
+    out
+}
+
+fn key_width<'a, I, S>(keys: I) -> usize
+where
+    I: Iterator<Item = &'a S>,
+    S: AsRef<str> + 'a + ?Sized,
+{
+    keys.map(|k| k.as_ref().len()).max().unwrap_or(0)
+}
+
+/// Formats microseconds with a readable unit (`µs`, `ms`, `s`).
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::{PipelineTrace, StageTrace};
+
+    #[test]
+    fn renders_all_sections() {
+        let reg = Registry::new();
+        reg.counter("frames.seen").inc(7);
+        reg.gauge("offset_us").set(-120);
+        reg.histogram("sdu_bytes").record(42.0);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("frames.seen"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("-120"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("n=1"));
+    }
+
+    #[test]
+    fn trace_table_lists_stages_and_totals() {
+        let trace = PipelineTrace {
+            stages: vec![StageTrace {
+                name: "ocr".into(),
+                wall_us: 1500,
+                counters: [("ocr.readings_read".to_string(), 10u64)].into(),
+            }],
+            total_us: 2_000_000,
+            counters: Default::default(),
+            gauges: Default::default(),
+        };
+        let text = render_trace(&trace);
+        assert!(text.contains("ocr"));
+        assert!(text.contains("1.50ms"));
+        assert!(text.contains("+10"));
+        assert!(text.contains("2.00s"));
+    }
+
+    #[test]
+    fn format_us_picks_units() {
+        assert_eq!(format_us(999), "999µs");
+        assert_eq!(format_us(1_500), "1.50ms");
+        assert_eq!(format_us(2_500_000), "2.50s");
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-run pipeline traces: one record per stage with wall time and the
+//! metric activity attributed to it.
+//!
+//! [`TraceBuilder`] wraps a [`Registry`] and attributes counter/gauge
+//! movement to stages by snapshot deltas: everything recorded between
+//! `begin_stage` and `end_stage` — at any depth of the call tree — lands in
+//! that stage's [`StageTrace`]. This works because the pipeline runs its
+//! stages sequentially on one thread; a run that wants exact numbers in a
+//! concurrent process wraps itself in `dpr_telemetry::scoped` with a fresh
+//! registry.
+
+use crate::metrics::{MetricsSnapshot, Registry};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One pipeline stage: wall time plus the counters that moved while it ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTrace {
+    /// Stage name, e.g. `ocr` or `association`.
+    pub name: String,
+    /// Wall time in microseconds.
+    pub wall_us: u64,
+    /// Counter increases attributed to this stage.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// The full observability report of one reverse-engineering run.
+///
+/// # Equality
+///
+/// `PipelineTrace` implements [`PartialEq`]/[`Eq`] as *always equal*: a
+/// trace is observability data (wall times differ run to run by nature),
+/// not part of the result. This keeps result types that embed a trace
+/// answering "did the two runs recover the same protocol?" under `==`,
+/// which is what the pipeline's determinism contract is about.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    /// Per-stage records, in execution order.
+    pub stages: Vec<StageTrace>,
+    /// Wall time of the whole run in microseconds.
+    pub total_us: u64,
+    /// Final counter values at the end of the run.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values at the end of the run.
+    pub gauges: BTreeMap<String, i64>,
+}
+
+impl PartialEq for PipelineTrace {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for PipelineTrace {}
+
+impl PipelineTrace {
+    /// The stage record with the given name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageTrace> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of all stage wall times in microseconds (can be less than
+    /// [`PipelineTrace::total_us`] when work happens between stages).
+    pub fn staged_us(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_us).sum()
+    }
+}
+
+/// Builds a [`PipelineTrace`] across sequential stages.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    registry: Arc<Registry>,
+    run_start: Instant,
+    baseline: MetricsSnapshot,
+    stages: Vec<StageTrace>,
+    open: Option<(String, Instant, MetricsSnapshot)>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace attributed against `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let baseline = registry.snapshot();
+        TraceBuilder {
+            registry,
+            run_start: Instant::now(),
+            baseline,
+            stages: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Opens a stage, closing any still-open one first.
+    pub fn begin_stage(&mut self, name: &str) {
+        self.end_stage();
+        self.open = Some((name.to_string(), Instant::now(), self.registry.snapshot()));
+    }
+
+    /// Closes the open stage, recording its wall time and counter deltas.
+    /// No-op when no stage is open.
+    pub fn end_stage(&mut self) {
+        if let Some((name, started, before)) = self.open.take() {
+            let now = self.registry.snapshot();
+            self.stages.push(StageTrace {
+                name,
+                wall_us: started.elapsed().as_micros() as u64,
+                counters: now.counter_deltas_since(&before),
+            });
+        }
+    }
+
+    /// Runs `f` as a named stage and returns its result.
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.begin_stage(name);
+        let result = f();
+        self.end_stage();
+        result
+    }
+
+    /// Closes any open stage and produces the final trace. Counter and
+    /// gauge totals are relative to the builder's creation, so a reused
+    /// registry does not leak earlier runs into this trace.
+    pub fn finish(mut self) -> PipelineTrace {
+        self.end_stage();
+        let now = self.registry.snapshot();
+        PipelineTrace {
+            stages: self.stages,
+            total_us: self.run_start.elapsed().as_micros() as u64,
+            counters: now.counter_deltas_since(&self.baseline),
+            gauges: now.gauges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoped;
+
+    #[test]
+    fn stages_attribute_counter_deltas() {
+        let reg = Arc::new(Registry::new());
+        let trace = scoped(Arc::clone(&reg), || {
+            let mut builder = TraceBuilder::new(Arc::clone(&reg));
+            builder.stage("read", || {
+                crate::counter("frames.seen").inc(10);
+            });
+            builder.stage("match", || {
+                crate::counter("pairs.formed").inc(4);
+                crate::counter("frames.seen").inc(2);
+            });
+            builder.finish()
+        });
+        assert_eq!(trace.stages.len(), 2);
+        let read = trace.stage("read").expect("read stage");
+        assert_eq!(read.counters.get("frames.seen"), Some(&10));
+        assert!(!read.counters.contains_key("pairs.formed"));
+        let matching = trace.stage("match").expect("match stage");
+        assert_eq!(matching.counters.get("frames.seen"), Some(&2));
+        assert_eq!(matching.counters.get("pairs.formed"), Some(&4));
+        assert_eq!(trace.counters.get("frames.seen"), Some(&12));
+    }
+
+    #[test]
+    fn traces_compare_equal_by_design() {
+        let reg = Arc::new(Registry::new());
+        let a = TraceBuilder::new(Arc::clone(&reg)).finish();
+        let mut builder = TraceBuilder::new(reg);
+        builder.stage("only", || {});
+        let b = builder.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_registry_does_not_leak_earlier_runs() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("stale.hits").inc(99);
+        let trace = TraceBuilder::new(Arc::clone(&reg)).finish();
+        assert!(!trace.counters.contains_key("stale.hits"));
+    }
+}

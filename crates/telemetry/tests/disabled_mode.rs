@@ -1,0 +1,25 @@
+//! Disabled-mode behaviour, isolated in its own test binary: toggling
+//! the global enable flag must not race the other integration tests.
+
+use std::sync::Arc;
+
+use dpr_telemetry::{scoped, Collector, Registry, Span};
+
+#[test]
+fn disabled_mode_is_inert() {
+    let was = dpr_telemetry::set_enabled(false);
+    let reg = Arc::new(Registry::new());
+    let collector = Arc::new(Collector::new());
+    reg.add_sink(collector.clone());
+    scoped(Arc::clone(&reg), || {
+        let span = Span::enter("off");
+        assert_eq!(span.path(), "");
+        dpr_telemetry::counter("off.hits").inc(5);
+        dpr_telemetry::gauge("off.level").set(3);
+        dpr_telemetry::histogram("off.sizes").record(9.0);
+    });
+    dpr_telemetry::set_enabled(was);
+    let snap = reg.snapshot();
+    assert!(snap.counters.get("off.hits").is_none_or(|&v| v == 0));
+    assert!(collector.records().is_empty());
+}

@@ -390,8 +390,12 @@ impl IsoTpEndpoint {
             });
         };
         match status {
-            FlowStatus::Overflow => Err(TransportError::Overflow),
+            FlowStatus::Overflow => {
+                dpr_telemetry::counter("transport.isotp.fc_overflow").inc(1);
+                Err(TransportError::Overflow)
+            }
             FlowStatus::Wait => {
+                dpr_telemetry::counter("transport.isotp.fc_wait").inc(1);
                 let deadline = now + self.config.fc_timeout;
                 self.send = SendState::WaitingForFc {
                     payload,
@@ -464,6 +468,7 @@ impl IsoTpEndpoint {
             });
         };
         if seq != next_seq {
+            dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
             return Err(TransportError::SequenceMismatch {
                 expected: next_seq,
                 got: seq,
@@ -472,6 +477,8 @@ impl IsoTpEndpoint {
         let remaining = total_len - buf.len();
         buf.extend_from_slice(&data[..remaining.min(data.len())]);
         if buf.len() >= total_len {
+            dpr_telemetry::counter("transport.isotp.reassembled").inc(1);
+            dpr_telemetry::histogram("transport.isotp.sdu_bytes").record(buf.len() as f64);
             self.received.push(buf);
             return Ok(());
         }
@@ -505,6 +512,7 @@ impl IsoTpEndpoint {
         if let SendState::WaitingForFc { deadline, .. } = &self.send {
             if now > *deadline {
                 self.send = SendState::Idle;
+                dpr_telemetry::counter("transport.isotp.fc_timeout").inc(1);
                 return Err(TransportError::Timeout { timer: "N_Bs" });
             }
         }
@@ -557,6 +565,8 @@ impl Endpoint for IsoTpEndpoint {
         }
         match IsoTpFrame::parse(frame.data())? {
             IsoTpFrame::Single { data } => {
+                dpr_telemetry::counter("transport.isotp.reassembled").inc(1);
+                dpr_telemetry::histogram("transport.isotp.sdu_bytes").record(data.len() as f64);
                 self.received.push(data);
                 Ok(())
             }
@@ -617,15 +627,25 @@ impl IsoTpStreamDecoder {
     /// them, but tolerating them makes the decoder robust).
     pub fn push(&mut self, data: &[u8]) {
         let Ok(frame) = IsoTpFrame::parse(data) else {
-            self.state = None;
+            if self.state.take().is_some() {
+                dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+            }
+            dpr_telemetry::counter("transport.isotp.malformed").inc(1);
             return;
         };
         match frame {
             IsoTpFrame::Single { data } => {
-                self.state = None;
+                if self.state.take().is_some() {
+                    dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                }
+                dpr_telemetry::counter("transport.isotp.reassembled").inc(1);
+                dpr_telemetry::histogram("transport.isotp.sdu_bytes").record(data.len() as f64);
                 self.complete.push(data);
             }
             IsoTpFrame::First { total_len, data } => {
+                if self.state.is_some() {
+                    dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                }
                 let mut buf = Vec::with_capacity(usize::from(total_len));
                 buf.extend_from_slice(&data[..FF_PAYLOAD.min(data.len())]);
                 self.state = Some((usize::from(total_len), buf, 1));
@@ -633,11 +653,15 @@ impl IsoTpStreamDecoder {
             IsoTpFrame::Consecutive { seq, data } => {
                 if let Some((total, mut buf, expect)) = self.state.take() {
                     if seq != expect {
+                        dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
                         return; // drop the damaged message
                     }
                     let remaining = total - buf.len();
                     buf.extend_from_slice(&data[..remaining.min(data.len())]);
                     if buf.len() >= total {
+                        dpr_telemetry::counter("transport.isotp.reassembled").inc(1);
+                        dpr_telemetry::histogram("transport.isotp.sdu_bytes")
+                            .record(buf.len() as f64);
                         self.complete.push(buf);
                     } else {
                         self.state = Some((total, buf, (seq + 1) & 0x0F));

@@ -261,6 +261,8 @@ impl VwTpEndpoint {
             self.queue_raw(now, id, &ack);
         }
         if op.is_last() {
+            dpr_telemetry::counter("transport.vwtp.reassembled").inc(1);
+            dpr_telemetry::histogram("transport.vwtp.sdu_bytes").record(self.assembling.len() as f64);
             self.received.push(std::mem::take(&mut self.assembling));
         }
         Ok(())
@@ -421,6 +423,7 @@ impl VwTpStreamDecoder {
             return;
         };
         let Some(op) = VwOpcode::from_first_byte(first) else {
+            dpr_telemetry::counter("transport.vwtp.malformed").inc(1);
             return;
         };
         if !op.is_data() {
@@ -428,6 +431,8 @@ impl VwTpStreamDecoder {
         }
         self.assembling.extend_from_slice(&data[1..]);
         if op.is_last() {
+            dpr_telemetry::counter("transport.vwtp.reassembled").inc(1);
+            dpr_telemetry::histogram("transport.vwtp.sdu_bytes").record(self.assembling.len() as f64);
             self.complete.push(std::mem::take(&mut self.assembling));
         }
     }

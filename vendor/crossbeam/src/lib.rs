@@ -1,0 +1,112 @@
+//! Vendored shim exposing the `crossbeam::channel` subset this workspace
+//! uses, implemented over [`std::sync::mpsc`].
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels with the `crossbeam-channel` API shape.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx }, Receiver { rx })
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.tx.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Drains every message currently queued.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was queued.
+        Empty,
+        /// All senders were dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_try_recv_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,697 @@
+//! Vendored std-only mini implementation of the `proptest` API surface this
+//! workspace uses.
+//!
+//! Semantics: each `proptest!` test runs its body `ProptestConfig::cases`
+//! times over inputs drawn from the given strategies with a deterministic
+//! per-test RNG (derived from the test's name), so failures reproduce
+//! exactly. There is no shrinking — the failing input is printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+pub use rand::RngCore as TestRngCore;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, retrying until `f` accepts one (bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe strategy used by [`BoxedStrategy`] and `prop_oneof!`.
+pub trait DynStrategy<V> {
+    /// Generates one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        use rand::Rng;
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate_dyn(rng)
+    }
+}
+
+// ——————————————————————— range strategies ———————————————————————
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ——————————————————————— tuple strategies ———————————————————————
+
+macro_rules! tuple_strategy {
+    ($($n:tt $s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(0 S0);
+tuple_strategy!(0 S0, 1 S1);
+tuple_strategy!(0 S0, 1 S1, 2 S2);
+tuple_strategy!(0 S0, 1 S1, 2 S2, 3 S3);
+tuple_strategy!(0 S0, 1 S1, 2 S2, 3 S3, 4 S4);
+tuple_strategy!(0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5);
+
+// ——————————————————————— any::<T>() ———————————————————————
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy over the full domain of a primitive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    use rand::Rng;
+                    rng.gen()
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+                fn arbitrary() -> Any<$ty> {
+                    Any(std::marker::PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! arbitrary_tuple {
+    ($($($t:ident)+;)+) => {
+        $(
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                type Strategy = ($($t::Strategy,)+);
+                fn arbitrary() -> Self::Strategy {
+                    ($($t::arbitrary(),)+)
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_tuple! {
+    T0;
+    T0 T1;
+    T0 T1 T2;
+    T0 T1 T2 T3;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ——————————————————————— collections ———————————————————————
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Sizes a collection strategy can take.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ——————————————————————— string (regex) strategies ———————————————————————
+
+/// A `&str` is interpreted as a regex-like pattern generating matching
+/// strings. Supported subset: literals, `\\` escapes, `[a-z0-9]` classes,
+/// `(...)` groups, alternation `|`, and the quantifiers `?`, `*`, `+`,
+/// `{m}`, `{m,n}` (unbounded repetition is capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex_lite::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported pattern strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex_lite::render(&ast, rng, &mut out);
+        out
+    }
+}
+
+mod regex_lite {
+    use super::TestRng;
+    use rand::Rng;
+
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>), // alternatives
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Node>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_alternatives(&chars, 0, false)?;
+        if consumed != chars.len() {
+            return Err(format!("trailing input at {consumed}"));
+        }
+        // A top-level alternation parses as one Group node.
+        Ok(nodes)
+    }
+
+    /// Parses alternatives until end-of-input or an unmatched `)`.
+    fn parse_alternatives(
+        chars: &[char],
+        mut i: usize,
+        in_group: bool,
+    ) -> Result<(Vec<Node>, usize), String> {
+        let mut alternatives: Vec<Vec<Node>> = vec![Vec::new()];
+        while i < chars.len() {
+            match chars[i] {
+                ')' if in_group => break,
+                ')' => return Err("unmatched )".into()),
+                '|' => {
+                    alternatives.push(Vec::new());
+                    i += 1;
+                }
+                _ => {
+                    let (node, next) = parse_one(chars, i)?;
+                    let (node, next) = parse_quantifier(chars, next, node)?;
+                    alternatives.last_mut().expect("non-empty").push(node);
+                    i = next;
+                }
+            }
+        }
+        if alternatives.len() == 1 {
+            Ok((alternatives.pop().expect("one"), i))
+        } else {
+            Ok((vec![Node::Group(alternatives)], i))
+        }
+    }
+
+    fn parse_one(chars: &[char], i: usize) -> Result<(Node, usize), String> {
+        match chars[i] {
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or("dangling escape")?;
+                let node = match c {
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Literal(' '),
+                    other => Node::Literal(other),
+                };
+                Ok((node, i + 2))
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != ']' {
+                    let lo = if chars[j] == '\\' {
+                        j += 1;
+                        chars[j]
+                    } else {
+                        chars[j]
+                    };
+                    if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                        ranges.push((lo, chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        j += 1;
+                    }
+                }
+                if j >= chars.len() {
+                    return Err("unterminated class".into());
+                }
+                Ok((Node::Class(ranges), j + 1))
+            }
+            '(' => {
+                let (inner, after) = parse_alternatives(chars, i + 1, true)?;
+                if after >= chars.len() || chars[after] != ')' {
+                    return Err("unterminated group".into());
+                }
+                // Re-wrap: inner may already be a single Group (alternation)
+                // or a plain sequence; normalize to alternatives.
+                let alternatives = match inner {
+                    mut v if v.len() == 1 => match v.pop().expect("one") {
+                        Node::Group(alts) => alts,
+                        single => vec![vec![single]],
+                    },
+                    seq => vec![seq],
+                };
+                Ok((Node::Group(alternatives), after + 1))
+            }
+            '.' => Ok((Node::Class(vec![('a', 'z'), ('0', '9')]), i + 1)),
+            c => Ok((Node::Literal(c), i + 1)),
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &[char],
+        i: usize,
+        node: Node,
+    ) -> Result<(Node, usize), String> {
+        if i >= chars.len() {
+            return Ok((node, i));
+        }
+        match chars[i] {
+            '?' => Ok((Node::Repeat(Box::new(node), 0, 1), i + 1)),
+            '*' => Ok((Node::Repeat(Box::new(node), 0, 8), i + 1)),
+            '+' => Ok((Node::Repeat(Box::new(node), 1, 8), i + 1)),
+            '{' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated {m,n}")?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, "")) => {
+                        let lo = lo.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                        (lo, lo + 8)
+                    }
+                    Some((lo, hi)) => (
+                        lo.trim().parse().map_err(|_| "bad {m,n}")?,
+                        hi.trim().parse().map_err(|_| "bad {m,n}")?,
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().map_err(|_| "bad {m}")?;
+                        (n, n)
+                    }
+                };
+                Ok((Node::Repeat(Box::new(node), lo, hi), close + 1))
+            }
+            _ => Ok((node, i)),
+        }
+    }
+
+    pub fn render(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            render_one(node, rng, out);
+        }
+    }
+
+    fn render_one(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u32) - (*lo as u32) + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u32) - (*lo as u32) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick).unwrap_or(*lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(alternatives) => {
+                let idx = rng.gen_range(0..alternatives.len());
+                render(&alternatives[idx], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    render_one(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+// ——————————————————————— runner & macros ———————————————————————
+
+#[doc(hidden)]
+pub mod runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Builds the deterministic RNG for one test case.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+    }
+}
+
+/// The common proptest imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests over strategy-drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::runner::case_rng(stringify!($name), __case);
+                $(
+                    let $pat = $crate::Strategy::generate(&$strat, &mut __rng);
+                )*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// Expands to a `continue` of the case loop, so it must appear directly in
+/// the `proptest!` body (not inside a nested loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strat) as Box<dyn $crate::DynStrategy<_>>),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::runner::case_rng("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[0-9]{1,4}(\\.[0-9]{1,2})?", &mut rng);
+            assert!(!s.is_empty());
+            let mut parts = s.splitn(2, '.');
+            let int = parts.next().unwrap();
+            assert!((1..=4).contains(&int.len()), "{s}");
+            assert!(int.chars().all(|c| c.is_ascii_digit()), "{s}");
+            if let Some(frac) = parts.next() {
+                assert!((1..=2).contains(&frac.len()), "{s}");
+                assert!(frac.chars().all(|c| c.is_ascii_digit()), "{s}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(v in 1u8..10, (a, b) in (0u16..5, 0.0f64..1.0), w in any::<u64>()) {
+            prop_assert!((1..10).contains(&v));
+            prop_assert!(a < 5);
+            prop_assert!((0.0..1.0).contains(&b));
+            let _ = w;
+        }
+
+        #[test]
+        fn collections_and_oneof(
+            xs in crate::collection::vec(any::<u8>(), 0..=8),
+            pick in prop_oneof![Just(1u8), Just(2u8)],
+            mapped in (0u8..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(xs.len() <= 8);
+            prop_assert!(pick == 1u8 || pick == 2u8);
+            prop_assert!(mapped % 2 == 0 && mapped < 20);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::de::{
+    Deserialize, Deserializer, Error as DeError, MapAccess, SeqAccess, Visitor,
+};
+use crate::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer,
+};
+
+// ———————————————————————————— primitives ————————————————————————————
+
+macro_rules! ser_prim {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+ser_prim!(
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+macro_rules! de_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, concat!("a ", stringify!($ty)))
+                        }
+                        fn visit_u64<E: DeError>(self, v: u64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::custom(format_args!("{} out of range for {}", v, stringify!($ty)))
+                            })
+                        }
+                        fn visit_i64<E: DeError>(self, v: i64) -> Result<$ty, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::custom(format_args!("{} out of range for {}", v, stringify!($ty)))
+                            })
+                        }
+                        fn visit_f64<E: DeError>(self, v: f64) -> Result<$ty, E> {
+                            if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= u64::MAX as f64 {
+                                if v >= 0.0 {
+                                    self.visit_u64(v as u64)
+                                } else {
+                                    self.visit_i64(v as i64)
+                                }
+                            } else {
+                                Err(E::custom(format_args!(
+                                    "{} is not a {}", v, stringify!($ty)
+                                )))
+                            }
+                        }
+                    }
+                    deserializer.deserialize_any(V)
+                }
+            }
+        )*
+    };
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! de_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V;
+                    impl<'de> Visitor<'de> for V {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, concat!("a ", stringify!($ty)))
+                        }
+                        fn visit_f64<E: DeError>(self, v: f64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: DeError>(self, v: u64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_i64<E: DeError>(self, v: i64) -> Result<$ty, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.deserialize_any(V)
+                }
+            }
+        )*
+    };
+}
+
+de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: DeError>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a character")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+// ———————————————————————————— strings ————————————————————————————
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    /// Deserializes by leaking a freshly-allocated `String`. Upstream serde
+    /// borrows from the input instead; this shim targets self-describing
+    /// in-memory codecs where `&'static str` fields are table constants
+    /// (e.g. car specs) and round-trips are test-sized, so the leak is
+    /// bounded and acceptable.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+// ———————————————————————————— references & boxes ————————————————————————————
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+// ———————————————————————————— unit & option ————————————————————————————
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+            fn visit_none<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(std::marker::PhantomData))
+    }
+}
+
+// ———————————————————————————— sequences ————————————————————————————
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                out.try_into()
+                    .map_err(|v: Vec<T>| DeError::invalid_length(v.len(), "array"))
+            }
+        }
+        deserializer.deserialize_seq(V::<T, N>(std::marker::PhantomData))
+    }
+}
+
+macro_rules! set_impls {
+    ($($set:ident, $bound:path $(, $bound2:path)?;)+) => {
+        $(
+            impl<T: Serialize> Serialize for std::collections::$set<T> {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    let mut seq = serializer.serialize_seq(Some(self.len()))?;
+                    for item in self {
+                        seq.serialize_element(item)?;
+                    }
+                    seq.end()
+                }
+            }
+
+            impl<'de, T: Deserialize<'de> + $bound $(+ $bound2)?> Deserialize<'de>
+                for std::collections::$set<T>
+            {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V<T>(std::marker::PhantomData<T>);
+                    impl<'de, T: Deserialize<'de> + $bound $(+ $bound2)?> Visitor<'de> for V<T> {
+                        type Value = std::collections::$set<T>;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str("a sequence of set elements")
+                        }
+                        fn visit_seq<A: SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            let mut out = std::collections::$set::new();
+                            while let Some(item) = seq.next_element()? {
+                                out.insert(item);
+                            }
+                            Ok(out)
+                        }
+                    }
+                    deserializer.deserialize_seq(V(std::marker::PhantomData))
+                }
+            }
+        )+
+    };
+}
+
+set_impls! {
+    BTreeSet, Ord;
+    HashSet, Eq, Hash;
+}
+
+// ———————————————————————————— tuples ————————————————————————————
+
+macro_rules! tuple_impls {
+    ($(($len:expr => $($n:tt $t:ident)+))+) => {
+        $(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    let mut tup = serializer.serialize_tuple($len)?;
+                    $(tup.serialize_element(&self.$n)?;)+
+                    tup.end()
+                }
+            }
+
+            impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct V<$($t),+>(std::marker::PhantomData<($($t,)+)>);
+                    impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                        type Value = ($($t,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of length {}", $len)
+                        }
+                        fn visit_seq<A: SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            Ok(($(
+                                seq.next_element::<$t>()?
+                                    .ok_or_else(|| {
+                                        <A::Error as DeError>::invalid_length($n, "tuple")
+                                    })?,
+                            )+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, V(std::marker::PhantomData))
+                }
+            }
+        )+
+    };
+}
+
+tuple_impls! {
+    (1 => 0 T0)
+    (2 => 0 T0 1 T1)
+    (3 => 0 T0 1 T1 2 T2)
+    (4 => 0 T0 1 T1 2 T2 3 T3)
+    (5 => 0 T0 1 T1 2 T2 3 T3 4 T4)
+    (6 => 0 T0 1 T1 2 T2 3 T3 4 T4 5 T5)
+}
+
+// ———————————————————————————— maps ————————————————————————————
+
+macro_rules! map_ser {
+    ($ty:ident <K $(: $kb1:ident $(+ $kb2:ident)*)?, V>) => {
+        impl<K: Serialize $(+ $kb1 $(+ $kb2)*)?, V: Serialize> Serialize for $ty<K, V> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut map = serializer.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    };
+}
+
+map_ser!(BTreeMap<K, V>);
+map_ser!(HashMap<K, V>);
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(std::marker::PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(std::marker::PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(std::marker::PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = HashMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(std::marker::PhantomData))
+    }
+}

@@ -1,0 +1,30 @@
+//! Vendored std-only shim of the `serde` serialization framework.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of serde's data model it actually uses: the [`Serialize`] /
+//! [`Deserialize`] traits, the [`ser`] and [`de`] trait families, impls for
+//! the std types that appear in the result model, and (behind the `derive`
+//! feature) `#[derive(Serialize, Deserialize)]` proc-macros for plain
+//! structs and enums without `#[serde(...)]` attributes.
+//!
+//! The trait signatures mirror upstream serde so downstream code — including
+//! hand-written `Serializer` impls like the counting serializer in the
+//! workspace's serialization tests and the JSON codec in `dpr-telemetry` —
+//! compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derive output references `serde::...` paths; make sure the crate can
+// name itself that way from within (used by this crate's own tests).
+extern crate self as serde;

@@ -1,0 +1,240 @@
+//! Serialization half of the data model (mirrors `serde::ser`).
+
+use std::fmt::Display;
+
+/// Trait for serialization errors.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde format.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A format that can serialize the serde data model.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+
+    /// Type returned by [`serialize_seq`](Serializer::serialize_seq).
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_tuple`](Serializer::serialize_tuple).
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_tuple_struct`](Serializer::serialize_tuple_struct).
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_tuple_variant`](Serializer::serialize_tuple_variant).
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_map`](Serializer::serialize_map).
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_struct`](Serializer::serialize_struct).
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`serialize_struct_variant`](Serializer::serialize_struct_variant).
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes the payload of `Option::Some`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct like `struct Unit;`.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct like `struct Wrapper(T);`.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a variable-length sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a fixed-length tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins serializing a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins serializing a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins serializing a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins serializing a struct with named fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Whether the format is human readable (JSON-like). Defaults to true.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Returned by `serialize_seq` to drive element serialization.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_tuple`.
+pub trait SerializeTuple {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_tuple_struct`.
+pub trait SerializeTupleStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one field.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_tuple_variant`.
+pub trait SerializeTupleVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one field.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_map`.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one key.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes one value.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serializes one key/value entry.
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_struct`.
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by `serialize_struct_variant`.
+pub trait SerializeStructVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type on failure.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

@@ -1,0 +1,552 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the workspace's serde
+//! shim.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote` — the build
+//! environment has no crates.io access). Supports the shapes this workspace
+//! uses: non-generic structs (unit, tuple, named) and enums whose variants
+//! are unit, newtype, tuple, or struct-like. `#[serde(...)]` attributes are
+//! not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (which, &item.shape) {
+        (Trait::Serialize, Shape::Struct(fields)) => ser_struct(&item.name, fields),
+        (Trait::Serialize, Shape::Enum(variants)) => ser_enum(&item.name, variants),
+        (Trait::Deserialize, Shape::Struct(fields)) => de_struct(&item.name, fields),
+        (Trait::Deserialize, Shape::Enum(variants)) => de_enum(&item.name, variants),
+    };
+    code.parse()
+        .unwrap_or_else(|e| format!("compile_error!(\"serde_derive codegen: {e}\");").parse().unwrap())
+}
+
+// ———————————————————————————— parsing ————————————————————————————
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut is_enum = None;
+    // Skip attributes, visibility, and doc comments until `struct`/`enum`.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    is_enum = Some(false);
+                    break;
+                } else if s == "enum" {
+                    is_enum = Some(true);
+                    break;
+                }
+                // `pub`, `crate`, etc. — skip.
+            }
+            TokenTree::Group(_) => {
+                // `pub(crate)`'s parenthesized part — skip.
+            }
+            _ => {}
+        }
+    }
+    let is_enum = is_enum.ok_or("expected `struct` or `enum`")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let shape = if is_enum {
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err("expected enum body".into()),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_top_level(body) {
+            if let Some(v) = parse_variant(chunk)? {
+                variants.push(v);
+            }
+        }
+        Shape::Enum(variants)
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            _ => return Err("expected struct body".into()),
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` as nesting
+/// (grouped delimiters are already nested by the tokenizer).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from named-struct body tokens.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut iter = chunk.into_iter().peekable();
+        let mut name = None;
+        while let Some(tt) = iter.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    iter.next(); // attribute body
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // Possible `pub(...)` — the group is skipped by the
+                        // Group arm on the next iteration.
+                        continue;
+                    }
+                    name = Some(s);
+                    break;
+                }
+                TokenTree::Group(_) => {}
+                _ => {}
+            }
+        }
+        if let Some(n) = name {
+            // Must be followed by `:`, otherwise this was not a field.
+            if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                names.push(n);
+            } else {
+                return Err(format!("could not parse field `{n}`"));
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variant(chunk: Vec<TokenTree>) -> Result<Option<Variant>, String> {
+    let mut iter = chunk.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                name = Some(id.to_string());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(name) = name else {
+        return Ok(None); // trailing comma produced an empty chunk
+    };
+    let fields = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream())?)
+        }
+        _ => Fields::Unit, // unit variant (a `= discriminant` tail is ignored)
+    };
+    Ok(Some(Variant { name, fields }))
+}
+
+// ———————————————————————————— Serialize codegen ————————————————————————————
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("serde::Serializer::serialize_unit_struct(__s, {name:?})"),
+        Fields::Tuple(1) => {
+            format!("serde::Serializer::serialize_newtype_struct(__s, {name:?}, &self.0)")
+        }
+        Fields::Tuple(n) => {
+            let mut code = format!(
+                "let mut __st = serde::Serializer::serialize_tuple_struct(__s, {name:?}, {n})?;\n"
+            );
+            for i in 0..*n {
+                code += &format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                );
+            }
+            code + "serde::ser::SerializeTupleStruct::end(__st)"
+        }
+        Fields::Named(names) => {
+            let mut code = format!(
+                "let mut __st = serde::Serializer::serialize_struct(__s, {name:?}, {})?;\n",
+                names.len()
+            );
+            for f in names {
+                code += &format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, {f:?}, &self.{f})?;\n"
+                );
+            }
+            code + "serde::ser::SerializeStruct::end(__st)"
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __s: __S)\n\
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms += &format!(
+                    "{name}::{vname} => serde::Serializer::serialize_unit_variant(__s, {name:?}, {idx}, {vname:?}),\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                arms += &format!(
+                    "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(__s, {name:?}, {idx}, {vname:?}, __f0),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut body = format!(
+                    "let mut __st = serde::Serializer::serialize_tuple_variant(__s, {name:?}, {idx}, {vname:?}, {n})?;\n"
+                );
+                for b in &binds {
+                    body += &format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;\n"
+                    );
+                }
+                body += "serde::ser::SerializeTupleVariant::end(__st)";
+                arms += &format!("{name}::{vname}({}) => {{ {body} }}\n", binds.join(", "));
+            }
+            Fields::Named(fields) => {
+                let mut body = format!(
+                    "let mut __st = serde::Serializer::serialize_struct_variant(__s, {name:?}, {idx}, {vname:?}, {})?;\n",
+                    fields.len()
+                );
+                for f in fields {
+                    body += &format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __st, {f:?}, {f})?;\n"
+                    );
+                }
+                body += "serde::ser::SerializeStructVariant::end(__st)";
+                arms += &format!(
+                    "{name}::{vname} {{ {} }} => {{ {body} }}\n",
+                    fields.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __s: __S)\n\
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ———————————————————————————— Deserialize codegen ————————————————————————————
+
+/// Generates the body of a visitor that builds `path { fields }` /
+/// `path(fields)` from either a map (named only) or a sequence.
+fn de_fields_visitor(path: &str, fields: &Fields, expecting: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 __f.write_str({expecting:?})\n\
+             }}\n\
+             fn visit_unit<__E: serde::de::Error>(self) -> std::result::Result<Self::Value, __E> {{\n\
+                 Ok({path})\n\
+             }}\n\
+             fn visit_none<__E: serde::de::Error>(self) -> std::result::Result<Self::Value, __E> {{\n\
+                 Ok({path})\n\
+             }}"
+        ),
+        Fields::Tuple(n) => {
+            let mut elems = String::new();
+            for i in 0..*n {
+                elems += &format!(
+                    "match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         Some(__v) => __v,\n\
+                         None => return Err(serde::de::Error::invalid_length({i}, {expecting:?})),\n\
+                     }},\n"
+                );
+            }
+            format!(
+                "fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     __f.write_str({expecting:?})\n\
+                 }}\n\
+                 fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                     -> std::result::Result<Self::Value, __A::Error> {{\n\
+                     Ok({path}({elems}))\n\
+                 }}"
+            )
+        }
+        Fields::Named(names) => {
+            let mut slots = String::new();
+            let mut arms = String::new();
+            let mut seq_fields = String::new();
+            let mut build = String::new();
+            for (i, f) in names.iter().enumerate() {
+                slots += &format!("let mut __v_{f} = None;\n");
+                arms += &format!(
+                    "{f:?} => {{ __v_{f} = Some(serde::de::MapAccess::next_value(&mut __map)?); }}\n"
+                );
+                seq_fields += &format!(
+                    "{f}: match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                         Some(__v) => __v,\n\
+                         None => return Err(serde::de::Error::invalid_length({i}, {expecting:?})),\n\
+                     }},\n"
+                );
+                build += &format!(
+                    "{f}: match __v_{f} {{\n\
+                         Some(__v) => __v,\n\
+                         None => return Err(serde::de::Error::missing_field({f:?})),\n\
+                     }},\n"
+                );
+            }
+            format!(
+                "fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     __f.write_str({expecting:?})\n\
+                 }}\n\
+                 fn visit_map<__A: serde::de::MapAccess<'de>>(self, mut __map: __A)\n\
+                     -> std::result::Result<Self::Value, __A::Error> {{\n\
+                     {slots}\
+                     while let Some(__key) = serde::de::MapAccess::next_key::<String>(&mut __map)? {{\n\
+                         match __key.as_str() {{\n\
+                             {arms}\
+                             _ => {{\n\
+                                 let _ = serde::de::MapAccess::next_value::<serde::de::IgnoredAny>(&mut __map)?;\n\
+                             }}\n\
+                         }}\n\
+                     }}\n\
+                     Ok({path} {{ {build} }})\n\
+                 }}\n\
+                 fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                     -> std::result::Result<Self::Value, __A::Error> {{\n\
+                     Ok({path} {{ {seq_fields} }})\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    let expecting = format!("struct {name}");
+    let driver = match fields {
+        Fields::Unit => format!("serde::Deserializer::deserialize_unit_struct(__d, {name:?}, __Visitor)"),
+        Fields::Tuple(1) => {
+            // Newtype structs deserialize transparently from their payload.
+            return format!(
+                "#[automatically_derived]\n\
+                 impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D)\n\
+                         -> std::result::Result<Self, __D::Error> {{\n\
+                         struct __Visitor;\n\
+                         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                                 __f.write_str({expecting:?})\n\
+                             }}\n\
+                             fn visit_newtype_struct<__D2: serde::de::Deserializer<'de>>(self, __d2: __D2)\n\
+                                 -> std::result::Result<Self::Value, __D2::Error> {{\n\
+                                 Ok({name}(serde::de::Deserialize::deserialize(__d2)?))\n\
+                             }}\n\
+                         }}\n\
+                         serde::de::Deserializer::deserialize_newtype_struct(__d, {name:?}, __Visitor)\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Fields::Tuple(n) => format!(
+            "serde::Deserializer::deserialize_tuple_struct(__d, {name:?}, {n}, __Visitor)"
+        ),
+        Fields::Named(names) => {
+            let list: Vec<String> = names.iter().map(|f| format!("{f:?}")).collect();
+            format!(
+                "const __FIELDS: &[&str] = &[{}];\n\
+                 serde::Deserializer::deserialize_struct(__d, {name:?}, __FIELDS, __Visitor)",
+                list.join(", ")
+            )
+        }
+    };
+    let visitor_body = de_fields_visitor(name, fields, &expecting);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     {visitor_body}\n\
+                 }}\n\
+                 {driver}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let variant_list: Vec<String> = variants.iter().map(|v| format!("{:?}", v.name)).collect();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let path = format!("{name}::{vname}");
+        match &v.fields {
+            Fields::Unit => {
+                arms += &format!(
+                    "{vname:?} => {{\n\
+                         serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         Ok({path})\n\
+                     }}\n"
+                );
+            }
+            Fields::Tuple(1) => {
+                arms += &format!(
+                    "{vname:?} => Ok({path}(serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let expecting = format!("tuple variant {name}::{vname}");
+                let inner = de_fields_visitor(&path, &v.fields, &expecting);
+                arms += &format!(
+                    "{vname:?} => {{\n\
+                         struct __VariantVisitor;\n\
+                         impl<'de> serde::de::Visitor<'de> for __VariantVisitor {{\n\
+                             type Value = {name};\n\
+                             {inner}\n\
+                         }}\n\
+                         serde::de::VariantAccess::tuple_variant(__variant, {n}, __VariantVisitor)\n\
+                     }}\n"
+                );
+            }
+            Fields::Named(fields) => {
+                let expecting = format!("struct variant {name}::{vname}");
+                let inner = de_fields_visitor(&path, &v.fields, &expecting);
+                let list: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+                arms += &format!(
+                    "{vname:?} => {{\n\
+                         struct __VariantVisitor;\n\
+                         impl<'de> serde::de::Visitor<'de> for __VariantVisitor {{\n\
+                             type Value = {name};\n\
+                             {inner}\n\
+                         }}\n\
+                         const __VFIELDS: &[&str] = &[{}];\n\
+                         serde::de::VariantAccess::struct_variant(__variant, __VFIELDS, __VariantVisitor)\n\
+                     }}\n",
+                    list.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 const __VARIANTS: &[&str] = &[{variants}];\n\
+                 struct __Visitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         write!(__f, \"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> std::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__tag, __variant) = serde::de::EnumAccess::variant::<String>(__data)?;\n\
+                         match __tag.as_str() {{\n\
+                             {arms}\
+                             _ => Err(serde::de::Error::unknown_variant(&__tag, __VARIANTS)),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::de::Deserializer::deserialize_enum(__d, {name:?}, __VARIANTS, __Visitor)\n\
+             }}\n\
+         }}",
+        variants = variant_list.join(", ")
+    )
+}
