@@ -1,16 +1,26 @@
 //! Criterion micro-benchmarks for the hot paths: GP inference (the Tab. 8
-//! cost driver), ISO-TP stream reassembly, OCR frame reading, and the
-//! click-route planner.
+//! cost driver), compiled vs. recursive expression evaluation, 1- vs
+//! N-thread generation scoring, ISO-TP stream reassembly, OCR frame
+//! reading, and the click-route planner.
+//!
+//! Besides the Criterion medians this target emits a machine-readable
+//! `BENCH_gp.json` at the workspace root (override with
+//! `DPR_BENCH_JSON=<path>`) recording evals/sec and speedups for the GP
+//! scoring paths — CI checks the compiled-vs-recursive speedup there.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use dpr_baselines::{LinearRegression, PolynomialFit, Regressor};
 use dpr_can::Micros;
 use dpr_cps::{plan_route, PlanStrategy};
-use dpr_gp::{Dataset, GpConfig, SymbolicRegressor};
+use dpr_gp::expr::{BinaryOp, Expr, UnaryOp};
+use dpr_gp::{BatchScratch, Columns, CompiledExpr, Dataset, GpConfig, Metric, SymbolicRegressor};
 use dpr_ocr::{mad_inliers, OcrChannel};
 use dpr_transport::isotp::IsoTpStreamDecoder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn gp_dataset() -> Dataset {
     Dataset::from_triples((0..100).map(|i| {
@@ -35,6 +45,160 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| PolynomialFit.fit(black_box(&data)))
     });
     group.finish();
+}
+
+/// A GP-typical population: random grow trees over the full 14-function
+/// set, the shapes the engine actually scores every generation.
+fn gp_population(n: usize, depth: usize) -> Vec<Expr> {
+    let mut rng = StdRng::seed_from_u64(2023);
+    (0..n)
+        .map(|_| {
+            Expr::random_grow(
+                &mut rng,
+                depth,
+                2,
+                &UnaryOp::ALL,
+                &BinaryOp::ALL,
+                (-10.0, 10.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_compiled_eval(c: &mut Criterion) {
+    let data = gp_dataset();
+    let cols = Columns::from_dataset(&data);
+    let pop = gp_population(64, 6);
+    let metric = Metric::MeanAbsoluteError;
+
+    let mut group = c.benchmark_group("gp_scoring");
+    group.sample_size(10);
+    group.bench_function("recursive_tree_walk", |b| {
+        b.iter(|| {
+            pop.iter()
+                .map(|e| metric.error(black_box(e), &data))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("compiled_bytecode", |b| {
+        let mut scratch = BatchScratch::new();
+        b.iter(|| {
+            pop.iter()
+                .map(|e| CompiledExpr::compile(black_box(e)).error_on(&cols, metric, &mut scratch))
+                .sum::<f64>()
+        })
+    });
+    let n_threads = dpr_par::threads().max(2);
+    for (label, pool) in [
+        ("scoring_pool_1_thread", dpr_par::Pool::new(1)),
+        ("scoring_pool_n_threads", dpr_par::Pool::new(n_threads)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                pool.par_map_init(&pop, BatchScratch::new, |scratch, e| {
+                    CompiledExpr::compile(e).error_on(&cols, metric, scratch)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Runs `pass` repeatedly until `min` wall time has elapsed and returns
+/// `(passes, elapsed)` — the explicit timing behind `BENCH_gp.json`,
+/// since the vendored Criterion shim does not expose its measurements.
+fn time_passes(min: Duration, mut pass: impl FnMut()) -> (u32, Duration) {
+    pass(); // warm-up
+    let mut passes = 0u32;
+    let start = Instant::now();
+    loop {
+        pass();
+        passes += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= min {
+            return (passes, elapsed);
+        }
+    }
+}
+
+/// Times the GP scoring paths and writes `BENCH_gp.json`: evals/sec for
+/// recursive vs. compiled evaluation and 1- vs. N-thread pool scoring,
+/// plus the two derived speedups.
+fn emit_gp_json(_c: &mut Criterion) {
+    let quick = dpr_bench::quick();
+    let min = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+    let data = gp_dataset();
+    let cols = Columns::from_dataset(&data);
+    let pop = gp_population(if quick { 32 } else { 128 }, 6);
+    let metric = Metric::MeanAbsoluteError;
+    let evals_per_pass = (pop.len() * data.len()) as f64;
+    let rate = |(passes, elapsed): (u32, Duration)| {
+        evals_per_pass * f64::from(passes) / elapsed.as_secs_f64()
+    };
+
+    let recursive = rate(time_passes(min, || {
+        black_box(
+            pop.iter()
+                .map(|e| metric.error(e, &data))
+                .sum::<f64>(),
+        );
+    }));
+    let mut scratch = BatchScratch::new();
+    let compiled = rate(time_passes(min, || {
+        black_box(
+            pop.iter()
+                .map(|e| CompiledExpr::compile(e).error_on(&cols, metric, &mut scratch))
+                .sum::<f64>(),
+        );
+    }));
+    let n_threads = dpr_par::threads().max(2);
+    let score_with = |pool: &dpr_par::Pool| {
+        rate(time_passes(min, || {
+            black_box(pool.par_map_init(&pop, BatchScratch::new, |scratch, e| {
+                CompiledExpr::compile(e).error_on(&cols, metric, scratch)
+            }));
+        }))
+    };
+    let par1 = score_with(&dpr_par::Pool::new(1));
+    let parn = score_with(&dpr_par::Pool::new(n_threads));
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"gp_scoring\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"population\": {pop},\n",
+            "  \"rows\": {rows},\n",
+            "  \"threads\": {threads},\n",
+            "  \"recursive_evals_per_sec\": {recursive:.0},\n",
+            "  \"compiled_evals_per_sec\": {compiled:.0},\n",
+            "  \"compiled_speedup\": {cs:.2},\n",
+            "  \"pool_1_thread_evals_per_sec\": {par1:.0},\n",
+            "  \"pool_n_threads_evals_per_sec\": {parn:.0},\n",
+            "  \"thread_speedup\": {ts:.2}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        pop = pop.len(),
+        rows = data.len(),
+        threads = n_threads,
+        recursive = recursive,
+        compiled = compiled,
+        cs = compiled / recursive,
+        par1 = par1,
+        parn = parn,
+        ts = parn / par1,
+    );
+    let path = std::env::var("DPR_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gp.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write BENCH_gp.json");
+    println!("gp scoring: compiled {:.1}x vs recursive, {n_threads}-thread pool {:.2}x vs 1 — wrote {path}",
+        compiled / recursive, parn / par1);
 }
 
 fn bench_isotp_reassembly(c: &mut Criterion) {
@@ -92,8 +256,10 @@ fn bench_planner(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_inference,
+    bench_compiled_eval,
     bench_isotp_reassembly,
     bench_ocr,
-    bench_planner
+    bench_planner,
+    emit_gp_json
 );
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! result.
 
 use dp_reverser::evaluate;
-use dpr_bench::{analyze, collect_car, header, pct, quick, EXPERIMENT_SEED};
+use dpr_bench::{analyze_traced, collect_car, header, par_cars, pct, quick, EXPERIMENT_SEED};
 use dpr_vehicle::profiles::{self, CarId};
 
 fn main() {
@@ -26,11 +26,18 @@ fn main() {
         (CarId::M, 4, 4), (CarId::N, 26, 26), (CarId::O, 18, 18), (CarId::P, 7, 7),
         (CarId::Q, 18, 18), (CarId::R, 40, 40),
     ];
-    for (id, paper_total, paper_correct) in paper_rows {
+    // Each car is an independent collect→analyze→score job; fan them out
+    // across the DPR_THREADS worker pool. Results come back in car
+    // order, and each job runs in its own telemetry scope, so the table
+    // is byte-identical to a sequential run.
+    let cars: Vec<CarId> = paper_rows.iter().map(|&(id, _, _)| id).collect();
+    let precisions = par_cars(&cars, |id| {
         let seed = EXPERIMENT_SEED ^ (id as u64 + 1);
         let report = collect_car(id, seed, read_secs);
-        let result = analyze(id, seed, &report);
-        let precision = evaluate(&result, &report.vehicle);
+        let result = analyze_traced(id, seed, &report);
+        evaluate(&result, &report.vehicle)
+    });
+    for ((id, paper_total, paper_correct), precision) in paper_rows.into_iter().zip(precisions) {
         println!(
             "{:6} {:>14} {:>13} {:>10} {:>12} {:>13}   (paper: {}/{})",
             format!("{id}"),

@@ -1,0 +1,396 @@
+//! Compiled expression evaluation: postfix bytecode over a value stack.
+//!
+//! [`Expr::eval`](crate::Expr::eval) walks a pointer tree — every node is a
+//! separate heap allocation, so a population-scale fitness pass spends most
+//! of its time in call overhead and cache misses. [`CompiledExpr`] flattens
+//! the tree once into a postfix [`Op`] program stored in one contiguous
+//! `Vec`, then evaluates it with a tight interpreter loop.
+//!
+//! Two evaluation modes are provided:
+//!
+//! * **scalar** ([`CompiledExpr::eval`] / [`CompiledExpr::eval_with`]) —
+//!   one input row, one `f64` out, a reusable `Vec<f64>` stack;
+//! * **batch** ([`CompiledExpr::error_on`]) — the whole [`Dataset`] at
+//!   once over a column-major [`Columns`] view: each op processes every
+//!   row before the next op runs, so the per-op dispatch cost is paid once
+//!   per *program step* instead of once per *row × step*, and the inner
+//!   loops are plain slice arithmetic the compiler can vectorize.
+//!
+//! Both modes apply exactly the same protected operators in exactly the
+//! same order as the recursive walker, so results are **bit-identical** to
+//! `Expr::eval` — including NaN/∞ propagation and the protected
+//! division/log/inverse special cases. The GP engine relies on this: the
+//! compiled fast path must not perturb a single fitness comparison.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::{Dataset, Metric};
+
+/// One postfix instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Push a constant.
+    Const(f64),
+    /// Push input variable `i` (out-of-range pushes 0.0, matching
+    /// [`Expr::eval`]).
+    Var(u32),
+    /// Pop one value, push `op(value)`.
+    Unary(UnaryOp),
+    /// Pop `b` then `a`, push `op(a, b)`.
+    Binary(BinaryOp),
+}
+
+/// An [`Expr`] flattened to postfix bytecode.
+///
+/// Compile once with [`CompiledExpr::compile`], evaluate many times; the
+/// program is immutable and `Sync`, so one compiled individual can be
+/// scored from several threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledExpr {
+    ops: Vec<Op>,
+    max_stack: usize,
+}
+
+impl CompiledExpr {
+    /// Flattens `expr` into a postfix program.
+    pub fn compile(expr: &Expr) -> CompiledExpr {
+        let mut ops = Vec::with_capacity(expr.size());
+        flatten(expr, &mut ops);
+        // The exact peak stack depth: simulate pushes/pops over the program.
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for op in &ops {
+            match op {
+                Op::Const(_) | Op::Var(_) => depth += 1,
+                Op::Unary(_) => {}
+                Op::Binary(_) => depth -= 1,
+            }
+            max_stack = max_stack.max(depth);
+        }
+        CompiledExpr { ops, max_stack }
+    }
+
+    /// The program's instructions, in evaluation order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of instructions (equals the source tree's node count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty (never true for a compiled tree).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Peak value-stack depth the program needs.
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Evaluates on one input row. Bit-identical to
+    /// [`Expr::eval`](crate::Expr::eval) on the source tree.
+    pub fn eval(&self, vars: &[f64]) -> f64 {
+        let mut stack = Vec::with_capacity(self.max_stack);
+        self.eval_with(vars, &mut stack)
+    }
+
+    /// Evaluates on one input row with a caller-provided stack, so repeated
+    /// evaluations reuse one allocation. The stack is cleared on entry.
+    pub fn eval_with(&self, vars: &[f64], stack: &mut Vec<f64>) -> f64 {
+        stack.clear();
+        stack.reserve(self.max_stack);
+        for op in &self.ops {
+            match *op {
+                Op::Const(c) => stack.push(c),
+                Op::Var(i) => stack.push(vars.get(i as usize).copied().unwrap_or(0.0)),
+                Op::Unary(u) => {
+                    let a = stack.pop().expect("unary operand");
+                    stack.push(u.apply(a));
+                }
+                Op::Binary(b) => {
+                    let rhs = stack.pop().expect("binary rhs");
+                    let lhs = stack.pop().expect("binary lhs");
+                    stack.push(b.apply(lhs, rhs));
+                }
+            }
+        }
+        stack.pop().expect("program leaves one value")
+    }
+
+    /// Computes `metric` over the whole data set in batch mode.
+    ///
+    /// Returns exactly what `metric.error(expr, data)` returns on the
+    /// source tree: per-row predictions are bit-identical, the residual
+    /// accumulation runs in the same row order, and any non-finite
+    /// prediction yields `f64::INFINITY`.
+    pub fn error_on(&self, cols: &Columns, metric: Metric, scratch: &mut BatchScratch) -> f64 {
+        let n = cols.n_rows();
+        scratch.ensure(self.max_stack, n);
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match *op {
+                Op::Const(c) => {
+                    scratch.bufs[sp].iter_mut().for_each(|v| *v = c);
+                    sp += 1;
+                }
+                Op::Var(i) => {
+                    match cols.col(i as usize) {
+                        Some(col) => scratch.bufs[sp].copy_from_slice(col),
+                        None => scratch.bufs[sp].iter_mut().for_each(|v| *v = 0.0),
+                    }
+                    sp += 1;
+                }
+                Op::Unary(u) => {
+                    scratch.bufs[sp - 1].iter_mut().for_each(|v| *v = u.apply(*v));
+                }
+                Op::Binary(b) => {
+                    let (lo, hi) = scratch.bufs.split_at_mut(sp - 1);
+                    let lhs = lo.last_mut().expect("binary lhs buffer");
+                    let rhs = &hi[0];
+                    for (a, &r) in lhs.iter_mut().zip(rhs.iter()) {
+                        *a = b.apply(*a, r);
+                    }
+                    sp -= 1;
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "program leaves one value");
+        metric_over_rows(metric, &scratch.bufs[0], cols.y())
+    }
+}
+
+/// Accumulates `metric` over prediction/target rows exactly the way
+/// [`Metric::error`] does on the recursive evaluator.
+fn metric_over_rows(metric: Metric, preds: &[f64], targets: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let n = targets.len() as f64;
+    for (&pred, &target) in preds.iter().zip(targets) {
+        if !pred.is_finite() {
+            return f64::INFINITY;
+        }
+        let residual = pred - target;
+        acc += match metric {
+            Metric::MeanAbsoluteError => residual.abs(),
+            Metric::MeanSquaredError | Metric::Rmse => residual * residual,
+        };
+    }
+    match metric {
+        Metric::MeanAbsoluteError | Metric::MeanSquaredError => acc / n,
+        Metric::Rmse => (acc / n).sqrt(),
+    }
+}
+
+fn flatten(expr: &Expr, out: &mut Vec<Op>) {
+    match expr {
+        Expr::Const(c) => out.push(Op::Const(*c)),
+        Expr::Var(i) => out.push(Op::Var(*i as u32)),
+        Expr::Unary(op, a) => {
+            flatten(a, out);
+            out.push(Op::Unary(*op));
+        }
+        Expr::Binary(op, a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+            out.push(Op::Binary(*op));
+        }
+    }
+}
+
+/// A column-major view of a [`Dataset`], built once per fit so batch
+/// evaluation can memcpy whole variable columns instead of gathering a
+/// value per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Columns {
+    cols: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Columns {
+    /// Transposes a data set into columns.
+    pub fn from_dataset(data: &Dataset) -> Columns {
+        let n_vars = data.n_vars();
+        let mut cols: Vec<Vec<f64>> = (0..n_vars)
+            .map(|_| Vec::with_capacity(data.len()))
+            .collect();
+        for (row, _) in data.iter() {
+            for (c, &v) in row.iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        Columns {
+            cols,
+            y: data.y().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Variable column `i`, if in range.
+    pub fn col(&self, i: usize) -> Option<&[f64]> {
+        self.cols.get(i).map(Vec::as_slice)
+    }
+
+    /// The target column.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+}
+
+/// Reusable batch-evaluation buffers: a stack of row-length `f64` slabs.
+///
+/// One scratch per thread; [`BatchScratch::ensure`] grows it to the
+/// demanded (stack depth × row count) shape and is a no-op once warm, so a
+/// generation's scoring pays allocation only on its first individual.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    bufs: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    fn ensure(&mut self, depth: usize, rows: usize) {
+        if rows != self.rows {
+            for buf in &mut self.bufs {
+                buf.resize(rows, 0.0);
+            }
+            self.rows = rows;
+        }
+        while self.bufs.len() < depth {
+            self.bufs.push(vec![0.0; rows]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine_speed() -> Expr {
+        // 64*X0 + 0.25*X1
+        Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::Binary(
+                BinaryOp::Mul,
+                Box::new(Expr::Const(64.0)),
+                Box::new(Expr::Var(0)),
+            )),
+            Box::new(Expr::Binary(
+                BinaryOp::Mul,
+                Box::new(Expr::Const(0.25)),
+                Box::new(Expr::Var(1)),
+            )),
+        )
+    }
+
+    #[test]
+    fn compiles_to_postfix() {
+        let c = CompiledExpr::compile(&engine_speed());
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.max_stack(), 3);
+        assert_eq!(
+            c.ops()[0..3],
+            [Op::Const(64.0), Op::Var(0), Op::Binary(BinaryOp::Mul)]
+        );
+    }
+
+    #[test]
+    fn scalar_eval_matches_tree() {
+        let e = engine_speed();
+        let c = CompiledExpr::compile(&e);
+        let row = [26.0, 240.0];
+        assert_eq!(c.eval(&row).to_bits(), e.eval(&row).to_bits());
+    }
+
+    #[test]
+    fn out_of_range_variable_is_zero() {
+        let c = CompiledExpr::compile(&Expr::Var(5));
+        assert_eq!(c.eval(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn random_trees_match_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut stack = Vec::new();
+        for _ in 0..300 {
+            let e = Expr::random_grow(&mut rng, 6, 2, &UnaryOp::ALL, &BinaryOp::ALL, (-10.0, 10.0));
+            let c = CompiledExpr::compile(&e);
+            for row in [[0.0, 0.0], [1.5, -3.0], [1e6, -1e6], [0.3, 255.0]] {
+                let a = e.eval(&row);
+                let b = c.eval_with(&row, &mut stack);
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "{e} on {row:?}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_error_matches_metric() {
+        let data = Dataset::from_triples((0..50).map(|i| {
+            let x0 = f64::from(100 + i * 3);
+            let x1 = f64::from(5 + i % 9);
+            ((x0, x1), x0 * x1 / 5.0)
+        }))
+        .unwrap();
+        let cols = Columns::from_dataset(&data);
+        let mut scratch = BatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let e = Expr::random_grow(&mut rng, 5, 2, &UnaryOp::ALL, &BinaryOp::ALL, (-10.0, 10.0));
+            let c = CompiledExpr::compile(&e);
+            for metric in [Metric::MeanAbsoluteError, Metric::MeanSquaredError, Metric::Rmse] {
+                let want = metric.error(&e, &data);
+                let got = c.error_on(&cols, metric, &mut scratch);
+                assert!(
+                    want.to_bits() == got.to_bits(),
+                    "{e} with {metric:?}: {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_error_non_finite_is_infinity() {
+        // X0*X0 overflows to infinity on a huge input.
+        let e = Expr::Binary(BinaryOp::Mul, Box::new(Expr::Var(0)), Box::new(Expr::Var(0)));
+        let data = Dataset::from_pairs([(1e300, 1.0), (2.0, 2.0)]).unwrap();
+        let cols = Columns::from_dataset(&data);
+        let c = CompiledExpr::compile(&e);
+        assert_eq!(
+            c.error_on(&cols, Metric::MeanAbsoluteError, &mut BatchScratch::new()),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn columns_transpose() {
+        let data = Dataset::from_triples([((1.0, 2.0), 3.0), ((4.0, 5.0), 6.0)]).unwrap();
+        let cols = Columns::from_dataset(&data);
+        assert_eq!(cols.n_rows(), 2);
+        assert_eq!(cols.n_vars(), 2);
+        assert_eq!(cols.col(0).unwrap(), &[1.0, 4.0]);
+        assert_eq!(cols.col(1).unwrap(), &[2.0, 5.0]);
+        assert_eq!(cols.y(), &[3.0, 6.0]);
+        assert!(cols.col(2).is_none());
+    }
+}

@@ -1,11 +1,34 @@
 //! The genetic-programming engine: initialization, selection, variation,
 //! and the paper's two stopping criteria.
+//!
+//! # Performance and determinism
+//!
+//! Fitness scoring is the engine's hot loop (population × generations ×
+//! rows). Two optimizations keep it fast without perturbing a single
+//! result:
+//!
+//! * every individual is flattened to a [`CompiledExpr`] and scored with
+//!   the batch evaluator over a column-major [`Columns`] view — both
+//!   bit-identical to the recursive walker;
+//! * each generation is bred *sequentially* (all RNG draws happen here,
+//!   selecting from the previous, fully-scored generation) and then scored
+//!   *in parallel* on the [`dpr_par`] pool in index order. Individuals
+//!   carried over unchanged — the elite, reproduction children, and
+//!   depth-limit fallbacks — reuse their parent's cached score instead of
+//!   being re-evaluated.
+//!
+//! Because scoring is pure and its outputs are reassembled in input order,
+//! a run with `DPR_THREADS=8` produces exactly the same [`FittedModel`] as
+//! a single-threaded run.
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::compile::{BatchScratch, Columns, CompiledExpr};
 use crate::expr::{BinaryOp, Expr, UnaryOp};
 use crate::model::FittedModel;
 use crate::scaling::ScalePlan;
@@ -203,9 +226,11 @@ impl SymbolicRegressor {
             ScalePlan::identity(data.n_vars())
         };
         let scaled = plan.apply(data);
+        let cols = Columns::from_dataset(&scaled);
+        let started = Instant::now();
 
         let mut evaluations: u64 = 0;
-        let mut population = self.init_population(&scaled, &mut evaluations);
+        let mut population = self.init_population(&cols, &mut evaluations);
         let mut history = Vec::with_capacity(self.config.max_generations);
         let mut stopped_by_threshold = false;
         let mut generations = 0;
@@ -221,7 +246,7 @@ impl SymbolicRegressor {
                 stopped_by_threshold = true;
                 break;
             }
-            population = self.next_generation(population, &scaled, &mut evaluations);
+            population = self.next_generation(population, &cols, &mut evaluations);
         }
         // Record the final state's best as well.
         let best_idx = population
@@ -238,14 +263,15 @@ impl SymbolicRegressor {
         }
 
         // Constant polishing: hill-climb the winner's numeric leaves.
-        self.polish(&mut best, &scaled, &mut evaluations);
+        let mut scratch = BatchScratch::new();
+        self.polish(&mut best, &cols, &mut scratch, &mut evaluations);
 
         // Closed-form residual correction for missed low-order terms, and
         // a pure low-order candidate raced against the GP winner.
         if self.config.refit {
             dpr_telemetry::counter("gp.refit_attempts").inc(1);
             if let Some(corrected) = crate::refit::residual_refit(&best.expr, &scaled, self.config.metric) {
-                let (error, fitness) = self.evaluate(&corrected, &scaled, &mut evaluations);
+                let (error, fitness) = self.evaluate(&corrected, &cols, &mut scratch, &mut evaluations);
                 if error < best.error {
                     best.expr = corrected;
                     best.error = error;
@@ -254,7 +280,7 @@ impl SymbolicRegressor {
                 }
             }
             if let Some(candidate) = crate::refit::loworder_candidate(&scaled) {
-                let (error, fitness) = self.evaluate(&candidate, &scaled, &mut evaluations);
+                let (error, fitness) = self.evaluate(&candidate, &cols, &mut scratch, &mut evaluations);
                 if error < best.error {
                     best.expr = candidate;
                     best.error = error;
@@ -264,7 +290,7 @@ impl SymbolicRegressor {
             }
             // Polish again: grafted coefficients interact with the original
             // constants.
-            self.polish(&mut best, &scaled, &mut evaluations);
+            self.polish(&mut best, &cols, &mut scratch, &mut evaluations);
         }
 
         let expr = best.expr.simplify();
@@ -279,6 +305,12 @@ impl SymbolicRegressor {
         let train_error = model.error_on(data);
         dpr_telemetry::counter("gp.generations").inc(generations as u64);
         dpr_telemetry::counter("gp.evaluations").inc(evaluations);
+        // Throughput gauge: row evaluations per second for this fit. The
+        // gauge (not a counter) keeps the latest rate visible in traces.
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            dpr_telemetry::gauge("gp.evals_per_sec").set((evaluations as f64 / elapsed) as i64);
+        }
         if stopped_by_threshold {
             dpr_telemetry::counter("gp.threshold_stops").inc(1);
         }
@@ -300,9 +332,18 @@ impl SymbolicRegressor {
         }
     }
 
-    fn evaluate(&self, expr: &Expr, data: &Dataset, evaluations: &mut u64) -> (f64, f64) {
-        *evaluations += data.len() as u64;
-        let error = self.config.metric.error(expr, data);
+    /// Scores one expression: compile, batch-evaluate, apply the parsimony
+    /// penalty. Used by the sequential tail (polish, refit) — population
+    /// scoring goes through [`Self::realize`].
+    fn evaluate(
+        &self,
+        expr: &Expr,
+        cols: &Columns,
+        scratch: &mut BatchScratch,
+        evaluations: &mut u64,
+    ) -> (f64, f64) {
+        *evaluations += cols.n_rows() as u64;
+        let error = CompiledExpr::compile(expr).error_on(cols, self.config.metric, scratch);
         let fitness = if error.is_finite() {
             error + self.config.parsimony * expr.size() as f64
         } else {
@@ -311,15 +352,61 @@ impl SymbolicRegressor {
         (error, fitness)
     }
 
-    fn make_individual(&self, expr: Expr, data: &Dataset, evaluations: &mut u64) -> Individual {
-        let (error, fitness) = self.evaluate(&expr, data, evaluations);
-        Individual { expr, error, fitness }
+    /// Turns bred expressions into scored individuals.
+    ///
+    /// Entries carrying a cached `(error, fitness)` — individuals the
+    /// breeding phase copied over unchanged — are not re-scored. The rest
+    /// are scored on the [`dpr_par`] pool: scoring is pure (no RNG, no
+    /// shared mutable state) and results come back in index order, so the
+    /// outcome is bit-identical for any `DPR_THREADS` value.
+    fn realize(
+        &self,
+        planned: Vec<(Expr, Option<(f64, f64)>)>,
+        cols: &Columns,
+        evaluations: &mut u64,
+    ) -> Vec<Individual> {
+        let pending: Vec<usize> = planned
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, cached))| cached.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        *evaluations += (pending.len() * cols.n_rows()) as u64;
+        let cache_hits = planned.len() - pending.len();
+        if cache_hits > 0 {
+            dpr_telemetry::counter("gp.fitness_cache_hits").inc(cache_hits as u64);
+        }
+
+        let metric = self.config.metric;
+        let parsimony = self.config.parsimony;
+        let scored = dpr_par::par_map_init(&pending, BatchScratch::new, |scratch, &i| {
+            let expr = &planned[i].0;
+            let error = CompiledExpr::compile(expr).error_on(cols, metric, scratch);
+            let fitness = if error.is_finite() {
+                error + parsimony * expr.size() as f64
+            } else {
+                f64::INFINITY
+            };
+            (error, fitness)
+        });
+
+        // `pending` is in index order, so fresh scores interleave back
+        // into the cached ones by consuming the iterator in sequence.
+        let mut fresh = scored.into_iter();
+        planned
+            .into_iter()
+            .map(|(expr, cached)| {
+                let (error, fitness) =
+                    cached.unwrap_or_else(|| fresh.next().expect("one score per pending entry"));
+                Individual { expr, error, fitness }
+            })
+            .collect()
     }
 
-    fn init_population(&mut self, data: &Dataset, evaluations: &mut u64) -> Vec<Individual> {
+    fn init_population(&mut self, cols: &Columns, evaluations: &mut u64) -> Vec<Individual> {
         let n = self.config.population_size;
-        let n_vars = data.n_vars();
-        let mut population = Vec::with_capacity(n);
+        let n_vars = cols.n_vars();
+        let mut exprs = Vec::with_capacity(n);
 
         // Informed template seeding (~6% of the population): affine and
         // product skeletons with random constants. These do not contain
@@ -329,17 +416,18 @@ impl SymbolicRegressor {
             let templates = n / 16;
             for _ in 0..templates {
                 let expr = self.random_template(n_vars);
-                population.push(self.make_individual(expr, data, evaluations));
+                exprs.push(expr);
             }
         }
 
-        // Ramped half-and-half for the rest.
+        // Ramped half-and-half for the rest. Generation happens first (all
+        // RNG draws, sequential); scoring follows in one parallel pass.
         let (lo, hi) = self.config.init_depth;
         let unary = self.config.functions.unary.clone();
         let binary = self.config.functions.binary.clone();
         let mut depth = lo;
-        while population.len() < n {
-            let expr = if population.len() % 2 == 0 {
+        while exprs.len() < n {
+            let expr = if exprs.len() % 2 == 0 {
                 Expr::random_full(
                     &mut self.rng,
                     depth,
@@ -358,10 +446,10 @@ impl SymbolicRegressor {
                     self.config.const_range,
                 )
             };
-            population.push(self.make_individual(expr, data, evaluations));
+            exprs.push(expr);
             depth = if depth >= hi { lo } else { depth + 1 };
         }
-        population
+        self.realize(exprs.into_iter().map(|e| (e, None)).collect(), cols, evaluations)
     }
 
     /// A random low-order template: `c0*Xi + c1`, `c0*Xi + c1*Xj + c2`, or
@@ -406,27 +494,40 @@ impl SymbolicRegressor {
         best.expect("tournament size is positive")
     }
 
+    /// Breeds and scores the next generation.
+    ///
+    /// The breeding loop runs sequentially and consumes the RNG stream in
+    /// exactly the order the fully-sequential engine did: selection draws
+    /// only depend on the *previous* generation's (already known) scores,
+    /// never on a sibling's. Scoring of the bred children then happens in
+    /// one deterministic parallel pass via [`Self::realize`].
+    ///
+    /// Fitness-cache rule: a score is carried over only when the child is
+    /// byte-for-byte the parent expression — the elite copy, a
+    /// reproduction child, or a depth-limit fallback. Any variation
+    /// operator invalidates the cache unconditionally (even a crossover
+    /// that happens to reproduce the parent is re-scored; detecting that
+    /// would cost a tree comparison per child for a rare win).
     fn next_generation(
         &mut self,
         population: Vec<Individual>,
-        data: &Dataset,
+        cols: &Columns,
         evaluations: &mut u64,
     ) -> Vec<Individual> {
         let n = population.len();
-        let mut next = Vec::with_capacity(n);
+        let mut planned: Vec<(Expr, Option<(f64, f64)>)> = Vec::with_capacity(n);
 
-        // Elitism: the best individual survives unchanged.
+        // Elitism: the best individual survives unchanged, score and all.
         let elite_idx = population
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.error.total_cmp(&b.error))
             .map(|(i, _)| i)
             .expect("population is non-empty");
-        next.push(Individual {
-            expr: population[elite_idx].expr.clone(),
-            error: population[elite_idx].error,
-            fitness: population[elite_idx].fitness,
-        });
+        planned.push((
+            population[elite_idx].expr.clone(),
+            Some((population[elite_idx].error, population[elite_idx].fitness)),
+        ));
 
         let (p_cx, p_sub, p_hoist, p_point) = (
             self.config.crossover_prob,
@@ -435,25 +536,33 @@ impl SymbolicRegressor {
             self.config.point_mutation_prob,
         );
         let max_depth = self.config.max_depth;
-        while next.len() < n {
+        let n_vars = cols.n_vars();
+        while planned.len() < n {
             let roll: f64 = self.rng.gen();
-            let parent = self.tournament(&population).expr.clone();
-            let child = if roll < p_cx {
+            let picked = self.tournament(&population);
+            let parent_score = (picked.error, picked.fitness);
+            let parent = picked.expr.clone();
+            let (child, cached) = if roll < p_cx {
                 let donor = self.tournament(&population).expr.clone();
-                self.crossover(&parent, &donor)
+                (self.crossover(&parent, &donor), None)
             } else if roll < p_cx + p_sub {
-                self.subtree_mutation(&parent, data.n_vars())
+                (self.subtree_mutation(&parent, n_vars), None)
             } else if roll < p_cx + p_sub + p_hoist {
-                self.hoist_mutation(&parent)
+                (self.hoist_mutation(&parent), None)
             } else if roll < p_cx + p_sub + p_hoist + p_point {
-                self.point_mutation(&parent, data.n_vars())
+                (self.point_mutation(&parent, n_vars), None)
             } else {
-                parent.clone()
+                // Reproduction: the child IS the parent — reuse its score.
+                (parent.clone(), Some(parent_score))
             };
-            let child = if child.depth() > max_depth { parent } else { child };
-            next.push(self.make_individual(child, data, evaluations));
+            let (child, cached) = if child.depth() > max_depth {
+                (parent, Some(parent_score))
+            } else {
+                (child, cached)
+            };
+            planned.push((child, cached));
         }
-        next
+        self.realize(planned, cols, evaluations)
     }
 
     /// Subtree crossover: replace a random node of `recipient` with a
@@ -540,7 +649,13 @@ impl SymbolicRegressor {
 
     /// Hill-climb the winner's constants: propose a perturbation of one
     /// constant at a time and keep it if the (scaled-space) error improves.
-    fn polish(&mut self, best: &mut Individual, data: &Dataset, evaluations: &mut u64) {
+    fn polish(
+        &mut self,
+        best: &mut Individual,
+        cols: &Columns,
+        scratch: &mut BatchScratch,
+        evaluations: &mut u64,
+    ) {
         if self.config.polish_iters == 0 {
             return;
         }
@@ -563,7 +678,7 @@ impl SymbolicRegressor {
                     *c += self.rng.gen_range(-sigma..sigma);
                 }
             }
-            let (error, fitness) = self.evaluate(&candidate, data, evaluations);
+            let (error, fitness) = self.evaluate(&candidate, cols, scratch, evaluations);
             if error < best.error {
                 best.expr = candidate;
                 best.error = error;

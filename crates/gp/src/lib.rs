@@ -20,6 +20,14 @@
 //! * a constant-polishing hill climb that refines numeric leaves of the
 //!   winning expression (the GP analogue of gplearn's final tuning).
 //!
+//! Fitness scoring — the dominant cost at the paper's 1000 × 30 budget —
+//! runs through [`CompiledExpr`], a postfix-bytecode compilation of the
+//! expression tree evaluated batch-wise over the whole data set, and is
+//! fanned out across the [`dpr_par`] worker pool (`DPR_THREADS`). Both are
+//! bit-identical to the naive recursive, sequential evaluation: all
+//! randomness stays in the sequential breeding phase, so the same seed
+//! yields the same [`FittedModel`] at any thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 mod dataset;
 mod engine;
 pub mod expr;
@@ -48,6 +57,7 @@ mod model;
 mod refit;
 pub mod scaling;
 
+pub use compile::{BatchScratch, Columns, CompiledExpr};
 pub use dataset::{Dataset, DatasetError};
 pub use engine::{FunctionSet, GpConfig, GpReport, SymbolicRegressor};
 pub use expr::{BinaryOp, Expr, UnaryOp};

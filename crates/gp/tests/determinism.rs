@@ -1,0 +1,90 @@
+//! Regression test: parallel fitness scoring is **bit-identical** to
+//! sequential scoring. All randomness lives in the sequential breeding
+//! phase and evaluation is a pure, index-order-preserving map, so the
+//! same seed must yield the same model and the same per-generation error
+//! trajectory at any `DPR_THREADS` setting.
+//!
+//! Everything runs inside ONE `#[test]` function: the test mutates the
+//! `DPR_THREADS` process environment, and sibling tests in this binary
+//! would otherwise race on it.
+
+use dpr_gp::{Dataset, FittedModel, GpConfig, GpReport, SymbolicRegressor};
+
+fn fit_dataset(seed: u64, data: &Dataset) -> (FittedModel, GpReport) {
+    let mut gp = SymbolicRegressor::new(GpConfig::fast(seed));
+    let model = gp.fit(data);
+    let report = gp.last_report().expect("fit records a report").clone();
+    (model, report)
+}
+
+fn sample_datasets() -> Vec<Dataset> {
+    vec![
+        // Linear with offset (the classic coolant-temperature shape).
+        Dataset::from_pairs((0..48).map(|i| {
+            let x = f64::from((i * 11) % 256);
+            (x, 1.8 * x - 40.0)
+        }))
+        .unwrap(),
+        // Two-variable OBD-II engine-speed formula.
+        Dataset::new(
+            (0..48)
+                .map(|i| vec![f64::from(i * 5 % 200), f64::from((i * 37) % 256)])
+                .collect(),
+            (0..48)
+                .map(|i| 64.0 * f64::from(i * 5 % 200) + 0.25 * f64::from((i * 37) % 256))
+                .collect(),
+        )
+        .unwrap(),
+    ]
+}
+
+/// One test fn on purpose — see module docs.
+#[test]
+fn parallel_fit_is_bit_identical_to_sequential() {
+    // CI runs this test under an explicit DPR_THREADS (2, then 4); when
+    // unset, compare against 4 workers.
+    let parallel = std::env::var("DPR_THREADS")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .unwrap_or_else(|| "4".to_string());
+    let restore = std::env::var("DPR_THREADS").ok();
+
+    for (k, data) in sample_datasets().iter().enumerate() {
+        for seed in [2023u64, 7] {
+            std::env::set_var("DPR_THREADS", "1");
+            let (seq_model, seq_report) = fit_dataset(seed, data);
+            std::env::set_var("DPR_THREADS", &parallel);
+            let (par_model, par_report) = fit_dataset(seed, data);
+
+            assert_eq!(
+                seq_model, par_model,
+                "dataset {k} seed {seed}: model differs between 1 and {parallel} threads"
+            );
+            // Trajectories bit-for-bit, not just approximately.
+            let seq_bits: Vec<u64> = seq_report
+                .best_error_history
+                .iter()
+                .map(|e| e.to_bits())
+                .collect();
+            let par_bits: Vec<u64> = par_report
+                .best_error_history
+                .iter()
+                .map(|e| e.to_bits())
+                .collect();
+            assert_eq!(
+                seq_bits, par_bits,
+                "dataset {k} seed {seed}: error trajectory differs"
+            );
+            assert_eq!(seq_report.stopped_by_threshold, par_report.stopped_by_threshold);
+            assert_eq!(
+                seq_model.evaluations, par_model.evaluations,
+                "dataset {k} seed {seed}: evaluation counts differ"
+            );
+        }
+    }
+
+    match restore {
+        Some(v) => std::env::set_var("DPR_THREADS", v),
+        None => std::env::remove_var("DPR_THREADS"),
+    }
+}

@@ -1,5 +1,6 @@
 //! Property-based tests for the GP engine's invariants.
 
+use dpr_gp::compile::{BatchScratch, Columns, CompiledExpr};
 use dpr_gp::expr::{BinaryOp, Expr, UnaryOp};
 use dpr_gp::scaling::{table2_factor, ScalePlan};
 use dpr_gp::{Dataset, GpConfig, Metric, SymbolicRegressor};
@@ -90,6 +91,64 @@ proptest! {
         let raw = plan.eval_raw(&expr, &[x]);
         let manual = 2.0 * (x * plan.x_factors[0]) / plan.y_factor;
         prop_assert!((raw - manual).abs() < 1e-9 * manual.abs().max(1.0));
+    }
+
+    /// Compiled (postfix-bytecode) evaluation is bit-identical to the
+    /// recursive tree walker on random trees over random inputs —
+    /// including NaN/∞ inputs, so the protected division/log/inverse
+    /// special cases and non-finite propagation agree exactly.
+    #[test]
+    fn compiled_eval_matches_recursive(
+        seed in any::<u64>(),
+        depth in 1usize..=7,
+        x0 in -1e6f64..1e6,
+        x1 in -1e6f64..1e6,
+        special in 0u8..6,
+    ) {
+        let e = arb_expr(seed, depth);
+        let c = CompiledExpr::compile(&e);
+        // Mix plain finite rows with rows exercising NaN/∞ propagation and
+        // the protected div-by-zero / log(0) / inv(0) branches.
+        let row: [f64; 2] = match special {
+            0 => [f64::NAN, x1],
+            1 => [f64::INFINITY, x1],
+            2 => [x0, f64::NEG_INFINITY],
+            3 => [0.0, 0.0],
+            4 => [x0, 1e-12],
+            _ => [x0, x1],
+        };
+        let a = e.eval(&row);
+        let b = c.eval(&row);
+        prop_assert!(
+            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+            "{e} on {row:?}: {a:?} ({:#x}) vs {b:?} ({:#x})", a.to_bits(), b.to_bits()
+        );
+        prop_assert_eq!(c.len(), e.size());
+    }
+
+    /// The batch (column-wise) error path returns exactly what
+    /// `Metric::error` computes with the recursive evaluator.
+    #[test]
+    fn compiled_batch_error_matches_metric(
+        seed in any::<u64>(),
+        rows in proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4, -1e4f64..1e4), 1..40),
+    ) {
+        let e = arb_expr(seed, 6);
+        let data = Dataset::new(
+            rows.iter().map(|(x0, x1, _)| vec![*x0, *x1]).collect(),
+            rows.iter().map(|(_, _, y)| *y).collect(),
+        ).unwrap();
+        let cols = Columns::from_dataset(&data);
+        let compiled = CompiledExpr::compile(&e);
+        let mut scratch = BatchScratch::new();
+        for metric in [Metric::MeanAbsoluteError, Metric::MeanSquaredError, Metric::Rmse] {
+            let want = metric.error(&e, &data);
+            let got = compiled.error_on(&cols, metric, &mut scratch);
+            prop_assert!(
+                want.to_bits() == got.to_bits(),
+                "{e} with {metric:?}: {want} vs {got}"
+            );
+        }
     }
 
     /// Fitness metrics are non-negative and zero exactly on perfect fits.

@@ -1,0 +1,261 @@
+//! Deterministic data parallelism for the DP-Reverser stack.
+//!
+//! A std-only scoped chunked thread pool with a rayon-shaped [`par_map`]
+//! API. The design goal is *bit-identical outputs regardless of thread
+//! count*: inputs are split into fixed, index-ordered chunks, workers pull
+//! chunks off an atomic cursor, and results are reassembled in input order
+//! before returning. As long as the mapped function is pure (no shared
+//! mutable state, no RNG), `par_map` with 1 thread and with N threads
+//! produce the same `Vec` — which is what lets the GP engine parallelize
+//! fitness scoring without perturbing its deterministic evolution.
+//!
+//! # Thread-count resolution
+//!
+//! [`threads`] resolves, in order:
+//!
+//! 1. the `DPR_THREADS` environment variable (clamped to at least 1;
+//!    unparsable values are ignored),
+//! 2. [`std::thread::available_parallelism`],
+//! 3. a fallback of 1.
+//!
+//! `DPR_THREADS=1` (or a single-core machine) makes every call run inline
+//! on the caller's thread — no threads are spawned, no synchronization is
+//! paid, and thread-local state (like a scoped telemetry registry) behaves
+//! exactly as in fully sequential code.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = dpr_par::par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "DPR_THREADS";
+
+/// The effective worker-thread count: `DPR_THREADS` if set and valid,
+/// otherwise the machine's available parallelism, otherwise 1.
+///
+/// Read on every call (not cached) so tests and long-lived processes can
+/// retune the pool between runs.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A chunked fork-join pool over scoped threads.
+///
+/// The pool is a configuration object, not a set of live threads: each
+/// [`par_map`](Pool::par_map) call spawns scoped workers and joins them
+/// before returning, so borrowed inputs work without `'static` bounds and
+/// a panic in any worker propagates to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`threads`] (the `DPR_THREADS` override).
+    pub fn from_env() -> Self {
+        Pool::new(threads())
+    }
+
+    /// The worker count this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// Deterministic for pure `f`: the output is identical for any thread
+    /// count, including 1.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_init(items, || (), |(), item| f(item))
+    }
+
+    /// Like [`par_map`](Pool::par_map), but hands each worker a private
+    /// scratch state built by `init` (rayon's `map_init` shape). `init`
+    /// runs once per worker, so per-item allocation (evaluation stacks,
+    /// buffers) is amortized across the worker's whole share of the input.
+    ///
+    /// The state must not influence results (it is scratch, not an
+    /// accumulator) or determinism across thread counts is lost.
+    pub fn par_map_init<T, S, R, FI, F>(&self, items: &[T], init: FI, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
+        }
+
+        // Chunks several times smaller than a worker's fair share keep the
+        // pool load-balanced when item costs vary (GP trees differ wildly
+        // in size) without paying cursor contention per item.
+        let chunk = n.div_ceil(workers * 4).max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Vec<R>>>> =
+            Mutex::new((0..n_chunks).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let out: Vec<R> = items[start..end]
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect();
+                        slots.lock().expect("result mutex")[c] = Some(out);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("result mutex")
+            .into_iter()
+            .flat_map(|slot| slot.expect("every chunk was claimed and filled"))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Maps `f` over `items` on the [`Pool::from_env`] pool, in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::from_env().par_map(items, f)
+}
+
+/// [`Pool::par_map_init`] on the [`Pool::from_env`] pool.
+pub fn par_map_init<T, S, R, FI, F>(items: &[T], init: FI, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    Pool::from_env().par_map_init(items, init, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out = Pool::new(workers).par_map(&items, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // A float reduction whose value would drift if ordering changed.
+        let items: Vec<f64> = (0..777).map(|i| f64::from(i) * 0.3127).collect();
+        let f = |x: &f64| (x.sin() * 1e6).mul_add(0.1, x.sqrt());
+        let one = Pool::new(1).par_map(&items, f);
+        for workers in [2, 5, 16] {
+            let many = Pool::new(workers).par_map(&items, f);
+            let same = one
+                .iter()
+                .zip(&many)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "results differ between 1 and {workers} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Pool::new(4).par_map(&empty, |x| *x).is_empty());
+        assert_eq!(Pool::new(4).par_map(&[7u8], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn init_state_is_per_worker_scratch() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = Pool::new(4).par_map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u32>::new()
+            },
+            |scratch, x| {
+                scratch.push(*x);
+                *x + 1
+            },
+        );
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+        // One init per worker, not per item.
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn pool_clamps_to_one_thread() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u32> = (0..64).collect();
+            Pool::new(4).par_map(&items, |x| {
+                assert!(*x != 13, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+}
