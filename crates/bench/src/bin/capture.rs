@@ -1,0 +1,256 @@
+//! Capture tooling: record a collection session to disk, inspect a
+//! capture file, replay one offline through the analysis pipeline.
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin capture -- record M /tmp/m.dprcap 4
+//! cargo run --release -p dpr-bench --bin capture -- info /tmp/m.dprcap
+//! cargo run --release -p dpr-bench --bin capture -- replay /tmp/m.dprcap --diff-live
+//! ```
+//!
+//! `record` collects car `<A..R>` with the robotic clicker and streams
+//! the session into `<path>` (optional dwell seconds and seed follow).
+//! `info` prints the header, per-kind record counts, time span, session
+//! metadata, and damage tallies. `replay` reruns the full analysis from
+//! the capture alone; `--diff-live` re-collects the same car live and
+//! exits non-zero unless the replayed result is identical.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dp_reverser::{DpReverser, ReverseEngineeringResult};
+use dpr_bench::{collect_car, experiment_config, print_trace, EXPERIMENT_SEED};
+use dpr_capture::{
+    record_report, CaptureEvent, CaptureReader, CaptureSession, CaptureWriter, CorruptionStats,
+};
+use dpr_telemetry::Registry;
+use dpr_vehicle::profiles::{self, CarId};
+
+fn parse_car(arg: &str) -> Option<CarId> {
+    arg.bytes()
+        .next()
+        .filter(|b| b.is_ascii_uppercase())
+        .and_then(|b| CarId::ALL.get((b - b'A') as usize).copied())
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: capture record <car A..R> <path> [read_secs] [seed]");
+    eprintln!("       capture info   <path>");
+    eprintln!("       capture replay <path> [--diff-live]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let (Some(car_arg), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(id) = parse_car(car_arg) else {
+        eprintln!("error: unknown car {car_arg:?} — pass a letter A..R (paper Tab. 3)");
+        return ExitCode::from(2);
+    };
+    let read_secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seed: u64 = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EXPERIMENT_SEED ^ (id as u64 + 1));
+
+    let spec = profiles::spec(id);
+    println!("recording car {car_arg} (tool {}, dwell {read_secs}s, seed {seed})…", spec.tool);
+    let report = collect_car(id, seed, read_secs);
+
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let written = (|| {
+        let mut writer = CaptureWriter::new(file)?;
+        writer.write_meta("car", car_arg)?;
+        writer.write_meta("seed", &seed.to_string())?;
+        writer.write_meta("read_secs", &read_secs.to_string())?;
+        writer.write_meta("tool", spec.tool)?;
+        let (records, bytes) = (writer.records_written(), writer.bytes_written());
+        record_report(&report, &mut writer)?;
+        let payload_records = writer.records_written() - records;
+        let payload_bytes = writer.bytes_written() - bytes;
+        writer.finish()?;
+        Ok::<_, std::io::Error>((payload_records, payload_bytes))
+    })();
+    match written {
+        Ok((records, bytes)) => {
+            println!(
+                "wrote {path}: {records} session records, {bytes} payload bytes \
+                 ({} CAN frames, {} screen frames, {} actions)",
+                report.log.len(),
+                report.frames.len(),
+                report.execution.entries.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn open(path: &str) -> Option<CaptureReader<std::io::BufReader<std::fs::File>>> {
+    match CaptureReader::open(path) {
+        Ok(reader) => Some(reader),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            None
+        }
+    }
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let Some(mut reader) = open(path) else {
+        return ExitCode::FAILURE;
+    };
+    println!("{path}: DPRCAP format v{}", reader.version());
+
+    let (mut can, mut screen, mut action, mut clock, mut meta) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut first = None;
+    let mut last = None;
+    let mut session = CaptureSession::default();
+    while let Some(event) = reader.next_event() {
+        let at = match &event {
+            CaptureEvent::Can(tf) => {
+                can += 1;
+                Some(tf.at)
+            }
+            CaptureEvent::Screen(f) => {
+                screen += 1;
+                Some(f.at)
+            }
+            CaptureEvent::Action(e) => {
+                action += 1;
+                Some(e.at)
+            }
+            CaptureEvent::ClockSync(s) => {
+                clock += 1;
+                Some(s.bus_at)
+            }
+            CaptureEvent::Meta { .. } => {
+                meta += 1;
+                None
+            }
+        };
+        if let Some(at) = at {
+            first.get_or_insert(at);
+            last = Some(at);
+        }
+        session.absorb(event);
+    }
+    let stats = reader.stats();
+    println!("  records    {:>8} valid (incl. sync markers)", stats.records_read);
+    println!("  can        {can:>8}");
+    println!("  screen     {screen:>8}");
+    println!("  action     {action:>8}");
+    println!("  clock-sync {clock:>8}");
+    println!("  meta       {meta:>8}");
+    if let (Some(first), Some(last)) = (first, last) {
+        println!(
+            "  span       {:.3}s – {:.3}s ({:.3}s of session time)",
+            first.as_secs_f64(),
+            last.as_secs_f64(),
+            last.saturating_sub(first).as_secs_f64()
+        );
+    }
+    if let Some(offset) = session.estimated_offset_us() {
+        println!("  clock offset (camera − bus) median: {offset} µs");
+    }
+    for (key, value) in &session.meta {
+        println!("  meta[{key}] = {value}");
+    }
+    print_damage(stats);
+    ExitCode::SUCCESS
+}
+
+fn print_damage(stats: &CorruptionStats) {
+    if stats.is_clean() {
+        println!("  damage     none");
+    } else {
+        println!(
+            "  damage     {} bad-crc, {} malformed, {} truncated, {} resyncs, {} bytes skipped",
+            stats.crc_skipped, stats.malformed, stats.truncated, stats.resyncs, stats.bytes_skipped
+        );
+    }
+}
+
+/// Pulls the car id and seed a capture was recorded with out of its
+/// metadata.
+fn recorded_identity(session: &CaptureSession) -> Option<(CarId, u64, u64)> {
+    let id = parse_car(session.meta.get("car")?)?;
+    let seed = session.meta.get("seed")?.parse().ok()?;
+    let read_secs = session.meta.get("read_secs")?.parse().ok()?;
+    Some((id, seed, read_secs))
+}
+
+fn summarize(result: &ReverseEngineeringResult) {
+    println!(
+        "recovered: {} formula ESVs, {} enum ESVs, {} ECRs, {} negatives filtered",
+        result.formula_esvs().count(),
+        result.enum_esvs().count(),
+        result.ecrs.len(),
+        result.negatives,
+    );
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let diff_live = args.iter().any(|a| a == "--diff-live");
+    let Some(reader) = open(path) else {
+        return ExitCode::FAILURE;
+    };
+    let (session, stats) = reader.read_session();
+    print_damage(&stats);
+    let Some((id, seed, read_secs)) = recorded_identity(&session) else {
+        eprintln!("error: capture carries no car/seed/read_secs metadata; cannot configure the pipeline");
+        return ExitCode::FAILURE;
+    };
+    println!("replaying car {:?} seed {seed} offline…", id);
+
+    let pipeline = DpReverser::new(experiment_config(id, seed));
+    // Re-open and run through `analyze_capture` so the reader's
+    // counters land on the trace's `capture` stage.
+    let Some(reader) = open(path) else {
+        return ExitCode::FAILURE;
+    };
+    let registry = Arc::new(Registry::new());
+    let result = dpr_telemetry::scoped(Arc::clone(&registry), || pipeline.analyze_capture(reader));
+    print_trace(&result);
+    summarize(&result);
+
+    if diff_live {
+        println!("re-collecting live for the diff (dwell {read_secs}s)…");
+        let report = collect_car(id, seed, read_secs);
+        let live = dpr_telemetry::scoped(Arc::new(Registry::new()), || {
+            pipeline.analyze(&report.log, &report.frames, Some(&report.execution))
+        });
+        if live == result {
+            println!("VERDICT: replay is identical to the live run");
+        } else {
+            eprintln!("VERDICT: replay DIVERGED from the live run");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

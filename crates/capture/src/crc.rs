@@ -1,0 +1,102 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! guarding every capture record.
+//!
+//! Implemented as a `const fn` over a compile-time lookup table so the
+//! constant wire image of the sync marker ([`crate::format::SYNC_WIRE`])
+//! can embed its own CRC at compile time.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = make_table();
+
+/// A running CRC-32, for checksumming a record without materializing it
+/// in one contiguous buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub const fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub const fn update(mut self, bytes: &[u8]) -> Self {
+        let mut i = 0;
+        while i < bytes.len() {
+            self.0 = TABLE[((self.0 ^ bytes[i] as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+            i += 1;
+        }
+        self
+    }
+
+    /// The final CRC value.
+    pub const fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub const fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let whole = crc32(b"hello capture world");
+        let split = Crc32::new()
+            .update(b"hello ")
+            .update(b"capture ")
+            .update(b"world")
+            .finish();
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = b"abcdefgh".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut mutated = base.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), reference, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The on-disk record layout: header, record framing, event payloads.
+//!
+//! A capture file is a 12-byte header followed by a stream of framed
+//! records:
+//!
+//! ```text
+//! header  := magic[8] = "DPRCAP\r\n" | version u16 LE | reserved u16 LE
+//! record  := kind u8 | len u32 LE | payload[len] | crc u32 LE
+//! ```
+//!
+//! The CRC-32 covers `kind`, `len`, and the payload, so a bit flip
+//! anywhere in a record — including its length field — is detected. A
+//! *sync marker* is an ordinary record (`kind = 0x5A`, fixed 8-byte
+//! payload) whose full 17-byte wire image is a compile-time constant:
+//! after a corrupt record the reader scans forward for that byte string
+//! and resumes parsing at the next marker. All integers are
+//! little-endian; all strings are UTF-8 with a `u32` length prefix.
+
+use dpr_can::{CanFrame, CanId, Micros, TimestampedFrame};
+use dpr_cps::script::LogEntry;
+use dpr_tool::{Screenshot, UiFrame, Widget, WidgetKind};
+
+use crate::crc::{crc32, Crc32};
+
+/// The 8-byte file magic. The `\r\n` tail catches ASCII-mode transfer
+/// mangling the way PNG's does.
+pub const MAGIC: [u8; 8] = *b"DPRCAP\r\n";
+
+/// Current format version. Readers accept exactly the versions they
+/// know; see DESIGN.md "Capture format" for the compatibility rules.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Total header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Record kind byte of a sync marker.
+pub const KIND_SYNC: u8 = 0x5A;
+/// Record kind byte of a timestamped CAN frame.
+pub const KIND_CAN: u8 = 0x01;
+/// Record kind byte of a rendered-screen (camera) frame.
+pub const KIND_SCREEN: u8 = 0x02;
+/// Record kind byte of a clicker-script action.
+pub const KIND_ACTION: u8 = 0x03;
+/// Record kind byte of a clock-sync sample.
+pub const KIND_CLOCK_SYNC: u8 = 0x04;
+/// Record kind byte of a session-metadata key/value pair.
+pub const KIND_META: u8 = 0x05;
+
+/// The sync marker's fixed payload.
+pub const SYNC_PAYLOAD: [u8; 8] = *b"DPRSYNC\0";
+
+/// Hard upper bound on a single record's payload; a length field above
+/// this is treated as corruption rather than honored.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// The complete, constant wire image of a sync marker:
+/// `kind | len | payload | crc` — 17 bytes the reader can scan for.
+pub const SYNC_WIRE: [u8; 17] = {
+    let mut wire = [0u8; 17];
+    wire[0] = KIND_SYNC;
+    wire[1] = SYNC_PAYLOAD.len() as u8; // len u32 LE, high bytes zero
+    let mut i = 0;
+    while i < 8 {
+        wire[5 + i] = SYNC_PAYLOAD[i];
+        i += 1;
+    }
+    let crc = Crc32::new().update(&[wire[0]]).update(&[wire[1], 0, 0, 0]).update(&SYNC_PAYLOAD).finish();
+    let cb = crc.to_le_bytes();
+    wire[13] = cb[0];
+    wire[14] = cb[1];
+    wire[15] = cb[2];
+    wire[16] = cb[3];
+    wire
+};
+
+/// A clock-sync sample: the same instant as seen by the bus sniffer's
+/// clock and by the camera's timestamp overlay. A run with perfectly
+/// synchronized clocks (NTP done out of band, or a simulation) records
+/// equal values; the difference stream is what offline alignment
+/// estimators consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSyncSample {
+    /// The instant on the bus-capture clock.
+    pub bus_at: Micros,
+    /// The same instant on the camera clock.
+    pub camera_at: Micros,
+}
+
+impl ClockSyncSample {
+    /// Camera-minus-bus offset in microseconds.
+    pub fn offset_us(&self) -> i64 {
+        self.camera_at.as_micros() as i64 - self.bus_at.as_micros() as i64
+    }
+}
+
+/// One event in a capture stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaptureEvent {
+    /// A CAN frame sniffed at the OBD port.
+    Can(TimestampedFrame),
+    /// A camera frame of the tool's rendered screen.
+    Screen(UiFrame),
+    /// One executed clicker action.
+    Action(LogEntry),
+    /// A clock-sync sample.
+    ClockSync(ClockSyncSample),
+    /// A session-metadata key/value pair (car profile, seed, tool…).
+    Meta {
+        /// Metadata key.
+        key: String,
+        /// Metadata value.
+        value: String,
+    },
+}
+
+impl CaptureEvent {
+    /// The record kind byte this event serializes under.
+    pub fn kind(&self) -> u8 {
+        match self {
+            CaptureEvent::Can(_) => KIND_CAN,
+            CaptureEvent::Screen(_) => KIND_SCREEN,
+            CaptureEvent::Action(_) => KIND_ACTION,
+            CaptureEvent::ClockSync(_) => KIND_CLOCK_SYNC,
+            CaptureEvent::Meta { .. } => KIND_META,
+        }
+    }
+}
+
+/// Serializes the file header.
+pub fn encode_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // bytes 10..12 reserved, zero
+    h
+}
+
+/// Parses and validates a file header, returning the format version.
+pub fn decode_header(bytes: &[u8]) -> Result<u16, HeaderError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(HeaderError::Truncated(bytes.len()));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(HeaderError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != FORMAT_VERSION {
+        return Err(HeaderError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Why a header failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than [`HEADER_LEN`] bytes available.
+    Truncated(usize),
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// A version this reader does not understand.
+    UnsupportedVersion(u16),
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::Truncated(n) => write!(f, "capture header truncated at {n} bytes"),
+            HeaderError::BadMagic => write!(f, "not a DPRCAP capture (bad magic)"),
+            HeaderError::UnsupportedVersion(v) => {
+                write!(f, "unsupported capture format version {v} (reader supports {FORMAT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+// ———————————————————————————— encoding ————————————————————————————
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn widget_kind_byte(kind: WidgetKind) -> u8 {
+    match kind {
+        WidgetKind::Title => 0,
+        WidgetKind::Button => 1,
+        WidgetKind::Label => 2,
+        WidgetKind::Value => 3,
+        WidgetKind::Timestamp => 4,
+    }
+}
+
+fn widget_kind_from(byte: u8) -> Option<WidgetKind> {
+    Some(match byte {
+        0 => WidgetKind::Title,
+        1 => WidgetKind::Button,
+        2 => WidgetKind::Label,
+        3 => WidgetKind::Value,
+        4 => WidgetKind::Timestamp,
+        _ => return None,
+    })
+}
+
+/// Serializes one event's payload (the bytes between `len` and `crc`).
+pub fn encode_payload(event: &CaptureEvent) -> Vec<u8> {
+    let mut out = Vec::new();
+    match event {
+        CaptureEvent::Can(tf) => {
+            put_u64(&mut out, tf.at.as_micros());
+            match tf.frame.id() {
+                CanId::Standard(raw) => {
+                    out.push(0);
+                    put_u32(&mut out, u32::from(raw));
+                }
+                CanId::Extended(raw) => {
+                    out.push(1);
+                    put_u32(&mut out, raw);
+                }
+            }
+            out.push(tf.frame.dlc() as u8);
+            out.extend_from_slice(tf.frame.data());
+        }
+        CaptureEvent::Screen(frame) => {
+            put_u64(&mut out, frame.at.as_micros());
+            put_u64(&mut out, frame.screenshot.at.as_micros());
+            put_u32(&mut out, frame.screenshot.cols as u32);
+            put_u32(&mut out, frame.screenshot.rows as u32);
+            put_u32(&mut out, frame.screenshot.widgets.len() as u32);
+            for w in &frame.screenshot.widgets {
+                out.push(widget_kind_byte(w.kind));
+                put_u32(&mut out, w.x as u32);
+                put_u32(&mut out, w.y as u32);
+                put_u32(&mut out, w.w as u32);
+                put_str(&mut out, &w.text);
+            }
+        }
+        CaptureEvent::Action(entry) => {
+            put_u64(&mut out, entry.at.as_micros());
+            put_u32(&mut out, entry.position.0 as u32);
+            put_u32(&mut out, entry.position.1 as u32);
+            put_str(&mut out, &entry.action);
+        }
+        CaptureEvent::ClockSync(sample) => {
+            put_u64(&mut out, sample.bus_at.as_micros());
+            put_u64(&mut out, sample.camera_at.as_micros());
+        }
+        CaptureEvent::Meta { key, value } => {
+            put_str(&mut out, key);
+            put_str(&mut out, value);
+        }
+    }
+    out
+}
+
+/// Serializes one event as a complete framed record
+/// (`kind | len | payload | crc`).
+pub fn encode_record(event: &CaptureEvent) -> Vec<u8> {
+    let payload = encode_payload(event);
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.push(event.kind());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ———————————————————————————— decoding ————————————————————————————
+
+/// A cursor over a payload being decoded; every read is bounds-checked
+/// so corrupt payloads fail with an error instead of a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        })
+    }
+
+    fn micros(&mut self) -> Option<Micros> {
+        self.u64().map(Micros::from_micros)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Deserializes one event from a CRC-verified payload. Returns `None`
+/// for malformed payloads (unknown enum bytes, over-long strings,
+/// trailing garbage) — the reader counts those as skips.
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Option<CaptureEvent> {
+    let mut c = Cursor::new(payload);
+    let event = match kind {
+        KIND_CAN => {
+            let at = c.micros()?;
+            let id = match c.u8()? {
+                0 => CanId::standard(u16::try_from(c.u32()?).ok()?).ok()?,
+                1 => CanId::extended(c.u32()?).ok()?,
+                _ => return None,
+            };
+            let dlc = c.u8()? as usize;
+            let data = c.take(dlc)?;
+            let frame = CanFrame::new(id, data).ok()?;
+            CaptureEvent::Can(TimestampedFrame { at, frame })
+        }
+        KIND_SCREEN => {
+            let at = c.micros()?;
+            let shot_at = c.micros()?;
+            let cols = c.u32()? as usize;
+            let rows = c.u32()? as usize;
+            let count = c.u32()? as usize;
+            // A widget needs ≥ 17 bytes; reject counts the payload
+            // cannot possibly hold before allocating.
+            if count > payload.len() / 17 {
+                return None;
+            }
+            let mut screenshot = Screenshot::new(shot_at, cols, rows);
+            for _ in 0..count {
+                let kind = widget_kind_from(c.u8()?)?;
+                let x = c.u32()? as usize;
+                let y = c.u32()? as usize;
+                let w = c.u32()? as usize;
+                let text = c.string()?;
+                screenshot.widgets.push(Widget { text, x, y, w, kind });
+            }
+            CaptureEvent::Screen(UiFrame { at, screenshot })
+        }
+        KIND_ACTION => {
+            let at = c.micros()?;
+            let x = c.u32()? as usize;
+            let y = c.u32()? as usize;
+            let action = c.string()?;
+            CaptureEvent::Action(LogEntry {
+                at,
+                action,
+                position: (x, y),
+            })
+        }
+        KIND_CLOCK_SYNC => {
+            let bus_at = c.micros()?;
+            let camera_at = c.micros()?;
+            CaptureEvent::ClockSync(ClockSyncSample { bus_at, camera_at })
+        }
+        KIND_META => {
+            let key = c.string()?;
+            let value = c.string()?;
+            CaptureEvent::Meta { key, value }
+        }
+        _ => return None,
+    };
+    // Trailing bytes mean the payload is not what the kind says it is.
+    c.exhausted().then_some(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_wire_is_a_valid_record() {
+        // kind + len + payload verify against the trailing CRC.
+        let body = &SYNC_WIRE[..13];
+        let crc = u32::from_le_bytes([SYNC_WIRE[13], SYNC_WIRE[14], SYNC_WIRE[15], SYNC_WIRE[16]]);
+        assert_eq!(crc32(body), crc);
+        assert_eq!(SYNC_WIRE[0], KIND_SYNC);
+        assert_eq!(
+            u32::from_le_bytes([SYNC_WIRE[1], SYNC_WIRE[2], SYNC_WIRE[3], SYNC_WIRE[4]]),
+            SYNC_PAYLOAD.len() as u32
+        );
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_garbage() {
+        let h = encode_header();
+        assert_eq!(decode_header(&h), Ok(FORMAT_VERSION));
+        assert_eq!(decode_header(&h[..5]), Err(HeaderError::Truncated(5)));
+        let mut bad = h;
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_header(&bad), Err(HeaderError::BadMagic));
+        let mut future = encode_header();
+        future[8] = 0x63;
+        assert_eq!(
+            decode_header(&future),
+            Err(HeaderError::UnsupportedVersion(0x63))
+        );
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = vec![
+            CaptureEvent::Can(TimestampedFrame {
+                at: Micros::from_millis(12),
+                frame: CanFrame::new(CanId::standard(0x7E8).unwrap(), &[0x03, 0x41, 0x0C])
+                    .unwrap(),
+            }),
+            CaptureEvent::Can(TimestampedFrame {
+                at: Micros::from_micros(999),
+                frame: CanFrame::new(CanId::extended(0x18DA_F110).unwrap(), &[]).unwrap(),
+            }),
+            CaptureEvent::Screen(UiFrame {
+                at: Micros::from_secs(3),
+                screenshot: {
+                    let mut s = Screenshot::new(Micros::from_secs(3), 40, 10);
+                    s.push(WidgetKind::Title, 0, 0, "Read Data Stream");
+                    s.push(WidgetKind::Label, 1, 2, "Engine Speed");
+                    s.push(WidgetKind::Value, 25, 2, "2497");
+                    s
+                },
+            }),
+            CaptureEvent::Action(LogEntry {
+                at: Micros::from_millis(777),
+                action: "Engine".to_string(),
+                position: (12, 3),
+            }),
+            CaptureEvent::ClockSync(ClockSyncSample {
+                bus_at: Micros::from_secs(9),
+                camera_at: Micros::from_micros(9_000_250),
+            }),
+            CaptureEvent::Meta {
+                key: "car".to_string(),
+                value: "M".to_string(),
+            },
+        ];
+        for event in &events {
+            let payload = encode_payload(event);
+            let back = decode_payload(event.kind(), &payload).expect("decodes");
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn clock_sync_offset_sign() {
+        let s = ClockSyncSample {
+            bus_at: Micros::from_micros(100),
+            camera_at: Micros::from_micros(40),
+        };
+        assert_eq!(s.offset_us(), -60);
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_none() {
+        let event = CaptureEvent::Meta {
+            key: "k".into(),
+            value: "v".into(),
+        };
+        let payload = encode_payload(&event);
+        for cut in 0..payload.len() {
+            assert_eq!(decode_payload(KIND_META, &payload[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let event = CaptureEvent::ClockSync(ClockSyncSample {
+            bus_at: Micros::ZERO,
+            camera_at: Micros::ZERO,
+        });
+        let mut payload = encode_payload(&event);
+        payload.push(0xAB);
+        assert_eq!(decode_payload(KIND_CLOCK_SYNC, &payload), None);
+    }
+}

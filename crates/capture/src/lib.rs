@@ -1,0 +1,61 @@
+//! # dpr-capture — durable session captures and offline replay
+//!
+//! The paper's pipeline works entirely from recordings: the CAN traffic
+//! sniffed at the OBD port plus the camera's view of the diagnostic
+//! tool's screen. This crate is that data layer — a versioned,
+//! streaming, on-disk capture format that decouples *collection* from
+//! *analysis*, the way CAN-D and ACTT operate on recorded CAN logs:
+//!
+//! * [`format`] — the record layout: an 8-byte magic + version header,
+//!   then length-prefixed, CRC-32-framed records carrying four event
+//!   kinds (timestamped CAN frames, rendered-screen frames, clicker
+//!   actions, clock-sync samples) plus session metadata, with periodic
+//!   sync markers for damage recovery.
+//! * [`writer`] — [`CaptureWriter`]: buffered streaming append with
+//!   automatic sync markers and `capture.records_written` /
+//!   `capture.bytes` telemetry.
+//! * [`reader`] — [`CaptureReader`]: streaming replay that tolerates
+//!   corruption. A bad-CRC, malformed, or truncated record is counted
+//!   ([`CorruptionStats`], `capture.crc_skipped`) and skipped; reading
+//!   resumes at the next sync marker instead of panicking.
+//! * [`session`] — [`record_report`] taps a live `dpr-cps` collection
+//!   run into a capture; [`CaptureSession`] reassembles the pipeline's
+//!   inputs from a stream for `DpReverser::analyze_capture`.
+//!
+//! # Example
+//!
+//! ```
+//! use dpr_capture::{CaptureEvent, CaptureReader, CaptureWriter};
+//! use dpr_can::{CanFrame, CanId, Micros};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut writer = CaptureWriter::new(Vec::new())?;
+//! writer.write_meta("car", "M")?;
+//! writer.write_can(
+//!     Micros::from_millis(5),
+//!     CanFrame::new(CanId::standard(0x7E0)?, &[0x02, 0x01, 0x0C])?,
+//! )?;
+//! let bytes = writer.finish()?;
+//!
+//! let reader = CaptureReader::new(bytes.as_slice())?;
+//! let (session, stats) = reader.read_session();
+//! assert!(stats.is_clean());
+//! assert_eq!(session.log.len(), 1);
+//! assert_eq!(session.meta.get("car").map(String::as_str), Some("M"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod format;
+pub mod reader;
+pub mod session;
+pub mod writer;
+
+pub use format::{CaptureEvent, ClockSyncSample, HeaderError, FORMAT_VERSION};
+pub use reader::{CaptureError, CaptureReader, CorruptionStats};
+pub use session::{record_report, CaptureSession};
+pub use writer::{CaptureWriter, SYNC_INTERVAL};

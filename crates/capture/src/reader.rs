@@ -1,0 +1,418 @@
+//! Streaming capture reading that survives corruption.
+//!
+//! [`CaptureReader`] pulls bytes from any [`Read`] source through a
+//! bounded internal buffer and yields [`CaptureEvent`]s. A record whose
+//! CRC fails, whose payload is malformed, or that runs past the end of
+//! the stream is **counted and skipped, never panicked on**: the reader
+//! scans forward for the next sync marker ([`SYNC_WIRE`]) and resumes
+//! parsing there, so one damaged block costs at most one
+//! [`SYNC_INTERVAL`](crate::writer::SYNC_INTERVAL) worth of records.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::format::{
+    decode_header, decode_payload, CaptureEvent, HeaderError, KIND_SYNC, MAX_RECORD_LEN,
+    SYNC_WIRE,
+};
+
+/// How much to request from the source per refill.
+const FILL_CHUNK: usize = 64 * 1024;
+/// Compact the buffer once this many consumed bytes accumulate.
+const COMPACT_THRESHOLD: usize = 256 * 1024;
+
+/// Tallies of everything the reader skipped or recovered from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Valid records parsed, including sync markers.
+    pub records_read: u64,
+    /// Events yielded to the caller (valid non-sync records).
+    pub events: u64,
+    /// Records dropped because their CRC did not verify.
+    pub crc_skipped: u64,
+    /// CRC-valid records whose payload did not decode (unknown kind
+    /// byte, bad enum tag, truncated field, trailing garbage).
+    pub malformed: u64,
+    /// Records that ran past the end of the stream.
+    pub truncated: u64,
+    /// Forward scans to a sync marker after a bad record.
+    pub resyncs: u64,
+    /// Bytes discarded while skipping damage.
+    pub bytes_skipped: u64,
+}
+
+impl CorruptionStats {
+    /// Total records the reader had to skip.
+    pub fn skipped(&self) -> u64 {
+        self.crc_skipped + self.malformed + self.truncated
+    }
+
+    /// Whether the stream replayed without any damage.
+    pub fn is_clean(&self) -> bool {
+        self.skipped() == 0 && self.bytes_skipped == 0
+    }
+}
+
+/// Failure to open a capture stream.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// The stream's header is missing, damaged, or from an unsupported
+    /// format version.
+    Header(HeaderError),
+    /// The underlying source failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Header(e) => write!(f, "{e}"),
+            CaptureError::Io(e) => write!(f, "capture i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl From<HeaderError> for CaptureError {
+    fn from(e: HeaderError) -> Self {
+        CaptureError::Header(e)
+    }
+}
+
+impl From<io::Error> for CaptureError {
+    fn from(e: io::Error) -> Self {
+        CaptureError::Io(e)
+    }
+}
+
+/// A streaming, corruption-tolerant capture reader.
+pub struct CaptureReader<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    /// Start of the unconsumed region within `buf`.
+    start: usize,
+    eof: bool,
+    done: bool,
+    version: u16,
+    stats: CorruptionStats,
+}
+
+impl CaptureReader<BufReader<File>> {
+    /// Opens a capture file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError::Io`] if the file cannot be opened and
+    /// [`CaptureError::Header`] if it is not a readable capture.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CaptureError> {
+        CaptureReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> CaptureReader<R> {
+    /// Wraps a byte source, reading and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError::Header`] when the magic, version, or
+    /// header length is wrong, [`CaptureError::Io`] on source failure.
+    pub fn new(src: R) -> Result<Self, CaptureError> {
+        let mut reader = CaptureReader {
+            src,
+            buf: Vec::with_capacity(FILL_CHUNK),
+            start: 0,
+            eof: false,
+            done: false,
+            version: 0,
+            stats: CorruptionStats::default(),
+        };
+        reader.ensure(crate::format::HEADER_LEN);
+        let header = &reader.buf[reader.start..];
+        reader.version = decode_header(header)?;
+        reader.start += crate::format::HEADER_LEN;
+        Ok(reader)
+    }
+
+    /// The capture's format version (from the header).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The damage tallies so far.
+    pub fn stats(&self) -> &CorruptionStats {
+        &self.stats
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Refills until at least `n` bytes are available or the source is
+    /// exhausted. I/O errors end the stream like an EOF (the bytes
+    /// simply are not there; a capture must stay readable to the last
+    /// decodable record).
+    fn ensure(&mut self, n: usize) -> bool {
+        while self.available() < n && !self.eof {
+            if self.start >= COMPACT_THRESHOLD {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + FILL_CHUNK, 0);
+            match self.src.read(&mut self.buf[old_len..]) {
+                Ok(0) | Err(_) => {
+                    self.buf.truncate(old_len);
+                    self.eof = true;
+                }
+                Ok(got) => self.buf.truncate(old_len + got),
+            }
+        }
+        self.available() >= n
+    }
+
+    /// Discards `n` available bytes as damage.
+    fn skip_damage(&mut self, n: usize) {
+        self.start += n;
+        self.stats.bytes_skipped += n as u64;
+    }
+
+    /// Scans forward for the next sync marker. Returns `false` when the
+    /// stream ends first (everything remaining is discarded).
+    fn resync(&mut self) -> bool {
+        // The record at `start` is damaged: never re-parse its first byte.
+        if self.available() > 0 {
+            self.skip_damage(1);
+        }
+        loop {
+            let window = &self.buf[self.start..];
+            if let Some(rel) = find(window, &SYNC_WIRE) {
+                self.skip_damage(rel);
+                self.stats.resyncs += 1;
+                return true;
+            }
+            // Keep a possible marker prefix at the tail, drop the rest.
+            let keep = SYNC_WIRE.len() - 1;
+            if self.available() > keep {
+                let drop = self.available() - keep;
+                self.skip_damage(drop);
+            }
+            if self.eof {
+                let rest = self.available();
+                self.skip_damage(rest);
+                return false;
+            }
+            let want = self.available() + FILL_CHUNK;
+            self.ensure(want);
+        }
+    }
+
+    /// Yields the next event, transparently skipping damaged records.
+    /// `None` means the stream is exhausted.
+    pub fn next_event(&mut self) -> Option<CaptureEvent> {
+        while !self.done {
+            // kind + len
+            if !self.ensure(5) {
+                if self.available() > 0 {
+                    self.stats.truncated += 1;
+                    let rest = self.available();
+                    self.skip_damage(rest);
+                }
+                self.done = true;
+                return None;
+            }
+            let kind = self.buf[self.start];
+            let len = u32::from_le_bytes([
+                self.buf[self.start + 1],
+                self.buf[self.start + 2],
+                self.buf[self.start + 3],
+                self.buf[self.start + 4],
+            ]);
+            if len > MAX_RECORD_LEN {
+                self.stats.crc_skipped += 1;
+                if !self.resync() {
+                    self.done = true;
+                    return None;
+                }
+                continue;
+            }
+            let body_len = 5 + len as usize;
+            if !self.ensure(body_len + 4) {
+                // The record overruns the stream: truncated tail, or a
+                // damaged length field near the end. Either way, look
+                // for a later sync marker before giving up.
+                self.stats.truncated += 1;
+                if !self.resync() {
+                    self.done = true;
+                    return None;
+                }
+                continue;
+            }
+            let body = &self.buf[self.start..self.start + body_len];
+            let stored = u32::from_le_bytes([
+                self.buf[self.start + body_len],
+                self.buf[self.start + body_len + 1],
+                self.buf[self.start + body_len + 2],
+                self.buf[self.start + body_len + 3],
+            ]);
+            if crc32(body) != stored {
+                self.stats.crc_skipped += 1;
+                if !self.resync() {
+                    self.done = true;
+                    return None;
+                }
+                continue;
+            }
+            // A verified record: consume it (not damage).
+            let payload_range = self.start + 5..self.start + body_len;
+            self.stats.records_read += 1;
+            if kind == KIND_SYNC {
+                self.start += body_len + 4;
+                continue;
+            }
+            let event = decode_payload(kind, &self.buf[payload_range]);
+            self.start += body_len + 4;
+            match event {
+                Some(event) => {
+                    self.stats.events += 1;
+                    return Some(event);
+                }
+                None => {
+                    self.stats.malformed += 1;
+                    continue;
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<R: Read> Iterator for CaptureReader<R> {
+    type Item = CaptureEvent;
+
+    fn next(&mut self) -> Option<CaptureEvent> {
+        self.next_event()
+    }
+}
+
+/// First occurrence of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let first = needle[0];
+    let mut i = 0;
+    while i + needle.len() <= haystack.len() {
+        if haystack[i] == first && &haystack[i..i + needle.len()] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ClockSyncSample;
+    use crate::writer::CaptureWriter;
+    use dpr_can::{CanFrame, CanId, Micros, TimestampedFrame};
+
+    fn can_event(at: u64) -> CaptureEvent {
+        CaptureEvent::Can(TimestampedFrame {
+            at: Micros::from_micros(at),
+            frame: CanFrame::new(CanId::standard(0x123).unwrap(), &[at as u8, 0xFF]).unwrap(),
+        })
+    }
+
+    fn capture_of(events: &[CaptureEvent]) -> Vec<u8> {
+        let mut writer = CaptureWriter::new(Vec::new()).unwrap();
+        for e in events {
+            writer.write_event(e).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_clean_stream() {
+        let events: Vec<CaptureEvent> = (0..100).map(can_event).collect();
+        let bytes = capture_of(&events);
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let back: Vec<CaptureEvent> = reader.by_ref().collect();
+        assert_eq!(back, events);
+        assert!(reader.stats().is_clean(), "{:?}", reader.stats());
+        assert_eq!(reader.stats().events, 100);
+        assert_eq!(reader.version(), crate::format::FORMAT_VERSION);
+    }
+
+    #[test]
+    fn bad_crc_skips_to_next_sync() {
+        let events: Vec<CaptureEvent> = (0..80).map(can_event).collect();
+        let mut bytes = capture_of(&events);
+        // Damage one byte inside the first record after the initial sync.
+        let offset = crate::format::HEADER_LEN + SYNC_WIRE.len() + 7;
+        bytes[offset] ^= 0x40;
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let back: Vec<CaptureEvent> = reader.by_ref().collect();
+        // Everything from the damaged record to the next sync marker
+        // (one SYNC_INTERVAL) is lost; the rest replays.
+        assert!(back.len() >= 80 - crate::writer::SYNC_INTERVAL);
+        assert!(back.len() < 80);
+        let stats = reader.stats();
+        assert_eq!(stats.crc_skipped, 1);
+        assert_eq!(stats.resyncs, 1);
+        assert!(stats.bytes_skipped > 0);
+        // The surviving events are an exact subsequence of the originals.
+        assert!(back.iter().all(|e| events.contains(e)));
+    }
+
+    #[test]
+    fn truncated_tail_is_counted_not_panicked() {
+        let events: Vec<CaptureEvent> = (0..10).map(can_event).collect();
+        let bytes = capture_of(&events);
+        let cut = bytes.len() - 10;
+        let mut reader = CaptureReader::new(&bytes[..cut]).unwrap();
+        let back: Vec<CaptureEvent> = reader.by_ref().collect();
+        assert!(back.len() <= 10);
+        assert!(reader.stats().truncated >= 1, "{:?}", reader.stats());
+    }
+
+    #[test]
+    fn clock_sync_and_meta_survive_interleaving() {
+        let events = vec![
+            CaptureEvent::Meta {
+                key: "car".into(),
+                value: "A".into(),
+            },
+            can_event(5),
+            CaptureEvent::ClockSync(ClockSyncSample {
+                bus_at: Micros::from_secs(1),
+                camera_at: Micros::from_secs(1),
+            }),
+            can_event(6),
+        ];
+        let bytes = capture_of(&events);
+        let back: Vec<CaptureEvent> = CaptureReader::new(bytes.as_slice()).unwrap().collect();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn header_damage_is_an_error_not_a_panic() {
+        let bytes = capture_of(&[can_event(1)]);
+        // Bytes 10..12 are reserved padding the reader ignores.
+        for i in 0..10 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(matches!(
+                CaptureReader::new(bad.as_slice()),
+                Err(CaptureError::Header(_))
+            ));
+        }
+        assert!(matches!(
+            CaptureReader::new(&b"short"[..]),
+            Err(CaptureError::Header(HeaderError::Truncated(_)))
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Recording live collection runs and reconstructing them for replay.
+//!
+//! [`record_report`] taps the artifacts of a `dpr-cps` collection run —
+//! the sniffed [`BusLog`], camera b's [`UiFrame`]s, and the clicker's
+//! [`ExecutionLog`] — and streams them into a capture as one
+//! time-ordered event sequence. [`CaptureSession`] is the inverse: the
+//! same artifacts reassembled from a capture stream, ready for
+//! `DpReverser::analyze_capture`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use dpr_can::BusLog;
+use dpr_cps::script::ExecutionLog;
+use dpr_cps::CollectionReport;
+use dpr_tool::UiFrame;
+
+use crate::format::{CaptureEvent, ClockSyncSample};
+use crate::reader::{CaptureReader, CorruptionStats};
+use crate::writer::CaptureWriter;
+
+/// Emit one clock-sync sample per this many screen frames.
+pub const CLOCK_SYNC_EVERY: usize = 16;
+
+/// A collection run reconstructed from a capture stream — the exact
+/// inputs the analysis pipeline consumes, minus the live vehicle (ground
+/// truth never leaves the garage; a recording only carries what the
+/// paper's sniffer and cameras could see).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CaptureSession {
+    /// The OBD-port CAN capture.
+    pub log: BusLog,
+    /// Camera b's timestamped frames, in capture order.
+    pub frames: Vec<UiFrame>,
+    /// The clicker's executed-action log.
+    pub execution: ExecutionLog,
+    /// Clock-sync samples pairing bus time with camera time.
+    pub clock_syncs: Vec<ClockSyncSample>,
+    /// Session metadata (car profile, seed, tool…), last write wins.
+    pub meta: BTreeMap<String, String>,
+}
+
+impl CaptureSession {
+    /// Folds one replayed event into the session.
+    pub fn absorb(&mut self, event: CaptureEvent) {
+        match event {
+            CaptureEvent::Can(tf) => self.log.record(tf.at, tf.frame),
+            CaptureEvent::Screen(frame) => self.frames.push(frame),
+            CaptureEvent::Action(entry) => {
+                self.execution.record(entry.at, entry.action, entry.position)
+            }
+            CaptureEvent::ClockSync(sample) => self.clock_syncs.push(sample),
+            CaptureEvent::Meta { key, value } => {
+                self.meta.insert(key, value);
+            }
+        }
+    }
+
+    /// Median camera-minus-bus clock offset across the sync samples, in
+    /// microseconds. `None` without samples.
+    pub fn estimated_offset_us(&self) -> Option<i64> {
+        if self.clock_syncs.is_empty() {
+            return None;
+        }
+        let mut offsets: Vec<i64> = self.clock_syncs.iter().map(|s| s.offset_us()).collect();
+        offsets.sort_unstable();
+        Some(offsets[offsets.len() / 2])
+    }
+}
+
+impl<R: Read> CaptureReader<R> {
+    /// Drains the stream into a [`CaptureSession`], returning it with
+    /// the final damage tallies. Publishes the `capture.crc_skipped`
+    /// and `capture.records_read` telemetry counters.
+    pub fn read_session(mut self) -> (CaptureSession, CorruptionStats) {
+        let mut session = CaptureSession::default();
+        while let Some(event) = self.next_event() {
+            session.absorb(event);
+        }
+        let stats = *self.stats();
+        dpr_telemetry::counter("capture.records_read").inc(stats.records_read);
+        dpr_telemetry::counter("capture.crc_skipped").inc(stats.skipped());
+        (session, stats)
+    }
+}
+
+/// Streams a live collection run into a capture, interleaving the three
+/// artifact streams in bus-time order (ties resolve CAN → screen →
+/// action, matching the order a sniffer ahead of a camera would flush)
+/// and sampling a clock-sync record every [`CLOCK_SYNC_EVERY`] screen
+/// frames. The camera timestamp of a sync sample is the frame's
+/// timestamp-overlay value.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn record_report<W: Write>(
+    report: &CollectionReport,
+    writer: &mut CaptureWriter<W>,
+) -> io::Result<()> {
+    let mut can = report.log.iter().peekable();
+    let mut frames = report.frames.iter().enumerate().peekable();
+    let mut actions = report.execution.entries.iter().peekable();
+
+    loop {
+        let can_at = can.peek().map(|e| e.at);
+        let frame_at = frames.peek().map(|(_, f)| f.at);
+        let action_at = actions.peek().map(|e| e.at);
+        let Some(next_at) = [can_at, frame_at, action_at].into_iter().flatten().min() else {
+            break;
+        };
+        if can_at == Some(next_at) {
+            let entry = can.next().expect("peeked");
+            writer.write_can(entry.at, entry.frame.clone())?;
+        } else if frame_at == Some(next_at) {
+            let (idx, frame) = frames.next().expect("peeked");
+            writer.write_screen(frame)?;
+            if idx % CLOCK_SYNC_EVERY == 0 {
+                writer.write_clock_sync(ClockSyncSample {
+                    bus_at: frame.at,
+                    camera_at: frame.screenshot.at,
+                })?;
+            }
+        } else {
+            let entry = actions.next().expect("peeked");
+            writer.write_action(entry)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_can::{CanFrame, CanId, Micros};
+    use dpr_cps::{collect_vehicle, CollectConfig};
+    use dpr_tool::{Screenshot, ToolProfile, ToolSession, WidgetKind};
+    use dpr_vehicle::profiles::{self, CarId};
+
+    #[test]
+    fn absorb_rebuilds_every_artifact() {
+        let mut session = CaptureSession::default();
+        session.absorb(CaptureEvent::Meta {
+            key: "car".into(),
+            value: "M".into(),
+        });
+        session.absorb(CaptureEvent::Can(dpr_can::TimestampedFrame {
+            at: Micros::from_millis(1),
+            frame: CanFrame::new(CanId::standard(0x7E0).unwrap(), &[0x02]).unwrap(),
+        }));
+        let mut shot = Screenshot::new(Micros::from_millis(2), 40, 10);
+        shot.push(WidgetKind::Title, 0, 0, "ECU List");
+        session.absorb(CaptureEvent::Screen(UiFrame {
+            at: Micros::from_millis(2),
+            screenshot: shot,
+        }));
+        session.absorb(CaptureEvent::Action(dpr_cps::script::LogEntry {
+            at: Micros::from_millis(3),
+            action: "Engine".into(),
+            position: (4, 5),
+        }));
+        session.absorb(CaptureEvent::ClockSync(ClockSyncSample {
+            bus_at: Micros::from_millis(4),
+            camera_at: Micros::from_millis(5),
+        }));
+        assert_eq!(session.log.len(), 1);
+        assert_eq!(session.frames.len(), 1);
+        assert_eq!(session.execution.entries.len(), 1);
+        assert_eq!(session.meta.get("car").map(String::as_str), Some("M"));
+        assert_eq!(session.estimated_offset_us(), Some(1000));
+    }
+
+    #[test]
+    fn record_then_read_round_trips_a_live_collection() {
+        let car = profiles::build(CarId::M, 31);
+        let spec = profiles::spec(CarId::M);
+        let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).unwrap());
+        let report = collect_vehicle(
+            session,
+            &CollectConfig {
+                read_wait: Micros::from_secs(2),
+                ..CollectConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut writer = CaptureWriter::new(Vec::new()).unwrap();
+        writer.write_meta("car", "M").unwrap();
+        record_report(&report, &mut writer).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let (replayed, stats) = reader.read_session();
+        assert!(stats.is_clean(), "{stats:?}");
+        assert_eq!(replayed.log, report.log, "CAN capture must replay exactly");
+        assert_eq!(replayed.frames, report.frames, "UI frames must replay exactly");
+        assert_eq!(replayed.execution, report.execution);
+        assert!(!replayed.clock_syncs.is_empty());
+        // Simulated clocks are NTP-perfect: zero offset.
+        assert_eq!(replayed.estimated_offset_us(), Some(0));
+        assert_eq!(replayed.meta.get("car").map(String::as_str), Some("M"));
+    }
+}

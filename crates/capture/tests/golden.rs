@@ -1,0 +1,96 @@
+//! Golden-trace regression: a small Car M capture is checked into the
+//! repo at `tests/golden/car_m.dprcap`. The whole stack under it —
+//! vehicle simulator, tool, bus timing, collector, capture encoding —
+//! runs on seeded logical time, so re-recording the same car with the
+//! same seed must reproduce the file **byte for byte**. A mismatch
+//! means a simulator or format change silently altered recorded data;
+//! bump [`dpr_capture::FORMAT_VERSION`] or regenerate deliberately
+//! with:
+//!
+//! ```text
+//! DPR_REGEN_GOLDEN=1 cargo test -p dpr-capture --test golden
+//! ```
+
+use dpr_can::Micros;
+use dpr_capture::{record_report, CaptureReader, CaptureWriter};
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+use std::path::PathBuf;
+
+const GOLDEN_CAR: CarId = CarId::M;
+const GOLDEN_SEED: u64 = 31;
+const GOLDEN_READ_SECS: u64 = 2;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("car_m.dprcap")
+}
+
+/// Records the golden session deterministically.
+fn record_golden() -> Vec<u8> {
+    let car = profiles::build(GOLDEN_CAR, GOLDEN_SEED);
+    let spec = profiles::spec(GOLDEN_CAR);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).unwrap());
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(GOLDEN_READ_SECS),
+            ..CollectConfig::default()
+        },
+    )
+    .unwrap();
+    let mut writer = CaptureWriter::new(Vec::new()).unwrap();
+    writer.write_meta("car", "M").unwrap();
+    writer.write_meta("seed", &GOLDEN_SEED.to_string()).unwrap();
+    writer
+        .write_meta("read_secs", &GOLDEN_READ_SECS.to_string())
+        .unwrap();
+    writer.write_meta("tool", spec.tool).unwrap();
+    record_report(&report, &mut writer).unwrap();
+    writer.finish().unwrap()
+}
+
+#[test]
+fn golden_capture_is_reproducible_byte_for_byte() {
+    let path = golden_path();
+    let fresh = record_golden();
+    if std::env::var("DPR_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &fresh).unwrap();
+        println!("regenerated {} ({} bytes)", path.display(), fresh.len());
+        return;
+    }
+    let checked_in = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} unreadable ({e}); regenerate with DPR_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        checked_in == fresh,
+        "recorded capture diverged from the golden file ({} vs {} bytes) — \
+         a simulator or capture-format change altered recorded data; if \
+         intentional, regenerate with DPR_REGEN_GOLDEN=1",
+        fresh.len(),
+        checked_in.len()
+    );
+}
+
+#[test]
+fn golden_capture_replays_cleanly() {
+    let path = golden_path();
+    if !path.exists() {
+        panic!("golden file missing; regenerate with DPR_REGEN_GOLDEN=1");
+    }
+    let reader = CaptureReader::open(&path).unwrap();
+    let (session, stats) = reader.read_session();
+    assert!(stats.is_clean(), "{stats:?}");
+    assert!(session.log.len() > 100, "CAN capture too small: {}", session.log.len());
+    assert!(session.frames.len() > 20, "too few frames: {}", session.frames.len());
+    assert!(!session.execution.entries.is_empty());
+    assert!(!session.clock_syncs.is_empty());
+    assert_eq!(session.meta.get("car").map(String::as_str), Some("M"));
+    assert_eq!(session.estimated_offset_us(), Some(0));
+}

@@ -1,0 +1,237 @@
+//! Adversarial-input properties of the capture reader: **no mutation
+//! of a capture stream may ever panic the reader, and every lost event
+//! must be accounted for in the skip tallies.**
+//!
+//! Three mutation families, per the durability contract:
+//! truncation at every byte offset, random bit flips, and duplicated
+//! records.
+
+use dpr_can::{CanFrame, CanId, Micros, TimestampedFrame};
+use dpr_capture::format::HEADER_LEN;
+use dpr_capture::{CaptureEvent, CaptureReader, CaptureWriter, ClockSyncSample};
+use dpr_tool::{Screenshot, UiFrame, WidgetKind};
+use proptest::prelude::*;
+
+/// A small but kind-diverse event stream: CAN frames, screen frames,
+/// actions, clock syncs, metadata.
+fn sample_events() -> Vec<CaptureEvent> {
+    let mut events = vec![CaptureEvent::Meta {
+        key: "car".to_string(),
+        value: "M".to_string(),
+    }];
+    for i in 0..60u64 {
+        events.push(CaptureEvent::Can(TimestampedFrame {
+            at: Micros::from_millis(10 + i),
+            frame: CanFrame::new(
+                CanId::standard(0x700 + (i % 8) as u16).unwrap(),
+                &[i as u8, 0x41, (i * 3) as u8],
+            )
+            .unwrap(),
+        }));
+        if i % 7 == 0 {
+            let mut shot = Screenshot::new(Micros::from_millis(10 + i), 40, 10);
+            shot.push(WidgetKind::Title, 0, 0, "Read Data Stream");
+            shot.push(WidgetKind::Label, 1, 2, "Engine Speed");
+            shot.push(WidgetKind::Value, 25, 2, format!("{}", 700 + i));
+            events.push(CaptureEvent::Screen(UiFrame {
+                at: Micros::from_millis(10 + i),
+                screenshot: shot,
+            }));
+        }
+        if i % 11 == 0 {
+            events.push(CaptureEvent::Action(dpr_cps::script::LogEntry {
+                at: Micros::from_millis(10 + i),
+                action: "[Next Page]".to_string(),
+                position: (3, 9),
+            }));
+        }
+        if i % 13 == 0 {
+            events.push(CaptureEvent::ClockSync(ClockSyncSample {
+                bus_at: Micros::from_millis(10 + i),
+                camera_at: Micros::from_millis(10 + i),
+            }));
+        }
+    }
+    events
+}
+
+/// Serializes the sample events, also returning each record's end
+/// offset in the byte stream (sync markers the writer interleaves make
+/// the boundaries non-uniform).
+fn sample_capture() -> (Vec<CaptureEvent>, Vec<u8>, Vec<(usize, usize)>) {
+    let events = sample_events();
+    let mut writer = CaptureWriter::new(Vec::new()).unwrap();
+    let mut spans = Vec::new();
+    for event in &events {
+        let before = writer.bytes_written() as usize;
+        writer.write_event(event).unwrap();
+        spans.push((before, writer.bytes_written() as usize));
+    }
+    let bytes = writer.finish().unwrap();
+    (events, bytes, spans)
+}
+
+/// Replays mutated bytes; panics bubble out and fail the test.
+fn replay(bytes: &[u8]) -> Option<(Vec<CaptureEvent>, dpr_capture::CorruptionStats)> {
+    let mut reader = CaptureReader::new(bytes).ok()?;
+    let events: Vec<CaptureEvent> = reader.by_ref().collect();
+    Some((events, *reader.stats()))
+}
+
+/// Record boundaries of a well-formed stream, walked with an
+/// independent reference framer (header, then `kind|len|payload|crc`).
+fn record_boundaries(bytes: &[u8]) -> std::collections::HashSet<usize> {
+    let mut boundaries = std::collections::HashSet::new();
+    let mut pos = HEADER_LEN;
+    boundaries.insert(pos);
+    while pos + 9 <= bytes.len() {
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
+        pos += 9 + len;
+        boundaries.insert(pos);
+    }
+    boundaries
+}
+
+#[test]
+fn truncation_at_every_offset_never_panics_and_keeps_a_prefix() {
+    let (events, bytes, _) = sample_capture();
+    let boundaries = record_boundaries(&bytes);
+    for cut in 0..bytes.len() {
+        match replay(&bytes[..cut]) {
+            None => assert!(
+                cut < HEADER_LEN,
+                "only a header shorter than {HEADER_LEN} may fail to open (cut {cut})"
+            ),
+            Some((got, stats)) => {
+                // A truncated stream replays an exact prefix of the
+                // original events…
+                assert!(
+                    got.len() <= events.len() && got == events[..got.len()],
+                    "cut {cut}: replay is not a prefix"
+                );
+                // …and losing events with a clean tally is only
+                // legitimate when the cut fell exactly on a record
+                // boundary (indistinguishable from a shorter capture).
+                if got.len() < events.len() && stats.skipped() == 0 {
+                    assert!(
+                        boundaries.contains(&cut),
+                        "cut {cut}: lost {} events with clean stats {stats:?}",
+                        events.len() - got.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected_or_harmless() {
+    // Exhaustive over a prefix of the stream (covers the header, sync
+    // markers, and several full records), sampled over the rest.
+    let (events, bytes, _) = sample_capture();
+    let exhaustive = 600.min(bytes.len());
+    let mut offsets: Vec<usize> = (0..exhaustive).collect();
+    offsets.extend((exhaustive..bytes.len()).step_by(97));
+    for offset in offsets {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[offset] ^= 1 << bit;
+            match replay(&mutated) {
+                // Header damage: refused up front, never a panic.
+                None => assert!(offset < HEADER_LEN, "offset {offset} bit {bit}"),
+                Some((got, stats)) => {
+                    // Every event the flip cost us is accounted for: a
+                    // replay that differs from the original must have a
+                    // nonzero skip tally.
+                    if got != events {
+                        assert!(
+                            stats.skipped() > 0,
+                            "offset {offset} bit {bit}: silent divergence {stats:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random multi-byte corruption: any number of flips anywhere in
+    /// the stream neither panics nor silently alters the replay.
+    #[test]
+    fn random_bit_flips_never_panic(
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..24)
+    ) {
+        let (events, bytes, _) = sample_capture();
+        let mut mutated = bytes.clone();
+        for (pos, bit) in flips {
+            let pos = pos as usize % mutated.len();
+            mutated[pos] ^= 1 << bit;
+        }
+        if let Some((got, stats)) = replay(&mutated) {
+            if got != events {
+                prop_assert!(stats.skipped() > 0, "silent divergence: {stats:?}");
+            }
+        }
+    }
+
+    /// Duplicating any whole record leaves a readable stream: the
+    /// duplicate replays as one extra event (or nothing, for sync
+    /// markers swallowed by the duplicated span) and no skips are
+    /// charged.
+    #[test]
+    fn duplicated_records_replay_cleanly(which in any::<u16>()) {
+        let (events, bytes, spans) = sample_capture();
+        let (start, end) = spans[which as usize % spans.len()];
+        let mut mutated = Vec::with_capacity(bytes.len() + (end - start));
+        mutated.extend_from_slice(&bytes[..end]);
+        mutated.extend_from_slice(&bytes[start..end]);
+        mutated.extend_from_slice(&bytes[end..]);
+
+        let (got, stats) = replay(&mutated).expect("header untouched");
+        prop_assert_eq!(stats.skipped(), 0, "duplication is not damage");
+        prop_assert_eq!(stats.bytes_skipped, 0);
+        // The duplicated span carries exactly one event (plus possibly
+        // a sync marker), so the replay is the original stream with
+        // that one event repeated.
+        let idx = which as usize % spans.len();
+        let mut expected = events.clone();
+        expected.insert(idx + 1, events[idx].clone());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Slicing a random window out of the middle (torn write / lost
+    /// block) still replays: events outside the window survive, damage
+    /// is tallied.
+    #[test]
+    fn torn_streams_resync(start in any::<u16>(), len in 1u16..2000) {
+        let (events, bytes, _) = sample_capture();
+        let boundaries = record_boundaries(&bytes);
+        let start = HEADER_LEN + (start as usize % (bytes.len() - HEADER_LEN - 1));
+        let end = (start + len as usize).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..start]);
+        mutated.extend_from_slice(&bytes[end..]);
+
+        let (got, stats) = replay(&mutated).expect("header untouched");
+        prop_assert!(got.len() <= events.len());
+        // A window spanning whole records splices seamlessly — clean
+        // stats are only wrong when a record was cut mid-body.
+        let seamless = boundaries.contains(&start) && boundaries.contains(&end);
+        if got.len() < events.len() && !seamless {
+            prop_assert!(
+                stats.skipped() > 0 || stats.bytes_skipped > 0,
+                "lost events with clean stats: {stats:?}"
+            );
+        }
+        // Every surviving event is a genuine original, unaltered.
+        for event in &got {
+            prop_assert!(events.contains(event));
+        }
+    }
+}

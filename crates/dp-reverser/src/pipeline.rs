@@ -1,6 +1,7 @@
 //! The end-to-end pipeline: capture + video in, recovered protocol out.
 
 use dpr_can::{BusLog, Micros};
+use dpr_capture::{CaptureReader, CaptureSession};
 use dpr_cps::clock::{align_by_obd, retime_readings};
 use dpr_cps::script::ExecutionLog;
 use dpr_frames::{analyze_capture, Scheme};
@@ -129,7 +130,59 @@ impl DpReverser {
         execution: Option<&ExecutionLog>,
     ) -> ReverseEngineeringResult {
         let registry = dpr_telemetry::registry();
+        let tracer = dpr_telemetry::TraceBuilder::new(registry);
+        self.analyze_with(tracer, log, frames, execution)
+    }
+
+    /// Offline entry point: replays a recorded session
+    /// ([`dpr_capture`]) through the same stages as a live run. Given a
+    /// capture recorded from a collection run, the result is
+    /// bit-identical to [`analyze`](Self::analyze) on that run's
+    /// artifacts (the capture's clicker actions stand in for the
+    /// execution log; a capture without any becomes `execution: None`).
+    /// Damaged records are skipped, not fatal — the reader's tallies
+    /// land on the trace's `capture` stage as `capture.crc_skipped` /
+    /// `capture.records_read`.
+    pub fn analyze_capture<R: std::io::Read>(
+        &self,
+        reader: CaptureReader<R>,
+    ) -> ReverseEngineeringResult {
+        let registry = dpr_telemetry::registry();
         let mut tracer = dpr_telemetry::TraceBuilder::new(registry);
+        let session = tracer.stage("capture", || {
+            let _span = dpr_telemetry::Span::enter("capture");
+            let (session, _stats) = reader.read_session();
+            session
+        });
+        self.analyze_session(tracer, &session)
+    }
+
+    /// Like [`analyze_capture`](Self::analyze_capture) for an already
+    /// reconstructed [`CaptureSession`].
+    pub fn analyze_replay(&self, session: &CaptureSession) -> ReverseEngineeringResult {
+        let registry = dpr_telemetry::registry();
+        let tracer = dpr_telemetry::TraceBuilder::new(registry);
+        self.analyze_session(tracer, session)
+    }
+
+    fn analyze_session(
+        &self,
+        tracer: dpr_telemetry::TraceBuilder,
+        session: &CaptureSession,
+    ) -> ReverseEngineeringResult {
+        let execution = (!session.execution.entries.is_empty()).then_some(&session.execution);
+        self.analyze_with(tracer, &session.log, &session.frames, execution)
+    }
+
+    /// The shared stage machinery behind the live and replay entry
+    /// points; `tracer` may already carry replay-side stages.
+    fn analyze_with(
+        &self,
+        mut tracer: dpr_telemetry::TraceBuilder,
+        log: &BusLog,
+        frames: &[UiFrame],
+        execution: Option<&ExecutionLog>,
+    ) -> ReverseEngineeringResult {
         let _run_span = dpr_telemetry::Span::enter("pipeline");
 
         // ——— diagnostic frames analysis ———

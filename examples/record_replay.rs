@@ -1,0 +1,96 @@
+//! Capture tour: record a session to disk, inspect it, replay it
+//! offline, and verify the replay against the live run.
+//!
+//! ```text
+//! cargo run --release --example record_replay
+//! ```
+//!
+//! Collects the paper's Car A with the robotic clicker, streams the
+//! session into a `.dprcap` capture file, prints the file's vital
+//! statistics, then reruns the **entire analysis from the file alone**
+//! — no simulator, no live bus — and diffs the result against the live
+//! pipeline. The two are bit-identical: captures fully decouple
+//! collection from analysis.
+
+use dp_reverser::{CaptureReader, CaptureWriter, DpReverser, PipelineConfig};
+use dpr_can::Micros;
+use dpr_capture::record_report;
+use dpr_cps::{collect_vehicle, CollectConfig};
+use dpr_frames::Scheme;
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    let id = CarId::A;
+    let spec = profiles::spec(id);
+    println!("== dpr-capture record/replay tour ==");
+    println!("car: {} ({id}), tool: {}, seed {seed}\n", spec.model, spec.tool);
+
+    // 1. Record: collect live and stream the session to disk.
+    let car = profiles::build(id, seed);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).expect("known tool"));
+    let report = collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(4),
+            ..CollectConfig::default()
+        },
+    )?;
+    let path = std::env::temp_dir().join("dpr_record_replay_car_a.dprcap");
+    let mut writer = CaptureWriter::new(std::fs::File::create(&path)?)?;
+    writer.write_meta("car", "A")?;
+    writer.write_meta("seed", &seed.to_string())?;
+    record_report(&report, &mut writer)?;
+    let records = writer.records_written();
+    let bytes = writer.bytes_written();
+    writer.finish()?;
+    println!(
+        "recorded {} -> {} records, {} bytes\n  ({} CAN frames, {} screen frames, {} actions)",
+        path.display(),
+        records,
+        bytes,
+        report.log.len(),
+        report.frames.len(),
+        report.execution.entries.len(),
+    );
+
+    // 2. Info: open the file and report what it holds.
+    let reader = CaptureReader::open(&path)?;
+    println!("\ncapture info (format v{}):", reader.version());
+    let (session, stats) = reader.read_session();
+    let span = session
+        .log
+        .iter()
+        .last()
+        .map(|e| e.at.as_secs_f64())
+        .unwrap_or(0.0);
+    println!("  {} CAN frames over {span:.1}s of session time", session.log.len());
+    println!("  {} screen frames, {} clicker actions", session.frames.len(), session.execution.entries.len());
+    println!(
+        "  {} clock-sync samples (median camera-bus offset {} µs)",
+        session.clock_syncs.len(),
+        session.estimated_offset_us().unwrap_or(0),
+    );
+    println!("  damage: {} skipped records, {} bytes lost", stats.skipped(), stats.bytes_skipped);
+
+    // 3. Replay: the full pipeline from the file alone.
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, seed));
+    let replayed = pipeline.analyze_capture(CaptureReader::open(&path)?);
+    println!(
+        "\nreplayed offline: {} formula ESVs, {} enum ESVs, {} ECRs",
+        replayed.formula_esvs().count(),
+        replayed.enum_esvs().count(),
+        replayed.ecrs.len(),
+    );
+    for esv in replayed.esvs.iter().take(5) {
+        println!("  {}", esv.describe());
+    }
+
+    // 4. Diff against the live run.
+    let live = pipeline.analyze(&report.log, &report.frames, Some(&report.execution));
+    assert_eq!(live, replayed, "replay must be bit-identical to the live run");
+    println!("\nlive vs replay: identical ✓");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -35,7 +35,6 @@ fn quick_collect(id: CarId, seed: u64) -> CollectionReport {
 /// Analyzes inside a private telemetry scope and returns the result
 /// together with the run's metrics.
 fn analyze_scoped(
-    id: CarId,
     seed: u64,
     report: &CollectionReport,
 ) -> (ReverseEngineeringResult, MetricsSnapshot) {
@@ -73,9 +72,9 @@ fn analyze_is_bit_identical_across_thread_counts() {
         let report = quick_collect(id, seed);
 
         std::env::set_var("DPR_THREADS", "1");
-        let (seq_result, seq_metrics) = analyze_scoped(id, seed, &report);
+        let (seq_result, seq_metrics) = analyze_scoped(seed, &report);
         std::env::set_var("DPR_THREADS", &parallel);
-        let (par_result, par_metrics) = analyze_scoped(id, seed, &report);
+        let (par_result, par_metrics) = analyze_scoped(seed, &report);
 
         assert_eq!(
             seq_result, par_result,
