@@ -18,19 +18,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use dp_reverser::{DpReverser, ReverseEngineeringResult};
-use dpr_bench::{collect_car, experiment_config, print_trace, EXPERIMENT_SEED};
+use dpr_bench::{collect_car, experiment_config, parse_car, print_trace, EXPERIMENT_SEED};
 use dpr_capture::{
     record_report, CaptureEvent, CaptureReader, CaptureSession, CaptureWriter, CorruptionStats,
 };
 use dpr_telemetry::Registry;
 use dpr_vehicle::profiles::{self, CarId};
-
-fn parse_car(arg: &str) -> Option<CarId> {
-    arg.bytes()
-        .next()
-        .filter(|b| b.is_ascii_uppercase())
-        .and_then(|b| CarId::ALL.get((b - b'A') as usize).copied())
-}
 
 fn usage() -> ExitCode {
     eprintln!("usage: capture record <car A..R> <path> [read_secs] [seed]");
@@ -128,35 +121,41 @@ fn info(args: &[String]) -> ExitCode {
     let mut first = None;
     let mut last = None;
     let mut session = CaptureSession::default();
-    while let Some(event) = reader.next_event() {
-        let at = match &event {
-            CaptureEvent::Can(tf) => {
-                can += 1;
-                Some(tf.at)
+    // Drain inside a fresh scoped registry so the `capture.*` counters
+    // this inspection publishes are this file's alone.
+    let registry = Arc::new(Registry::new());
+    dpr_telemetry::scoped(Arc::clone(&registry), || {
+        while let Some(event) = reader.next_event() {
+            let at = match &event {
+                CaptureEvent::Can(tf) => {
+                    can += 1;
+                    Some(tf.at)
+                }
+                CaptureEvent::Screen(f) => {
+                    screen += 1;
+                    Some(f.at)
+                }
+                CaptureEvent::Action(e) => {
+                    action += 1;
+                    Some(e.at)
+                }
+                CaptureEvent::ClockSync(s) => {
+                    clock += 1;
+                    Some(s.bus_at)
+                }
+                CaptureEvent::Meta { .. } => {
+                    meta += 1;
+                    None
+                }
+            };
+            if let Some(at) = at {
+                first.get_or_insert(at);
+                last = Some(at);
             }
-            CaptureEvent::Screen(f) => {
-                screen += 1;
-                Some(f.at)
-            }
-            CaptureEvent::Action(e) => {
-                action += 1;
-                Some(e.at)
-            }
-            CaptureEvent::ClockSync(s) => {
-                clock += 1;
-                Some(s.bus_at)
-            }
-            CaptureEvent::Meta { .. } => {
-                meta += 1;
-                None
-            }
-        };
-        if let Some(at) = at {
-            first.get_or_insert(at);
-            last = Some(at);
+            session.absorb(event);
         }
-        session.absorb(event);
-    }
+        reader.stats().publish_telemetry();
+    });
     let stats = reader.stats();
     println!("  records    {:>8} valid (incl. sync markers)", stats.records_read);
     println!("  can        {can:>8}");
@@ -177,6 +176,11 @@ fn info(args: &[String]) -> ExitCode {
     }
     for (key, value) in &session.meta {
         println!("  meta[{key}] = {value}");
+    }
+    for (name, value) in &registry.snapshot().counters {
+        if name.starts_with("capture.") {
+            println!("  counter    {name} = {value}");
+        }
     }
     print_damage(stats);
     ExitCode::SUCCESS

@@ -1,0 +1,229 @@
+//! The observability front door for the experiment harness.
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin dpr-bench -- profile M --folded /tmp/m.folded
+//! cargo run --release -p dpr-bench --bin dpr-bench -- profile /tmp/m.dprcap
+//! cargo run --release -p dpr-bench --bin dpr-bench -- regress --baseline old.json --current new.json --max-regress 15%
+//! cargo run --release -p dpr-bench --bin dpr-bench -- fleet M N P --hold 30
+//! ```
+//!
+//! `profile` runs the pipeline on one car (live, by Tab. 3 letter) or on
+//! a `.dprcap` capture (offline) and prints a self-time flamegraph
+//! profile; `--folded <path>` also writes inferno-compatible folded
+//! stack lines. `regress` compares two `BENCH_*.json` snapshots and
+//! exits non-zero when a gated metric regressed beyond the tolerance.
+//! `fleet` collects and analyzes several cars under one registry. All
+//! three honor `DPR_TRACE_EVENTS=<path.json>` (Chrome trace-event
+//! export) and the run subcommands honor `DPR_METRICS_ADDR=<addr>`
+//! (live Prometheus scrape endpoint).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dp_reverser::{DpReverser, ReverseEngineeringResult};
+use dpr_bench::{
+    car_seed, collect_car, experiment_config, fleet_traced, parse_car, print_trace, quick,
+    EXPERIMENT_SEED,
+};
+use dpr_capture::CaptureReader;
+use dpr_obs::{flame, ObsSession};
+use dpr_telemetry::{Collector, Registry};
+use dpr_vehicle::profiles::CarId;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dpr-bench profile <car A..R | capture.dprcap> [--folded <path>] [read_secs]");
+    eprintln!("       dpr-bench regress --baseline <old.json> --current <new.json> [--max-regress <pct>]");
+    eprintln!("       dpr-bench fleet <car A..R>... [--read-secs <n>] [--hold <secs>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("profile") => profile(&args[1..]),
+        Some("regress") => regress(&args[1..]),
+        Some("fleet") => fleet(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Pulls `--flag value` out of `args`, returning the remaining
+/// positional arguments and the flag's value (if present).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
+// ———————————————————————————— profile ————————————————————————————
+
+fn profile(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let folded_path = take_flag(&mut args, "--folded");
+    let Some(target) = args.first().cloned() else {
+        return usage();
+    };
+
+    let registry = Arc::new(Registry::new());
+    let collector = Arc::new(Collector::new());
+    registry.add_sink(Arc::clone(&collector) as _);
+    let session = ObsSession::from_env(&registry);
+
+    let result = if let Some(id) = parse_car(&target) {
+        let read_secs: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+        println!(
+            "profiling car {target} live (dwell {read_secs}s, seed {}, quick {})…",
+            car_seed(id),
+            quick()
+        );
+        profile_live(id, read_secs, &registry)
+    } else {
+        println!("profiling capture {target} offline…");
+        match profile_capture(&target, &registry) {
+            Some(result) => result,
+            None => return ExitCode::FAILURE,
+        }
+    };
+    session.publish_trace(&result.trace);
+    print_trace(&result);
+
+    let profile = flame::aggregate(&collector.records());
+    print!("{}", profile.report());
+    if let Some(path) = folded_path {
+        if let Err(e) = std::fs::write(&path, profile.folded()) {
+            eprintln!("error: writing folded stacks to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote folded stacks to {path} (render with inferno-flamegraph or speedscope)");
+    }
+    session.finish();
+    ExitCode::SUCCESS
+}
+
+fn profile_live(id: CarId, read_secs: u64, registry: &Arc<Registry>) -> ReverseEngineeringResult {
+    let seed = car_seed(id);
+    dpr_telemetry::scoped(Arc::clone(registry), || {
+        let report = collect_car(id, seed, read_secs);
+        let pipeline = DpReverser::new(experiment_config(id, seed));
+        pipeline.analyze(&report.log, &report.frames, Some(&report.execution))
+    })
+}
+
+fn profile_capture(path: &str, registry: &Arc<Registry>) -> Option<ReverseEngineeringResult> {
+    // First pass recovers the recorded car/seed so the pipeline config
+    // matches the capture; the second, traced pass does the analysis.
+    let reader = open_capture(path)?;
+    let (session, _) = reader.read_session();
+    let id = session.meta.get("car").and_then(|c| parse_car(c));
+    let seed: Option<u64> = session.meta.get("seed").and_then(|s| s.parse().ok());
+    let (Some(id), Some(seed)) = (id, seed) else {
+        eprintln!("error: {path} carries no car/seed metadata; cannot configure the pipeline");
+        return None;
+    };
+    let pipeline = DpReverser::new(experiment_config(id, seed));
+    let reader = open_capture(path)?;
+    Some(dpr_telemetry::scoped(Arc::clone(registry), || {
+        pipeline.analyze_capture(reader)
+    }))
+}
+
+fn open_capture(path: &str) -> Option<CaptureReader<std::io::BufReader<std::fs::File>>> {
+    match CaptureReader::open(path) {
+        Ok(reader) => Some(reader),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            None
+        }
+    }
+}
+
+// ———————————————————————————— regress ————————————————————————————
+
+fn regress(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let baseline = take_flag(&mut args, "--baseline");
+    let current = take_flag(&mut args, "--current");
+    let threshold = take_flag(&mut args, "--max-regress").unwrap_or_else(|| "15%".to_string());
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        return usage();
+    };
+    let Some(max_regress) = dpr_obs::regress::parse_threshold(&threshold) else {
+        eprintln!("error: bad --max-regress {threshold:?} (want e.g. 15%, 0.15)");
+        return ExitCode::from(2);
+    };
+    let (Some(base), Some(cur)) = (load_json(&baseline), load_json(&current)) else {
+        return ExitCode::FAILURE;
+    };
+
+    println!("comparing {current} against {baseline} (tolerance {:.0}%)", max_regress * 100.0);
+    let cmp = dpr_obs::regress::compare(&base, &cur, max_regress);
+    print!("{}", dpr_obs::regress::render(&cmp));
+    if cmp.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_json(path: &str) -> Option<dpr_telemetry::json::Value> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return None;
+        }
+    };
+    match dpr_telemetry::json::parse(&text) {
+        Ok(value) => Some(value),
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            None
+        }
+    }
+}
+
+// ———————————————————————————— fleet ————————————————————————————
+
+fn fleet(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let read_secs: u64 = take_flag(&mut args, "--read-secs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let hold_secs: u64 = take_flag(&mut args, "--hold")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cars: Vec<CarId> = args.iter().filter_map(|a| parse_car(a)).collect();
+    if cars.is_empty() || cars.len() != args.len() {
+        eprintln!("error: pass one or more car letters A..R (paper Tab. 3)");
+        return usage();
+    }
+
+    println!(
+        "fleet of {} car(s), dwell {read_secs}s, seed base {EXPERIMENT_SEED}, quick {}",
+        cars.len(),
+        quick()
+    );
+    let run = fleet_traced(&cars, read_secs, Duration::from_secs(hold_secs));
+    for (id, result) in &run.results {
+        println!(
+            "car {id:?}: {} formula ESVs, {} enum ESVs, {} ECRs, {} negatives filtered",
+            result.formula_esvs().count(),
+            result.enum_esvs().count(),
+            result.ecrs.len(),
+            result.negatives,
+        );
+    }
+    print!("{}", dpr_telemetry::summary::render(&run.snapshot));
+    if let Some(path) = &run.trace_events {
+        println!("trace events written to {} (open in ui.perfetto.dev)", path.display());
+    }
+    if let Some(addr) = run.metrics_addr {
+        println!("metrics were scrapeable at http://{addr}/metrics (now stopped)");
+    }
+    ExitCode::SUCCESS
+}

@@ -53,6 +53,16 @@ impl CorruptionStats {
     pub fn is_clean(&self) -> bool {
         self.skipped() == 0 && self.bytes_skipped == 0
     }
+
+    /// Publishes the reader-side `capture.*` counters for this tally to
+    /// the active telemetry registry — what
+    /// [`read_session`](crate::CaptureReader::read_session) reports at
+    /// end of stream. Callers that drain a reader by hand (e.g. the
+    /// `capture info` tool) can call this to get the same counters.
+    pub fn publish_telemetry(&self) {
+        dpr_telemetry::counter("capture.records_read").inc(self.records_read);
+        dpr_telemetry::counter("capture.crc_skipped").inc(self.skipped());
+    }
 }
 
 /// Failure to open a capture stream.

@@ -78,8 +78,7 @@ impl<R: Read> CaptureReader<R> {
             session.absorb(event);
         }
         let stats = *self.stats();
-        dpr_telemetry::counter("capture.records_read").inc(stats.records_read);
-        dpr_telemetry::counter("capture.crc_skipped").inc(stats.skipped());
+        stats.publish_telemetry();
         (session, stats)
     }
 }

@@ -1,0 +1,229 @@
+//! Flamegraph-shaped aggregation of span records.
+//!
+//! [`aggregate`] folds a run's [`SpanRecord`]s into per-path statistics:
+//! call count, total wall time, and *self* time (total minus the time
+//! spent in recorded child spans). [`Profile::folded`] renders
+//! inferno-compatible folded stack lines (`frame;frame;frame self_us`)
+//! that `inferno-flamegraph` or speedscope can turn into an SVG, and
+//! [`Profile::report`] renders a self-time-sorted text table for quick
+//! terminal triage.
+//!
+//! Child attribution uses each record's own name and nesting depth, not
+//! string splitting, so span names that contain dots (`gp.fit`) attribute
+//! correctly; only the cosmetic folded output splits frames on `.`.
+
+use dpr_telemetry::summary::format_us;
+use dpr_telemetry::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Number of spans closed at this path.
+    pub count: u64,
+    /// Total wall time across those spans, in microseconds.
+    pub total_us: u64,
+    /// Wall time of direct child spans, in microseconds.
+    pub child_us: u64,
+}
+
+impl PathStat {
+    /// Time spent at this path itself, excluding recorded children.
+    /// Saturating: concurrent or torn children can nominally exceed the
+    /// parent's wall time.
+    pub fn self_us(&self) -> u64 {
+        self.total_us.saturating_sub(self.child_us)
+    }
+}
+
+/// A per-path profile of one run, keyed by dotted span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    stats: BTreeMap<String, PathStat>,
+}
+
+/// Builds a [`Profile`] from closed-span records (e.g. a
+/// [`Collector`](dpr_telemetry::Collector)'s contents).
+pub fn aggregate<'a, I>(records: I) -> Profile
+where
+    I: IntoIterator<Item = &'a SpanRecord>,
+{
+    let mut stats: BTreeMap<String, PathStat> = BTreeMap::new();
+    for record in records {
+        let wall_us = record.wall.as_micros() as u64;
+        let stat = stats.entry(record.path.clone()).or_default();
+        stat.count += 1;
+        stat.total_us += wall_us;
+        // Attribute this span's wall time to its parent's child bucket.
+        // The parent path is the record's path minus ".<name>"; a
+        // depth-1 span has no parent.
+        if record.depth > 1 && record.path.len() > record.name.len() {
+            let parent_len = record.path.len() - record.name.len() - 1;
+            let parent = record.path[..parent_len].to_string();
+            stats.entry(parent).or_default().child_us += wall_us;
+        }
+    }
+    Profile { stats }
+}
+
+impl Profile {
+    /// The aggregated stats, keyed by dotted path.
+    pub fn stats(&self) -> &BTreeMap<String, PathStat> {
+        &self.stats
+    }
+
+    /// The stat for one path, if any span closed there.
+    pub fn stat(&self, path: &str) -> Option<&PathStat> {
+        self.stats.get(path)
+    }
+
+    /// Whether the profile saw no spans.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Inferno-compatible folded stack lines: one `a;b;c self_us` line
+    /// per path with nonzero self time. Frames split on `.`, so a span
+    /// named `gp.fit` renders as two cosmetic frames.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, stat) in &self.stats {
+            let self_us = stat.self_us();
+            if self_us == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", path.replace('.', ";"), self_us);
+        }
+        out
+    }
+
+    /// A text profile: paths sorted by self time (descending), with call
+    /// counts, total/self wall time, and each path's share of the run's
+    /// total self time.
+    pub fn report(&self) -> String {
+        let mut rows: Vec<(&String, &PathStat)> = self.stats.iter().collect();
+        rows.sort_by(|a, b| b.1.self_us().cmp(&a.1.self_us()).then(a.0.cmp(b.0)));
+        let run_self_us: u64 = rows.iter().map(|(_, s)| s.self_us()).sum();
+        let width = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max(4);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>6}",
+            "path", "count", "total", "self", "self%"
+        );
+        for (path, stat) in rows {
+            let share = if run_self_us == 0 {
+                0.0
+            } else {
+                stat.self_us() as f64 / run_self_us as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>8}  {:>10}  {:>10}  {:>5.1}%",
+                path,
+                stat.count,
+                format_us(stat.total_us),
+                format_us(stat.self_us()),
+                share,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>8}  {:>10}  {:>10}  100.0%",
+            "(run)",
+            "",
+            "",
+            format_us(run_self_us),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn record(name: &'static str, path: &str, wall_us: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            path: path.to_string(),
+            depth: path.split('.').count(),
+            wall: Duration::from_micros(wall_us),
+            start_us: 0,
+            tid: 1,
+            thread: None,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let records = vec![
+            record("ocr", "pipeline.ocr", 300),
+            record("gp", "pipeline.gp", 600),
+            record("pipeline", "pipeline", 1000),
+        ];
+        let profile = aggregate(&records);
+        let root = profile.stat("pipeline").expect("root");
+        assert_eq!(root.total_us, 1000);
+        assert_eq!(root.child_us, 900);
+        assert_eq!(root.self_us(), 100);
+        assert_eq!(profile.stat("pipeline.ocr").unwrap().self_us(), 300);
+    }
+
+    #[test]
+    fn dotted_span_names_attribute_to_the_right_parent() {
+        // A span *named* "gp.fit" nested under "pipeline": its parent is
+        // "pipeline", not a phantom "pipeline.gp".
+        let records = vec![
+            record("gp.fit", "pipeline.gp.fit", 400),
+            record("pipeline", "pipeline", 500),
+        ];
+        let profile = aggregate(&records);
+        assert_eq!(profile.stat("pipeline").unwrap().child_us, 400);
+        assert_eq!(profile.stat("pipeline").unwrap().self_us(), 100);
+        assert!(profile.stat("pipeline.gp").is_none());
+    }
+
+    #[test]
+    fn folded_lines_use_semicolons_and_self_time() {
+        let records = vec![
+            record("ocr", "pipeline.ocr", 300),
+            record("pipeline", "pipeline", 1000),
+        ];
+        let folded = aggregate(&records).folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"pipeline 700"));
+        assert!(lines.contains(&"pipeline;ocr 300"));
+    }
+
+    #[test]
+    fn report_sorts_by_self_time_and_sums_shares() {
+        let records = vec![
+            record("fast", "run.fast", 100),
+            record("slow", "run.slow", 900),
+            record("run", "run", 1000),
+        ];
+        let report = aggregate(&records).report();
+        let slow_at = report.find("run.slow").expect("slow row");
+        let fast_at = report.find("run.fast").expect("fast row");
+        assert!(slow_at < fast_at, "slowest path first:\n{report}");
+        assert!(report.contains("self%"));
+    }
+
+    #[test]
+    fn saturates_when_children_exceed_parent() {
+        // Concurrent children (worker spans) can sum past the parent.
+        let records = vec![
+            record("a", "run.a", 800),
+            record("b", "run.b", 800),
+            record("run", "run", 1000),
+        ];
+        let profile = aggregate(&records);
+        assert_eq!(profile.stat("run").unwrap().self_us(), 0);
+        // Zero-self paths are omitted from folded output.
+        assert!(!profile.folded().lines().any(|l| l.starts_with("run ")));
+    }
+}

@@ -1,0 +1,132 @@
+//! Consumption layer for `dpr-telemetry`: the exporters, profilers, and
+//! gates that make the pipeline's spans and metrics usable *outside* the
+//! process.
+//!
+//! Four pieces, layered strictly on top of the telemetry facade:
+//!
+//! * [`trace_event`] — a [`Sink`](dpr_telemetry::Sink) that turns closed
+//!   spans into Chrome Trace Event Format JSON loadable in Perfetto or
+//!   `chrome://tracing`, one row per thread (`dpr-par` workers appear as
+//!   `gp-worker-N`). Opt in with `DPR_TRACE_EVENTS=<path.json>`.
+//! * [`flame`] — aggregates span records into inferno-compatible folded
+//!   stack lines and a self-time/total-time text profile.
+//! * [`server`] + [`prom`] — a std-only HTTP scrape endpoint
+//!   (`std::net::TcpListener`, no external deps) serving `GET /metrics`
+//!   in Prometheus text exposition format, `GET /trace` (the latest
+//!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON), and
+//!   `GET /healthz`. Opt in with `DPR_METRICS_ADDR=127.0.0.1:0`.
+//! * [`regress`] — compares two `BENCH_*.json` snapshots metric by
+//!   metric and reports regressions beyond a tolerance, so CI can gate
+//!   on the perf trajectory.
+//!
+//! [`ObsSession`] bundles the environment-driven pieces for a run: it
+//! attaches the trace exporter to a registry, starts the metrics server,
+//! and tears both down cleanly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flame;
+pub mod prom;
+pub mod regress;
+pub mod server;
+pub mod trace_event;
+
+pub use flame::Profile;
+pub use regress::{Comparison, Direction, Verdict};
+pub use server::{shared_trace, MetricsServer, SharedTrace, METRICS_ADDR_ENV};
+pub use trace_event::{TraceExport, TRACE_EVENTS_ENV};
+
+use dpr_telemetry::{PipelineTrace, Registry};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The environment-driven observability hookup for one run: an optional
+/// [`TraceExport`] sink (from `DPR_TRACE_EVENTS`) attached to the run's
+/// registry, an optional [`MetricsServer`] (from `DPR_METRICS_ADDR`), and
+/// the shared latest-trace cell the server reads.
+///
+/// Construct it right after the run's [`Registry`], publish traces as
+/// they complete, and call [`finish`](ObsSession::finish) when the run
+/// ends — that writes the trace-event file and stops the server.
+pub struct ObsSession {
+    export: Option<Arc<TraceExport>>,
+    server: Option<MetricsServer>,
+    trace: SharedTrace,
+}
+
+impl ObsSession {
+    /// Reads `DPR_TRACE_EVENTS` and `DPR_METRICS_ADDR` and wires whatever
+    /// is enabled onto `registry`. A server that fails to bind is reported
+    /// to stderr and skipped rather than failing the run.
+    pub fn from_env(registry: &Arc<Registry>) -> ObsSession {
+        let export = TraceExport::from_env();
+        if let Some(sink) = &export {
+            registry.add_sink(Arc::clone(sink) as _);
+        }
+        let trace = shared_trace();
+        let server = match MetricsServer::from_env(Arc::clone(registry), Arc::clone(&trace)) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("dpr-obs: metrics server disabled ({e})");
+                None
+            }
+        };
+        ObsSession {
+            export,
+            server,
+            trace,
+        }
+    }
+
+    /// A session with nothing enabled (useful as a default).
+    pub fn disabled() -> ObsSession {
+        ObsSession {
+            export: None,
+            server: None,
+            trace: shared_trace(),
+        }
+    }
+
+    /// Publishes `trace` as the latest run trace served at `GET /trace`.
+    pub fn publish_trace(&self, trace: &PipelineTrace) {
+        *self.trace.lock() = Some(trace.clone());
+    }
+
+    /// The bound scrape address, when the metrics server is running.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(MetricsServer::addr)
+    }
+
+    /// The trace-event output path, when the exporter is enabled.
+    pub fn trace_events_path(&self) -> Option<&Path> {
+        self.export.as_deref().map(TraceExport::path)
+    }
+
+    /// Writes the trace-event file (if exporting) and stops the metrics
+    /// server (if running). Export I/O errors go to stderr; a run should
+    /// not fail because its observability tap did.
+    pub fn finish(self) {
+        if let Some(export) = &self.export {
+            if let Err(e) = export.finish() {
+                eprintln!(
+                    "dpr-obs: writing trace events to {} failed: {e}",
+                    export.path().display()
+                );
+            }
+        }
+        if let Some(server) = self.server {
+            server.stop();
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsSession")
+            .field("trace_events", &self.trace_events_path())
+            .field("metrics_addr", &self.metrics_addr())
+            .finish()
+    }
+}

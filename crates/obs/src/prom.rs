@@ -1,0 +1,135 @@
+//! Prometheus text exposition (format version 0.0.4) rendering of a
+//! [`MetricsSnapshot`].
+//!
+//! Mapping choices:
+//!
+//! * Metric names are sanitized to the exposition grammar
+//!   (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other separators become `_`,
+//!   and a leading digit gains a `_` prefix. `gp.evals_per_sec` thus
+//!   scrapes as `gp_evals_per_sec`.
+//! * Telemetry counters render as `counter`, gauges as `gauge`.
+//! * Histograms render in the native Prometheus shape: cumulative
+//!   `_bucket{le="..."}` samples (including the implicit overflow bucket
+//!   as `le="+Inf"`), then `_sum` and `_count`.
+//!
+//! Every sample line is `name{labels} value` — the integration tests
+//! round-trip the output through a line-grammar checker.
+
+use dpr_telemetry::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Rewrites an internal metric name (`gp.evals_per_sec`) into a valid
+/// Prometheus metric name (`gp_evals_per_sec`).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a sample value (or `le` bound) the way Prometheus expects:
+/// integral floats without a fraction, `+Inf` for the overflow bound.
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one histogram in exposition format.
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (idx, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.counts.get(idx).copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", number(*bound));
+    }
+    // The trailing overflow bucket: by construction the +Inf cumulative
+    // count equals the total observation count.
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", number(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a whole snapshot as Prometheus text exposition.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_telemetry::Registry;
+
+    #[test]
+    fn sanitize_rewrites_to_exposition_grammar() {
+        assert_eq!(sanitize("gp.evals_per_sec"), "gp_evals_per_sec");
+        assert_eq!(sanitize("span.pipeline.ocr"), "span_pipeline_ocr");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_typed_samples() {
+        let reg = Registry::new();
+        reg.counter("frames.seen").inc(7);
+        reg.gauge("clock.offset_us").set(-120);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE frames_seen counter\nframes_seen 7\n"));
+        assert!(text.contains("# TYPE clock_offset_us gauge\nclock_offset_us -120\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_count() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("sdu.bytes", vec![1.0, 10.0]);
+        for v in [0.5, 5.0, 500.0] {
+            h.record(v);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE sdu_bytes histogram"));
+        assert!(text.contains("sdu_bytes_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("sdu_bytes_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("sdu_bytes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sdu_bytes_sum 505.5\n"));
+        assert!(text.contains("sdu_bytes_count 3\n"));
+    }
+
+    #[test]
+    fn fractional_bounds_keep_their_fraction() {
+        let reg = Registry::new();
+        reg.histogram_with("ratio", vec![0.5]).record(0.1);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("ratio_bucket{le=\"0.5\"} 1\n"));
+    }
+}

@@ -1,0 +1,297 @@
+//! A std-only scrape endpoint: `std::net::TcpListener`, one handler
+//! thread, no external dependencies.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the registry's current [`MetricsSnapshot`] in
+//!   Prometheus text exposition format ([`crate::prom::render`]).
+//! * `GET /trace` — the most recently published
+//!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON (404 until
+//!   one is published).
+//! * `GET /healthz` — `ok`, for liveness probes.
+//!
+//! The server binds eagerly (so `127.0.0.1:0` callers can read the
+//! ephemeral port from [`MetricsServer::addr`]) and serves from a single
+//! named thread; a scrape is a snapshot + render, a few microseconds, so
+//! one handler is plenty for Prometheus-style polling. [`stop`]
+//! (MetricsServer::stop) flips a flag and pokes the listener with a
+//! loopback connection so a blocked `accept` wakes immediately.
+
+use crate::prom;
+use dpr_telemetry::{PipelineTrace, Registry};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable holding the scrape bind address
+/// (e.g. `127.0.0.1:9464`, or `127.0.0.1:0` for an ephemeral port).
+pub const METRICS_ADDR_ENV: &str = "DPR_METRICS_ADDR";
+
+/// The latest published pipeline trace, shared between the run that
+/// produces traces and the server that serves them.
+pub type SharedTrace = Arc<Mutex<Option<PipelineTrace>>>;
+
+/// An empty [`SharedTrace`] cell.
+pub fn shared_trace() -> SharedTrace {
+    Arc::new(Mutex::new(None))
+}
+
+/// A running scrape endpoint. Stops (and joins its thread) on
+/// [`stop`](MetricsServer::stop) or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts serving `registry` and `trace`.
+    pub fn start(
+        addr: &str,
+        registry: Arc<Registry>,
+        trace: SharedTrace,
+    ) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dpr-metrics".to_string())
+            .spawn(move || accept_loop(listener, registry, trace, stop_flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Starts a server on the `DPR_METRICS_ADDR` address, if the variable
+    /// is set and non-empty. `Ok(None)` when unset.
+    pub fn from_env(
+        registry: Arc<Registry>,
+        trace: SharedTrace,
+    ) -> io::Result<Option<MetricsServer>> {
+        match std::env::var(METRICS_ADDR_ENV) {
+            Ok(addr) if !addr.trim().is_empty() => {
+                MetricsServer::start(addr.trim(), registry, trace).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The bound address — with an `:0` bind, this is where the ephemeral
+    /// port landed.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the listener, and joins the serve thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; an error just means the listener
+        // already noticed the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    trace: SharedTrace,
+    stop: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A misbehaving client must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_connection(stream, &registry, &trace);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    trace: &SharedTrace,
+) -> io::Result<()> {
+    let request = read_request_head(&mut stream)?;
+    let mut parts = request.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prom::render(&registry.snapshot()),
+        ),
+        "/trace" => match trace.lock().clone() {
+            Some(trace) => {
+                let body = dpr_telemetry::json::to_string(&trace)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                respond(&mut stream, "200 OK", "application/json", &body)
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "no trace published yet\n",
+            ),
+        },
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "routes: /metrics /trace /healthz\n",
+        ),
+    }
+}
+
+/// Reads up to the end of the request head (`\r\n\r\n`). The routes are
+/// all bodyless GETs, so the head is the whole request.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal std TcpStream scrape client, shared with the
+    /// integration tests via copy — kept here so unit tests exercise the
+    /// full request path too.
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: dpr\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_trace_and_health() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("obs.test_hits").inc(3);
+        let trace = shared_trace();
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&trace))
+                .expect("bind ephemeral");
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("obs_test_hits 3\n"));
+
+        // /trace 404s until a trace is published…
+        let (head, _) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        // …then serves the latest one.
+        *trace.lock() = Some(PipelineTrace::default());
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"stages\""));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn stop_unblocks_and_joins() {
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::new(Registry::new()),
+            shared_trace(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+        server.stop();
+        // The port is released once the thread exits: a fresh connection
+        // either fails or is never served.
+        let late = TcpStream::connect(addr);
+        if let Ok(mut stream) = late {
+            let _ = write!(stream, "GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = stream
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .and_then(|()| stream.read_to_string(&mut out).map(|_| ()));
+            assert!(out.is_empty(), "stopped server answered: {out}");
+        }
+    }
+
+    #[test]
+    fn from_env_is_opt_in() {
+        std::env::remove_var(METRICS_ADDR_ENV);
+        let server = MetricsServer::from_env(Arc::new(Registry::new()), shared_trace())
+            .expect("no bind attempted");
+        assert!(server.is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration test: start a real metrics server on an ephemeral port,
+//! scrape it with a plain `std::net::TcpStream`, and round-trip the body
+//! through a Prometheus text-exposition line-format checker.
+
+use dpr_obs::{prom, shared_trace, MetricsServer};
+use dpr_telemetry::Registry;
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: dpr\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+    (head.to_string(), body.to_string())
+}
+
+/// Is `name` a valid Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `value` a valid sample value (float, integer, `+Inf`/`-Inf`/`NaN`)?
+fn valid_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// Checks one sample line against `name{labels} value` and returns the
+/// bare metric name (with any `_bucket`/`_sum`/`_count` suffix intact).
+fn check_sample_line(line: &str) -> String {
+    let (name_and_labels, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        panic!("sample line has no value separator: {line:?}");
+    });
+    assert!(
+        valid_value(value),
+        "invalid sample value {value:?} in line {line:?}"
+    );
+    let name = match name_and_labels.split_once('{') {
+        None => name_and_labels,
+        Some((name, labels)) => {
+            let labels = labels
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (key, val) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                assert!(valid_name(key), "invalid label name {key:?} in {line:?}");
+                assert!(
+                    val.starts_with('"') && val.ends_with('"') && val.len() >= 2,
+                    "unquoted label value {val:?} in {line:?}"
+                );
+            }
+            name
+        }
+    };
+    assert!(valid_name(name), "invalid metric name {name:?} in {line:?}");
+    name.to_string()
+}
+
+/// Validates a whole exposition body: every non-comment line is a
+/// well-formed sample, and every histogram declared via `# TYPE` has
+/// `_bucket` (including `+Inf`), `_sum`, and `_count` samples.
+fn check_exposition(body: &str) {
+    let mut histograms = BTreeSet::new();
+    let mut samples: Vec<String> = Vec::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let name = parts.next().expect("TYPE line names a metric");
+                let kind = parts.next().expect("TYPE line names a kind");
+                assert!(valid_name(name), "invalid TYPE name {name:?}");
+                if kind == "histogram" {
+                    histograms.insert(name.to_string());
+                }
+            }
+            continue;
+        }
+        samples.push(check_sample_line(line));
+    }
+    assert!(!samples.is_empty(), "exposition had no samples:\n{body}");
+    for name in &histograms {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            let expected = format!("{name}{suffix}");
+            assert!(
+                samples.iter().any(|s| s == &expected),
+                "histogram {name} is missing its {suffix} sample:\n{body}"
+            );
+        }
+        let inf = format!("{name}_bucket{{le=\"+Inf\"}}");
+        assert!(
+            body.lines().any(|l| l.starts_with(&inf)),
+            "histogram {name} is missing the +Inf bucket:\n{body}"
+        );
+    }
+}
+
+#[test]
+fn scraped_metrics_pass_the_exposition_line_checker() {
+    let registry = Arc::new(Registry::new());
+    registry.counter("frames.seen").inc(42);
+    registry.counter("capture.records_read").inc(7);
+    registry.gauge("gp.evals_per_sec").set(123_456);
+    let h = registry.histogram_with("span.pipeline", vec![100.0, 1_000.0, 10_000.0]);
+    for v in [50.0, 550.0, 5_500.0, 55_000.0] {
+        h.record(v);
+    }
+
+    let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry), shared_trace())
+        .expect("bind ephemeral port");
+    let (head, body) = get(server.addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+
+    check_exposition(&body);
+    assert!(body.contains("frames_seen 42\n"), "{body}");
+    assert!(body.contains("gp_evals_per_sec 123456\n"), "{body}");
+    assert!(body.contains("span_pipeline_bucket{le=\"+Inf\"} 4\n"), "{body}");
+    server.stop();
+}
+
+#[test]
+fn checker_also_accepts_direct_renderer_output() {
+    // The checker is grammar-driven, so run it against the renderer
+    // directly too — a server-free sanity loop for odd metric names.
+    let registry = Registry::new();
+    registry.counter("9starts.with-digit").inc(1);
+    registry.histogram_with("empty.hist", vec![1.0]);
+    check_exposition(&prom::render(&registry.snapshot()));
+}

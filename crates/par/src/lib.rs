@@ -19,9 +19,17 @@
 //! 3. a fallback of 1.
 //!
 //! `DPR_THREADS=1` (or a single-core machine) makes every call run inline
-//! on the caller's thread — no threads are spawned, no synchronization is
-//! paid, and thread-local state (like a scoped telemetry registry) behaves
-//! exactly as in fully sequential code.
+//! on the caller's thread — no threads are spawned and no synchronization
+//! is paid.
+//!
+//! # Telemetry
+//!
+//! Workers are named `gp-worker-N` and run inside the caller's scoped
+//! telemetry registry (`dpr_telemetry::scoped` is thread-local, so the
+//! pool re-enters it on each worker). Every claimed chunk is timed under
+//! a `par.chunk` span, which is what makes pool rows visible in exported
+//! traces; metrics recorded by the mapped function land in the calling
+//! run's registry, not the process-wide global one.
 //!
 //! # Example
 //!
@@ -127,24 +135,42 @@ impl Pool {
         let slots: Mutex<Vec<Option<Vec<R>>>> =
             Mutex::new((0..n_chunks).map(|_| None).collect());
 
+        // Workers inherit the caller's telemetry registry: scoped registries
+        // are thread-local, so without this hand-off every span or counter
+        // recorded inside `f` would leak to the process-wide global registry
+        // instead of the run that spawned the work.
+        let registry = dpr_telemetry::registry();
+
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut state = init();
-                    loop {
-                        let c = cursor.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let start = c * chunk;
-                        let end = (start + chunk).min(n);
-                        let out: Vec<R> = items[start..end]
-                            .iter()
-                            .map(|item| f(&mut state, item))
-                            .collect();
-                        slots.lock().expect("result mutex")[c] = Some(out);
-                    }
-                });
+            let cursor = &cursor;
+            let slots = &slots;
+            let init = &init;
+            let f = &f;
+            for w in 0..workers {
+                let registry = std::sync::Arc::clone(&registry);
+                std::thread::Builder::new()
+                    // Named so trace exporters label each pool row.
+                    .name(format!("gp-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        dpr_telemetry::scoped(registry, || {
+                            let mut state = init();
+                            loop {
+                                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                                if c >= n_chunks {
+                                    break;
+                                }
+                                let _span = dpr_telemetry::Span::enter("par.chunk");
+                                let start = c * chunk;
+                                let end = (start + chunk).min(n);
+                                let out: Vec<R> = items[start..end]
+                                    .iter()
+                                    .map(|item| f(&mut state, item))
+                                    .collect();
+                                slots.lock().expect("result mutex")[c] = Some(out);
+                            }
+                        })
+                    })
+                    .expect("spawn dpr-par worker");
             }
         });
 
@@ -245,6 +271,43 @@ mod tests {
     #[test]
     fn pool_clamps_to_one_thread() {
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn workers_record_into_the_callers_scoped_registry() {
+        let reg = std::sync::Arc::new(dpr_telemetry::Registry::new());
+        let collector = std::sync::Arc::new(dpr_telemetry::Collector::new());
+        reg.add_sink(collector.clone());
+        let items: Vec<u64> = (0..64).collect();
+        let out = dpr_telemetry::scoped(std::sync::Arc::clone(&reg), || {
+            Pool::new(4).par_map(&items, |x| {
+                dpr_telemetry::counter("par.test_items").inc(1);
+                // Slow enough that one worker cannot drain every chunk
+                // before its siblings finish spawning.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x + 1
+            })
+        });
+        assert_eq!(out.len(), 64);
+        let snap = reg.snapshot();
+        // Counters from inside the mapped fn reached the scoped registry…
+        assert_eq!(snap.counters.get("par.test_items"), Some(&64));
+        // …and each claimed chunk closed a par.chunk span on a named,
+        // distinctly-identified worker thread.
+        let records = collector.records();
+        let chunks: Vec<_> = records.iter().filter(|r| r.path == "par.chunk").collect();
+        assert!(!chunks.is_empty());
+        assert_eq!(
+            snap.histograms["span.par.chunk"].count,
+            chunks.len() as u64
+        );
+        let tids: std::collections::BTreeSet<u64> = chunks.iter().map(|r| r.tid).collect();
+        assert!(tids.len() > 1, "expected multiple worker rows, got {tids:?}");
+        assert!(chunks.iter().all(|r| {
+            r.thread
+                .as_deref()
+                .is_some_and(|name| name.starts_with("gp-worker-"))
+        }));
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Renders this value tree as compact JSON text (what [`to_string`]
+    /// produces after serialization).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+}
+
 /// Codec failure: unserializable input, malformed text, or a shape
 /// mismatch during deserialization.
 #[derive(Debug, Clone, PartialEq)]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A monotonically increasing event count.
 ///
@@ -259,16 +259,33 @@ struct RegistryInner {
 /// A registry is cheap to create; the pipeline makes a fresh one per run
 /// (via `dpr_telemetry::scoped`) so its numbers are exact, while ad-hoc
 /// instrumentation lands in the process-wide global registry.
-#[derive(Default)]
 pub struct Registry {
     inner: RwLock<RegistryInner>,
     sinks: RwLock<Vec<Arc<dyn crate::Sink>>>,
+    epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            inner: RwLock::default(),
+            sinks: RwLock::default(),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl Registry {
     /// An empty registry with no sinks.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// The instant this registry was created. Span start times
+    /// ([`crate::SpanRecord::start_us`]) are relative to it, giving every
+    /// thread of a run a shared timeline that trace exporters can lay out.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Interns (or retrieves) the named counter.

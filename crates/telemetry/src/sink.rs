@@ -17,6 +17,17 @@ pub struct SpanRecord {
     pub depth: usize,
     /// Wall time between enter and drop.
     pub wall: Duration,
+    /// Start time in microseconds relative to the recording registry's
+    /// creation ([`crate::Registry::epoch`]), so spans from every thread
+    /// of one run share a timeline. Zero for spans opened before the
+    /// registry existed.
+    pub start_us: u64,
+    /// Stable process-unique id of the thread that ran the span (see
+    /// [`crate::thread_id`]); trace exporters use it as the row key.
+    pub tid: u64,
+    /// OS name of the thread that ran the span, when it has one (e.g.
+    /// `gp-worker-0` for `dpr-par` pool workers).
+    pub thread: Option<String>,
 }
 
 /// A destination for closed spans. Implementations must be cheap and
@@ -77,6 +88,10 @@ pub struct SpanLine {
     pub depth: u64,
     /// Wall time in microseconds.
     pub wall_us: u64,
+    /// Registry-epoch-relative start time in microseconds.
+    pub start_us: u64,
+    /// Stable id of the thread that ran the span.
+    pub tid: u64,
 }
 
 /// A sink writing one JSON object per closed span to any `Write`
@@ -116,6 +131,8 @@ impl Sink for JsonLines {
             path: record.path.clone(),
             depth: record.depth as u64,
             wall_us: record.wall.as_micros() as u64,
+            start_us: record.start_us,
+            tid: record.tid,
         };
         let _ = self.write_record(&line);
     }
@@ -149,12 +166,18 @@ mod tests {
             path: "pipeline.ocr".into(),
             depth: 2,
             wall: Duration::from_micros(1500),
+            start_us: 10,
+            tid: 1,
+            thread: None,
         });
         sink.span_closed(&SpanRecord {
             name: "gp",
             path: "pipeline.gp".into(),
             depth: 2,
             wall: Duration::from_micros(250),
+            start_us: 1510,
+            tid: 1,
+            thread: None,
         });
         let text = String::from_utf8(buf.0.lock().clone()).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();

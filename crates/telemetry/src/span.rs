@@ -9,10 +9,35 @@
 
 use crate::SpanRecord;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stable per-thread identity: a process-unique small integer plus the
+    /// OS thread name captured on first use.
+    static TID: (u64, Option<String>) = (
+        NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        std::thread::current().name().map(str::to_string),
+    );
+}
+
+/// A stable, process-unique id for the current thread.
+///
+/// Unlike [`std::thread::ThreadId`], this is a plain small `u64` assigned
+/// in first-use order, so it can be serialized directly as the `tid` of a
+/// trace-event row. Ids are never reused within a process.
+pub fn thread_id() -> u64 {
+    TID.with(|t| t.0)
+}
+
+fn thread_identity() -> (u64, Option<String>) {
+    TID.with(|t| (t.0, t.1.clone()))
 }
 
 /// An open span. Created by [`Span::enter`]; closing happens on drop.
@@ -67,15 +92,24 @@ impl Drop for Span {
             return;
         };
         let wall = open.started.elapsed();
-        STACK.with(|stack| {
+        let registry = crate::registry();
+        let torn = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            // Pop our own frame; tolerate a torn stack if an inner guard
-            // leaked across threads or was forgotten.
+            // Pop our own frame. A mismatch means the stack is torn — an
+            // inner guard leaked across threads, was forgotten, or guards
+            // dropped out of order. The frame is left in place so the
+            // remaining guards still pop their own names.
             if stack.last() == Some(&open.name) {
                 stack.pop();
+                false
+            } else {
+                true
             }
         });
-        let registry = crate::registry();
+        if torn {
+            registry.counter("telemetry.span_stack_torn").inc(1);
+        }
+        let (tid, thread) = thread_identity();
         registry
             .histogram(&format!("span.{}", open.path))
             .record_duration(wall);
@@ -84,6 +118,12 @@ impl Drop for Span {
             path: open.path,
             depth: open.depth,
             wall,
+            start_us: open
+                .started
+                .saturating_duration_since(registry.epoch())
+                .as_micros() as u64,
+            tid,
+            thread,
         });
     }
 }
@@ -120,5 +160,48 @@ mod tests {
         let snap = reg.snapshot();
         assert!(snap.histograms.contains_key("span.pipeline.ocr"));
         assert_eq!(snap.histograms["span.pipeline"].count, 1);
+        // No tear: guards closed innermost-first.
+        assert!(!snap.counters.contains_key("telemetry.span_stack_torn"));
+    }
+
+    #[test]
+    fn records_carry_thread_identity_and_epoch_relative_start() {
+        let reg = Arc::new(Registry::new());
+        let collector = Arc::new(Collector::new());
+        reg.add_sink(collector.clone());
+        scoped(Arc::clone(&reg), || {
+            let _span = Span::enter("work");
+        });
+        let records = collector.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].tid, crate::thread_id());
+        // The span opened after the registry was created, so its start is
+        // on the registry's timeline (and sane: within this test's run).
+        assert!(records[0].start_us < 60_000_000);
+    }
+
+    #[test]
+    fn torn_stack_is_counted_not_dropped() {
+        let reg = Arc::new(Registry::new());
+        let collector = Arc::new(Collector::new());
+        reg.add_sink(collector.clone());
+        scoped(Arc::clone(&reg), || {
+            // Forge a torn stack: drop the outer guard while the inner one
+            // is still open. The outer pop sees "inner" on top — a tear.
+            let outer = Span::enter("outer");
+            let inner = Span::enter("inner");
+            drop(outer);
+            drop(inner);
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("telemetry.span_stack_torn"), Some(&1));
+        // Both spans were still recorded and delivered despite the tear.
+        let paths: Vec<String> = collector
+            .records()
+            .iter()
+            .map(|r| r.path.clone())
+            .collect();
+        assert_eq!(paths, ["outer", "outer.inner"]);
+        assert_eq!(snap.histograms["span.outer.inner"].count, 1);
     }
 }

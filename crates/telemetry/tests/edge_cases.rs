@@ -1,0 +1,98 @@
+//! Edge cases for the metrics primitives: empty and single-sample
+//! histograms, observations near the `u64` range limit, and the
+//! `format_us` unit rollovers.
+
+use dpr_telemetry::summary::format_us;
+use dpr_telemetry::{Histogram, Registry};
+
+#[test]
+fn empty_histogram_snapshot_is_all_zero() {
+    let h = Histogram::with_bounds(vec![1.0, 10.0, 100.0]);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0.0);
+    assert_eq!(snap.counts, vec![0, 0, 0, 0], "bounds plus overflow");
+    assert_eq!(snap.mean(), 0.0);
+    assert_eq!(snap.quantile(0.5), 0.0);
+    assert_eq!(snap.quantile(1.0), 0.0);
+}
+
+#[test]
+fn single_sample_lands_in_one_bucket_and_dominates_stats() {
+    let h = Histogram::with_bounds(vec![1.0, 10.0, 100.0]);
+    h.record(7.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.sum, 7.0);
+    assert_eq!(snap.counts, vec![0, 1, 0, 0]);
+    assert_eq!(snap.mean(), 7.0);
+    // Every quantile interpolates inside the one occupied bucket (1, 10].
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        let v = snap.quantile(q);
+        assert!((1.0..=10.0).contains(&v), "q{q} = {v} outside its bucket");
+    }
+}
+
+#[test]
+fn sample_on_a_bound_counts_into_that_bounds_bucket() {
+    // `le`-style buckets: a value exactly equal to a bound belongs to it.
+    let h = Histogram::with_bounds(vec![1.0, 10.0]);
+    h.record(1.0);
+    h.record(10.0);
+    assert_eq!(h.snapshot().counts, vec![1, 1, 0]);
+}
+
+#[test]
+fn u64_overflow_adjacent_values_stay_finite() {
+    let h = Histogram::with_bounds(vec![1.0, 1e9]);
+    let huge = u64::MAX as f64; // ~1.8e19, far past every finite bound
+    h.record(huge);
+    h.record(huge);
+    h.record(0.5);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.counts, vec![1, 0, 2], "huge values hit the overflow bucket");
+    assert!(snap.sum.is_finite());
+    assert_eq!(snap.sum, huge + huge + 0.5);
+    assert!(snap.mean().is_finite());
+    // Overflow-bucket mass is attributed to the last finite bound, so the
+    // estimate stays on the finite axis instead of inventing +Inf.
+    assert_eq!(snap.quantile(1.0), 1e9);
+}
+
+#[test]
+fn counter_saturates_near_u64_max_instead_of_panicking() {
+    let reg = Registry::new();
+    let c = reg.counter("edge.big");
+    c.inc(u64::MAX - 1);
+    c.inc(1);
+    assert_eq!(c.get(), u64::MAX);
+    // One more wraps (fetch_add semantics) — record the contract so a
+    // future change to saturating arithmetic is a conscious one.
+    c.inc(1);
+    assert_eq!(c.get(), 0);
+}
+
+#[test]
+fn nan_and_infinite_bounds_are_sanitized_away() {
+    let h = Histogram::with_bounds(vec![f64::INFINITY, 5.0, f64::NEG_INFINITY, 5.0, 1.0]);
+    h.record(3.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.bounds, vec![1.0, 5.0], "sorted, deduped, finite only");
+    assert_eq!(snap.counts, vec![0, 1, 0]);
+}
+
+#[test]
+fn format_us_rolls_units_at_the_documented_boundaries() {
+    assert_eq!(format_us(0), "0µs");
+    assert_eq!(format_us(999), "999µs");
+    // 1ms rollover: the first value rendered in milliseconds.
+    assert_eq!(format_us(1_000), "1.00ms");
+    assert_eq!(format_us(1_499), "1.50ms");
+    // Just under the 1s rollover, still milliseconds (rounds up in text).
+    assert_eq!(format_us(999_999), "1000.00ms");
+    // 1s rollover: the first value rendered in seconds.
+    assert_eq!(format_us(1_000_000), "1.00s");
+    assert_eq!(format_us(2_500_000), "2.50s");
+    assert_eq!(format_us(u64::MAX), format!("{:.2}s", u64::MAX as f64 / 1e6));
+}

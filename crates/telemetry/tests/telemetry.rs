@@ -126,6 +126,9 @@ fn json_lines_round_trips_spans_and_traces() {
         path: "pipeline.ocr".into(),
         depth: 2,
         wall: Duration::from_micros(1234),
+        start_us: 77,
+        tid: 3,
+        thread: Some("gp-worker-2".to_string()),
     });
 
     let reg = Arc::new(Registry::new());
@@ -143,6 +146,8 @@ fn json_lines_round_trips_spans_and_traces() {
     assert_eq!(span.kind, "span");
     assert_eq!(span.path, "pipeline.ocr");
     assert_eq!(span.wall_us, 1234);
+    assert_eq!(span.start_us, 77);
+    assert_eq!(span.tid, 3);
 
     let parsed: PipelineTrace = dpr_telemetry::json::from_str(lines[1]).expect("trace parses");
     assert_eq!(parsed.stages.len(), 1);
