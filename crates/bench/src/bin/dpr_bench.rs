@@ -35,6 +35,7 @@ fn usage() -> ExitCode {
     eprintln!("usage: dpr-bench profile <car A..R | capture.dprcap> [--folded <path>] [read_secs]");
     eprintln!("       dpr-bench regress --baseline <old.json> --current <new.json> [--max-regress <pct>]");
     eprintln!("       dpr-bench fleet <car A..R>... [--read-secs <n>] [--hold <secs>]");
+    eprintln!("       dpr-bench explain <car A..R> <sensor | all> [read_secs]");
     ExitCode::from(2)
 }
 
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         Some("profile") => profile(&args[1..]),
         Some("regress") => regress(&args[1..]),
         Some("fleet") => fleet(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         _ => usage(),
     }
 }
@@ -89,7 +91,7 @@ fn profile(args: &[String]) -> ExitCode {
             None => return ExitCode::FAILURE,
         }
     };
-    session.publish_trace(&result.trace);
+    session.publish_run(&result.trace, &result.evidence);
     print_trace(&result);
 
     let profile = flame::aggregate(&collector.records());
@@ -140,6 +142,76 @@ fn open_capture(path: &str) -> Option<CaptureReader<std::io::BufReader<std::fs::
             None
         }
     }
+}
+
+// ———————————————————————————— explain ————————————————————————————
+
+/// Runs the pipeline on one car and prints the evidence chain behind
+/// each recovered sensor: raw frames → reassembly → OCR → alignment →
+/// GP lineage → final formula. `sensor` is a slug (`did-0xf40d`), a
+/// case-insensitive substring of the sensor key or label, or `all`.
+fn explain(args: &[String]) -> ExitCode {
+    let (Some(car), Some(sensor)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(id) = parse_car(car) else {
+        eprintln!("error: {car:?} is not a car letter A..R (paper Tab. 3)");
+        return usage();
+    };
+    let read_secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let registry = Arc::new(Registry::new());
+    let session = ObsSession::from_env(&registry);
+    let seed = car_seed(id);
+    println!(
+        "explaining car {car} (dwell {read_secs}s, seed {seed}, quick {})…",
+        quick()
+    );
+    let result = dpr_telemetry::scoped(Arc::clone(&registry), || {
+        let report = collect_car(id, seed, read_secs);
+        let pipeline = DpReverser::new(experiment_config(id, seed));
+        pipeline.analyze(&report.log, &report.frames, Some(&report.execution))
+    });
+    let run_id = session.publish_run(&result.trace, &result.evidence);
+
+    let ledger = &result.evidence;
+    println!(
+        "run {run_id}: {} sensor(s) recovered",
+        ledger.chains.len()
+    );
+    print!("{}", dpr_evidence::render_rejects(&ledger.rejects));
+
+    let want_all = sensor.eq_ignore_ascii_case("all");
+    let needle = sensor.to_ascii_lowercase();
+    let selected: Vec<_> = ledger
+        .chains
+        .iter()
+        .filter(|c| {
+            want_all
+                || c.slug == needle
+                || c.sensor.to_ascii_lowercase().contains(&needle)
+                || c.label.to_ascii_lowercase().contains(&needle)
+        })
+        .collect();
+    if selected.is_empty() {
+        let known: Vec<&str> = ledger.chains.iter().map(|c| c.slug.as_str()).collect();
+        eprintln!(
+            "error: no recovered sensor matches {sensor:?}; known: {}",
+            known.join(" ")
+        );
+        session.finish();
+        return ExitCode::FAILURE;
+    }
+    for chain in selected {
+        println!();
+        print!("{}", dpr_evidence::render(chain));
+    }
+    if let Some(path) = session.evidence_path() {
+        println!();
+        println!("evidence chains appended to {} (JSON lines)", path.display());
+    }
+    session.finish();
+    ExitCode::SUCCESS
 }
 
 // ———————————————————————————— regress ————————————————————————————

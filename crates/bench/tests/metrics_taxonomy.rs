@@ -1,0 +1,132 @@
+//! Metric-name drift guard: every metric the pipeline emits must appear
+//! in the "Metrics taxonomy" table in `DESIGN.md`. A rename (or a new
+//! signal) that skips the documentation fails here with the list of
+//! undocumented names, so dashboards and the regression gate never
+//! chase metrics that silently changed spelling.
+//!
+//! Env-test pattern: one test per file — it owns `DPR_QUICK` for the
+//! whole process.
+
+use dp_reverser::DpReverser;
+use dpr_bench::{car_seed, collect_car, experiment_config};
+use dpr_capture::{record_report, CaptureReader, CaptureWriter};
+use dpr_telemetry::Registry;
+use dpr_vehicle::profiles::CarId;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Does `name` match `pattern`? Patterns are dotted metric names whose
+/// `<placeholder>` segments match one name segment each — except in
+/// final position, where a placeholder swallows the rest of the name
+/// (so `span.<path>` covers `span.pipeline.inference.gp.fit`).
+fn matches(pattern: &str, name: &str) -> bool {
+    let pats: Vec<&str> = pattern.split('.').collect();
+    let segs: Vec<&str> = name.split('.').collect();
+    if segs.len() < pats.len() {
+        return false;
+    }
+    for (i, pat) in pats.iter().enumerate() {
+        let wild = pat.starts_with('<');
+        let last = i == pats.len() - 1;
+        match (wild, last) {
+            (true, true) => return true, // swallows the tail
+            (true, false) => continue,
+            (false, _) => {
+                if segs.get(i) != Some(pat) {
+                    return false;
+                }
+            }
+        }
+    }
+    segs.len() == pats.len()
+}
+
+/// Pulls the documented metric patterns out of DESIGN.md: every
+/// backtick-quoted token in the first column of the taxonomy table rows.
+fn documented_patterns() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("read DESIGN.md");
+    let section = text
+        .split("### Metrics taxonomy")
+        .nth(1)
+        .expect("DESIGN.md has a 'Metrics taxonomy' section");
+    let mut patterns = Vec::new();
+    for line in section.lines() {
+        if line.starts_with("## ") || line.starts_with("### ") {
+            break; // next section
+        }
+        let Some(row) = line.strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = row.split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            patterns.push(name.to_string());
+        }
+    }
+    assert!(
+        patterns.len() >= 10,
+        "taxonomy table looks truncated: only {} rows parsed",
+        patterns.len()
+    );
+    patterns
+}
+
+#[test]
+fn every_emitted_metric_is_documented_in_design_md() {
+    std::env::set_var("DPR_QUICK", "1");
+
+    let registry = Arc::new(Registry::new());
+    dpr_telemetry::scoped(Arc::clone(&registry), || {
+        // Car M (IsoTp, formula + enum ESVs) and car B (VwTp) together
+        // exercise both transport schemes, OCR, association, and GP.
+        for id in [CarId::M, CarId::B] {
+            let seed = car_seed(id);
+            let report = collect_car(id, seed, 4);
+            let pipeline = DpReverser::new(experiment_config(id, seed));
+            pipeline.analyze(&report.log, &report.frames, Some(&report.execution));
+
+            if id == CarId::M {
+                // Round-trip through a capture (with a damaged span so
+                // the CRC-skip path lights up) to emit the capture.*
+                // family too.
+                let mut writer = CaptureWriter::new(Vec::new()).unwrap();
+                record_report(&report, &mut writer).unwrap();
+                let mut bytes = writer.finish().unwrap();
+                let start = bytes.len() / 3;
+                for b in &mut bytes[start..start + 200] {
+                    *b ^= 0x55;
+                }
+                let reader = CaptureReader::new(bytes.as_slice()).unwrap();
+                pipeline.analyze_capture(reader);
+            }
+        }
+    });
+
+    let snapshot = registry.snapshot();
+    let emitted: BTreeSet<&String> = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .collect();
+    assert!(
+        emitted.len() >= 20,
+        "suspiciously few metrics emitted ({}) — did telemetry get disabled?",
+        emitted.len()
+    );
+
+    let patterns = documented_patterns();
+    let undocumented: Vec<&str> = emitted
+        .iter()
+        .filter(|name| !patterns.iter().any(|p| matches(p, name)))
+        .map(|name| name.as_str())
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics emitted but missing from DESIGN.md's 'Metrics taxonomy' table:\n  {}",
+        undocumented.join("\n  ")
+    );
+}

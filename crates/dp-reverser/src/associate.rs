@@ -31,6 +31,36 @@ pub struct MatchScore {
     pub pairs: Vec<(Vec<f64>, f64)>,
 }
 
+/// Records one alignment candidate's decision on the evidence log
+/// (no-op outside a [`dpr_evidence::capture`]). Decisions recorded
+/// later for the same `(series_idx, label_idx)` supersede earlier
+/// ones when the ledger is assembled, so the relaxed second pass can
+/// overwrite a pass-one `below_threshold` with `accepted_rescued`.
+pub(crate) fn record_candidate(
+    xs: &[EsvSeries],
+    ys: &[LabelSeries],
+    series_idx: usize,
+    label_idx: usize,
+    score: f64,
+    pairs: usize,
+    decision: dpr_evidence::CandidateDecision,
+) {
+    if !dpr_evidence::active() {
+        return;
+    }
+    let ((screen, label), _) = &ys[label_idx];
+    dpr_evidence::record(dpr_evidence::Event::Candidate(dpr_evidence::Candidate {
+        series_idx: series_idx as u32,
+        label_idx: label_idx as u32,
+        key: xs[series_idx].key.to_string(),
+        screen: screen.clone(),
+        label: label.clone(),
+        score: dpr_evidence::finite(score),
+        pairs: pairs as u32,
+        decision,
+    }));
+}
+
 /// Average-rank transform for Spearman correlation.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
@@ -171,6 +201,15 @@ pub fn match_series(
                 });
             } else {
                 dpr_telemetry::counter("pipeline.matches_below_threshold").inc(1);
+                record_candidate(
+                    xs,
+                    ys,
+                    si,
+                    li,
+                    score,
+                    pairs.len(),
+                    dpr_evidence::CandidateDecision::BelowThreshold,
+                );
             }
         }
     }
@@ -180,10 +219,25 @@ pub fn match_series(
     let mut accepted = Vec::new();
     for c in candidates {
         if used_series[c.series_idx] || used_labels[c.label_idx] {
+            let decision = if used_series[c.series_idx] {
+                dpr_evidence::CandidateDecision::SeriesClaimed
+            } else {
+                dpr_evidence::CandidateDecision::LabelClaimed
+            };
+            record_candidate(xs, ys, c.series_idx, c.label_idx, c.score, c.pairs.len(), decision);
             continue;
         }
         used_series[c.series_idx] = true;
         used_labels[c.label_idx] = true;
+        record_candidate(
+            xs,
+            ys,
+            c.series_idx,
+            c.label_idx,
+            c.score,
+            c.pairs.len(),
+            dpr_evidence::CandidateDecision::AcceptedStrict,
+        );
         accepted.push(c);
     }
     accepted
@@ -230,11 +284,26 @@ pub fn match_series_two_pass(
     second.sort_by(|a, b| b.score.total_cmp(&a.score));
     for c in second {
         if used_series[c.series_idx] || used_labels[c.label_idx] {
+            let decision = if used_series[c.series_idx] {
+                dpr_evidence::CandidateDecision::SeriesClaimed
+            } else {
+                dpr_evidence::CandidateDecision::LabelClaimed
+            };
+            record_candidate(xs, ys, c.series_idx, c.label_idx, c.score, c.pairs.len(), decision);
             continue;
         }
         used_series[c.series_idx] = true;
         used_labels[c.label_idx] = true;
         dpr_telemetry::counter("pipeline.matches_rescued").inc(1);
+        record_candidate(
+            xs,
+            ys,
+            c.series_idx,
+            c.label_idx,
+            c.score,
+            c.pairs.len(),
+            dpr_evidence::CandidateDecision::AcceptedRescued,
+        );
         accepted.push(c);
     }
     accepted
@@ -353,5 +422,97 @@ mod tests {
         )];
         let matches = match_series(&xs, &ys, Micros::from_millis(500), 0.5);
         assert_eq!(matches.len(), 1);
+    }
+
+    /// Candidate decisions recorded under a capture, keyed by indices.
+    fn decisions(
+        events: &[dpr_evidence::Event],
+    ) -> Vec<(u32, u32, &'static str)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                dpr_evidence::Event::Candidate(c) => {
+                    Some((c.series_idx, c.label_idx, c.decision.code()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejection_below_threshold_lands_on_the_ledger() {
+        let xs = vec![x_series(1, |i| vec![(i * 7 % 100) as f64])];
+        let ys = vec![(
+            ("E".to_string(), "Noise".to_string()),
+            y_series(|i| ((i * 6151 + 13) % 97) as f64),
+        )];
+        let (matches, events) = dpr_evidence::capture(|| {
+            match_series_two_pass(&xs, &ys, Micros::from_millis(500), 0.9)
+        });
+        assert!(matches.is_empty());
+        let recorded = decisions(&events);
+        assert!(
+            recorded.contains(&(0, 0, "below_threshold")),
+            "{recorded:?}"
+        );
+        // The relaxed pass didn't rescue it, so no later decision
+        // supersedes the rejection.
+        assert_eq!(recorded.last().unwrap().2, "below_threshold");
+    }
+
+    #[test]
+    fn rejection_label_claimed_lands_on_the_ledger() {
+        // Two identical series compete for one label: the greedy loser's
+        // label is already claimed when its turn comes.
+        let xs = vec![
+            x_series(1, |i| vec![(i % 50) as f64]),
+            x_series(2, |i| vec![(i % 50) as f64]),
+        ];
+        let ys = vec![(
+            ("E".to_string(), "Speed".to_string()),
+            y_series(|i| (i % 50) as f64),
+        )];
+        let (matches, events) = dpr_evidence::capture(|| {
+            match_series_two_pass(&xs, &ys, Micros::from_millis(500), 0.5)
+        });
+        assert_eq!(matches.len(), 1);
+        let recorded = decisions(&events);
+        let winner = matches[0].series_idx as u32;
+        let loser = 1 - winner;
+        assert!(
+            recorded.contains(&(winner, 0, "accepted_strict")),
+            "{recorded:?}"
+        );
+        assert!(
+            recorded.contains(&(loser, 0, "label_claimed")),
+            "{recorded:?}"
+        );
+    }
+
+    #[test]
+    fn rescued_match_supersedes_its_first_pass_rejection() {
+        // A constant pair scores 0.35: below the 0.5 strict threshold,
+        // above the 0.3 relaxed one — rejected in pass one, rescued in
+        // pass two. The rescue is recorded *after* the rejection, so the
+        // ledger's last-decision-wins join keeps the acceptance.
+        let xs = vec![x_series(1, |_| vec![5.0])];
+        let ys = vec![(
+            ("E".to_string(), "Battery".to_string()),
+            y_series(|_| 12.0),
+        )];
+        let (matches, events) = dpr_evidence::capture(|| {
+            match_series_two_pass(&xs, &ys, Micros::from_millis(500), 0.5)
+        });
+        assert_eq!(matches.len(), 1, "{matches:?}");
+        let recorded = decisions(&events);
+        let first = recorded
+            .iter()
+            .position(|d| *d == (0, 0, "below_threshold"))
+            .expect("pass-one rejection recorded");
+        let second = recorded
+            .iter()
+            .position(|d| *d == (0, 0, "accepted_rescued"))
+            .expect("pass-two rescue recorded");
+        assert!(first < second, "{recorded:?}");
     }
 }

@@ -532,6 +532,7 @@ mod tests {
             negatives: 0,
             alignment_offset_us: 0,
             trace: Default::default(),
+            evidence: Default::default(),
         };
         let report = evaluate(&result, &attached);
         assert_eq!(report.formula_total, 1);

@@ -61,6 +61,7 @@ mod result;
 
 pub use associate::{match_series, match_series_two_pass, LabelSeries, MatchScore};
 pub use dpr_capture::{CaptureReader, CaptureSession, CaptureWriter};
+pub use dpr_evidence::{EvidenceChain, EvidenceLedger};
 pub use evaluate::{canonicalize, evaluate, EsvVerdict, PrecisionReport};
 pub use pipeline::{Alignment, DpReverser, PipelineConfig};
 pub use result::{RecoveredEcr, RecoveredEsv, RecoveredKind, ReverseEngineeringResult};

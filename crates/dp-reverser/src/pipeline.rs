@@ -176,13 +176,37 @@ impl DpReverser {
 
     /// The shared stage machinery behind the live and replay entry
     /// points; `tracer` may already carry replay-side stages.
+    ///
+    /// The whole stage sequence runs inside a [`dpr_evidence::capture`],
+    /// so the per-stage hooks in the substrate crates (transport rejects,
+    /// reassembly provenance, OCR verdicts, alignment decisions, GP
+    /// lineage) all land on one decision log; [`dpr_evidence::assemble`]
+    /// then joins it into one [`dpr_evidence::EvidenceChain`] per
+    /// recovered sensor. Every input to the log is simulation-clock data,
+    /// so a replayed capture yields a byte-identical ledger.
     fn analyze_with(
+        &self,
+        tracer: dpr_telemetry::TraceBuilder,
+        log: &BusLog,
+        frames: &[UiFrame],
+        execution: Option<&ExecutionLog>,
+    ) -> ReverseEngineeringResult {
+        let ((mut result, descs), events) =
+            dpr_evidence::capture(|| self.run_stages(tracer, log, frames, execution));
+        result.evidence = dpr_evidence::assemble(&events, &descs);
+        result
+    }
+
+    /// The pipeline stages proper; returns the result (with an empty
+    /// evidence ledger) plus the sensor descriptors [`Self::analyze_with`]
+    /// joins the event log against.
+    fn run_stages(
         &self,
         mut tracer: dpr_telemetry::TraceBuilder,
         log: &BusLog,
         frames: &[UiFrame],
         execution: Option<&ExecutionLog>,
-    ) -> ReverseEngineeringResult {
+    ) -> (ReverseEngineeringResult, Vec<dpr_evidence::SensorDesc>) {
         let _run_span = dpr_telemetry::Span::enter("pipeline");
 
         // ——— diagnostic frames analysis ———
@@ -247,13 +271,22 @@ impl DpReverser {
         let mut esvs = tracer.stage("inference", || {
             let _span = dpr_telemetry::Span::enter("inference");
             let mut esvs = Vec::new();
-            for m in matches {
+            for m in &matches {
                 if m.pairs.len() < self.config.min_pairs {
+                    crate::associate::record_candidate(
+                        &capture.extraction.series,
+                        &y_series,
+                        m.series_idx,
+                        m.label_idx,
+                        m.score,
+                        m.pairs.len(),
+                        dpr_evidence::CandidateDecision::TooFewPairs,
+                    );
                     continue;
                 }
                 let series = &capture.extraction.series[m.series_idx];
                 let ((screen, label), _) = &y_series[m.label_idx];
-                if let Some(esv) = self.infer_one(series, screen, label, &m) {
+                if let Some(esv) = self.infer_one(series, screen, label, m) {
                     esvs.push(esv);
                 }
             }
@@ -264,14 +297,44 @@ impl DpReverser {
         // ——— ECR recovery ———
         let ecrs = tracer.stage("ecr", || recover_ecrs(&capture.extraction, execution));
 
-        ReverseEngineeringResult {
+        // Join keys for evidence assembly: which association indices fed
+        // each recovered sensor.
+        let descs: Vec<dpr_evidence::SensorDesc> = esvs
+            .iter()
+            .map(|e| {
+                let indices = matches
+                    .iter()
+                    .find(|m| {
+                        capture.extraction.series[m.series_idx].key == e.key
+                            && y_series[m.label_idx].0 .0 == e.screen
+                            && y_series[m.label_idx].0 .1 == e.label
+                    })
+                    .map(|m| (m.series_idx as u32, m.label_idx as u32));
+                let (series_idx, label_idx) = indices.unwrap_or((u32::MAX, u32::MAX));
+                dpr_evidence::SensorDesc {
+                    key: e.key.to_string(),
+                    screen: e.screen.clone(),
+                    label: e.label.clone(),
+                    kind: if e.has_formula() { "formula" } else { "enumeration" }.to_string(),
+                    formula: e.pretty_formula(),
+                    series_idx,
+                    label_idx,
+                    score: dpr_evidence::finite(e.match_score),
+                    pairs: e.pairs as u32,
+                }
+            })
+            .collect();
+
+        let result = ReverseEngineeringResult {
             esvs,
             ecrs,
             stats: capture.stats,
             negatives: capture.extraction.negatives,
             alignment_offset_us: offset,
             trace: tracer.finish(),
-        }
+            evidence: dpr_evidence::EvidenceLedger::default(),
+        };
+        (result, descs)
     }
 
     /// Infers the decoding rule for one matched (identifier, label) pair.
@@ -299,6 +362,20 @@ impl DpReverser {
             pairs: trimmed,
         };
         if m.pairs.len() < self.config.min_pairs {
+            // The robust trim ate too much of the pairing — record why
+            // this accepted candidate still produced no sensor.
+            if dpr_evidence::active() {
+                dpr_evidence::record(dpr_evidence::Event::Candidate(dpr_evidence::Candidate {
+                    series_idx: m.series_idx as u32,
+                    label_idx: m.label_idx as u32,
+                    key: series.key.to_string(),
+                    screen: screen.to_string(),
+                    label: label.to_string(),
+                    score: dpr_evidence::finite(m.score),
+                    pairs: m.pairs.len() as u32,
+                    decision: dpr_evidence::CandidateDecision::TooFewPairs,
+                }));
+            }
             return None;
         }
         // Trim constant second columns: the paper observes that a pinned
@@ -369,7 +446,9 @@ impl DpReverser {
             seed,
             ..self.config.gp.clone()
         });
-        let model = engine.fit(&data);
+        // Tag the fit's lineage event with the sensor it belongs to.
+        let model =
+            dpr_evidence::with_subject(&series.key.to_string(), || engine.fit(&data));
         Some(RecoveredEsv {
             key: series.key,
             f_type: series.f_type,

@@ -104,6 +104,7 @@ mod tests {
             negatives: 2,
             alignment_offset_us: 0,
             trace: Default::default(),
+            evidence: Default::default(),
         }
     }
 

@@ -98,6 +98,11 @@ pub struct ReverseEngineeringResult {
     /// Observability data of the run: per-stage wall time and counters.
     /// Compares equal by design — wall times are not part of the result.
     pub trace: PipelineTrace,
+    /// The run's evidence ledger: one provenance chain per recovered
+    /// sensor (frames → reassembly → OCR → alignment → GP lineage) plus
+    /// run-level transport reject tallies. Built from simulation-clock
+    /// data only, so live and replayed runs compare byte-identical.
+    pub evidence: dpr_evidence::EvidenceLedger,
 }
 
 impl ReverseEngineeringResult {
@@ -186,6 +191,7 @@ mod tests {
             negatives: 0,
             alignment_offset_us: 0,
             trace: PipelineTrace::default(),
+            evidence: dpr_evidence::EvidenceLedger::default(),
         };
         assert_eq!(result.formula_esvs().count(), 0);
         assert_eq!(result.enum_esvs().count(), 1);

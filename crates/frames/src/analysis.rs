@@ -80,6 +80,32 @@ impl AnyDecoder {
     }
 }
 
+/// The scheme tag evidence events and the `transport.<scheme>.*`
+/// counter family share.
+fn scheme_tag(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::IsoTp => "isotp",
+        Scheme::VwTp => "vwtp",
+        Scheme::BmwRaw => "bmw",
+    }
+}
+
+/// Records a screening-level reject (a frame that parses as nothing of
+/// the scheme) in the evidence log — unlike the decoder-level rejects,
+/// screening still knows which CAN id and timestamp the frame had.
+fn record_screen_reject(scheme: Scheme, id: CanId, at: Micros) {
+    if dpr_evidence::active() {
+        dpr_evidence::record(dpr_evidence::Event::ReassemblyReject(
+            dpr_evidence::ReassemblyReject {
+                scheme: scheme_tag(scheme).to_string(),
+                kind: "malformed_frame".to_string(),
+                id: Some(id.raw()),
+                at_us: Some(at.as_micros()),
+            },
+        ));
+    }
+}
+
 /// Classifies one frame for the screening tally. Returns whether the
 /// frame should be fed to the assembler.
 fn screen(scheme: Scheme, id: CanId, data: &[u8], stats: &mut FrameStats) -> bool {
@@ -213,17 +239,48 @@ pub fn analyze_capture(log: &BusLog, scheme: Scheme) -> CaptureAnalysis {
     let mut stats = FrameStats::default();
     let mut decoders: BTreeMap<CanId, AnyDecoder> = BTreeMap::new();
     let mut messages = Vec::new();
+    // Raw frame timestamps fed to each id's decoder since its last
+    // completed payload — the per-payload provenance the evidence
+    // ledger records. Only maintained while a capture is active.
+    let evidence = dpr_evidence::active();
+    let mut pending_frames: BTreeMap<CanId, Vec<u64>> = BTreeMap::new();
 
     for entry in log.iter() {
         let id = entry.frame.id();
         let data = entry.frame.data();
+        let unknown_before = stats.unknown;
         if !screen(scheme, id, data, &mut stats) {
+            if evidence && stats.unknown > unknown_before {
+                record_screen_reject(scheme, id, entry.at);
+            }
             continue;
         }
         let decoder = decoders
             .entry(id)
             .or_insert_with(|| AnyDecoder::new(scheme));
-        for payload in decoder.push(data) {
+        if evidence {
+            pending_frames.entry(id).or_default().push(entry.at.as_micros());
+        }
+        for (nth, payload) in decoder.push(data).into_iter().enumerate() {
+            if evidence {
+                // The accumulated frames fed the first payload this
+                // frame completed; a rare second payload in the same
+                // drain was completed by this frame alone.
+                let frame_times_us = if nth == 0 {
+                    std::mem::take(pending_frames.entry(id).or_default())
+                } else {
+                    vec![entry.at.as_micros()]
+                };
+                dpr_evidence::record(dpr_evidence::Event::Reassembled(
+                    dpr_evidence::Reassembled {
+                        scheme: scheme_tag(scheme).to_string(),
+                        id: id.raw(),
+                        at_us: entry.at.as_micros(),
+                        frame_times_us,
+                        len: payload.len() as u32,
+                    },
+                ));
+            }
             messages.push(AssembledMessage {
                 at: entry.at,
                 id,

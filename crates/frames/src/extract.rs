@@ -162,13 +162,32 @@ fn push_sample(
     }
 }
 
+/// Records one extracted sample's provenance in the evidence log: the
+/// sensor key, the response's CAN id and timestamp, and the eliciting
+/// request's timestamp.
+fn record_field_sample(key: SourceKey, msg: &AssembledMessage, request_at: Option<Micros>) {
+    if dpr_evidence::active() {
+        dpr_evidence::record(dpr_evidence::Event::FieldSample(dpr_evidence::FieldSample {
+            key: key.to_string(),
+            id: msg.id.raw(),
+            at_us: msg.at.as_micros(),
+            request_at_us: request_at.map(Micros::as_micros),
+        }));
+    }
+}
+
 /// Extracts fields from assembled payloads (paper §3.2 Step 3).
 pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
     let mut out = Extraction::default();
-    // FIFO of outstanding UDS read requests; responses are matched in
-    // order ("the list of DIDs in the request message also appear in the
-    // corresponding response message with the same order").
-    let mut pending_reads: VecDeque<Vec<Did>> = VecDeque::new();
+    // FIFO of outstanding UDS read requests (with their timestamps, for
+    // the evidence ledger's request/response pairing); responses are
+    // matched in order ("the list of DIDs in the request message also
+    // appear in the corresponding response message with the same order").
+    let mut pending_reads: VecDeque<(Micros, Vec<Did>)> = VecDeque::new();
+    // Outstanding KWP block reads and OBD requests, timestamps only —
+    // both responses are self-describing.
+    let mut pending_kwp: VecDeque<Micros> = VecDeque::new();
+    let mut pending_obd: VecDeque<Micros> = VecDeque::new();
     // Outstanding IO-control requests awaiting confirmation.
     let mut pending_ecrs: Vec<usize> = Vec::new();
 
@@ -182,13 +201,17 @@ pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
             0x22 => {
                 if let Ok(UdsRequest::ReadDataById { dids }) = UdsRequest::parse(payload) {
                     out.read_requests += 1;
-                    pending_reads.push_back(dids);
+                    pending_reads.push_back((msg.at, dids));
                 }
             }
             0x21 => {
                 out.read_requests += 1;
+                pending_kwp.push_back(msg.at);
             }
-            0x01 => { /* OBD request; the response is self-describing */ }
+            0x01 => {
+                // OBD request; the response is self-describing.
+                pending_obd.push_back(msg.at);
+            }
             0x2F if payload.len() >= 4 => {
                 let id = u16::from_be_bytes([payload[1], payload[2]]);
                 out.ecrs.push(EcrObservation {
@@ -215,17 +238,19 @@ pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
                 // Try the pending requests front-first; skip entries that
                 // do not match (robustness against lost frames).
                 let mut matched = None;
-                for (i, dids) in pending_reads.iter().enumerate() {
+                for (i, (_, dids)) in pending_reads.iter().enumerate() {
                     if let Ok(records) = split_read_records(&payload[1..], dids) {
                         matched = Some((i, records));
                         break;
                     }
                 }
                 if let Some((i, records)) = matched {
-                    pending_reads.remove(i);
+                    let request_at = pending_reads.remove(i).map(|(at, _)| at);
                     for (did, data) in records {
                         let values = data.iter().map(|&b| f64::from(b)).collect();
-                        push_sample(&mut out.series, SourceKey::UdsDid(did.0), None, msg.at, values);
+                        let key = SourceKey::UdsDid(did.0);
+                        record_field_sample(key, msg, request_at);
+                        push_sample(&mut out.series, key, None, msg.at, values);
                     }
                 }
             }
@@ -233,13 +258,16 @@ pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
                 if let Ok(KwpResponse::ReadDataByLocalId { local_id, esvs }) =
                     KwpResponse::parse(payload)
                 {
+                    let request_at = pending_kwp.pop_front();
                     for (slot, esv) in esvs.iter().enumerate() {
+                        let key = SourceKey::Kwp {
+                            local_id: local_id.0,
+                            slot,
+                        };
+                        record_field_sample(key, msg, request_at);
                         push_sample(
                             &mut out.series,
-                            SourceKey::Kwp {
-                                local_id: local_id.0,
-                                slot,
-                            },
+                            key,
                             Some(esv.f_type),
                             msg.at,
                             vec![f64::from(esv.x0), f64::from(esv.x1)],
@@ -250,7 +278,9 @@ pub fn extract_fields(messages: &[AssembledMessage]) -> Extraction {
             0x41 => {
                 if let Ok((pid, data)) = dpr_protocol::obd::parse_response(payload) {
                     let values = data.iter().map(|&b| f64::from(b)).collect();
-                    push_sample(&mut out.series, SourceKey::Obd(pid.0), None, msg.at, values);
+                    let key = SourceKey::Obd(pid.0);
+                    record_field_sample(key, msg, pending_obd.pop_front());
+                    push_sample(&mut out.series, key, None, msg.at, values);
                 }
             }
             0x6F if payload.len() >= 4 => {

@@ -176,6 +176,31 @@ struct Individual {
     fitness: f64,
 }
 
+/// How one individual of one generation was produced — the per-child
+/// breeding record the evidence ledger's lineage walk-back consumes.
+/// Only collected while an evidence capture is active; collection
+/// consumes no RNG draws, so recorded and unrecorded runs are
+/// bit-identical.
+struct BreedRec {
+    op: &'static str,
+    /// Parent index in the previous generation (`None` for generation 0).
+    parent: Option<u32>,
+    /// Crossover donor index in the previous generation.
+    donor: Option<u32>,
+    parent_error: Option<f64>,
+}
+
+impl BreedRec {
+    fn init(op: &'static str) -> Self {
+        BreedRec {
+            op,
+            parent: None,
+            donor: None,
+            parent_error: None,
+        }
+    }
+}
+
 /// The symbolic-regression engine.
 ///
 /// Owns its RNG; repeated [`fit`](Self::fit) calls continue the stream, so
@@ -229,8 +254,19 @@ impl SymbolicRegressor {
         let cols = Columns::from_dataset(&scaled);
         let started = Instant::now();
 
+        // Evidence lineage is recorded only when a capture is active.
+        // Recording consumes no RNG draws, so captured and bare runs
+        // produce bit-identical models.
+        let lineage_on = dpr_evidence::active();
+        let mut breeding: Vec<Vec<BreedRec>> = Vec::new();
+        let mut cache_hits: u64 = 0;
+
         let mut evaluations: u64 = 0;
-        let mut population = self.init_population(&cols, &mut evaluations);
+        let (mut population, init_recs) =
+            self.init_population(&cols, &mut evaluations, &mut cache_hits, lineage_on);
+        if lineage_on {
+            breeding.push(init_recs);
+        }
         let mut history = Vec::with_capacity(self.config.max_generations);
         let mut stopped_by_threshold = false;
         let mut generations = 0;
@@ -246,7 +282,17 @@ impl SymbolicRegressor {
                 stopped_by_threshold = true;
                 break;
             }
-            population = self.next_generation(population, &cols, &mut evaluations);
+            let (next, recs) = self.next_generation(
+                population,
+                &cols,
+                &mut evaluations,
+                &mut cache_hits,
+                lineage_on,
+            );
+            population = next;
+            if lineage_on {
+                breeding.push(recs);
+            }
         }
         // Record the final state's best as well.
         let best_idx = population
@@ -255,16 +301,54 @@ impl SymbolicRegressor {
             .min_by(|(_, a), (_, b)| a.error.total_cmp(&b.error))
             .map(|(i, _)| i)
             .expect("population is non-empty");
+        // Ancestry walk-back: from the winner's index in the final
+        // generation, follow parent indices to generation 0. The result
+        // reads oldest-first.
+        let mut steps = Vec::new();
+        if lineage_on {
+            let mut idx = best_idx;
+            for (g, recs) in breeding.iter().enumerate().rev() {
+                let rec = &recs[idx];
+                steps.push(dpr_evidence::LineageStep {
+                    generation: g as u32,
+                    op: rec.op.to_string(),
+                    parent: rec.parent,
+                    donor: rec.donor,
+                    parent_error: rec.parent_error,
+                });
+                match rec.parent {
+                    Some(p) => idx = p as usize,
+                    None => break,
+                }
+            }
+            steps.reverse();
+        }
         let mut best = population.swap_remove(best_idx);
         if let Some(&last) = history.last() {
             if best.error < last {
                 history.push(best.error);
             }
         }
+        let post_gen = breeding.len() as u32;
+        let post_step = |steps: &mut Vec<dpr_evidence::LineageStep>,
+                             op: &str,
+                             pre_error: f64| {
+            steps.push(dpr_evidence::LineageStep {
+                generation: post_gen,
+                op: op.to_string(),
+                parent: None,
+                donor: None,
+                parent_error: dpr_evidence::finite(pre_error),
+            });
+        };
 
         // Constant polishing: hill-climb the winner's numeric leaves.
         let mut scratch = BatchScratch::new();
+        let pre_polish = best.error;
         self.polish(&mut best, &cols, &mut scratch, &mut evaluations);
+        if lineage_on && best.error < pre_polish {
+            post_step(&mut steps, "polish", pre_polish);
+        }
 
         // Closed-form residual correction for missed low-order terms, and
         // a pure low-order candidate raced against the GP winner.
@@ -273,6 +357,9 @@ impl SymbolicRegressor {
             if let Some(corrected) = crate::refit::residual_refit(&best.expr, &scaled, self.config.metric) {
                 let (error, fitness) = self.evaluate(&corrected, &cols, &mut scratch, &mut evaluations);
                 if error < best.error {
+                    if lineage_on {
+                        post_step(&mut steps, "refit-residual", best.error);
+                    }
                     best.expr = corrected;
                     best.error = error;
                     best.fitness = fitness;
@@ -282,6 +369,9 @@ impl SymbolicRegressor {
             if let Some(candidate) = crate::refit::loworder_candidate(&scaled) {
                 let (error, fitness) = self.evaluate(&candidate, &cols, &mut scratch, &mut evaluations);
                 if error < best.error {
+                    if lineage_on {
+                        post_step(&mut steps, "refit-loworder", best.error);
+                    }
                     best.expr = candidate;
                     best.error = error;
                     best.fitness = fitness;
@@ -290,7 +380,11 @@ impl SymbolicRegressor {
             }
             // Polish again: grafted coefficients interact with the original
             // constants.
+            let pre_polish = best.error;
             self.polish(&mut best, &cols, &mut scratch, &mut evaluations);
+            if lineage_on && best.error < pre_polish {
+                post_step(&mut steps, "polish", pre_polish);
+            }
         }
 
         let expr = best.expr.simplify();
@@ -321,6 +415,19 @@ impl SymbolicRegressor {
             if err.is_finite() {
                 trajectory.record(err);
             }
+        }
+        if lineage_on {
+            dpr_evidence::record(dpr_evidence::Event::Lineage(dpr_evidence::Lineage {
+                subject: dpr_evidence::subject().unwrap_or_default(),
+                steps,
+                best_error_history: history.iter().map(|&e| dpr_evidence::finite(e)).collect(),
+                final_error: dpr_evidence::finite(train_error),
+                cache_hits,
+                evaluations,
+                generations: generations as u32,
+                stopped_by_threshold,
+                expression: model.expr.to_string(),
+            }));
         }
         self.last_report = Some(GpReport {
             best_error_history: history,
@@ -364,6 +471,7 @@ impl SymbolicRegressor {
         planned: Vec<(Expr, Option<(f64, f64)>)>,
         cols: &Columns,
         evaluations: &mut u64,
+        cache_hits: &mut u64,
     ) -> Vec<Individual> {
         let pending: Vec<usize> = planned
             .iter()
@@ -372,9 +480,10 @@ impl SymbolicRegressor {
             .map(|(i, _)| i)
             .collect();
         *evaluations += (pending.len() * cols.n_rows()) as u64;
-        let cache_hits = planned.len() - pending.len();
-        if cache_hits > 0 {
-            dpr_telemetry::counter("gp.fitness_cache_hits").inc(cache_hits as u64);
+        let hits = (planned.len() - pending.len()) as u64;
+        if hits > 0 {
+            dpr_telemetry::counter("gp.fitness_cache_hits").inc(hits);
+            *cache_hits += hits;
         }
 
         let metric = self.config.metric;
@@ -403,10 +512,17 @@ impl SymbolicRegressor {
             .collect()
     }
 
-    fn init_population(&mut self, cols: &Columns, evaluations: &mut u64) -> Vec<Individual> {
+    fn init_population(
+        &mut self,
+        cols: &Columns,
+        evaluations: &mut u64,
+        cache_hits: &mut u64,
+        lineage: bool,
+    ) -> (Vec<Individual>, Vec<BreedRec>) {
         let n = self.config.population_size;
         let n_vars = cols.n_vars();
         let mut exprs = Vec::with_capacity(n);
+        let mut recs = Vec::new();
 
         // Informed template seeding (~6% of the population): affine and
         // product skeletons with random constants. These do not contain
@@ -417,6 +533,9 @@ impl SymbolicRegressor {
             for _ in 0..templates {
                 let expr = self.random_template(n_vars);
                 exprs.push(expr);
+                if lineage {
+                    recs.push(BreedRec::init("seed-template"));
+                }
             }
         }
 
@@ -427,7 +546,8 @@ impl SymbolicRegressor {
         let binary = self.config.functions.binary.clone();
         let mut depth = lo;
         while exprs.len() < n {
-            let expr = if exprs.len() % 2 == 0 {
+            let full = exprs.len() % 2 == 0;
+            let expr = if full {
                 Expr::random_full(
                     &mut self.rng,
                     depth,
@@ -447,9 +567,18 @@ impl SymbolicRegressor {
                 )
             };
             exprs.push(expr);
+            if lineage {
+                recs.push(BreedRec::init(if full { "init-full" } else { "init-grow" }));
+            }
             depth = if depth >= hi { lo } else { depth + 1 };
         }
-        self.realize(exprs.into_iter().map(|e| (e, None)).collect(), cols, evaluations)
+        let pop = self.realize(
+            exprs.into_iter().map(|e| (e, None)).collect(),
+            cols,
+            evaluations,
+            cache_hits,
+        );
+        (pop, recs)
     }
 
     /// A random low-order template: `c0*Xi + c1`, `c0*Xi + c1*Xj + c2`, or
@@ -482,12 +611,16 @@ impl SymbolicRegressor {
         }
     }
 
-    fn tournament<'a>(&mut self, population: &'a [Individual]) -> &'a Individual {
-        let mut best: Option<&Individual> = None;
+    /// Tournament selection, returning the winner's *index* so breeding can
+    /// record parent identities for the evidence ledger. Draw order and the
+    /// tie-breaking rule (an earlier draw wins ties) are unchanged from the
+    /// original reference-returning implementation.
+    fn tournament(&mut self, population: &[Individual]) -> usize {
+        let mut best: Option<usize> = None;
         for _ in 0..self.config.tournament_size {
-            let candidate = &population[self.rng.gen_range(0..population.len())];
+            let candidate = self.rng.gen_range(0..population.len());
             best = match best {
-                Some(b) if b.fitness <= candidate.fitness => Some(b),
+                Some(b) if population[b].fitness <= population[candidate].fitness => Some(b),
                 _ => Some(candidate),
             };
         }
@@ -513,9 +646,12 @@ impl SymbolicRegressor {
         population: Vec<Individual>,
         cols: &Columns,
         evaluations: &mut u64,
-    ) -> Vec<Individual> {
+        cache_hits: &mut u64,
+        lineage: bool,
+    ) -> (Vec<Individual>, Vec<BreedRec>) {
         let n = population.len();
         let mut planned: Vec<(Expr, Option<(f64, f64)>)> = Vec::with_capacity(n);
+        let mut recs = Vec::new();
 
         // Elitism: the best individual survives unchanged, score and all.
         let elite_idx = population
@@ -528,6 +664,14 @@ impl SymbolicRegressor {
             population[elite_idx].expr.clone(),
             Some((population[elite_idx].error, population[elite_idx].fitness)),
         ));
+        if lineage {
+            recs.push(BreedRec {
+                op: "elite",
+                parent: Some(elite_idx as u32),
+                donor: None,
+                parent_error: dpr_evidence::finite(population[elite_idx].error),
+            });
+        }
 
         let (p_cx, p_sub, p_hoist, p_point) = (
             self.config.crossover_prob,
@@ -539,30 +683,41 @@ impl SymbolicRegressor {
         let n_vars = cols.n_vars();
         while planned.len() < n {
             let roll: f64 = self.rng.gen();
-            let picked = self.tournament(&population);
+            let picked_idx = self.tournament(&population);
+            let picked = &population[picked_idx];
             let parent_score = (picked.error, picked.fitness);
             let parent = picked.expr.clone();
-            let (child, cached) = if roll < p_cx {
-                let donor = self.tournament(&population).expr.clone();
-                (self.crossover(&parent, &donor), None)
+            let (child, cached, op, donor_idx) = if roll < p_cx {
+                let donor_idx = self.tournament(&population);
+                let donor = population[donor_idx].expr.clone();
+                (self.crossover(&parent, &donor), None, "crossover", Some(donor_idx))
             } else if roll < p_cx + p_sub {
-                (self.subtree_mutation(&parent, n_vars), None)
+                (self.subtree_mutation(&parent, n_vars), None, "subtree-mutation", None)
             } else if roll < p_cx + p_sub + p_hoist {
-                (self.hoist_mutation(&parent), None)
+                (self.hoist_mutation(&parent), None, "hoist-mutation", None)
             } else if roll < p_cx + p_sub + p_hoist + p_point {
-                (self.point_mutation(&parent, n_vars), None)
+                (self.point_mutation(&parent, n_vars), None, "point-mutation", None)
             } else {
                 // Reproduction: the child IS the parent — reuse its score.
-                (parent.clone(), Some(parent_score))
+                (parent.clone(), Some(parent_score), "reproduction", None)
             };
-            let (child, cached) = if child.depth() > max_depth {
-                (parent, Some(parent_score))
+            let (child, cached, op) = if child.depth() > max_depth {
+                (parent, Some(parent_score), "depth-fallback")
             } else {
-                (child, cached)
+                (child, cached, op)
             };
             planned.push((child, cached));
+            if lineage {
+                recs.push(BreedRec {
+                    op,
+                    parent: Some(picked_idx as u32),
+                    donor: donor_idx.map(|d| d as u32),
+                    parent_error: dpr_evidence::finite(parent_score.0),
+                });
+            }
         }
-        self.realize(planned, cols, evaluations)
+        let pop = self.realize(planned, cols, evaluations, cache_hits);
+        (pop, recs)
     }
 
     /// Subtree crossover: replace a random node of `recipient` with a
@@ -782,6 +937,57 @@ mod tests {
             assert!(!printed.contains(banned), "{printed}");
         }
         assert!(model.train_error < 0.5);
+    }
+
+    #[test]
+    fn lineage_event_traces_winner_back_to_init() {
+        let data = Dataset::from_pairs((0..30).map(|i| {
+            let x = f64::from(i * 7 % 120);
+            (x, 0.4 * x + 2.0)
+        }))
+        .unwrap();
+        // Fit once without capture, once inside a capture: same model.
+        let bare = fit(GpConfig::fast(11), &data);
+        let (model, events) = dpr_evidence::capture(|| {
+            dpr_evidence::with_subject("rpm", || fit(GpConfig::fast(11), &data))
+        });
+        assert_eq!(bare.expr, model.expr, "capture must not perturb the run");
+        assert_eq!(bare.train_error, model.train_error);
+
+        let lineages: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                dpr_evidence::Event::Lineage(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lineages.len(), 1);
+        let lineage = lineages[0];
+        assert_eq!(lineage.subject, "rpm");
+        assert_eq!(lineage.expression, model.expr.to_string());
+        assert_eq!(lineage.evaluations, model.evaluations);
+        assert_eq!(lineage.generations as usize, model.generations);
+        assert!(!lineage.steps.is_empty());
+        // Oldest step is an initialization op at generation 0; every
+        // later in-run step names its parent in the previous generation.
+        let first = &lineage.steps[0];
+        assert_eq!(first.generation, 0);
+        assert!(
+            first.op.starts_with("init") || first.op == "seed-template",
+            "unexpected origin op {}",
+            first.op
+        );
+        assert!(first.parent.is_none());
+        let in_run: Vec<_> = lineage
+            .steps
+            .iter()
+            .filter(|s| (s.generation as usize) < model.generations)
+            .collect();
+        for pair in in_run.windows(2) {
+            assert_eq!(pair[1].generation, pair[0].generation + 1);
+            assert!(pair[1].parent.is_some());
+        }
+        assert!(lineage.best_error_history.last().copied().flatten().is_some());
     }
 
     #[test]

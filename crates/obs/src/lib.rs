@@ -34,13 +34,22 @@ pub mod trace_event;
 
 pub use flame::Profile;
 pub use regress::{Comparison, Direction, Verdict};
-pub use server::{shared_trace, MetricsServer, SharedTrace, METRICS_ADDR_ENV};
+pub use server::{
+    shared_runs, shared_trace, MetricsServer, RunListing, RunRecord, RunStore, SharedRuns,
+    SharedTrace, METRICS_ADDR_ENV, RUNS_KEPT,
+};
 pub use trace_event::{TraceExport, TRACE_EVENTS_ENV};
 
 use dpr_telemetry::{PipelineTrace, Registry};
 use std::net::SocketAddr;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Environment variable naming the JSON-lines evidence export file: when
+/// set, every [`ObsSession::publish_run`] appends one JSON line per
+/// recovered sensor's [`EvidenceChain`](dpr_evidence::EvidenceChain).
+/// The file is truncated when the session starts.
+pub const EVIDENCE_JSON_ENV: &str = "DPR_EVIDENCE_JSON";
 
 /// The environment-driven observability hookup for one run: an optional
 /// [`TraceExport`] sink (from `DPR_TRACE_EVENTS`) attached to the run's
@@ -54,29 +63,56 @@ pub struct ObsSession {
     export: Option<Arc<TraceExport>>,
     server: Option<MetricsServer>,
     trace: SharedTrace,
+    runs: SharedRuns,
+    evidence_path: Option<PathBuf>,
 }
 
 impl ObsSession {
-    /// Reads `DPR_TRACE_EVENTS` and `DPR_METRICS_ADDR` and wires whatever
-    /// is enabled onto `registry`. A server that fails to bind is reported
-    /// to stderr and skipped rather than failing the run.
+    /// Reads `DPR_TRACE_EVENTS`, `DPR_METRICS_ADDR`, and
+    /// `DPR_EVIDENCE_JSON` and wires whatever is enabled onto `registry`.
+    /// A server that fails to bind is reported to stderr and skipped
+    /// rather than failing the run.
     pub fn from_env(registry: &Arc<Registry>) -> ObsSession {
         let export = TraceExport::from_env();
         if let Some(sink) = &export {
             registry.add_sink(Arc::clone(sink) as _);
         }
         let trace = shared_trace();
-        let server = match MetricsServer::from_env(Arc::clone(registry), Arc::clone(&trace)) {
+        let runs = shared_runs();
+        let server = match MetricsServer::from_env(
+            Arc::clone(registry),
+            Arc::clone(&trace),
+            Arc::clone(&runs),
+        ) {
             Ok(server) => server,
             Err(e) => {
                 eprintln!("dpr-obs: metrics server disabled ({e})");
                 None
             }
         };
+        let evidence_path = match std::env::var(EVIDENCE_JSON_ENV) {
+            Ok(path) if !path.trim().is_empty() => {
+                let path = PathBuf::from(path.trim());
+                // Truncate at session start so the file holds exactly
+                // this session's runs.
+                if let Err(e) = std::fs::write(&path, b"") {
+                    eprintln!(
+                        "dpr-obs: evidence export to {} disabled ({e})",
+                        path.display()
+                    );
+                    None
+                } else {
+                    Some(path)
+                }
+            }
+            _ => None,
+        };
         ObsSession {
             export,
             server,
             trace,
+            runs,
+            evidence_path,
         }
     }
 
@@ -86,12 +122,50 @@ impl ObsSession {
             export: None,
             server: None,
             trace: shared_trace(),
+            runs: shared_runs(),
+            evidence_path: None,
         }
     }
 
     /// Publishes `trace` as the latest run trace served at `GET /trace`.
     pub fn publish_trace(&self, trace: &PipelineTrace) {
         *self.trace.lock() = Some(trace.clone());
+    }
+
+    /// Publishes a completed pipeline run: the trace lands on `GET
+    /// /trace`, the run is listed at `GET /runs`, each chain is served
+    /// at `GET /evidence/<sensor>`, and — when `DPR_EVIDENCE_JSON` is
+    /// set — appended to the JSON-lines export. Returns the run id.
+    pub fn publish_run(
+        &self,
+        trace: &PipelineTrace,
+        ledger: &dpr_evidence::EvidenceLedger,
+    ) -> String {
+        self.publish_trace(trace);
+        let at_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let id = self.runs.lock().publish(at_ms, ledger.clone());
+        if let Some(path) = &self.evidence_path {
+            if let Err(e) = append_chains(path, ledger) {
+                eprintln!(
+                    "dpr-obs: writing evidence to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
+        id
+    }
+
+    /// The published-runs store the metrics server serves from.
+    pub fn runs(&self) -> &SharedRuns {
+        &self.runs
+    }
+
+    /// The JSON-lines evidence export path, when enabled.
+    pub fn evidence_path(&self) -> Option<&Path> {
+        self.evidence_path.as_deref()
     }
 
     /// The bound scrape address, when the metrics server is running.
@@ -120,6 +194,18 @@ impl ObsSession {
             server.stop();
         }
     }
+}
+
+/// Appends one JSON line per chain of `ledger` to `path`.
+fn append_chains(path: &Path, ledger: &dpr_evidence::EvidenceLedger) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new().append(true).open(path)?;
+    for chain in &ledger.chains {
+        let line = dpr_telemetry::json::to_string(chain)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(file, "{line}")?;
+    }
+    file.flush()
 }
 
 impl std::fmt::Debug for ObsSession {

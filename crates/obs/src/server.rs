@@ -8,6 +8,11 @@
 //! * `GET /trace` — the most recently published
 //!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON (404 until
 //!   one is published).
+//! * `GET /runs` — the recent published runs (id, wall-clock publish
+//!   time, recovered sensor slugs) as a JSON array, newest last.
+//! * `GET /evidence/<sensor>` — the named sensor's
+//!   [`EvidenceChain`](dpr_evidence::EvidenceChain) from the most recent
+//!   run that recovered it, as JSON; 404s list the known slugs.
 //! * `GET /healthz` — `ok`, for liveness probes.
 //!
 //! The server binds eagerly (so `127.0.0.1:0` callers can read the
@@ -40,6 +45,95 @@ pub fn shared_trace() -> SharedTrace {
     Arc::new(Mutex::new(None))
 }
 
+/// One published pipeline run, as listed by `GET /runs`.
+///
+/// The wall-clock timestamp lives only here, on the serving side — the
+/// evidence ledger itself carries nothing but simulation time, so
+/// attaching a publish time does not perturb live/replay identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Monotonic run id within this process (`run-1`, `run-2`, …).
+    pub id: String,
+    /// Publish wall-clock time, milliseconds since the UNIX epoch.
+    pub at_ms: u64,
+    /// Slugs of the sensors the run recovered.
+    pub sensors: Vec<String>,
+    /// The run's full evidence ledger (served per sensor, not in the
+    /// `/runs` listing).
+    pub ledger: dpr_evidence::EvidenceLedger,
+}
+
+/// What `GET /runs` serializes per run: everything but the ledger.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunListing {
+    /// Monotonic run id within this process.
+    pub id: String,
+    /// Publish wall-clock time, milliseconds since the UNIX epoch.
+    pub at_ms: u64,
+    /// Slugs of the sensors the run recovered.
+    pub sensors: Vec<String>,
+}
+
+/// The recent published runs (last [`RUNS_KEPT`]), oldest first.
+#[derive(Debug, Default)]
+pub struct RunStore {
+    runs: Vec<RunRecord>,
+    next_id: u64,
+}
+
+/// How many published runs `GET /runs` retains.
+pub const RUNS_KEPT: usize = 32;
+
+impl RunStore {
+    /// Appends a run, assigns its id, and drops the oldest beyond
+    /// [`RUNS_KEPT`]. Returns the assigned id.
+    pub fn publish(&mut self, at_ms: u64, ledger: dpr_evidence::EvidenceLedger) -> String {
+        self.next_id += 1;
+        let id = format!("run-{}", self.next_id);
+        self.runs.push(RunRecord {
+            id: id.clone(),
+            at_ms,
+            sensors: ledger.chains.iter().map(|c| c.slug.clone()).collect(),
+            ledger,
+        });
+        if self.runs.len() > RUNS_KEPT {
+            let excess = self.runs.len() - RUNS_KEPT;
+            self.runs.drain(..excess);
+        }
+        id
+    }
+
+    /// The retained runs, oldest first.
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// The named sensor's chain from the most recent run that has it.
+    pub fn chain(&self, slug: &str) -> Option<&dpr_evidence::EvidenceChain> {
+        self.runs.iter().rev().find_map(|r| r.ledger.chain(slug))
+    }
+
+    /// Every sensor slug any retained run recovered, deduplicated.
+    pub fn known_sensors(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .runs
+            .iter()
+            .flat_map(|r| r.sensors.iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The run history shared between publishers and the server.
+pub type SharedRuns = Arc<Mutex<RunStore>>;
+
+/// An empty [`SharedRuns`] store.
+pub fn shared_runs() -> SharedRuns {
+    Arc::new(Mutex::new(RunStore::default()))
+}
+
 /// A running scrape endpoint. Stops (and joins its thread) on
 /// [`stop`](MetricsServer::stop) or drop.
 pub struct MetricsServer {
@@ -49,11 +143,12 @@ pub struct MetricsServer {
 }
 
 impl MetricsServer {
-    /// Binds `addr` and starts serving `registry` and `trace`.
+    /// Binds `addr` and starts serving `registry`, `trace`, and `runs`.
     pub fn start(
         addr: &str,
         registry: Arc<Registry>,
         trace: SharedTrace,
+        runs: SharedRuns,
     ) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -61,7 +156,7 @@ impl MetricsServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("dpr-metrics".to_string())
-            .spawn(move || accept_loop(listener, registry, trace, stop_flag))?;
+            .spawn(move || accept_loop(listener, registry, trace, runs, stop_flag))?;
         Ok(MetricsServer {
             addr: local,
             stop,
@@ -74,10 +169,11 @@ impl MetricsServer {
     pub fn from_env(
         registry: Arc<Registry>,
         trace: SharedTrace,
+        runs: SharedRuns,
     ) -> io::Result<Option<MetricsServer>> {
         match std::env::var(METRICS_ADDR_ENV) {
             Ok(addr) if !addr.trim().is_empty() => {
-                MetricsServer::start(addr.trim(), registry, trace).map(Some)
+                MetricsServer::start(addr.trim(), registry, trace, runs).map(Some)
             }
             _ => Ok(None),
         }
@@ -125,6 +221,7 @@ fn accept_loop(
     listener: TcpListener,
     registry: Arc<Registry>,
     trace: SharedTrace,
+    runs: SharedRuns,
     stop: Arc<AtomicBool>,
 ) {
     for stream in listener.incoming() {
@@ -135,7 +232,7 @@ fn accept_loop(
         // A misbehaving client must not wedge the endpoint.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &registry, &trace);
+        let _ = handle_connection(stream, &registry, &trace, &runs);
     }
 }
 
@@ -143,6 +240,7 @@ fn handle_connection(
     mut stream: TcpStream,
     registry: &Registry,
     trace: &SharedTrace,
+    runs: &SharedRuns,
 ) -> io::Result<()> {
     let request = read_request_head(&mut stream)?;
     let mut parts = request.split_whitespace();
@@ -151,6 +249,25 @@ fn handle_connection(
         return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
     }
     let path = target.split('?').next().unwrap_or("");
+    if let Some(slug) = path.strip_prefix("/evidence/") {
+        let store = runs.lock();
+        return match store.chain(slug) {
+            Some(chain) => {
+                let body = dpr_telemetry::json::to_string(chain)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                respond(&mut stream, "200 OK", "application/json", &body)
+            }
+            None => {
+                let known = store.known_sensors().join(" ");
+                respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    &format!("unknown sensor {slug:?}; known: {known}\n"),
+                )
+            }
+        };
+    }
     match path {
         "/metrics" => respond(
             &mut stream,
@@ -171,12 +288,27 @@ fn handle_connection(
                 "no trace published yet\n",
             ),
         },
+        "/runs" => {
+            let listing: Vec<RunListing> = runs
+                .lock()
+                .runs()
+                .iter()
+                .map(|r| RunListing {
+                    id: r.id.clone(),
+                    at_ms: r.at_ms,
+                    sensors: r.sensors.clone(),
+                })
+                .collect();
+            let body = dpr_telemetry::json::to_string(&listing)
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
         "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "routes: /metrics /trace /healthz\n",
+            "routes: /metrics /trace /runs /evidence/<sensor> /healthz\n",
         ),
     }
 }
@@ -235,9 +367,13 @@ mod tests {
         let registry = Arc::new(Registry::new());
         registry.counter("obs.test_hits").inc(3);
         let trace = shared_trace();
-        let server =
-            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&trace))
-                .expect("bind ephemeral");
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Arc::clone(&trace),
+            shared_runs(),
+        )
+        .expect("bind ephemeral");
         let addr = server.addr();
 
         let (head, body) = get(addr, "/healthz");
@@ -270,6 +406,7 @@ mod tests {
             "127.0.0.1:0",
             Arc::new(Registry::new()),
             shared_trace(),
+            shared_runs(),
         )
         .expect("bind");
         let addr = server.addr();
@@ -290,8 +427,39 @@ mod tests {
     #[test]
     fn from_env_is_opt_in() {
         std::env::remove_var(METRICS_ADDR_ENV);
-        let server = MetricsServer::from_env(Arc::new(Registry::new()), shared_trace())
-            .expect("no bind attempted");
+        let server =
+            MetricsServer::from_env(Arc::new(Registry::new()), shared_trace(), shared_runs())
+                .expect("no bind attempted");
         assert!(server.is_none());
+    }
+
+    #[test]
+    fn run_store_keeps_the_most_recent_runs_and_serves_chains() {
+        let mut store = RunStore::default();
+        let mut ledger = dpr_evidence::EvidenceLedger::default();
+        ledger.chains.push(dpr_evidence::EvidenceChain {
+            sensor: "DID 0xF40D".into(),
+            slug: "did-0xf40d".into(),
+            screen: "Engine".into(),
+            label: "Vehicle Speed".into(),
+            kind: "formula".into(),
+            formula: "X0".into(),
+            match_score: Some(0.99),
+            match_pairs: 40,
+            samples: vec![],
+            ocr: vec![],
+            candidates: vec![],
+            lineage: None,
+        });
+        for i in 0..(RUNS_KEPT + 3) {
+            store.publish(i as u64, ledger.clone());
+        }
+        assert_eq!(store.runs().len(), RUNS_KEPT);
+        // Oldest entries were evicted; ids keep counting.
+        assert_eq!(store.runs()[0].id, "run-4");
+        assert_eq!(store.runs().last().unwrap().id, format!("run-{}", RUNS_KEPT + 3));
+        assert!(store.chain("did-0xf40d").is_some());
+        assert!(store.chain("nope").is_none());
+        assert_eq!(store.known_sensors(), vec!["did-0xf40d".to_string()]);
     }
 }

@@ -118,8 +118,13 @@ fn scraped_metrics_pass_the_exposition_line_checker() {
         h.record(v);
     }
 
-    let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry), shared_trace())
-        .expect("bind ephemeral port");
+    let server = MetricsServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        shared_trace(),
+        dpr_obs::shared_runs(),
+    )
+    .expect("bind ephemeral port");
     let (head, body) = get(server.addr(), "/metrics");
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     assert!(head.contains("text/plain; version=0.0.4"), "{head}");
@@ -128,6 +133,69 @@ fn scraped_metrics_pass_the_exposition_line_checker() {
     assert!(body.contains("frames_seen 42\n"), "{body}");
     assert!(body.contains("gp_evals_per_sec 123456\n"), "{body}");
     assert!(body.contains("span_pipeline_bucket{le=\"+Inf\"} 4\n"), "{body}");
+    server.stop();
+}
+
+#[test]
+fn runs_and_evidence_routes_serve_published_runs() {
+    let runs = dpr_obs::shared_runs();
+    let server = MetricsServer::start(
+        "127.0.0.1:0",
+        Arc::new(Registry::new()),
+        shared_trace(),
+        Arc::clone(&runs),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Empty store: /runs is an empty array, /evidence/<x> 404s.
+    let (head, body) = get(addr, "/runs");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body.trim(), "[]");
+    let (head, _) = get(addr, "/evidence/did-0xf40d");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // Publish two runs; the second's chain supersedes the first's.
+    let mut ledger = dpr_evidence::EvidenceLedger::default();
+    ledger.chains.push(dpr_evidence::EvidenceChain {
+        sensor: "DID 0xF40D".into(),
+        slug: "did-0xf40d".into(),
+        screen: "Engine".into(),
+        label: "Vehicle Speed".into(),
+        kind: "formula".into(),
+        formula: "X0 / 2".into(),
+        match_score: Some(0.75),
+        match_pairs: 12,
+        samples: vec![],
+        ocr: vec![],
+        candidates: vec![],
+        lineage: None,
+    });
+    runs.lock().publish(1_000, ledger.clone());
+    ledger.chains[0].formula = "X0 * 0.5".into();
+    runs.lock().publish(2_000, ledger);
+
+    let (head, body) = get(addr, "/runs");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let listing: Vec<dpr_obs::RunListing> =
+        dpr_telemetry::json::from_str(&body).expect("parse /runs listing");
+    assert_eq!(listing.len(), 2);
+    assert_eq!(listing[0].id, "run-1");
+    assert_eq!(listing[0].at_ms, 1_000);
+    assert_eq!(listing[1].id, "run-2");
+    assert_eq!(listing[1].sensors, vec!["did-0xf40d".to_string()]);
+
+    let (head, body) = get(addr, "/evidence/did-0xf40d");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let chain: dpr_evidence::EvidenceChain =
+        dpr_telemetry::json::from_str(&body).expect("parse /evidence chain");
+    assert_eq!(chain.formula, "X0 * 0.5", "latest run wins");
+
+    let (head, body) = get(addr, "/evidence/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(body.contains("did-0xf40d"), "404 lists known slugs: {body}");
+
     server.stop();
 }
 

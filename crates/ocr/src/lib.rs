@@ -205,10 +205,25 @@ pub fn read_frames(frames: &[UiFrame], channel: &OcrChannel) -> Vec<OcrReading> 
                 .map(|l| l.text.clone())
                 .unwrap_or_default();
             let text = channel.read(frame_idx, widget_idx, &value.text);
+            let exact = text == value.text;
             let value = text.trim().parse::<f64>().ok();
             dpr_telemetry::counter("ocr.readings_read").inc(1);
             if value.is_none() {
                 dpr_telemetry::counter("ocr.readings_unparsed").inc(1);
+            }
+            if dpr_evidence::active() {
+                // The sample id is the reading's index in this output
+                // stream — the filter's verdicts join on it.
+                dpr_evidence::record(dpr_evidence::Event::OcrSample(dpr_evidence::OcrSample {
+                    sample_id: out.len() as u32,
+                    at_us: frame.at.as_micros(),
+                    screen: screen.clone(),
+                    label: label.clone(),
+                    text: text.clone(),
+                    value: value.and_then(dpr_evidence::finite),
+                    exact,
+                    confidence: channel.value_accuracy,
+                }));
             }
             out.push(OcrReading {
                 at: frame.at,
@@ -355,38 +370,61 @@ pub fn local_inliers(values: &[f64], k: f64) -> Vec<usize> {
 /// (k = 8, generous enough to keep genuine dynamics, tight enough to drop
 /// decimal-point errors that inflate values 10–100×).
 pub fn filter_readings(readings: &[OcrReading], book: &RangeBook) -> Vec<OcrReading> {
-    // Stage 1.
-    let stage1: Vec<&OcrReading> = readings
-        .iter()
-        .filter(|r| r.value.is_some_and(|v| book.plausible(&r.label, v)))
-        .collect();
+    // Per-reading verdicts feed the evidence ledger; the sample id is
+    // the reading's index in `readings`, matching the ids
+    // [`read_frames`] assigned.
+    let verdict = |sample_id: usize, verdict: &str| {
+        if dpr_evidence::active() {
+            dpr_evidence::record(dpr_evidence::Event::OcrVerdict(dpr_evidence::OcrVerdict {
+                sample_id: sample_id as u32,
+                verdict: verdict.to_string(),
+            }));
+        }
+    };
+    // Stage 1, keeping original indices for the verdict stream.
+    let mut stage1: Vec<(usize, &OcrReading)> = Vec::new();
+    for (idx, r) in readings.iter().enumerate() {
+        match r.value {
+            None => verdict(idx, "rejected_unparsed"),
+            Some(v) if !book.plausible(&r.label, v) => verdict(idx, "rejected_range"),
+            Some(_) => stage1.push((idx, r)),
+        }
+    }
     // Stage 2, per (screen, label) series — the label scope is one ECU
     // page.
     let mut labels: Vec<(&str, &str)> = stage1
         .iter()
-        .map(|r| (r.screen.as_str(), r.label.as_str()))
+        .map(|(_, r)| (r.screen.as_str(), r.label.as_str()))
         .collect();
     labels.sort_unstable();
     labels.dedup();
-    let mut keep = Vec::new();
+    let mut keep: Vec<(usize, &OcrReading)> = Vec::new();
     for (screen, label) in labels {
-        let series: Vec<&&OcrReading> = stage1
+        let series: Vec<(usize, &OcrReading)> = stage1
             .iter()
-            .filter(|r| r.screen == screen && r.label == label)
+            .filter(|(_, r)| r.screen == screen && r.label == label)
+            .copied()
             .collect();
         let values: Vec<f64> = series
             .iter()
-            .map(|r| r.value.expect("stage 1 kept only parsed readings"))
+            .map(|(_, r)| r.value.expect("stage 1 kept only parsed readings"))
             .collect();
-        for idx in local_inliers(&values, 8.0) {
-            keep.push((*series[idx]).clone());
+        let inliers = local_inliers(&values, 8.0);
+        for (pos, &(idx, r)) in series.iter().enumerate() {
+            if inliers.binary_search(&pos).is_ok() {
+                verdict(idx, "kept");
+                keep.push((idx, r));
+            } else {
+                verdict(idx, "rejected_outlier");
+            }
         }
     }
-    keep.sort_by_key(|r| r.at);
+    keep.sort_by_key(|(_, r)| r.at);
+    let kept = keep.len();
     dpr_telemetry::counter("ocr.filter_rejected_range").inc((readings.len() - stage1.len()) as u64);
-    dpr_telemetry::counter("ocr.filter_rejected_outlier").inc((stage1.len() - keep.len()) as u64);
-    dpr_telemetry::counter("ocr.filter_kept").inc(keep.len() as u64);
-    keep
+    dpr_telemetry::counter("ocr.filter_rejected_outlier").inc((stage1.len() - kept) as u64);
+    dpr_telemetry::counter("ocr.filter_kept").inc(kept as u64);
+    keep.into_iter().map(|(_, r)| r.clone()).collect()
 }
 
 #[cfg(test)]

@@ -45,6 +45,25 @@ pub enum TransportError {
     ChannelNotOpen,
 }
 
+impl TransportError {
+    /// The stable error-kind tag the telemetry counters
+    /// (`transport.<scheme>.reject.<kind>`) and the evidence ledger's
+    /// reject events share.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TransportError::PayloadTooLarge { .. } => "payload_too_large",
+            TransportError::EmptyPayload => "empty_payload",
+            TransportError::SequenceMismatch { .. } => "sequence_mismatch",
+            TransportError::UnexpectedFrame { .. } => "unexpected_frame",
+            TransportError::MalformedFrame(_) => "malformed_frame",
+            TransportError::Overflow => "overflow",
+            TransportError::Timeout { .. } => "timeout",
+            TransportError::Busy => "busy",
+            TransportError::ChannelNotOpen => "channel_not_open",
+        }
+    }
+}
+
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -93,6 +112,9 @@ mod tests {
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase());
             assert!(!msg.ends_with('.'));
+            // Kinds are snake_case identifiers, fit for metric names.
+            let kind = e.kind();
+            assert!(kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{kind}");
         }
     }
 

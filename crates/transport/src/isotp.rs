@@ -468,7 +468,7 @@ impl IsoTpEndpoint {
             });
         };
         if seq != next_seq {
-            dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+            crate::reject("isotp", "sequence_mismatch");
             return Err(TransportError::SequenceMismatch {
                 expected: next_seq,
                 got: seq,
@@ -628,15 +628,15 @@ impl IsoTpStreamDecoder {
     pub fn push(&mut self, data: &[u8]) {
         let Ok(frame) = IsoTpFrame::parse(data) else {
             if self.state.take().is_some() {
-                dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                crate::reject("isotp", "superseded");
             }
-            dpr_telemetry::counter("transport.isotp.malformed").inc(1);
+            crate::reject("isotp", "malformed_frame");
             return;
         };
         match frame {
             IsoTpFrame::Single { data } => {
                 if self.state.take().is_some() {
-                    dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                    crate::reject("isotp", "superseded");
                 }
                 dpr_telemetry::counter("transport.isotp.reassembled").inc(1);
                 dpr_telemetry::histogram("transport.isotp.sdu_bytes").record(data.len() as f64);
@@ -644,7 +644,7 @@ impl IsoTpStreamDecoder {
             }
             IsoTpFrame::First { total_len, data } => {
                 if self.state.is_some() {
-                    dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                    crate::reject("isotp", "superseded");
                 }
                 let mut buf = Vec::with_capacity(usize::from(total_len));
                 buf.extend_from_slice(&data[..FF_PAYLOAD.min(data.len())]);
@@ -653,7 +653,7 @@ impl IsoTpStreamDecoder {
             IsoTpFrame::Consecutive { seq, data } => {
                 if let Some((total, mut buf, expect)) = self.state.take() {
                     if seq != expect {
-                        dpr_telemetry::counter("transport.isotp.reassembly_aborted").inc(1);
+                        crate::reject("isotp", "sequence_mismatch");
                         return; // drop the damaged message
                     }
                     let remaining = total - buf.len();

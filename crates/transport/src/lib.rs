@@ -63,3 +63,26 @@ pub mod vwtp;
 
 pub use endpoint::{pump, Endpoint, OutgoingFrame};
 pub use error::TransportError;
+
+/// Books one reassembly reject under the per-kind taxonomy: bumps the
+/// `transport.<scheme>.reject.<kind>` counter and, when an evidence
+/// capture is active, records the matching
+/// [`ReassemblyReject`](dpr_evidence::ReassemblyReject) event — the
+/// two views agree by construction.
+///
+/// `kind` is a [`TransportError::kind`] tag, or the pseudo-kind
+/// `superseded` for an in-flight reassembly displaced by a new
+/// single/first frame.
+pub(crate) fn reject(scheme: &'static str, kind: &'static str) {
+    dpr_telemetry::counter(&format!("transport.{scheme}.reject.{kind}")).inc(1);
+    if dpr_evidence::active() {
+        dpr_evidence::record(dpr_evidence::Event::ReassemblyReject(
+            dpr_evidence::ReassemblyReject {
+                scheme: scheme.to_string(),
+                kind: kind.to_string(),
+                id: None,
+                at_us: None,
+            },
+        ));
+    }
+}

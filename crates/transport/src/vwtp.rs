@@ -423,7 +423,7 @@ impl VwTpStreamDecoder {
             return;
         };
         let Some(op) = VwOpcode::from_first_byte(first) else {
-            dpr_telemetry::counter("transport.vwtp.malformed").inc(1);
+            crate::reject("vwtp", "malformed_frame");
             return;
         };
         if !op.is_data() {

@@ -70,6 +70,37 @@ fn replayed_capture_matches_live_run_bit_for_bit() {
             "car {id:?} recovered only {} ESVs",
             live.esvs.len()
         );
+
+        // The evidence ledger is part of the replay contract too: the
+        // chains are built from simulation-clock data only, so the
+        // live ledger and the replayed one must serialize to the same
+        // bytes — and must not be vacuously empty.
+        assert_eq!(
+            live.evidence, replayed.evidence,
+            "car {id:?}: evidence ledger diverged between live and replay"
+        );
+        assert_eq!(
+            json::to_string(&live.evidence).unwrap(),
+            json::to_string(&replayed.evidence).unwrap(),
+            "car {id:?}: serialized evidence must be byte-identical"
+        );
+        assert_eq!(
+            live.evidence.chains.len(),
+            live.esvs.len(),
+            "car {id:?}: every recovered ESV carries one evidence chain"
+        );
+        for chain in &live.evidence.chains {
+            assert!(
+                !chain.samples.is_empty(),
+                "car {id:?} sensor {} has no bus samples",
+                chain.sensor
+            );
+            assert!(
+                !chain.candidates.is_empty(),
+                "car {id:?} sensor {} has no alignment candidates",
+                chain.sensor
+            );
+        }
     }
 }
 
