@@ -5,17 +5,20 @@
 //! cargo run --release -p dpr-bench --bin dpr-bench -- profile /tmp/m.dprcap
 //! cargo run --release -p dpr-bench --bin dpr-bench -- regress --baseline old.json --current new.json --max-regress 15%
 //! cargo run --release -p dpr-bench --bin dpr-bench -- fleet M N P --hold 30
+//! cargo run --release -p dpr-bench --bin dpr-bench -- scale --threads 1,2,4,8
 //! ```
 //!
 //! `profile` runs the pipeline on one car (live, by Tab. 3 letter) or on
 //! a `.dprcap` capture (offline) and prints a self-time flamegraph
-//! profile; `--folded <path>` also writes inferno-compatible folded
-//! stack lines. `regress` compares two `BENCH_*.json` snapshots and
-//! exits non-zero when a gated metric regressed beyond the tolerance.
-//! `fleet` collects and analyzes several cars under one registry. All
-//! three honor `DPR_TRACE_EVENTS=<path.json>` (Chrome trace-event
-//! export) and the run subcommands honor `DPR_METRICS_ADDR=<addr>`
-//! (live Prometheus scrape endpoint).
+//! profile plus the worker-pool report; `--folded <path>` also writes
+//! inferno-compatible folded stack lines. `regress` compares two
+//! `BENCH_*.json` snapshots and exits non-zero when a gated metric
+//! regressed beyond the tolerance. `fleet` collects and analyzes
+//! several cars under one registry. `scale` sweeps GP scoring across
+//! pool sizes and writes `BENCH_scale.json`. All honor
+//! `DPR_TRACE_EVENTS=<path.json>` (Chrome trace-event export) and the
+//! run subcommands honor `DPR_METRICS_ADDR=<addr>` (live Prometheus
+//! scrape endpoint).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,11 +34,18 @@ use dpr_obs::{flame, ObsSession};
 use dpr_telemetry::{Collector, Registry};
 use dpr_vehicle::profiles::CarId;
 
+/// The counting allocator shim: free when `DPR_PROF` is unset, and the
+/// reason `dpr-bench profile` / `dpr-bench scale` can attribute heap
+/// traffic to pool workers when it is.
+#[global_allocator]
+static ALLOC: dpr_prof::alloc::CountingAlloc = dpr_prof::alloc::CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!("usage: dpr-bench profile <car A..R | capture.dprcap> [--folded <path>] [read_secs]");
     eprintln!("       dpr-bench regress --baseline <old.json> --current <new.json> [--max-regress <pct>]");
     eprintln!("       dpr-bench fleet <car A..R>... [--read-secs <n>] [--hold <secs>]");
     eprintln!("       dpr-bench explain <car A..R> <sensor | all> [read_secs]");
+    eprintln!("       dpr-bench scale [--threads 1,2,4,8] [--out <BENCH_scale.json>]");
     ExitCode::from(2)
 }
 
@@ -46,6 +56,7 @@ fn main() -> ExitCode {
         Some("regress") => regress(&args[1..]),
         Some("fleet") => fleet(&args[1..]),
         Some("explain") => explain(&args[1..]),
+        Some("scale") => scale(&args[1..]),
         _ => usage(),
     }
 }
@@ -96,6 +107,10 @@ fn profile(args: &[String]) -> ExitCode {
 
     let profile = flame::aggregate(&collector.records());
     print!("{}", profile.report());
+    print!(
+        "{}",
+        dpr_prof::render_report(&dpr_prof::snapshot(), "pool report").text
+    );
     if let Some(path) = folded_path {
         if let Err(e) = std::fs::write(&path, profile.folded()) {
             eprintln!("error: writing folded stacks to {path}: {e}");
@@ -257,6 +272,53 @@ fn load_json(path: &str) -> Option<dpr_telemetry::json::Value> {
             None
         }
     }
+}
+
+// ———————————————————————————— scale ————————————————————————————
+
+/// Sweeps GP generation scoring across pool sizes, prints the scaling
+/// table plus the largest pool's report, and writes `BENCH_scale.json`
+/// for `dpr-bench regress` to gate.
+fn scale(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let threads = match take_flag(&mut args, "--threads") {
+        Some(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect();
+            if parsed.is_empty() {
+                eprintln!("error: bad --threads {list:?} (want e.g. 1,2,4,8)");
+                return ExitCode::from(2);
+            }
+            parsed
+        }
+        None => dpr_bench::scale::default_threads(quick()),
+    };
+    let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json").to_string()
+    });
+    // A scaling run is an explicit opt-in to profiling: turn the
+    // counting allocator on so the sweep attributes heap traffic too.
+    // Set before the first par_map so no pool thread exists yet.
+    std::env::set_var(dpr_prof::PROF_ENV, "1");
+
+    println!(
+        "gp scoring scaling sweep at {threads:?} thread(s), seed {EXPERIMENT_SEED}, quick {}…",
+        quick()
+    );
+    let run = dpr_bench::scale::run_scale(&threads, quick());
+    print!("{}", dpr_bench::scale::render_scale(&run));
+    if let Some(point) = run.points.iter().max_by_key(|p| p.threads) {
+        print!("{}", point.report.text);
+    }
+    if let Err(e) = std::fs::write(&out_path, dpr_bench::scale::scale_json(&run)) {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
 }
 
 // ———————————————————————————— fleet ————————————————————————————

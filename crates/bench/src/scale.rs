@@ -1,0 +1,331 @@
+//! `dpr-bench scale`: the GP-scoring thread-scaling harness behind
+//! `BENCH_scale.json`.
+//!
+//! The paper's cost driver is generation scoring (compile a population
+//! of GP trees, batch-evaluate each against the dataset), so that is
+//! the workload measured here: one sweep runs the identical scoring
+//! pass at several [`dpr_par::Pool`] sizes, resetting the [`dpr_prof`]
+//! store between points so each point's scheduling profile (utilization,
+//! imbalance, idle/wait/spin-up shares, thread spawns) is attributable
+//! to exactly that pool size.
+//!
+//! [`scale_json`] renders the sweep as one JSON document whose nested
+//! `threads_N` blocks flatten (in `dpr-bench regress`) to keys like
+//! `threads_2.evals_per_sec` and `threads_2.utilization` — names chosen
+//! so the regression gate infers the right direction: throughput,
+//! speedup, and utilization gate on drops, imbalance gates on rises,
+//! and the share/spawn diagnostics stay informational.
+
+use dpr_gp::expr::{BinaryOp, Expr, UnaryOp};
+use dpr_gp::{BatchScratch, Columns, CompiledExpr, Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// The [`dpr_prof`] label every scale-harness scoring call runs under,
+/// isolating the sweep's profile from anything else in the process.
+pub const SCALE_LABEL: &str = "bench.scale";
+
+/// One thread-count measurement of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Pool size measured.
+    pub threads: usize,
+    /// Scoring passes completed inside the timing window.
+    pub passes: u32,
+    /// Expression evaluations per second (population × rows × passes / wall).
+    pub evals_per_sec: f64,
+    /// Throughput relative to the sweep's 1-thread point.
+    pub speedup: f64,
+    /// Mean pool utilization (Σbusy / workers×wall) over the point's calls.
+    pub utilization: f64,
+    /// Mean busiest-worker/mean-worker busy-time ratio.
+    pub imbalance: f64,
+    /// Mean share of chunks claimed beyond a worker's fair share.
+    pub steal_ratio: f64,
+    /// Idle share of pool capacity (spin-up gaps + end-of-call stragglers).
+    pub idle_share: f64,
+    /// Chunk claim/store synchronization share of pool capacity.
+    pub wait_share: f64,
+    /// Thread spin-up latency as a share of wall time.
+    pub spinup_share: f64,
+    /// OS threads spawned during this point (0 once the pool is warm).
+    pub pool_spawns: u64,
+    /// Worker-attributed heap allocations per scoring pass (0 unless the
+    /// counting allocator is installed and `DPR_PROF=1`).
+    pub allocs_per_pass: f64,
+    /// The point's rendered pool report (table + diagnosis).
+    pub report: dpr_prof::PoolReport,
+}
+
+/// A whole scaling sweep: the workload dimensions plus one
+/// [`ScalePoint`] per pool size, in the order measured.
+#[derive(Debug, Clone)]
+pub struct ScaleRun {
+    /// Whether the sweep ran with the reduced quick-mode workload.
+    pub quick: bool,
+    /// GP population size scored per pass.
+    pub population: usize,
+    /// Dataset rows each expression is evaluated against.
+    pub rows: usize,
+    /// Per-thread-count measurements.
+    pub points: Vec<ScalePoint>,
+}
+
+/// The default thread ladder: quick mode (CI) measures 1 and 2, a full
+/// sweep measures 1/2/4/8.
+pub fn default_threads(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// The same synthetic sensor dataset the micro-benchmarks score against.
+fn scale_dataset() -> Dataset {
+    Dataset::from_triples((0..100).map(|i| {
+        let x0 = f64::from(100 + (i * 37) % 150);
+        let x1 = f64::from(8 + (i * 23) % 24);
+        ((x0, x1), x0 * x1 / 5.0)
+    }))
+    .expect("well-formed")
+}
+
+/// A GP-typical population: random grow trees over the full function
+/// set, the shapes the engine scores every generation.
+fn scale_population(n: usize, depth: usize) -> Vec<Expr> {
+    let mut rng = StdRng::seed_from_u64(crate::EXPERIMENT_SEED);
+    (0..n)
+        .map(|_| {
+            Expr::random_grow(
+                &mut rng,
+                depth,
+                2,
+                &UnaryOp::ALL,
+                &BinaryOp::ALL,
+                (-10.0, 10.0),
+            )
+        })
+        .collect()
+}
+
+/// Runs the sweep at the given pool sizes. `quick` shrinks the
+/// population and the per-point timing window (pass [`crate::quick`]).
+///
+/// The profile store is [`dpr_prof::reset`] before each point, so the
+/// returned scheduling ratios cover exactly that point's calls — note
+/// this clears the store for the whole process.
+pub fn run_scale(threads: &[usize], quick: bool) -> ScaleRun {
+    let min = if quick {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+    let data = scale_dataset();
+    let cols = Columns::from_dataset(&data);
+    let pop = scale_population(if quick { 32 } else { 128 }, 6);
+    let metric = Metric::MeanAbsoluteError;
+    let evals_per_pass = (pop.len() * data.len()) as f64;
+
+    let mut points: Vec<ScalePoint> = Vec::with_capacity(threads.len());
+    for &t in threads {
+        let pool = dpr_par::Pool::new(t);
+        // No untimed warm-up: the first pass at a new high-water thread
+        // count is the one that spawns workers, and that spin-up cost is
+        // part of what the point's profile must show. Resetting here
+        // scopes the store to exactly this point's calls.
+        dpr_prof::reset();
+        let mut passes = 0u32;
+        let start = Instant::now();
+        let elapsed = loop {
+            dpr_prof::with_label(SCALE_LABEL, || {
+                pool.par_map_init(&pop, BatchScratch::new, |scratch, e| {
+                    CompiledExpr::compile(e).error_on(&cols, metric, scratch)
+                })
+            });
+            passes += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= min {
+                break elapsed;
+            }
+        };
+        let evals_per_sec = evals_per_pass * f64::from(passes) / elapsed.as_secs_f64();
+
+        let snap = dpr_prof::snapshot();
+        let report = dpr_prof::render_report(&snap, &format!("pool report @ {t} thread(s)"));
+        let sum = snap
+            .labels
+            .iter()
+            .find(|l| l.label == SCALE_LABEL)
+            .cloned()
+            .unwrap_or_default();
+        let capacity = (sum.busy_us + sum.wait_us + sum.idle_us).max(1) as f64;
+        points.push(ScalePoint {
+            threads: t,
+            passes,
+            evals_per_sec,
+            speedup: 1.0, // filled in below once the baseline is known
+            utilization: sum.mean_utilization(),
+            imbalance: sum.mean_imbalance(),
+            steal_ratio: sum.mean_steal_ratio(),
+            idle_share: sum.idle_us as f64 / capacity,
+            wait_share: sum.wait_us as f64 / capacity,
+            spinup_share: sum.spinup_us as f64 / sum.wall_us.max(1) as f64,
+            pool_spawns: sum.spawned_threads,
+            allocs_per_pass: sum.allocs as f64 / f64::from(passes.max(1)),
+            report,
+        });
+    }
+
+    // Speedups are relative to the 1-thread point (or the first point,
+    // when the caller's ladder skips 1).
+    let base = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .or_else(|| points.first())
+        .map(|p| p.evals_per_sec)
+        .unwrap_or(1.0);
+    for point in &mut points {
+        point.speedup = if base > 0.0 {
+            point.evals_per_sec / base
+        } else {
+            1.0
+        };
+    }
+
+    ScaleRun {
+        quick,
+        population: pop.len(),
+        rows: data.len(),
+        points,
+    }
+}
+
+/// Renders the sweep as the scaling-curve table printed by
+/// `dpr-bench scale`.
+pub fn render_scale(run: &ScaleRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== gp scoring thread scaling ({} exprs × {} rows, quick {}) ==\n",
+        run.population, run.rows, run.quick
+    ));
+    out.push_str(&format!(
+        "{:>7} {:>7} {:>12} {:>8} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7}\n",
+        "threads", "passes", "evals/sec", "speedup", "util", "imbal", "idle", "wait", "spinup", "spawns"
+    ));
+    for p in &run.points {
+        out.push_str(&format!(
+            "{:>7} {:>7} {:>12.0} {:>7.2}x {:>5.0}% {:>6.2} {:>5.0}% {:>5.0}% {:>6.1}% {:>7}\n",
+            p.threads,
+            p.passes,
+            p.evals_per_sec,
+            p.speedup,
+            p.utilization * 100.0,
+            p.imbalance,
+            p.idle_share * 100.0,
+            p.wait_share * 100.0,
+            p.spinup_share * 100.0,
+            p.pool_spawns,
+        ));
+    }
+    out
+}
+
+/// Renders the sweep as the `BENCH_scale.json` document. Nested
+/// `threads_N` blocks flatten to dotted keys in `dpr-bench regress`.
+pub fn scale_json(run: &ScaleRun) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"gp_scale\",\n  \"quick\": {},\n  \"population\": {},\n  \"rows\": {},\n",
+        run.quick, run.population, run.rows
+    ));
+    for (i, p) in run.points.iter().enumerate() {
+        let comma = if i + 1 == run.points.len() { "" } else { "," };
+        out.push_str(&format!(
+            concat!(
+                "  \"threads_{t}\": {{\n",
+                "    \"evals_per_sec\": {eps:.0},\n",
+                "    \"speedup\": {sp:.3},\n",
+                "    \"utilization\": {util:.3},\n",
+                "    \"imbalance\": {imb:.3},\n",
+                "    \"steal_ratio\": {steal:.3},\n",
+                "    \"idle_share\": {idle:.3},\n",
+                "    \"wait_share\": {wait:.3},\n",
+                "    \"spinup_share\": {spin:.4},\n",
+                "    \"pool_spawns\": {spawns},\n",
+                "    \"allocs_per_pass\": {apc:.0}\n",
+                "  }}{comma}\n"
+            ),
+            t = p.threads,
+            eps = p.evals_per_sec,
+            sp = p.speedup,
+            util = p.utilization,
+            imb = p.imbalance,
+            steal = p.steal_ratio,
+            idle = p.idle_share,
+            wait = p.wait_share,
+            spin = p.spinup_share,
+            spawns = p.pool_spawns,
+            apc = p.allocs_per_pass,
+            comma = comma,
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_every_point_and_emits_gateable_json() {
+        let run = run_scale(&[1, 2], true);
+        assert_eq!(run.points.len(), 2);
+        assert_eq!(run.points[0].threads, 1);
+        assert_eq!(run.points[1].threads, 2);
+        assert!((run.points[0].speedup - 1.0).abs() < 1e-9);
+        for p in &run.points {
+            assert!(p.evals_per_sec > 0.0, "threads {}", p.threads);
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+            assert!(p.imbalance >= 1.0);
+            assert!((0.0..=1.0).contains(&p.idle_share));
+            assert!(!p.report.text.is_empty());
+        }
+        // The 1-thread point runs inline: perfectly utilized, no spawns.
+        assert!((run.points[0].utilization - 1.0).abs() < 1e-9);
+
+        let json = scale_json(&run);
+        let value = dpr_telemetry::json::parse(&json).expect("valid JSON");
+        let cmp = dpr_obs::regress::compare(&value, &value, 0.15);
+        assert!(!cmp.has_regressions());
+        let keys: Vec<&str> = cmp.rows.iter().map(|r| r.metric.as_str()).collect();
+        assert!(keys.contains(&"threads_1.evals_per_sec"));
+        assert!(keys.contains(&"threads_2.utilization"));
+        assert!(keys.contains(&"threads_2.imbalance"));
+        use dpr_obs::regress::{direction_for, Direction};
+        assert_eq!(
+            direction_for("threads_2.speedup"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("threads_2.imbalance"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn scale_table_lists_each_thread_count() {
+        let run = ScaleRun {
+            quick: true,
+            population: 32,
+            rows: 100,
+            points: Vec::new(),
+        };
+        let text = render_scale(&run);
+        assert!(text.contains("gp scoring thread scaling"));
+        assert!(text.contains("speedup"));
+    }
+}

@@ -488,15 +488,19 @@ impl SymbolicRegressor {
 
         let metric = self.config.metric;
         let parsimony = self.config.parsimony;
-        let scored = dpr_par::par_map_init(&pending, BatchScratch::new, |scratch, &i| {
-            let expr = &planned[i].0;
-            let error = CompiledExpr::compile(expr).error_on(cols, metric, scratch);
-            let fitness = if error.is_finite() {
-                error + parsimony * expr.size() as f64
-            } else {
-                f64::INFINITY
-            };
-            (error, fitness)
+        // Labelled so the profile store attributes the pool call (and its
+        // per-worker busy/idle/alloc accounting) to GP fitness scoring.
+        let scored = dpr_prof::with_label("gp.realize", || {
+            dpr_par::par_map_init(&pending, BatchScratch::new, |scratch, &i| {
+                let expr = &planned[i].0;
+                let error = CompiledExpr::compile(expr).error_on(cols, metric, scratch);
+                let fitness = if error.is_finite() {
+                    error + parsimony * expr.size() as f64
+                } else {
+                    f64::INFINITY
+                };
+                (error, fitness)
+            })
         });
 
         // `pending` is in index order, so fresh scores interleave back

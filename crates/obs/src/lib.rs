@@ -7,14 +7,18 @@
 //! * [`trace_event`] — a [`Sink`](dpr_telemetry::Sink) that turns closed
 //!   spans into Chrome Trace Event Format JSON loadable in Perfetto or
 //!   `chrome://tracing`, one row per thread (`dpr-par` workers appear as
-//!   `gp-worker-N`). Opt in with `DPR_TRACE_EVENTS=<path.json>`.
+//!   `gp-worker-N`) plus a `pool utilization %` counter track built from
+//!   the `dpr_prof` profile store. Opt in with
+//!   `DPR_TRACE_EVENTS=<path.json>`.
 //! * [`flame`] — aggregates span records into inferno-compatible folded
 //!   stack lines and a self-time/total-time text profile.
 //! * [`server`] + [`prom`] — a std-only HTTP scrape endpoint
 //!   (`std::net::TcpListener`, no external deps) serving `GET /metrics`
 //!   in Prometheus text exposition format, `GET /trace` (the latest
-//!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON), and
-//!   `GET /healthz`. Opt in with `DPR_METRICS_ADDR=127.0.0.1:0`.
+//!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON),
+//!   `GET /profile` (the pool-profile snapshot), and `GET /healthz`
+//!   (liveness JSON: version, uptime, runs published). Opt in with
+//!   `DPR_METRICS_ADDR=127.0.0.1:0`.
 //! * [`regress`] — compares two `BENCH_*.json` snapshots metric by
 //!   metric and reports regressions beyond a tolerance, so CI can gate
 //!   on the perf trajectory.
@@ -35,8 +39,8 @@ pub mod trace_event;
 pub use flame::Profile;
 pub use regress::{Comparison, Direction, Verdict};
 pub use server::{
-    shared_runs, shared_trace, MetricsServer, RunListing, RunRecord, RunStore, SharedRuns,
-    SharedTrace, METRICS_ADDR_ENV, RUNS_KEPT,
+    shared_runs, shared_trace, HealthStatus, MetricsServer, RunListing, RunRecord, RunStore,
+    SharedRuns, SharedTrace, METRICS_ADDR_ENV, RUNS_KEPT,
 };
 pub use trace_event::{TraceExport, TRACE_EVENTS_ENV};
 

@@ -30,8 +30,25 @@ pub enum Direction {
 /// then time/latency markers, then informational.
 pub fn direction_for(name: &str) -> Direction {
     let lower = name.to_ascii_lowercase();
-    const HIGHER: &[&str] = &["per_sec", "speedup", "throughput", "ops", "rate", "hit"];
-    const LOWER: &[&str] = &["_us", "_ms", "_ns", "time", "latency", "duration", "wall"];
+    const HIGHER: &[&str] = &[
+        "per_sec",
+        "speedup",
+        "throughput",
+        "ops",
+        "rate",
+        "hit",
+        "utilization",
+    ];
+    const LOWER: &[&str] = &[
+        "_us",
+        "_ms",
+        "_ns",
+        "time",
+        "latency",
+        "duration",
+        "wall",
+        "imbalance",
+    ];
     if HIGHER.iter().any(|m| lower.contains(m)) {
         Direction::HigherIsBetter
     } else if LOWER.iter().any(|m| lower.contains(m)) {
@@ -299,6 +316,20 @@ mod tests {
              \"scoring_wall_us\":{wall_us},\"compiled_speedup\":2.9}}"
         ))
         .expect("valid test json")
+    }
+
+    #[test]
+    fn scaling_metrics_have_directions() {
+        assert_eq!(
+            direction_for("threads_2.utilization"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_for("threads_2.speedup"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_for("threads_2.imbalance"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_for("threads_2.rows"), Direction::Informational);
     }
 
     #[test]

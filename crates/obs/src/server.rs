@@ -13,7 +13,11 @@
 //! * `GET /evidence/<sensor>` — the named sensor's
 //!   [`EvidenceChain`](dpr_evidence::EvidenceChain) from the most recent
 //!   run that recovered it, as JSON; 404s list the known slugs.
-//! * `GET /healthz` — `ok`, for liveness probes.
+//! * `GET /profile` — the process-wide `dpr_prof` pool-profile snapshot
+//!   (per-label scheduling aggregates plus recent `par_map` calls) as
+//!   JSON.
+//! * `GET /healthz` — liveness as JSON: status, crate version, server
+//!   uptime in seconds, and how many runs this process has published.
 //!
 //! The server binds eagerly (so `127.0.0.1:0` callers can read the
 //! ephemeral port from [`MetricsServer::addr`]) and serves from a single
@@ -30,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Environment variable holding the scrape bind address
 /// (e.g. `127.0.0.1:9464`, or `127.0.0.1:0` for an ephemeral port).
@@ -108,6 +112,13 @@ impl RunStore {
         &self.runs
     }
 
+    /// Total runs ever published through this store (eviction beyond
+    /// [`RUNS_KEPT`] does not decrease it). This is what `/healthz`
+    /// reports as `runs_published`.
+    pub fn published(&self) -> u64 {
+        self.next_id
+    }
+
     /// The named sensor's chain from the most recent run that has it.
     pub fn chain(&self, slug: &str) -> Option<&dpr_evidence::EvidenceChain> {
         self.runs.iter().rev().find_map(|r| r.ledger.chain(slug))
@@ -124,6 +135,20 @@ impl RunStore {
         out.dedup();
         out
     }
+}
+
+/// What `GET /healthz` serializes: liveness plus enough identity to
+/// tell *which* process and how long it has been up.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthStatus {
+    /// Always `"ok"` while the server is answering.
+    pub status: String,
+    /// The `dpr-obs` crate version compiled into this binary.
+    pub version: String,
+    /// Whole seconds since this server started.
+    pub uptime_secs: u64,
+    /// Runs published through the shared [`RunStore`] so far.
+    pub runs_published: u64,
 }
 
 /// The run history shared between publishers and the server.
@@ -154,9 +179,10 @@ impl MetricsServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let started = Instant::now();
         let handle = std::thread::Builder::new()
             .name("dpr-metrics".to_string())
-            .spawn(move || accept_loop(listener, registry, trace, runs, stop_flag))?;
+            .spawn(move || accept_loop(listener, registry, trace, runs, stop_flag, started))?;
         Ok(MetricsServer {
             addr: local,
             stop,
@@ -223,6 +249,7 @@ fn accept_loop(
     trace: SharedTrace,
     runs: SharedRuns,
     stop: Arc<AtomicBool>,
+    started: Instant,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -232,7 +259,7 @@ fn accept_loop(
         // A misbehaving client must not wedge the endpoint.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &registry, &trace, &runs);
+        let _ = handle_connection(stream, &registry, &trace, &runs, started);
     }
 }
 
@@ -241,6 +268,7 @@ fn handle_connection(
     registry: &Registry,
     trace: &SharedTrace,
     runs: &SharedRuns,
+    started: Instant,
 ) -> io::Result<()> {
     let request = read_request_head(&mut stream)?;
     let mut parts = request.split_whitespace();
@@ -303,12 +331,27 @@ fn handle_connection(
                 .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
             respond(&mut stream, "200 OK", "application/json", &body)
         }
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/profile" => {
+            let body = dpr_telemetry::json::to_string(&dpr_prof::snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/healthz" => {
+            let health = HealthStatus {
+                status: "ok".to_string(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                uptime_secs: started.elapsed().as_secs(),
+                runs_published: runs.lock().published(),
+            };
+            let body = dpr_telemetry::json::to_string(&health)
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
         _ => respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "routes: /metrics /trace /runs /evidence/<sensor> /healthz\n",
+            "routes: /metrics /trace /runs /evidence/<sensor> /profile /healthz\n",
         ),
     }
 }
@@ -378,7 +421,20 @@ mod tests {
 
         let (head, body) = get(addr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert_eq!(body, "ok\n");
+        assert!(head.contains("application/json"), "{head}");
+        let health: HealthStatus = dpr_telemetry::json::from_str(&body).expect("health json");
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(health.runs_published, 0);
+        assert!(health.uptime_secs < 3600);
+
+        // /profile always answers; the snapshot may or may not contain
+        // calls depending on what else this test process ran.
+        let (head, body) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let profile: dpr_prof::ProfSnapshot =
+            dpr_telemetry::json::from_str(&body).expect("profile json");
+        assert!(profile.recent.len() <= 64);
 
         let (head, body) = get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200"));

@@ -17,6 +17,16 @@
 //! time, and `tid` the stable thread id from
 //! [`dpr_telemetry::thread_id`] — so `dpr-par` workers render as their
 //! own labeled rows (`gp-worker-N` metadata events carry the names).
+//!
+//! On top of the span rows, [`render`](TraceExport::render) lays one
+//! *counter* track (`ph:"C"`, named `pool utilization %`) built from the
+//! `dpr_prof` profile store: every parallel `par_map` call recorded
+//! after this exporter was created contributes a step up to its
+//! utilization percentage at call start and back to zero at call end,
+//! keyed by its profile label (e.g. `gp.realize`) — so worker
+//! efficiency is visible directly above the `par.chunk` rows it
+//! explains. Profiles carry `epoch_start_us` on the same registry
+//! timeline as spans, which is what makes the overlay line up.
 
 use dpr_telemetry::json::Value;
 use dpr_telemetry::{Sink, SpanRecord};
@@ -44,6 +54,9 @@ struct CompleteEvent {
 pub struct TraceExport {
     path: PathBuf,
     events: Mutex<Vec<CompleteEvent>>,
+    /// Profile-store sequence number at construction; only `par_map`
+    /// calls recorded after it belong to this export's timeline.
+    prof_seq_floor: u64,
 }
 
 impl TraceExport {
@@ -52,6 +65,7 @@ impl TraceExport {
         TraceExport {
             path: path.into(),
             events: Mutex::new(Vec::new()),
+            prof_seq_floor: dpr_prof::snapshot().total_calls,
         }
     }
 
@@ -143,6 +157,7 @@ impl TraceExport {
                 ),
             ]));
         }
+        out.extend(utilization_counter_events(pid, self.prof_seq_floor));
 
         Value::Object(vec![
             ("traceEvents".into(), Value::Array(out)),
@@ -150,6 +165,37 @@ impl TraceExport {
         ])
         .to_json()
     }
+}
+
+/// Builds the `pool utilization %` counter track (`ph:"C"`) from the
+/// profile store: two events per parallel call — the utilization
+/// percentage at call start, zero at call end — keyed by profile label
+/// so each `par_map` site gets its own series.
+fn utilization_counter_events(pid: u64, seq_floor: u64) -> Vec<Value> {
+    let snapshot = dpr_prof::snapshot();
+    let mut out = Vec::new();
+    for call in snapshot
+        .recent
+        .iter()
+        .filter(|c| c.seq > seq_floor && !c.inline)
+    {
+        let percent = (call.utilization() * 100.0).round() as u64;
+        let end_ts = call.epoch_start_us + call.wall_us;
+        for (ts, value) in [(call.epoch_start_us, percent), (end_ts, 0)] {
+            out.push(Value::Object(vec![
+                ("name".into(), Value::Str("pool utilization %".into())),
+                ("cat".into(), Value::Str("prof".into())),
+                ("ph".into(), Value::Str("C".into())),
+                ("pid".into(), Value::UInt(pid)),
+                ("ts".into(), Value::UInt(ts)),
+                (
+                    "args".into(),
+                    Value::Object(vec![(call.label.clone(), Value::UInt(value))]),
+                ),
+            ]));
+        }
+    }
+    out
 }
 
 impl Sink for TraceExport {
@@ -249,6 +295,84 @@ mod tests {
         assert!(labels.contains(&"gp-worker-0".to_string()));
         assert!(labels.contains(&"gp-worker-1".to_string()));
         assert!(labels.contains(&"thread-1".to_string()));
+    }
+
+    #[test]
+    fn profiled_calls_render_as_a_utilization_counter_track() {
+        use dpr_prof::{CallProfile, WorkerStats};
+        use std::time::Instant;
+
+        // Floor captured first: only calls recorded after this exporter
+        // exists show up in its counter track.
+        let export = TraceExport::new("/dev/null");
+        export.span_closed(&record("chunk", "par.chunk", 2, Some("gp-worker-0")));
+        dpr_prof::record_call(
+            CallProfile {
+                label: "trace.case".into(),
+                epoch_start_us: 250,
+                wall_us: 1000,
+                items: 64,
+                chunk_size: 8,
+                chunks: 8,
+                workers: vec![
+                    WorkerStats {
+                        worker: 0,
+                        busy_us: 900,
+                        idle_us: 100,
+                        chunks: 4,
+                        items: 32,
+                        ..WorkerStats::default()
+                    },
+                    WorkerStats {
+                        worker: 1,
+                        busy_us: 700,
+                        idle_us: 300,
+                        chunks: 4,
+                        items: 32,
+                        ..WorkerStats::default()
+                    },
+                ],
+                ..CallProfile::default()
+            },
+            Instant::now(),
+        );
+
+        let doc = json::parse(&export.render()).expect("valid JSON");
+        let Value::Object(entries) = doc else {
+            panic!("expected object")
+        };
+        let Some((_, Value::Array(events))) =
+            entries.iter().find(|(k, _)| k == "traceEvents")
+        else {
+            panic!("expected traceEvents array")
+        };
+        let counters: Vec<_> = events
+            .iter()
+            .filter_map(|e| {
+                let Value::Object(fields) = e else { return None };
+                let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                if get("ph") != Some(&Value::Str("C".into())) {
+                    return None;
+                }
+                let Some(Value::Object(args)) = get("args") else {
+                    return None;
+                };
+                args.iter()
+                    .find(|(k, _)| k == "trace.case")
+                    .and_then(|(_, v)| match v {
+                        Value::UInt(n) => Some((get("ts").cloned(), *n)),
+                        _ => None,
+                    })
+            })
+            .collect();
+        // 80% utilization at ts 250, back to 0 at ts 1250.
+        assert_eq!(
+            counters,
+            vec![
+                (Some(Value::UInt(250)), 80),
+                (Some(Value::UInt(1250)), 0)
+            ]
+        );
     }
 
     #[test]

@@ -1,13 +1,30 @@
 //! Deterministic data parallelism for the DP-Reverser stack.
 //!
-//! A std-only scoped chunked thread pool with a rayon-shaped [`par_map`]
-//! API. The design goal is *bit-identical outputs regardless of thread
+//! A std-only chunked thread pool with a rayon-shaped [`par_map`] API.
+//! The design goal is *bit-identical outputs regardless of thread
 //! count*: inputs are split into fixed, index-ordered chunks, workers pull
 //! chunks off an atomic cursor, and results are reassembled in input order
 //! before returning. As long as the mapped function is pure (no shared
 //! mutable state, no RNG), `par_map` with 1 thread and with N threads
 //! produce the same `Vec` — which is what lets the GP engine parallelize
 //! fitness scoring without perturbing its deterministic evolution.
+//!
+//! # The persistent pool
+//!
+//! Workers are spawned once per process (lazily, up to the largest
+//! worker count any call has asked for) and parked on a condvar between
+//! calls; each `par_map` publishes one job, blocks until every
+//! participating worker has drained it, and reassembles the results.
+//! Earlier versions spawned fresh OS threads on *every* call, which on
+//! the GP fitness path meant thousands of spawns per run — the
+//! `par.pool_spawns` counter now records exactly how many threads a
+//! call actually created (0 once the pool is warm). Because the caller
+//! blocks until the job completes, borrowed inputs work without
+//! `'static` bounds and a panic in any worker propagates to the caller.
+//!
+//! Nested calls (a mapped function calling `par_map` again) run inline
+//! on the worker thread: the pool has one job slot, so re-entering it
+//! from a worker would deadlock.
 //!
 //! # Thread-count resolution
 //!
@@ -22,14 +39,23 @@
 //! on the caller's thread — no threads are spawned and no synchronization
 //! is paid.
 //!
-//! # Telemetry
+//! # Telemetry and profiling
 //!
 //! Workers are named `gp-worker-N` and run inside the caller's scoped
 //! telemetry registry (`dpr_telemetry::scoped` is thread-local, so the
-//! pool re-enters it on each worker). Every claimed chunk is timed under
+//! pool re-enters it on each job). Every claimed chunk is timed under
 //! a `par.chunk` span, which is what makes pool rows visible in exported
 //! traces; metrics recorded by the mapped function land in the calling
 //! run's registry, not the process-wide global one.
+//!
+//! Every call additionally records a `dpr_prof::CallProfile` — per-worker
+//! busy/wait/idle microseconds, chunk geometry, spin-up and teardown
+//! latency — into the process-wide profile store, and emits `par.*`
+//! metrics (see the DESIGN.md taxonomy) into the caller's registry.
+//! Allocation attribution rides along when `DPR_PROF=1` and the binary
+//! installs [`dpr_prof::alloc::CountingAlloc`]. Profiling never touches
+//! the data path: claims, chunking, and reassembly are identical with
+//! profiling on or off.
 //!
 //! # Example
 //!
@@ -38,11 +64,15 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod pool;
+
+use dpr_prof::{CallProfile, WorkerStats};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "DPR_THREADS";
@@ -63,12 +93,13 @@ pub fn threads() -> usize {
         .unwrap_or(1)
 }
 
-/// A chunked fork-join pool over scoped threads.
+/// A chunked fork-join facade over the process-wide persistent pool.
 ///
-/// The pool is a configuration object, not a set of live threads: each
-/// [`par_map`](Pool::par_map) call spawns scoped workers and joins them
-/// before returning, so borrowed inputs work without `'static` bounds and
-/// a panic in any worker propagates to the caller.
+/// The pool handle is a configuration object (just a worker count); the
+/// live `gp-worker-N` threads are process-wide and shared by every
+/// handle. Each [`par_map`](Pool::par_map) call publishes one job and
+/// joins it before returning, so borrowed inputs work without `'static`
+/// bounds and a panic in any worker propagates to the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
@@ -107,8 +138,9 @@ impl Pool {
 
     /// Like [`par_map`](Pool::par_map), but hands each worker a private
     /// scratch state built by `init` (rayon's `map_init` shape). `init`
-    /// runs once per worker, so per-item allocation (evaluation stacks,
-    /// buffers) is amortized across the worker's whole share of the input.
+    /// runs once per worker per call, so per-item allocation (evaluation
+    /// stacks, buffers) is amortized across the worker's whole share of
+    /// the input.
     ///
     /// The state must not influence results (it is scratch, not an
     /// accumulator) or determinism across thread counts is lost.
@@ -119,11 +151,14 @@ impl Pool {
         FI: Fn() -> S + Sync,
         F: Fn(&mut S, &T) -> R + Sync,
     {
+        // Sync the profiling gate (and the allocator's counting flag)
+        // once per call, mirroring how DPR_THREADS is re-read per call.
+        let prof_on = dpr_prof::refresh();
+        let started = Instant::now();
         let n = items.len();
         let workers = self.threads.min(n);
-        if workers <= 1 {
-            let mut state = init();
-            return items.iter().map(|item| f(&mut state, item)).collect();
+        if workers <= 1 || pool::in_worker() {
+            return run_inline(items, init, f, started, n);
         }
 
         // Chunks several times smaller than a worker's fair share keep the
@@ -134,52 +169,175 @@ impl Pool {
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Vec<R>>>> =
             Mutex::new((0..n_chunks).map(|_| None).collect());
+        let raw_stats: Mutex<Vec<pool::RawWorker>> =
+            Mutex::new(vec![pool::RawWorker::default(); workers]);
 
-        // Workers inherit the caller's telemetry registry: scoped registries
-        // are thread-local, so without this hand-off every span or counter
-        // recorded inside `f` would leak to the process-wide global registry
-        // instead of the run that spawned the work.
-        let registry = dpr_telemetry::registry();
+        let ctx = pool::Ctx {
+            items,
+            init: &init,
+            f: &f,
+            chunk,
+            n_chunks,
+            cursor: &cursor,
+            slots: &slots,
+            stats: &raw_stats,
+            started,
+            _state: std::marker::PhantomData,
+        };
+        let outcome = pool::run_job(&ctx, workers);
 
-        std::thread::scope(|scope| {
-            let cursor = &cursor;
-            let slots = &slots;
-            let init = &init;
-            let f = &f;
-            for w in 0..workers {
-                let registry = std::sync::Arc::clone(&registry);
-                std::thread::Builder::new()
-                    // Named so trace exporters label each pool row.
-                    .name(format!("gp-worker-{w}"))
-                    .spawn_scoped(scope, move || {
-                        dpr_telemetry::scoped(registry, || {
-                            let mut state = init();
-                            loop {
-                                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                                if c >= n_chunks {
-                                    break;
-                                }
-                                let _span = dpr_telemetry::Span::enter("par.chunk");
-                                let start = c * chunk;
-                                let end = (start + chunk).min(n);
-                                let out: Vec<R> = items[start..end]
-                                    .iter()
-                                    .map(|item| f(&mut state, item))
-                                    .collect();
-                                slots.lock().expect("result mutex")[c] = Some(out);
-                            }
-                        })
-                    })
-                    .expect("spawn dpr-par worker");
-            }
-        });
+        let profile = finalize_profile(
+            started,
+            n,
+            chunk,
+            n_chunks,
+            &outcome,
+            raw_stats.into_inner().unwrap_or_else(|e| e.into_inner()),
+            prof_on,
+        );
+        emit_call_metrics(&profile, prof_on);
+        dpr_prof::record_call(profile, started);
+
+        if let Some(payload) = outcome.panic {
+            std::panic::resume_unwind(payload);
+        }
 
         slots
             .into_inner()
-            .expect("result mutex")
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .flat_map(|slot| slot.expect("every chunk was claimed and filled"))
             .collect()
+    }
+}
+
+/// The call's start on the caller's telemetry-registry timeline — the
+/// same epoch span records use, so trace exporters can align profile
+/// counter tracks with span rows.
+fn registry_start_us(started: Instant) -> u64 {
+    started
+        .saturating_duration_since(dpr_telemetry::registry().epoch())
+        .as_micros() as u64
+}
+
+/// The sequential path: single worker, nested call, or tiny input.
+fn run_inline<T, S, R, FI, F>(items: &[T], init: FI, f: F, started: Instant, n: usize) -> Vec<R>
+where
+    FI: Fn() -> S,
+    F: Fn(&mut S, &T) -> R,
+{
+    let alloc_before = dpr_prof::alloc::thread_alloc_stats();
+    let mut state = init();
+    let out: Vec<R> = items.iter().map(|item| f(&mut state, item)).collect();
+    let wall_us = started.elapsed().as_micros() as u64;
+    let alloc = dpr_prof::alloc::thread_alloc_stats().since(alloc_before);
+    let profile = CallProfile {
+        label: dpr_prof::current_label().to_string(),
+        epoch_start_us: registry_start_us(started),
+        wall_us,
+        items: n as u64,
+        chunk_size: n as u64,
+        chunks: u64::from(n > 0),
+        workers: vec![WorkerStats {
+            worker: 0,
+            busy_us: wall_us,
+            chunks: u64::from(n > 0),
+            items: n as u64,
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.bytes,
+            ..WorkerStats::default()
+        }],
+        inline: true,
+        ..CallProfile::default()
+    };
+    emit_call_metrics(&profile, dpr_prof::alloc::counting());
+    dpr_prof::record_call(profile, started);
+    out
+}
+
+/// Builds the call's [`CallProfile`] from the raw per-worker samples.
+///
+/// `busy` and `wait` are measured directly; `idle` is the per-worker
+/// remainder of the call's wall time (spin-up gap before the worker's
+/// first claim, the tail after its last chunk while stragglers finish,
+/// and reassembly), saturating against clock-read jitter.
+#[allow(clippy::too_many_arguments)]
+fn finalize_profile(
+    started: Instant,
+    n: usize,
+    chunk: usize,
+    n_chunks: usize,
+    outcome: &pool::JobOutcome,
+    raw: Vec<pool::RawWorker>,
+    prof_on: bool,
+) -> CallProfile {
+    let wall_us = started.elapsed().as_micros() as u64;
+    let mut last_exit_us = 0u64;
+    let mut spinup_us = 0u64;
+    let stats: Vec<WorkerStats> = raw
+        .iter()
+        .enumerate()
+        .map(|(w, r)| {
+            spinup_us = spinup_us.max(r.enter_us);
+            last_exit_us = last_exit_us.max(r.exit_us);
+            WorkerStats {
+                worker: w as u64,
+                busy_us: r.busy_us,
+                wait_us: r.wait_us,
+                idle_us: wall_us.saturating_sub(r.busy_us + r.wait_us),
+                chunks: r.chunks,
+                items: r.items,
+                allocs: if prof_on { r.allocs } else { 0 },
+                alloc_bytes: if prof_on { r.alloc_bytes } else { 0 },
+            }
+        })
+        .collect();
+    CallProfile {
+        label: dpr_prof::current_label().to_string(),
+        epoch_start_us: registry_start_us(started),
+        wall_us,
+        items: n as u64,
+        chunk_size: chunk as u64,
+        chunks: n_chunks as u64,
+        workers: stats,
+        spinup_us,
+        teardown_us: wall_us.saturating_sub(last_exit_us),
+        spawned_threads: outcome.spawned,
+        inline: false,
+        ..CallProfile::default()
+    }
+}
+
+/// Emits the call's `par.*` (and, under `DPR_PROF`, `prof.*`) metrics
+/// into the caller's scoped registry. All of these are either
+/// time-valued or scheduling-dependent, so the determinism suite
+/// compares runs with the `par.`/`prof.` prefixes stripped.
+fn emit_call_metrics(profile: &CallProfile, prof_on: bool) {
+    if profile.inline {
+        dpr_telemetry::counter("par.inline_calls").inc(1);
+    } else {
+        dpr_telemetry::counter("par.calls").inc(1);
+        dpr_telemetry::counter("par.busy_us").inc(profile.busy_us());
+        dpr_telemetry::counter("par.wait_us").inc(profile.wait_us());
+        dpr_telemetry::counter("par.idle_us").inc(profile.idle_us());
+        dpr_telemetry::histogram("par.chunk_size").record(profile.chunk_size as f64);
+        dpr_telemetry::histogram("par.spinup_us").record(profile.spinup_us as f64);
+        dpr_telemetry::histogram("par.teardown_us").record(profile.teardown_us as f64);
+        dpr_telemetry::histogram("par.utilization").record(profile.utilization() * 100.0);
+        dpr_telemetry::histogram("par.imbalance").record(profile.imbalance());
+        dpr_telemetry::histogram("par.steal_ratio").record(profile.steal_ratio());
+        if profile.spawned_threads > 0 {
+            dpr_telemetry::counter("par.pool_spawns").inc(profile.spawned_threads);
+        }
+    }
+    dpr_telemetry::counter("par.items").inc(profile.items);
+    if prof_on {
+        let allocs = profile.allocs();
+        let bytes = profile.alloc_bytes();
+        if allocs > 0 {
+            dpr_telemetry::counter("prof.alloc_allocs").inc(allocs);
+            dpr_telemetry::counter("prof.alloc_bytes").inc(bytes);
+        }
     }
 }
 
@@ -213,7 +371,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_input_order() {
@@ -274,6 +432,17 @@ mod tests {
     }
 
     #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let outer: Vec<u32> = (0..16).collect();
+        let out = Pool::new(4).par_map(&outer, |x| {
+            let inner: Vec<u32> = (0..8).collect();
+            Pool::new(4).par_map(&inner, |y| y + x).iter().sum::<u32>()
+        });
+        let expect: Vec<u32> = outer.iter().map(|x| (0..8).map(|y| y + x).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
     fn workers_record_into_the_callers_scoped_registry() {
         let reg = std::sync::Arc::new(dpr_telemetry::Registry::new());
         let collector = std::sync::Arc::new(dpr_telemetry::Collector::new());
@@ -308,6 +477,10 @@ mod tests {
                 .as_deref()
                 .is_some_and(|name| name.starts_with("gp-worker-"))
         }));
+        // The call also emitted its scheduling metrics into the scope.
+        assert_eq!(snap.counters.get("par.calls"), Some(&1));
+        assert_eq!(snap.counters.get("par.items"), Some(&64));
+        assert_eq!(snap.histograms["par.utilization"].count, 1);
     }
 
     #[test]
@@ -320,5 +493,20 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        let items: Vec<u32> = (0..64).collect();
+        let boom = std::panic::catch_unwind(|| {
+            Pool::new(2).par_map(&items, |x| {
+                assert!(*x != 7, "boom");
+                *x
+            })
+        });
+        assert!(boom.is_err());
+        // The same process-wide workers take the next job normally.
+        let out = Pool::new(2).par_map(&items, |x| x + 1);
+        assert_eq!(out[63], 64);
     }
 }

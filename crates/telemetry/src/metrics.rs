@@ -395,6 +395,21 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// A copy with every metric whose name starts with one of `prefixes`
+    /// removed, across counters, gauges, and histograms.
+    ///
+    /// The determinism suite uses this to ignore wall-clock- and
+    /// scheduling-dependent families (`span.`, `par.`, `prof.`) while
+    /// still requiring exact equality for everything else.
+    pub fn without_prefixes(&self, prefixes: &[&str]) -> MetricsSnapshot {
+        let keep = |name: &str| !prefixes.iter().any(|p| name.starts_with(p));
+        let mut view = self.clone();
+        view.counters.retain(|name, _| keep(name));
+        view.gauges.retain(|name, _| keep(name));
+        view.histograms.retain(|name, _| keep(name));
+        view
+    }
+
     /// Counter increases since `earlier` (names absent earlier count from
     /// zero; decreases are clamped to zero).
     pub fn counter_deltas_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
@@ -438,6 +453,27 @@ mod tests {
         assert_eq!(snap.counts, vec![2, 1, 1, 1]);
         assert_eq!(snap.count, 5);
         assert!((snap.sum - 5056.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_prefixes_filters_every_kind() {
+        let reg = Registry::new();
+        reg.counter("par.calls").inc(1);
+        reg.counter("gp.fits").inc(2);
+        reg.gauge("prof.live").set(3);
+        reg.gauge("gp.depth").set(4);
+        reg.histogram("span.pipeline").record(1.0);
+        reg.histogram("gp.sizes").record(2.0);
+        let view = reg.snapshot().without_prefixes(&["par.", "prof.", "span."]);
+        assert_eq!(
+            view.counters.keys().collect::<Vec<_>>(),
+            ["gp.fits"]
+        );
+        assert_eq!(view.gauges.keys().collect::<Vec<_>>(), ["gp.depth"]);
+        assert_eq!(
+            view.histograms.keys().collect::<Vec<_>>(),
+            ["gp.sizes"]
+        );
     }
 
     #[test]

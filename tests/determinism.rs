@@ -47,12 +47,12 @@ fn analyze_scoped(
 }
 
 /// Strips the wall-clock-dependent metrics: `span.*` duration
-/// histograms and the `gp.evals_per_sec` throughput gauge. Everything
+/// histograms, the scheduling-dependent `par.*` / `prof.*` pool
+/// accounting, and the `gp.evals_per_sec` throughput gauge. Everything
 /// else — counters, the `gp.best_error_trajectory` histogram, SDU-size
 /// histograms — must match exactly across thread counts.
 fn deterministic_view(snapshot: &MetricsSnapshot) -> MetricsSnapshot {
-    let mut view = snapshot.clone();
-    view.histograms.retain(|name, _| !name.starts_with("span."));
+    let mut view = snapshot.without_prefixes(&["span.", "par.", "prof."]);
     view.gauges.remove("gp.evals_per_sec");
     view
 }
