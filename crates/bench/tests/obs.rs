@@ -24,11 +24,16 @@ fn fleet_trace_export_has_pipeline_events_across_threads() {
     let out = std::env::temp_dir().join(format!("dpr-obs-fleet-{}.json", std::process::id()));
     std::env::set_var("DPR_QUICK", "1");
     std::env::set_var("DPR_THREADS", "2");
+    // Force pool dispatch: the adaptive batch policy (correctly) drains
+    // quick-mode populations inline — especially on 1-core CI hosts —
+    // and this test exists to see worker spans in the trace.
+    std::env::set_var(dpr_gp::BATCH_ENV, "0");
     std::env::set_var("DPR_TRACE_EVENTS", &out);
 
     let run = fleet_traced(&[CarId::M], 1, Duration::ZERO);
 
     std::env::remove_var("DPR_TRACE_EVENTS");
+    std::env::remove_var(dpr_gp::BATCH_ENV);
     std::env::remove_var("DPR_THREADS");
     std::env::remove_var("DPR_QUICK");
 

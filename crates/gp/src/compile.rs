@@ -21,6 +21,24 @@
 //! `Expr::eval` — including NaN/∞ propagation and the protected
 //! division/log/inverse special cases. The GP engine relies on this: the
 //! compiled fast path must not perturb a single fitness comparison.
+//!
+//! # Superinstructions
+//!
+//! [`CompiledExpr::compile`] additionally runs a peephole pass that fuses
+//! the most common postfix adjacencies into single *superinstructions*:
+//! `Var Var Bin`, `Var Const Bin`, `Const Var Bin`, `… Var Bin`,
+//! `… Const Bin`, and `Var Unary` each become one [`Op`]. GP trees are
+//! leaf-heavy (every interior node has at least one leaf operand half the
+//! time), so fusion typically removes 40–60% of the dispatched ops, and —
+//! more importantly for batch mode — a fused op reads its leaf operands
+//! *directly from the dataset column or an immediate* instead of first
+//! memcpying a whole column onto the value stack. Fused evaluation calls
+//! the exact same protected [`BinaryOp::apply`]/[`UnaryOp::apply`] in the
+//! exact same order as the unfused program, so it stays bit-identical;
+//! `crates/gp/tests/properties.rs` property-tests this against the
+//! recursive walker, and [`CompiledExpr::compile_unfused`] keeps the
+//! plain program around for those tests and the
+//! `superinstruction_speedup` microbenchmark.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +46,12 @@ use crate::expr::{BinaryOp, Expr, UnaryOp};
 use crate::{Dataset, Metric};
 
 /// One postfix instruction.
+///
+/// The first four variants are the plain stack machine an [`Expr`]
+/// flattens to; the rest are fused superinstructions the peephole pass
+/// in [`CompiledExpr::compile`] substitutes for common adjacencies. In
+/// the comments below, `v(i)` is input variable `i` (0.0 when out of
+/// range, matching [`Expr::eval`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Op {
     /// Push a constant.
@@ -39,6 +63,18 @@ pub enum Op {
     Unary(UnaryOp),
     /// Pop `b` then `a`, push `op(a, b)`.
     Binary(BinaryOp),
+    /// Fused `Var Var Binary`: push `op(v(a), v(b))`.
+    VarVar(BinaryOp, u32, u32),
+    /// Fused `Var Const Binary`: push `op(v(a), c)`.
+    VarConst(BinaryOp, u32, f64),
+    /// Fused `Const Var Binary`: push `op(c, v(a))`.
+    ConstVar(BinaryOp, f64, u32),
+    /// Fused `… Var Binary`: replace the top of stack `t` with `op(t, v(a))`.
+    TopVar(BinaryOp, u32),
+    /// Fused `… Const Binary`: replace the top of stack `t` with `op(t, c)`.
+    TopConst(BinaryOp, f64),
+    /// Fused `Var Unary`: push `op(v(a))`.
+    VarUnary(UnaryOp, u32),
 }
 
 /// An [`Expr`] flattened to postfix bytecode.
@@ -53,17 +89,37 @@ pub struct CompiledExpr {
 }
 
 impl CompiledExpr {
-    /// Flattens `expr` into a postfix program.
+    /// Flattens `expr` into a postfix program and fuses superinstructions.
     pub fn compile(expr: &Expr) -> CompiledExpr {
         let mut ops = Vec::with_capacity(expr.size());
         flatten(expr, &mut ops);
-        // The exact peak stack depth: simulate pushes/pops over the program.
+        fuse(&mut ops);
+        CompiledExpr::finish(ops)
+    }
+
+    /// Flattens `expr` without the superinstruction pass — the plain
+    /// one-op-per-tree-node program. Exists for the bit-identity property
+    /// tests and the `superinstruction_speedup` microbenchmark; the
+    /// engine always uses [`compile`](Self::compile).
+    pub fn compile_unfused(expr: &Expr) -> CompiledExpr {
+        let mut ops = Vec::with_capacity(expr.size());
+        flatten(expr, &mut ops);
+        CompiledExpr::finish(ops)
+    }
+
+    /// Computes the exact peak stack depth by simulating pushes/pops.
+    fn finish(ops: Vec<Op>) -> CompiledExpr {
         let mut depth = 0usize;
         let mut max_stack = 0usize;
         for op in &ops {
             match op {
-                Op::Const(_) | Op::Var(_) => depth += 1,
-                Op::Unary(_) => {}
+                Op::Const(_)
+                | Op::Var(_)
+                | Op::VarVar(..)
+                | Op::VarConst(..)
+                | Op::ConstVar(..)
+                | Op::VarUnary(..) => depth += 1,
+                Op::Unary(_) | Op::TopVar(..) | Op::TopConst(..) => {}
                 Op::Binary(_) => depth -= 1,
             }
             max_stack = max_stack.max(depth);
@@ -76,7 +132,9 @@ impl CompiledExpr {
         &self.ops
     }
 
-    /// Number of instructions (equals the source tree's node count).
+    /// Number of instructions. Equals the source tree's node count for an
+    /// unfused program; fusion shrinks it (each superinstruction covers
+    /// two or three nodes).
     pub fn len(&self) -> usize {
         self.ops.len()
     }
@@ -103,10 +161,11 @@ impl CompiledExpr {
     pub fn eval_with(&self, vars: &[f64], stack: &mut Vec<f64>) -> f64 {
         stack.clear();
         stack.reserve(self.max_stack);
+        let var = |i: u32| vars.get(i as usize).copied().unwrap_or(0.0);
         for op in &self.ops {
             match *op {
                 Op::Const(c) => stack.push(c),
-                Op::Var(i) => stack.push(vars.get(i as usize).copied().unwrap_or(0.0)),
+                Op::Var(i) => stack.push(var(i)),
                 Op::Unary(u) => {
                     let a = stack.pop().expect("unary operand");
                     stack.push(u.apply(a));
@@ -116,6 +175,18 @@ impl CompiledExpr {
                     let lhs = stack.pop().expect("binary lhs");
                     stack.push(b.apply(lhs, rhs));
                 }
+                Op::VarVar(b, x, y) => stack.push(b.apply(var(x), var(y))),
+                Op::VarConst(b, x, c) => stack.push(b.apply(var(x), c)),
+                Op::ConstVar(b, c, x) => stack.push(b.apply(c, var(x))),
+                Op::TopVar(b, x) => {
+                    let t = stack.last_mut().expect("fused binary lhs");
+                    *t = b.apply(*t, var(x));
+                }
+                Op::TopConst(b, c) => {
+                    let t = stack.last_mut().expect("fused binary lhs");
+                    *t = b.apply(*t, c);
+                }
+                Op::VarUnary(u, x) => stack.push(u.apply(var(x))),
             }
         }
         stack.pop().expect("program leaves one value")
@@ -155,6 +226,87 @@ impl CompiledExpr {
                         *a = b.apply(*a, r);
                     }
                     sp -= 1;
+                }
+                // Fused ops read leaf operands straight from the dataset
+                // columns (or an immediate) — no stack-slab memcpy. The
+                // out-of-range-variable fallbacks reproduce the 0.0 a
+                // plain `Op::Var` would have pushed.
+                Op::VarVar(b, x, y) => {
+                    let dst = &mut scratch.bufs[sp];
+                    match (cols.col(x as usize), cols.col(y as usize)) {
+                        (Some(cx), Some(cy)) => {
+                            for ((d, &a), &r) in dst.iter_mut().zip(cx).zip(cy) {
+                                *d = b.apply(a, r);
+                            }
+                        }
+                        (cx, cy) => {
+                            for (r, d) in dst.iter_mut().enumerate() {
+                                let a = cx.map_or(0.0, |c| c[r]);
+                                let rhs = cy.map_or(0.0, |c| c[r]);
+                                *d = b.apply(a, rhs);
+                            }
+                        }
+                    }
+                    sp += 1;
+                }
+                Op::VarConst(b, x, c) => {
+                    let dst = &mut scratch.bufs[sp];
+                    match cols.col(x as usize) {
+                        Some(cx) => {
+                            for (d, &a) in dst.iter_mut().zip(cx) {
+                                *d = b.apply(a, c);
+                            }
+                        }
+                        None => {
+                            let v = b.apply(0.0, c);
+                            dst.iter_mut().for_each(|d| *d = v);
+                        }
+                    }
+                    sp += 1;
+                }
+                Op::ConstVar(b, c, x) => {
+                    let dst = &mut scratch.bufs[sp];
+                    match cols.col(x as usize) {
+                        Some(cx) => {
+                            for (d, &r) in dst.iter_mut().zip(cx) {
+                                *d = b.apply(c, r);
+                            }
+                        }
+                        None => {
+                            let v = b.apply(c, 0.0);
+                            dst.iter_mut().for_each(|d| *d = v);
+                        }
+                    }
+                    sp += 1;
+                }
+                Op::TopVar(b, x) => {
+                    let dst = &mut scratch.bufs[sp - 1];
+                    match cols.col(x as usize) {
+                        Some(cx) => {
+                            for (d, &r) in dst.iter_mut().zip(cx) {
+                                *d = b.apply(*d, r);
+                            }
+                        }
+                        None => dst.iter_mut().for_each(|d| *d = b.apply(*d, 0.0)),
+                    }
+                }
+                Op::TopConst(b, c) => {
+                    scratch.bufs[sp - 1].iter_mut().for_each(|d| *d = b.apply(*d, c));
+                }
+                Op::VarUnary(u, x) => {
+                    let dst = &mut scratch.bufs[sp];
+                    match cols.col(x as usize) {
+                        Some(cx) => {
+                            for (d, &a) in dst.iter_mut().zip(cx) {
+                                *d = u.apply(a);
+                            }
+                        }
+                        None => {
+                            let v = u.apply(0.0);
+                            dst.iter_mut().for_each(|d| *d = v);
+                        }
+                    }
+                    sp += 1;
                 }
             }
         }
@@ -200,12 +352,80 @@ fn flatten(expr: &Expr, out: &mut Vec<Op>) {
     }
 }
 
+/// The in-place peephole pass: rewrites leaf-adjacent `Binary`/`Unary`
+/// ops into fused superinstructions by inspecting the already-emitted
+/// tail of the output program.
+///
+/// Soundness leans on a postfix invariant: the final op of any complete
+/// subexpression is its root, so if the last emitted op is a plain
+/// `Var`/`Const` *push*, that push is the entirety of the operand
+/// subexpression and can be folded into the consuming operator. The
+/// rewrite only reorders nothing — operand evaluation order and every
+/// `apply` call are preserved exactly, which is what keeps fused
+/// programs bit-identical to unfused ones.
+fn fuse(ops: &mut Vec<Op>) {
+    let mut w = 0usize;
+    for r in 0..ops.len() {
+        let op = ops[r];
+        let fused = match op {
+            Op::Binary(b) => {
+                let pair = if w >= 2 { Some((ops[w - 2], ops[w - 1])) } else { None };
+                match pair {
+                    Some((Op::Var(x), Op::Var(y))) => {
+                        w -= 2;
+                        Op::VarVar(b, x, y)
+                    }
+                    Some((Op::Var(x), Op::Const(c))) => {
+                        w -= 2;
+                        Op::VarConst(b, x, c)
+                    }
+                    Some((Op::Const(c), Op::Var(x))) => {
+                        w -= 2;
+                        Op::ConstVar(b, c, x)
+                    }
+                    // Only the rhs is a leaf: fold it into the operator,
+                    // leaving the lhs value on the stack.
+                    _ => match (w >= 1).then(|| ops[w - 1]) {
+                        Some(Op::Var(x)) => {
+                            w -= 1;
+                            Op::TopVar(b, x)
+                        }
+                        Some(Op::Const(c)) => {
+                            w -= 1;
+                            Op::TopConst(b, c)
+                        }
+                        _ => op,
+                    },
+                }
+            }
+            Op::Unary(u) => match (w >= 1).then(|| ops[w - 1]) {
+                Some(Op::Var(x)) => {
+                    w -= 1;
+                    Op::VarUnary(u, x)
+                }
+                _ => op,
+            },
+            other => other,
+        };
+        ops[w] = fused;
+        w += 1;
+    }
+    ops.truncate(w);
+}
+
 /// A column-major view of a [`Dataset`], built once per fit so batch
 /// evaluation can memcpy whole variable columns instead of gathering a
 /// value per row.
+///
+/// Storage is one contiguous `Vec<f64>` with columns laid back-to-back
+/// (structure of arrays): column `i` is `data[i*rows .. (i+1)*rows]`.
+/// One allocation regardless of variable count, and successive column
+/// reads in the fused interpreter stay within one slab.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Columns {
-    cols: Vec<Vec<f64>>,
+    data: Vec<f64>,
+    rows: usize,
+    n_vars: usize,
     y: Vec<f64>,
 }
 
@@ -213,33 +433,38 @@ impl Columns {
     /// Transposes a data set into columns.
     pub fn from_dataset(data: &Dataset) -> Columns {
         let n_vars = data.n_vars();
-        let mut cols: Vec<Vec<f64>> = (0..n_vars)
-            .map(|_| Vec::with_capacity(data.len()))
-            .collect();
-        for (row, _) in data.iter() {
-            for (c, &v) in row.iter().enumerate() {
-                cols[c].push(v);
+        let rows = data.len();
+        let mut flat = Vec::with_capacity(n_vars * rows);
+        for c in 0..n_vars {
+            for (row, _) in data.iter() {
+                flat.push(row[c]);
             }
         }
         Columns {
-            cols,
+            data: flat,
+            rows,
+            n_vars,
             y: data.y().to_vec(),
         }
     }
 
     /// Number of rows.
     pub fn n_rows(&self) -> usize {
-        self.y.len()
+        self.rows
     }
 
     /// Number of variables.
     pub fn n_vars(&self) -> usize {
-        self.cols.len()
+        self.n_vars
     }
 
     /// Variable column `i`, if in range.
     pub fn col(&self, i: usize) -> Option<&[f64]> {
-        self.cols.get(i).map(Vec::as_slice)
+        if i < self.n_vars {
+            Some(&self.data[i * self.rows..(i + 1) * self.rows])
+        } else {
+            None
+        }
     }
 
     /// The target column.
@@ -278,6 +503,25 @@ impl BatchScratch {
     }
 }
 
+thread_local! {
+    static THREAD_SCRATCH: std::cell::RefCell<BatchScratch> =
+        std::cell::RefCell::new(BatchScratch::new());
+}
+
+/// Runs `f` with this thread's persistent [`BatchScratch`].
+///
+/// The pool's worker threads live for the whole process, so routing
+/// scoring through here amortizes the scratch slabs across *every* pool
+/// call a worker ever serves — not just across one call's chunks the way
+/// a `par_map_init`-built scratch would. This is what keeps the scale
+/// bench's `allocs_per_pass` flat as threads are added.
+///
+/// Must not be re-entered from inside `f` (the scratch is mutably
+/// borrowed for the duration); evaluation code has no reason to.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut BatchScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,13 +547,98 @@ mod tests {
 
     #[test]
     fn compiles_to_postfix() {
-        let c = CompiledExpr::compile(&engine_speed());
+        let c = CompiledExpr::compile_unfused(&engine_speed());
         assert_eq!(c.len(), 7);
         assert_eq!(c.max_stack(), 3);
         assert_eq!(
             c.ops()[0..3],
             [Op::Const(64.0), Op::Var(0), Op::Binary(BinaryOp::Mul)]
         );
+    }
+
+    #[test]
+    fn fuses_leaf_adjacent_superinstructions() {
+        // (64*X0) + (0.25*X1): both products fuse to ConstVar; the Add's
+        // operands are fused pushes, so it stays a plain Binary.
+        let c = CompiledExpr::compile(&engine_speed());
+        assert_eq!(
+            c.ops(),
+            [
+                Op::ConstVar(BinaryOp::Mul, 64.0, 0),
+                Op::ConstVar(BinaryOp::Mul, 0.25, 1),
+                Op::Binary(BinaryOp::Add),
+            ]
+        );
+        assert_eq!(c.max_stack(), 2);
+
+        // (X0 - X1) * X2: VarVar then a TopVar folding the leaf rhs.
+        let e = Expr::Binary(
+            BinaryOp::Mul,
+            Box::new(Expr::Binary(
+                BinaryOp::Sub,
+                Box::new(Expr::Var(0)),
+                Box::new(Expr::Var(1)),
+            )),
+            Box::new(Expr::Var(2)),
+        );
+        let c = CompiledExpr::compile(&e);
+        assert_eq!(
+            c.ops(),
+            [Op::VarVar(BinaryOp::Sub, 0, 1), Op::TopVar(BinaryOp::Mul, 2)]
+        );
+        assert_eq!(c.max_stack(), 1);
+
+        // sqrt(X0) + 3: VarUnary then TopConst.
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::Unary(UnaryOp::Sqrt, Box::new(Expr::Var(0)))),
+            Box::new(Expr::Const(3.0)),
+        );
+        let c = CompiledExpr::compile(&e);
+        assert_eq!(
+            c.ops(),
+            [Op::VarUnary(UnaryOp::Sqrt, 0), Op::TopConst(BinaryOp::Add, 3.0)]
+        );
+    }
+
+    #[test]
+    fn fused_and_unfused_programs_agree_bit_for_bit() {
+        let data = Dataset::from_triples((0..40).map(|i| {
+            let x0 = f64::from(i * 13 % 251);
+            let x1 = f64::from(i % 17) - 8.0;
+            ((x0, x1), x0 * 0.3 - x1)
+        }))
+        .unwrap();
+        let cols = Columns::from_dataset(&data);
+        let mut scratch_a = BatchScratch::new();
+        let mut scratch_b = BatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..300 {
+            let e = Expr::random_grow(&mut rng, 6, 2, &UnaryOp::ALL, &BinaryOp::ALL, (-10.0, 10.0));
+            let fused = CompiledExpr::compile(&e);
+            let plain = CompiledExpr::compile_unfused(&e);
+            assert!(fused.len() <= plain.len());
+            assert!(fused.max_stack() <= plain.max_stack());
+            for metric in [Metric::MeanAbsoluteError, Metric::MeanSquaredError, Metric::Rmse] {
+                let a = fused.error_on(&cols, metric, &mut scratch_a);
+                let b = plain.error_on(&cols, metric, &mut scratch_b);
+                assert!(a.to_bits() == b.to_bits(), "{e} with {metric:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_scratch_is_reused() {
+        let data = Dataset::from_pairs((0..10).map(|i| (f64::from(i), f64::from(i)))).unwrap();
+        let cols = Columns::from_dataset(&data);
+        let c = CompiledExpr::compile(&Expr::Binary(
+            BinaryOp::Mul,
+            Box::new(Expr::Var(0)),
+            Box::new(Expr::Var(0)),
+        ));
+        let a = with_thread_scratch(|s| c.error_on(&cols, Metric::MeanAbsoluteError, s));
+        let b = with_thread_scratch(|s| c.error_on(&cols, Metric::MeanAbsoluteError, s));
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

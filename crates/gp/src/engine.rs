@@ -34,6 +34,37 @@ use crate::model::FittedModel;
 use crate::scaling::ScalePlan;
 use crate::{Dataset, Metric};
 
+/// The environment variable controlling batched scoring dispatch:
+/// a number is the minimum count of distinct pending programs that
+/// justifies waking the pool (`0` always uses the pool, the legacy
+/// behavior); `auto` (or unset) adapts the threshold to the measured
+/// spin-up cost of past scoring calls.
+pub const BATCH_ENV: &str = "DPR_GP_BATCH";
+
+/// The `dpr_prof` label scoring calls run under; the adaptive batch
+/// threshold reads the same label's aggregate back.
+const SCORE_LABEL: &str = "gp.score";
+
+/// Resolves the minimum batch size for pool dispatch. Read per scoring
+/// call, like `DPR_THREADS`, so it can be retuned between fits.
+fn batch_min() -> usize {
+    match std::env::var(BATCH_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => adaptive_batch_min(),
+        },
+        Err(_) => adaptive_batch_min(),
+    }
+}
+
+/// The adaptive threshold: wake the pool only when the predicted parallel
+/// saving clears twice the scoring label's measured spin-up cost. The
+/// prediction itself lives in [`dpr_prof::break_even_items`], fed by the
+/// per-call profiles the pool records under [`SCORE_LABEL`].
+fn adaptive_batch_min() -> usize {
+    dpr_prof::break_even_items(SCORE_LABEL, dpr_par::threads())
+}
+
 /// Which functions the engine may use as tree nodes.
 ///
 /// [`FunctionSet::full`] is the paper's 14-function set;
@@ -441,7 +472,7 @@ impl SymbolicRegressor {
 
     /// Scores one expression: compile, batch-evaluate, apply the parsimony
     /// penalty. Used by the sequential tail (polish, refit) — population
-    /// scoring goes through [`Self::realize`].
+    /// scoring goes through [`Self::score_pending`].
     fn evaluate(
         &self,
         expr: &Expr,
@@ -463,10 +494,22 @@ impl SymbolicRegressor {
     ///
     /// Entries carrying a cached `(error, fitness)` — individuals the
     /// breeding phase copied over unchanged — are not re-scored. The rest
-    /// are scored on the [`dpr_par`] pool: scoring is pure (no RNG, no
-    /// shared mutable state) and results come back in index order, so the
-    /// outcome is bit-identical for any `DPR_THREADS` value.
-    fn realize(
+    /// are compiled once on the breeding thread, deduplicated by compiled
+    /// program structure (`DPR_GP_DEDUP`, on by default), and the distinct
+    /// programs are dispatched through the [`dpr_par`] pool — or drained
+    /// inline when the batch is too small to amortize pool wake-up
+    /// (`DPR_GP_BATCH`; the adaptive default sizes the threshold from the
+    /// scoring label's measured spin-up cost in [`dpr_prof`]).
+    ///
+    /// Every decision along that path is timing-blind where it must be:
+    /// scoring is pure, results come back in index order, a duplicate
+    /// reuses the bit-identical error its representative computed, and
+    /// the inline/pool split changes scheduling only — so the outcome is
+    /// bit-identical for any `DPR_THREADS`/`DPR_GP_DEDUP`/`DPR_GP_BATCH`
+    /// combination. `evaluations` stays the *logical* count (pending ×
+    /// rows) regardless of dedup, so reported work is comparable across
+    /// configurations; the physical saving shows up in `gp.dedup_hits`.
+    fn score_pending(
         &self,
         planned: Vec<(Expr, Option<(f64, f64)>)>,
         cols: &Columns,
@@ -486,31 +529,56 @@ impl SymbolicRegressor {
             *cache_hits += hits;
         }
 
+        // Compile on the breeding thread: dedup needs the programs
+        // anyway, compilation is ~1% of scoring cost, and it keeps the
+        // workers purely arithmetic.
+        let programs: Vec<CompiledExpr> = pending
+            .iter()
+            .map(|&i| CompiledExpr::compile(&planned[i].0))
+            .collect();
+        let groups = if crate::dedup::enabled() {
+            crate::dedup::group(&programs)
+        } else {
+            crate::dedup::DedupGroups::identity(programs.len())
+        };
+        if !programs.is_empty() {
+            dpr_telemetry::counter("gp.dedup_distinct").inc(groups.reps.len() as u64);
+            if groups.hits() > 0 {
+                dpr_telemetry::counter("gp.dedup_hits").inc(groups.hits());
+            }
+        }
+        let distinct: Vec<&CompiledExpr> = groups.reps.iter().map(|&r| &programs[r]).collect();
+
         let metric = self.config.metric;
-        let parsimony = self.config.parsimony;
+        let min_items = batch_min();
         // Labelled so the profile store attributes the pool call (and its
-        // per-worker busy/idle/alloc accounting) to GP fitness scoring.
-        let scored = dpr_prof::with_label("gp.realize", || {
-            dpr_par::par_map_init(&pending, BatchScratch::new, |scratch, &i| {
-                let expr = &planned[i].0;
-                let error = CompiledExpr::compile(expr).error_on(cols, metric, scratch);
-                let fitness = if error.is_finite() {
-                    error + parsimony * expr.size() as f64
-                } else {
-                    f64::INFINITY
-                };
-                (error, fitness)
+        // per-worker busy/idle/alloc accounting) to GP fitness scoring —
+        // and so the adaptive batch threshold can read the label back.
+        let errors: Vec<f64> = dpr_prof::with_label(SCORE_LABEL, || {
+            dpr_par::Pool::from_env().par_map_batched(&distinct, min_items, |program| {
+                crate::compile::with_thread_scratch(|scratch| {
+                    program.error_on(cols, metric, scratch)
+                })
             })
         });
 
         // `pending` is in index order, so fresh scores interleave back
-        // into the cached ones by consuming the iterator in sequence.
-        let mut fresh = scored.into_iter();
+        // into the cached ones by consuming the assignments in sequence.
+        let parsimony = self.config.parsimony;
+        let mut next_pending = 0usize;
         planned
             .into_iter()
             .map(|(expr, cached)| {
-                let (error, fitness) =
-                    cached.unwrap_or_else(|| fresh.next().expect("one score per pending entry"));
+                let (error, fitness) = cached.unwrap_or_else(|| {
+                    let error = errors[groups.assign[next_pending] as usize];
+                    next_pending += 1;
+                    let fitness = if error.is_finite() {
+                        error + parsimony * expr.size() as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    (error, fitness)
+                });
                 Individual { expr, error, fitness }
             })
             .collect()
@@ -576,7 +644,7 @@ impl SymbolicRegressor {
             }
             depth = if depth >= hi { lo } else { depth + 1 };
         }
-        let pop = self.realize(
+        let pop = self.score_pending(
             exprs.into_iter().map(|e| (e, None)).collect(),
             cols,
             evaluations,
@@ -637,14 +705,16 @@ impl SymbolicRegressor {
     /// exactly the order the fully-sequential engine did: selection draws
     /// only depend on the *previous* generation's (already known) scores,
     /// never on a sibling's. Scoring of the bred children then happens in
-    /// one deterministic parallel pass via [`Self::realize`].
+    /// one deterministic parallel pass via [`Self::score_pending`].
     ///
     /// Fitness-cache rule: a score is carried over only when the child is
     /// byte-for-byte the parent expression — the elite copy, a
     /// reproduction child, or a depth-limit fallback. Any variation
-    /// operator invalidates the cache unconditionally (even a crossover
-    /// that happens to reproduce the parent is re-scored; detecting that
-    /// would cost a tree comparison per child for a rare win).
+    /// operator invalidates the cache unconditionally; the structural
+    /// dedup pass in [`Self::score_pending`] then catches variation
+    /// children that came out identical anyway (and identical siblings)
+    /// at the compiled-program level, where the comparison is a cheap
+    /// slice walk instead of a tree traversal.
     fn next_generation(
         &mut self,
         population: Vec<Individual>,
@@ -720,7 +790,7 @@ impl SymbolicRegressor {
                 });
             }
         }
-        let pop = self.realize(planned, cols, evaluations, cache_hits);
+        let pop = self.score_pending(planned, cols, evaluations, cache_hits);
         (pop, recs)
     }
 

@@ -50,6 +50,7 @@
 
 pub mod compile;
 mod dataset;
+pub mod dedup;
 mod engine;
 pub mod expr;
 mod fitness;
@@ -59,7 +60,7 @@ pub mod scaling;
 
 pub use compile::{BatchScratch, Columns, CompiledExpr};
 pub use dataset::{Dataset, DatasetError};
-pub use engine::{FunctionSet, GpConfig, GpReport, SymbolicRegressor};
+pub use engine::{FunctionSet, GpConfig, GpReport, SymbolicRegressor, BATCH_ENV};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use fitness::Metric;
 pub use model::FittedModel;

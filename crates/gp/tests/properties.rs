@@ -123,7 +123,9 @@ proptest! {
             a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
             "{e} on {row:?}: {a:?} ({:#x}) vs {b:?} ({:#x})", a.to_bits(), b.to_bits()
         );
-        prop_assert_eq!(c.len(), e.size());
+        // Unfused bytecode is one op per tree node; fusion only shrinks.
+        prop_assert_eq!(CompiledExpr::compile_unfused(&e).len(), e.size());
+        prop_assert!(c.len() <= e.size());
     }
 
     /// The batch (column-wise) error path returns exactly what
@@ -147,6 +149,81 @@ proptest! {
             prop_assert!(
                 want.to_bits() == got.to_bits(),
                 "{e} with {metric:?}: {want} vs {got}"
+            );
+        }
+    }
+
+    /// Superinstruction fusion is bit-identical to the unfused bytecode
+    /// on the batch path. The value range reaches ±1e300 so chained
+    /// products overflow to ∞ and subtractions of overflows produce NaN
+    /// mid-program — the fused arms must propagate those exactly like
+    /// the plain push/pop interpreter (they call the same protected
+    /// `apply` in the same order).
+    #[test]
+    fn fused_batch_scoring_matches_unfused(
+        seed in any::<u64>(),
+        depth in 1usize..=7,
+        rows in proptest::collection::vec((-1e300f64..1e300, -1e300f64..1e300, -1e4f64..1e4), 1..24),
+    ) {
+        let e = arb_expr(seed, depth);
+        let data = Dataset::new(
+            rows.iter().map(|(x0, x1, _)| vec![*x0, *x1]).collect(),
+            rows.iter().map(|(_, _, y)| *y).collect(),
+        ).unwrap();
+        let cols = Columns::from_dataset(&data);
+        let fused = CompiledExpr::compile(&e);
+        let unfused = CompiledExpr::compile_unfused(&e);
+        prop_assert!(fused.ops().len() <= unfused.ops().len(), "fusion must not grow programs");
+        let mut scratch = BatchScratch::new();
+        for metric in [Metric::MeanAbsoluteError, Metric::MeanSquaredError, Metric::Rmse] {
+            let a = unfused.error_on(&cols, metric, &mut scratch);
+            let b = fused.error_on(&cols, metric, &mut scratch);
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "{e} with {metric:?}: unfused {a:?} ({:#x}) vs fused {b:?} ({:#x})",
+                a.to_bits(), b.to_bits()
+            );
+        }
+    }
+
+    /// Structural dedup never changes scores: every program's error is
+    /// bit-for-bit the error of the representative its class elected, and
+    /// duplicating a population doubles hits without adding classes.
+    #[test]
+    fn dedup_representatives_score_bit_identically(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        rows in proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4, -1e4f64..1e4), 1..16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exprs: Vec<Expr> = (0..n)
+            .map(|_| Expr::random_grow(&mut rng, 4, 2, &UnaryOp::ALL, &BinaryOp::ALL, (-10.0, 10.0)))
+            .collect();
+        // Population with duplicates: every program appears twice.
+        let programs: Vec<CompiledExpr> = exprs
+            .iter()
+            .chain(exprs.iter())
+            .map(CompiledExpr::compile)
+            .collect();
+        let groups = dpr_gp::dedup::group(&programs);
+        prop_assert!(groups.reps.len() <= exprs.len());
+        prop_assert_eq!(groups.hits(), (programs.len() - groups.reps.len()) as u64);
+        prop_assert!(groups.hits() >= exprs.len() as u64, "each clone must hit its twin's class");
+
+        let data = Dataset::new(
+            rows.iter().map(|(x0, x1, _)| vec![*x0, *x1]).collect(),
+            rows.iter().map(|(_, _, y)| *y).collect(),
+        ).unwrap();
+        let cols = Columns::from_dataset(&data);
+        let mut scratch = BatchScratch::new();
+        let metric = Metric::MeanAbsoluteError;
+        for (i, program) in programs.iter().enumerate() {
+            let rep = &programs[groups.reps[groups.assign[i] as usize]];
+            let own = program.error_on(&cols, metric, &mut scratch);
+            let reused = rep.error_on(&cols, metric, &mut scratch);
+            prop_assert!(
+                own.to_bits() == reused.to_bits(),
+                "program {i}: own score {own:?} vs representative's {reused:?}"
             );
         }
     }

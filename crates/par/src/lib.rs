@@ -13,13 +13,17 @@
 //!
 //! Workers are spawned once per process (lazily, up to the largest
 //! worker count any call has asked for) and parked on a condvar between
-//! calls; each `par_map` publishes one job, blocks until every
-//! participating worker has drained it, and reassembles the results.
-//! Earlier versions spawned fresh OS threads on *every* call, which on
-//! the GP fitness path meant thousands of spawns per run — the
-//! `par.pool_spawns` counter now records exactly how many threads a
-//! call actually created (0 once the pool is warm). Because the caller
-//! blocks until the job completes, borrowed inputs work without
+//! calls; each `par_map` publishes one job, **joins it as worker 0 on
+//! the submitting thread**, and reassembles the results once the pool
+//! threads (slots 1..N) have drained their share. Caller participation
+//! is what makes small jobs safe: the already-running submitter starts
+//! claiming chunks immediately, so wake-up latency overlaps useful work
+//! and a call can never be slower than running inline by more than the
+//! join cost. Earlier versions spawned fresh OS threads on *every*
+//! call, which on the GP fitness path meant thousands of spawns per run
+//! — the `par.pool_spawns` counter now records exactly how many threads
+//! a call actually created (0 once the pool is warm). Because the
+//! caller blocks until the job completes, borrowed inputs work without
 //! `'static` bounds and a panic in any worker propagates to the caller.
 //!
 //! Nested calls (a mapped function calling `par_map` again) run inline
@@ -208,6 +212,34 @@ impl Pool {
             .into_iter()
             .flat_map(|slot| slot.expect("every chunk was claimed and filled"))
             .collect()
+    }
+
+    /// [`par_map`](Pool::par_map) behind a minimum-batch gate: batches of
+    /// fewer than `min_items` items are drained inline on the caller's
+    /// thread (never waking the pool), larger ones are flushed through it
+    /// in one call. `min_items == 0` always flushes.
+    ///
+    /// The decision is timing-blind — it looks only at the batch size the
+    /// caller computed — so results stay bit-identical whichever side is
+    /// taken; only the `par.batch_*` telemetry (which the determinism
+    /// suite strips along with the rest of `par.*`) records the choice.
+    pub fn par_map_batched<T, R, F>(&self, items: &[T], min_items: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads > 1 {
+            // `usize::MAX` is the "never flush" sentinel (hosts with no
+            // second core); saturate rather than wrap the gauge.
+            dpr_telemetry::gauge("par.batch_threshold").set(min_items.min(i64::MAX as usize) as i64);
+            if min_items > 0 && items.len() < min_items {
+                dpr_telemetry::counter("par.batch_inline_drains").inc(1);
+                return Pool::new(1).par_map(items, f);
+            }
+            dpr_telemetry::counter("par.batch_flushes").inc(1);
+        }
+        self.par_map(items, f)
     }
 }
 
@@ -472,7 +504,9 @@ mod tests {
         );
         let tids: std::collections::BTreeSet<u64> = chunks.iter().map(|r| r.tid).collect();
         assert!(tids.len() > 1, "expected multiple worker rows, got {tids:?}");
-        assert!(chunks.iter().all(|r| {
+        // The submitter participates as worker 0, so its chunks carry the
+        // caller's thread name; every other chunk ran on a named pool row.
+        assert!(chunks.iter().any(|r| {
             r.thread
                 .as_deref()
                 .is_some_and(|name| name.starts_with("gp-worker-"))
@@ -481,6 +515,23 @@ mod tests {
         assert_eq!(snap.counters.get("par.calls"), Some(&1));
         assert_eq!(snap.counters.get("par.items"), Some(&64));
         assert_eq!(snap.histograms["par.utilization"].count, 1);
+    }
+
+    #[test]
+    fn batched_dispatch_is_identical_on_both_sides_of_the_gate() {
+        let items: Vec<u64> = (0..48).collect();
+        let f = |x: &u64| (*x as f64).sqrt().sin();
+        let pooled = Pool::new(4).par_map_batched(&items, 8, f);
+        let drained = Pool::new(4).par_map_batched(&items[..4], 8, f);
+        let reference: Vec<f64> = items.iter().map(f).collect();
+        assert!(pooled
+            .iter()
+            .zip(&reference)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(drained
+            .iter()
+            .zip(&reference[..4])
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

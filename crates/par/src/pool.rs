@@ -1,13 +1,24 @@
 //! The process-wide persistent worker pool.
 //!
 //! Workers (`gp-worker-N`) are OS threads spawned lazily — up to the
-//! largest worker count any call has requested — and parked on a condvar
-//! between jobs. A job is one `par_map` call: the submitter publishes a
-//! type-erased [`Task`] plus a participant count, wakes the pool, and
-//! blocks until every participant has decremented the active counter.
-//! Because the submitter cannot return before that, the task may borrow
+//! largest *extra* worker count any call has requested — and parked on a
+//! condvar between jobs. A job is one `par_map` call: the submitter
+//! publishes a type-erased [`Task`] plus a participant count, wakes the
+//! pool, **claims worker slot 0 itself**, and blocks until every
+//! participant has decremented the active counter. Caller participation
+//! matters twice over: a 2-thread call needs only one condvar wake-up
+//! instead of two, and the submitting thread — already hot, already
+//! scheduled — starts chewing chunks immediately, so in the worst case
+//! (pool threads scheduled late) the call degenerates to inline speed
+//! instead of paying wake-up latency on the critical path. Because the
+//! submitter cannot return before the job completes, the task may borrow
 //! the caller's stack (items, closures, result slots) without `'static`
 //! bounds — that is the invariant the `unsafe` below leans on.
+//!
+//! Parked workers briefly spin (bounded [`PARK_SPINS`] yields) before
+//! sleeping on the condvar, so back-to-back jobs — the GP fitness loop
+//! publishes one per generation — are usually picked up without paying
+//! a kernel wake-up at all.
 //!
 //! There is exactly one job slot: concurrent top-level `par_map` calls
 //! serialize on it, and a nested call from inside a worker runs inline
@@ -143,8 +154,36 @@ pub(crate) fn in_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
 
+/// Sets the thread's in-worker flag for a scope, restoring it on drop
+/// (including across an unwinding panic in the caller's chunk loop).
+struct WorkerScope {
+    prev: bool,
+}
+
+impl WorkerScope {
+    fn enter() -> WorkerScope {
+        let prev = IN_WORKER.with(Cell::get);
+        IN_WORKER.with(|flag| flag.set(true));
+        WorkerScope { prev }
+    }
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|flag| flag.set(prev));
+    }
+}
+
+/// Bounded number of `yield_now` loops a worker spins through before
+/// parking on the condvar. Back-to-back jobs (one per GP generation)
+/// arrive well inside this window, skipping the kernel wake-up.
+const PARK_SPINS: usize = 64;
+
 /// Publishes `ctx` as one job for `workers` participants and blocks
-/// until all of them finish. Returns the spawn count and any panic.
+/// until all of them finish. The submitter itself takes worker slot 0;
+/// only `workers - 1` pool threads are woken. Returns the spawn count
+/// and any panic.
 pub(crate) fn run_job<T, S, R, FI, F>(ctx: &Ctx<'_, T, S, R, FI, F>, workers: usize) -> JobOutcome
 where
     T: Sync,
@@ -159,13 +198,15 @@ where
         data: (ctx as *const Ctx<'_, T, S, R, FI, F>).cast(),
         run: run_erased::<T, S, R, FI, F>,
     };
+    // The caller is participant 0; the pool contributes the rest.
+    let extras = workers - 1;
     let mut spawned = 0u64;
     {
         let mut st = lock(shared);
         while st.job.is_some() {
             st = wait(&shared.done, st);
         }
-        while st.spawned < workers {
+        while st.spawned < extras {
             let index = st.spawned;
             st.spawned += 1;
             spawned += 1;
@@ -179,14 +220,24 @@ where
         st.epoch += 1;
         st.job = Some(Job {
             task,
-            workers,
+            workers: extras,
             epoch: st.epoch,
             registry,
             panic: Arc::clone(&panic_slot),
         });
-        st.active = workers;
+        st.active = extras;
     }
-    shared.work.notify_all();
+    if extras > 0 {
+        shared.work.notify_all();
+    }
+    // Claim slot 0 on the submitting thread while the pool wakes. The
+    // in-worker flag makes any nested par_map inside the mapped function
+    // run inline rather than deadlock on the job slot we hold.
+    let caller_panic = {
+        let _scope = WorkerScope::enter();
+        // SAFETY: `ctx` is a live borrow on this very stack frame.
+        catch_unwind(AssertUnwindSafe(|| run_typed(ctx, 0))).err()
+    };
     {
         let mut st = lock(shared);
         while st.active > 0 {
@@ -196,7 +247,10 @@ where
     }
     // Free the job slot for any queued submitter.
     shared.done.notify_all();
-    let panic = panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let mut panic = panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if panic.is_none() {
+        panic = caller_panic;
+    }
     JobOutcome { spawned, panic }
 }
 
@@ -206,6 +260,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
     loop {
         let job = {
             let mut st = lock(&shared);
+            let mut spins = 0usize;
             loop {
                 let mut claimed = None;
                 if let Some(job) = &st.job {
@@ -221,7 +276,17 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                 if let Some(job) = claimed {
                     break job;
                 }
-                st = wait(&shared.work, st);
+                if spins < PARK_SPINS {
+                    // Spin briefly before parking: the next job usually
+                    // follows within microseconds on the hot GP path, and
+                    // re-checking after a yield beats a condvar round-trip.
+                    spins += 1;
+                    drop(st);
+                    std::thread::yield_now();
+                    st = lock(&shared);
+                } else {
+                    st = wait(&shared.work, st);
+                }
             }
         };
         // Re-enter the caller's telemetry registry for the job's duration:
@@ -231,9 +296,12 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         // *inside* the scope so `scoped` always unwinds its stack cleanly.
         dpr_telemetry::scoped(Arc::clone(&job.registry), || {
             // SAFETY: the submitter blocks until we decrement `active`
-            // below, so the `Ctx` behind `task.data` is still alive.
-            let result =
-                catch_unwind(AssertUnwindSafe(|| unsafe { (job.task.run)(job.task.data, index) }));
+            // below, so the `Ctx` behind `task.data` is still alive. The
+            // caller holds stats slot 0, so pool thread N records as
+            // worker N + 1.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                (job.task.run)(job.task.data, index + 1)
+            }));
             if let Err(payload) = result {
                 let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {

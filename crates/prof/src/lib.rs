@@ -55,7 +55,8 @@ mod store;
 
 pub use report::{render_report, PoolReport};
 pub use store::{
-    record_call, reset, snapshot, CallProfile, LabelSummary, ProfSnapshot, WorkerStats,
+    break_even_items, label_summary, record_call, reset, snapshot, CallProfile, LabelSummary,
+    ProfSnapshot, WorkerStats,
 };
 
 use std::cell::RefCell;
@@ -101,7 +102,7 @@ thread_local! {
 
 /// Runs `f` with `label` pushed onto the current thread's profile-label
 /// stack, so [`CallProfile`]s recorded inside are attributed to it
-/// (e.g. the GP engine wraps scoring in `with_label("gp.realize", ..)`).
+/// (e.g. the GP engine wraps scoring in `with_label("gp.score", ..)`).
 pub fn with_label<R>(label: &'static str, f: impl FnOnce() -> R) -> R {
     struct PopOnDrop;
     impl Drop for PopOnDrop {

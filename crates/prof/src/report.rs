@@ -151,7 +151,7 @@ mod tests {
 
     fn snapshot_with(workers: Vec<WorkerStats>, wall: u64, spinup: u64) -> ProfSnapshot {
         let call = CallProfile {
-            label: "gp.realize".into(),
+            label: "gp.score".into(),
             seq: 1,
             wall_us: wall,
             items: 64,
@@ -163,7 +163,7 @@ mod tests {
             ..CallProfile::default()
         };
         let mut label = LabelSummary {
-            label: "gp.realize".into(),
+            label: "gp.score".into(),
             ..LabelSummary::default()
         };
         // Mirror the store's absorption so the report sees real sums.
@@ -219,7 +219,7 @@ mod tests {
         );
         // The worst cause (idle share ~71%) outranks spin-up (40%).
         assert!(report.diagnosis[0].contains("idle"));
-        assert!(report.text.contains("gp.realize"));
+        assert!(report.text.contains("gp.score"));
     }
 
     #[test]
