@@ -6,6 +6,9 @@
 //! cargo run --release -p dpr-bench --bin dpr-bench -- regress --baseline old.json --current new.json --max-regress 15%
 //! cargo run --release -p dpr-bench --bin dpr-bench -- fleet M N P --hold 30
 //! cargo run --release -p dpr-bench --bin dpr-bench -- scale --threads 1,2,4,8
+//! cargo run --release -p dpr-bench --bin dpr-bench -- serve --addr 127.0.0.1:8080
+//! cargo run --release -p dpr-bench --bin dpr-bench -- serve-load --clients 8
+//! cargo run --release -p dpr-bench --bin dpr-bench -- analyze /tmp/m.dprcap --json
 //! ```
 //!
 //! `profile` runs the pipeline on one car (live, by Tab. 3 letter) or on
@@ -46,6 +49,9 @@ fn usage() -> ExitCode {
     eprintln!("       dpr-bench fleet <car A..R>... [--read-secs <n>] [--hold <secs>]");
     eprintln!("       dpr-bench explain <car A..R> <sensor | all> [read_secs]");
     eprintln!("       dpr-bench scale [--threads 1,2,4,8] [--out <BENCH_scale.json>]");
+    eprintln!("       dpr-bench serve [--addr <ip:port>] [--workers <n>] [--queue <n>] [--addr-file <path>]");
+    eprintln!("       dpr-bench serve-load [--clients <n>] [--requests <n>] [--workers <n>] [--queue <n>] [--cost-us <n>] [--out <BENCH_serve.json>]");
+    eprintln!("       dpr-bench analyze <capture.dprcap> [--json]");
     ExitCode::from(2)
 }
 
@@ -57,6 +63,9 @@ fn main() -> ExitCode {
         Some("fleet") => fleet(&args[1..]),
         Some("explain") => explain(&args[1..]),
         Some("scale") => scale(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("serve-load") => serve_load_cmd(&args[1..]),
+        Some("analyze") => analyze_capture_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -318,6 +327,128 @@ fn scale(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+// ———————————————————————————— serve ————————————————————————————
+
+/// Runs the analysis service on the production [`BenchAnalyzer`] until
+/// killed. `--addr-file` writes the bound address for scripts that
+/// start the service on an ephemeral port.
+fn serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers: usize = take_flag(&mut args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let queue: usize = take_flag(&mut args, "--queue")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let addr_file = take_flag(&mut args, "--addr-file");
+
+    let config = dpr_serve::ServiceConfig {
+        analysis_workers: workers,
+        queue_capacity: queue,
+        ..dpr_serve::ServiceConfig::default()
+    };
+    let service =
+        match dpr_serve::AnalysisService::start(&addr, config, Arc::new(dpr_bench::BenchAnalyzer)) {
+            Ok(service) => service,
+            Err(e) => {
+                eprintln!("error: binding {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let bound = service.addr();
+    println!(
+        "dpr-serve on http://{bound} ({workers} analysis worker(s), queue {queue}, seed {EXPERIMENT_SEED}, quick {})",
+        quick()
+    );
+    println!("  submit a capture: curl --data-binary @car_m.dprcap http://{bound}/jobs");
+    println!("  submit a car:     curl -d '{{\"car\":\"M\"}}' http://{bound}/jobs");
+    println!("  poll:             curl http://{bound}/jobs/job-1");
+    println!("  result:           curl http://{bound}/jobs/job-1/result");
+    println!("  observe:          curl http://{bound}/metrics | /runs | /trace | /healthz");
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `serve-load`: load-tests the submit path against a synthetic
+/// analyzer and writes `BENCH_serve.json` for `regress` to gate.
+fn serve_load_cmd(args: &[String]) -> ExitCode {
+    use dpr_bench::serve_load::{self, LoadConfig};
+
+    let mut args = args.to_vec();
+    let mut config = LoadConfig::defaults(quick());
+    if let Some(v) = take_flag(&mut args, "--clients").and_then(|s| s.parse().ok()) {
+        config.clients = v;
+    }
+    if let Some(v) = take_flag(&mut args, "--requests").and_then(|s| s.parse().ok()) {
+        config.requests = v;
+    }
+    if let Some(v) = take_flag(&mut args, "--workers").and_then(|s| s.parse().ok()) {
+        config.workers = v;
+    }
+    if let Some(v) = take_flag(&mut args, "--queue").and_then(|s| s.parse().ok()) {
+        config.queue = v;
+    }
+    if let Some(v) = take_flag(&mut args, "--cost-us").and_then(|s| s.parse().ok()) {
+        config.cost_us = v;
+    }
+    let out_path = take_flag(&mut args, "--out").unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+
+    println!(
+        "serve load: {} client(s) x {} request(s) against a {}-worker queue-{} service…",
+        config.clients, config.requests, config.workers, config.queue
+    );
+    let run = serve_load::run_load(&config, quick());
+    print!("{}", serve_load::render_load(&run));
+    if run.errors > 0 {
+        eprintln!("error: {} request(s) got neither 202 nor 429", run.errors);
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, serve_load::serve_json(&run)) {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// `analyze`: runs a `.dprcap` capture through the pipeline directly
+/// and prints either the stage table or (`--json`) the canonical result
+/// JSON — the exact bytes the service serves at `/jobs/<id>/result`,
+/// which is what CI diffs the two paths with.
+fn analyze_capture_cmd(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let json_out = match args.iter().position(|a| a == "--json") {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    };
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let registry = Arc::new(Registry::new());
+    let Some(result) = profile_capture(path, &registry) else {
+        return ExitCode::FAILURE;
+    };
+    if json_out {
+        println!("{}", result.canonical_json());
+    } else {
+        print_trace(&result);
+    }
     ExitCode::SUCCESS
 }
 

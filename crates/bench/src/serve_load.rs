@@ -1,0 +1,329 @@
+//! `dpr-bench serve-load`: a closed-loop load bench for the analysis
+//! service.
+//!
+//! N client threads hammer a freshly started [`AnalysisService`] with
+//! `POST /jobs` submissions over real `TcpStream`s while a synthetic
+//! analyzer charges a fixed per-job cost. The bench measures the
+//! *submit path* — the part the service itself owns: accept, parse the
+//! bounded head, check backpressure, read the tiny body, enqueue,
+//! answer. It reports p50/p99 submit latency, sustained submit
+//! throughput, the share of requests refused with `429` (backpressure
+//! working as designed, not an error), and client-side allocations per
+//! request, and renders all of it into `BENCH_serve.json` for
+//! `dpr-bench regress` to gate.
+
+use dp_reverser::ReverseEngineeringResult;
+use dpr_serve::{AnalysisService, Analyzer, JobInput, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Submissions per client.
+    pub requests: usize,
+    /// Analysis worker threads in the service under test.
+    pub workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue: usize,
+    /// Synthetic per-job analysis cost, microseconds.
+    pub cost_us: u64,
+}
+
+impl LoadConfig {
+    /// The default load shape: `quick` shrinks it for CI smoke runs.
+    pub fn defaults(quick: bool) -> LoadConfig {
+        if quick {
+            LoadConfig {
+                clients: 4,
+                requests: 50,
+                workers: 2,
+                queue: 16,
+                cost_us: 500,
+            }
+        } else {
+            LoadConfig {
+                clients: 8,
+                requests: 250,
+                workers: 2,
+                queue: 16,
+                cost_us: 2_000,
+            }
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// The configuration the run used.
+    pub config: LoadConfig,
+    /// Whether quick mode was on.
+    pub quick: bool,
+    /// Submissions answered `202 Accepted`.
+    pub accepted: u64,
+    /// Submissions answered `429 Too Many Requests`.
+    pub rejected: u64,
+    /// Any other outcome (I/O error, unexpected status) — should be 0.
+    pub errors: u64,
+    /// Median submit latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile submit latency, microseconds.
+    pub p99_us: u64,
+    /// Wall time of the whole submission phase.
+    pub elapsed: Duration,
+    /// Answered submissions per second across all clients.
+    pub submits_per_sec: f64,
+    /// Share of submissions refused with `429` (0.0 – 1.0).
+    pub http_429_share: f64,
+    /// Client-side heap allocations per request on the submit path.
+    pub allocs_per_request: f64,
+}
+
+/// The stand-in analyzer: charges a fixed cost, recovers nothing. The
+/// bench exercises the service machinery, not the pipeline.
+struct SyntheticAnalyzer {
+    cost: Duration,
+}
+
+impl Analyzer for SyntheticAnalyzer {
+    fn analyze(&self, _input: JobInput) -> Result<ReverseEngineeringResult, String> {
+        if !self.cost.is_zero() {
+            std::thread::sleep(self.cost);
+        }
+        Ok(ReverseEngineeringResult {
+            esvs: Vec::new(),
+            ecrs: Vec::new(),
+            stats: Default::default(),
+            negatives: 0,
+            alignment_offset_us: 0,
+            trace: Default::default(),
+            evidence: Default::default(),
+        })
+    }
+}
+
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    accepted: u64,
+    rejected: u64,
+    errors: u64,
+    allocs: u64,
+}
+
+/// One submission over a fresh connection; returns the status code.
+fn submit_once(addr: SocketAddr, request: &[u8], response: &mut Vec<u8>) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    stream.write_all(request).ok()?;
+    response.clear();
+    stream.read_to_end(response).ok()?;
+    // "HTTP/1.1 NNN ..."
+    let code = response.get(9..12)?;
+    std::str::from_utf8(code).ok()?.parse().ok()
+}
+
+fn client_loop(addr: SocketAddr, requests: usize) -> ClientTally {
+    let request =
+        b"POST /jobs HTTP/1.1\r\nHost: bench\r\nContent-Length: 14\r\n\r\n{\"car\":\"load\"}".to_vec();
+    let mut tally = ClientTally {
+        latencies_us: Vec::with_capacity(requests),
+        accepted: 0,
+        rejected: 0,
+        errors: 0,
+        allocs: 0,
+    };
+    let mut response = Vec::with_capacity(512);
+    let before = dpr_prof::alloc::thread_alloc_stats();
+    for _ in 0..requests {
+        let started = Instant::now();
+        match submit_once(addr, &request, &mut response) {
+            Some(202) => tally.accepted += 1,
+            Some(429) => tally.rejected += 1,
+            _ => tally.errors += 1,
+        }
+        tally.latencies_us.push(started.elapsed().as_micros() as u64);
+    }
+    tally.allocs = dpr_prof::alloc::thread_alloc_stats().since(before).allocs;
+    tally
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let at = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[at]
+}
+
+/// Runs the load: starts a service with a synthetic analyzer, fans the
+/// clients out, aggregates, drains the service.
+pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
+    let service_config = ServiceConfig {
+        analysis_workers: config.workers.max(1),
+        queue_capacity: config.queue.max(1),
+        ..ServiceConfig::default()
+    };
+    let service = AnalysisService::start(
+        "127.0.0.1:0",
+        service_config,
+        Arc::new(SyntheticAnalyzer {
+            cost: Duration::from_micros(config.cost_us),
+        }),
+    )
+    .expect("loopback bind");
+    let addr = service.addr();
+    // Warm the path once (thread-pool spin-up, first-connection costs)
+    // so the measured window sees the steady state.
+    let mut warm = Vec::with_capacity(512);
+    let _ = submit_once(addr, b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n", &mut warm);
+
+    dpr_prof::alloc::set_counting(true);
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|_| scope.spawn(|| client_loop(addr, config.requests)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    dpr_prof::alloc::set_counting(false);
+    service.stop();
+
+    let mut latencies: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let accepted: u64 = tallies.iter().map(|t| t.accepted).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let allocs: u64 = tallies.iter().map(|t| t.allocs).sum();
+    let total = (accepted + rejected + errors).max(1);
+    LoadRun {
+        config: config.clone(),
+        quick,
+        accepted,
+        rejected,
+        errors,
+        p50_us: percentile(&latencies, 50),
+        p99_us: percentile(&latencies, 99),
+        elapsed,
+        submits_per_sec: (accepted + rejected) as f64 / elapsed.as_secs_f64().max(1e-9),
+        http_429_share: rejected as f64 / total as f64,
+        allocs_per_request: allocs as f64 / total as f64,
+    }
+}
+
+/// Renders the run as the human-readable table the CLI prints.
+pub fn render_load(run: &LoadRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve load: {} client(s) x {} request(s), {} worker(s), queue {}, job cost {}us\n",
+        run.config.clients, run.config.requests, run.config.workers, run.config.queue, run.config.cost_us
+    ));
+    out.push_str(&format!(
+        "  accepted {:>7}    rejected(429) {:>7}    errors {:>3}\n",
+        run.accepted, run.rejected, run.errors
+    ));
+    out.push_str(&format!(
+        "  submit p50 {:>6}us    p99 {:>6}us    {:>9.0} submits/s    429 share {:>5.1}%\n",
+        run.p50_us,
+        run.p99_us,
+        run.submits_per_sec,
+        run.http_429_share * 100.0
+    ));
+    out.push_str(&format!(
+        "  client allocs/request {:.0}    wall {:?}\n",
+        run.allocs_per_request, run.elapsed
+    ));
+    out
+}
+
+/// Renders the run as `BENCH_serve.json` for `dpr-bench regress`.
+///
+/// Key naming is deliberate about gating direction: `submit_p50_us` and
+/// `allocs_per_request` gate as lower-is-better, `submits_per_sec` as
+/// higher-is-better. `http_429_share` stays informational (a 429 is
+/// correct backpressure, not a regression — the word `rate` is avoided
+/// so direction inference does not gate it), and so does `submit_p99`
+/// (microseconds, but tail latency on a small shared CI box is too
+/// jittery to gate; the unit suffix is dropped so inference skips it).
+pub fn serve_json(run: &LoadRun) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_load\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"clients\": {clients},\n",
+            "  \"requests_per_client\": {requests},\n",
+            "  \"analysis_workers\": {workers},\n",
+            "  \"queue_capacity\": {queue},\n",
+            "  \"job_cost_us\": {cost},\n",
+            "  \"submit_p50_us\": {p50},\n",
+            "  \"submit_p99\": {p99},\n",
+            "  \"submits_per_sec\": {sps:.0},\n",
+            "  \"http_429_share\": {share:.4},\n",
+            "  \"allocs_per_request\": {apr:.0}\n",
+            "}}\n",
+        ),
+        quick = run.quick,
+        clients = run.config.clients,
+        requests = run.config.requests,
+        workers = run.config.workers,
+        queue = run.config.queue,
+        cost = run.config.cost_us,
+        p50 = run.p50_us,
+        p99 = run.p99_us,
+        sps = run.submits_per_sec,
+        share = run.http_429_share,
+        apr = run.allocs_per_request,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_load_run_round_trips_through_json() {
+        let config = LoadConfig {
+            clients: 2,
+            requests: 5,
+            workers: 1,
+            queue: 2,
+            cost_us: 0,
+        };
+        let run = run_load(&config, true);
+        assert_eq!(
+            run.accepted + run.rejected + run.errors,
+            10,
+            "every request is answered: {run:?}"
+        );
+        assert_eq!(run.errors, 0, "{run:?}");
+        let json = serve_json(&run);
+        let doc = dpr_telemetry::json::parse(&json).expect("serve_json emits valid JSON");
+        let flat = format!("{doc:?}");
+        for key in [
+            "submit_p50_us",
+            "submit_p99",
+            "submits_per_sec",
+            "http_429_share",
+            "allocs_per_request",
+        ] {
+            assert!(flat.contains(key), "{key} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_to_range() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        let v: Vec<u64> = (0..100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+    }
+}

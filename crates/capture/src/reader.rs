@@ -130,9 +130,19 @@ impl<R: Read> CaptureReader<R> {
     /// Returns [`CaptureError::Header`] when the magic, version, or
     /// header length is wrong, [`CaptureError::Io`] on source failure.
     pub fn new(src: R) -> Result<Self, CaptureError> {
+        CaptureReader::with_buffer(src, Vec::with_capacity(FILL_CHUNK))
+    }
+
+    /// [`CaptureReader::new`] reading through a caller-provided buffer.
+    /// Long-lived consumers (the analysis service's worker threads) pass
+    /// the buffer recovered from the previous reader via
+    /// [`into_buffer`](CaptureReader::into_buffer), so steady-state
+    /// replay does no per-capture buffer allocation.
+    pub fn with_buffer(src: R, mut buf: Vec<u8>) -> Result<Self, CaptureError> {
+        buf.clear();
         let mut reader = CaptureReader {
             src,
-            buf: Vec::with_capacity(FILL_CHUNK),
+            buf,
             start: 0,
             eof: false,
             done: false,
@@ -144,6 +154,12 @@ impl<R: Read> CaptureReader<R> {
         reader.version = decode_header(header)?;
         reader.start += crate::format::HEADER_LEN;
         Ok(reader)
+    }
+
+    /// Consumes the reader, returning its internal buffer for reuse by
+    /// the next [`CaptureReader::with_buffer`].
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.buf
     }
 
     /// The capture's format version (from the header).

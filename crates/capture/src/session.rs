@@ -72,14 +72,23 @@ impl<R: Read> CaptureReader<R> {
     /// Drains the stream into a [`CaptureSession`], returning it with
     /// the final damage tallies. Publishes the `capture.crc_skipped`
     /// and `capture.records_read` telemetry counters.
-    pub fn read_session(mut self) -> (CaptureSession, CorruptionStats) {
+    pub fn read_session(self) -> (CaptureSession, CorruptionStats) {
+        let (session, stats, _) = self.read_session_reusing();
+        (session, stats)
+    }
+
+    /// [`read_session`](CaptureReader::read_session) that also hands
+    /// back the reader's internal buffer, so the caller can thread it
+    /// into the next [`CaptureReader::with_buffer`] and replay captures
+    /// with zero steady-state buffer allocation.
+    pub fn read_session_reusing(mut self) -> (CaptureSession, CorruptionStats, Vec<u8>) {
         let mut session = CaptureSession::default();
         while let Some(event) = self.next_event() {
             session.absorb(event);
         }
         let stats = *self.stats();
         stats.publish_telemetry();
-        (session, stats)
+        (session, stats, self.into_buffer())
     }
 }
 

@@ -111,6 +111,18 @@ impl ReverseEngineeringResult {
         self.esvs.iter().filter(|e| e.has_formula())
     }
 
+    /// The result as canonical JSON with the observability trace zeroed
+    /// out. Per-stage wall times differ run to run even when the
+    /// recovered artifacts are byte-identical, so every identity
+    /// comparison (record/replay determinism, service-vs-direct) goes
+    /// through this form.
+    pub fn canonical_json(&self) -> String {
+        let mut stripped = self.clone();
+        stripped.trace = PipelineTrace::default();
+        dpr_telemetry::json::to_string(&stripped)
+            .expect("a recovered result always serializes")
+    }
+
     /// Reconstructs the manufacturer's KWP 2000 formula-type table — the
     /// paper's third KWP reverse-engineering target: "the corresponding
     /// formula used to transform ESV in the response message to actual

@@ -1,0 +1,424 @@
+//! Bounded HTTP/1.1 request parsing and response writing, std only.
+//!
+//! The parser is written for a server that must stay alive under
+//! hostile input: every read is capped, every length is checked before
+//! any allocation proportional to it, and a malformed request is a
+//! *value* ([`HeadError`]) the caller maps to a 4xx response — never a
+//! panic. The request head is parsed from a caller-owned scratch buffer
+//! so a handler thread serves any number of requests with zero
+//! steady-state head allocations beyond the header strings themselves.
+//!
+//! Bodies are not buffered here. [`BodyReader`] adapts the connection
+//! into a [`Read`] bounded by the declared `Content-Length`, so callers
+//! stream a body straight into its consumer (the capture replayer feeds
+//! it to `CaptureReader`) without ever holding the whole body in memory.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on the request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Why a request head could not be produced.
+#[derive(Debug)]
+pub enum HeadError {
+    /// The peer closed (or had already closed) before a full head
+    /// arrived. Not worth a response.
+    Closed,
+    /// The read deadline expired before a full head arrived.
+    Timeout,
+    /// The head ran past [`MAX_HEAD_BYTES`] — respond 413.
+    TooLarge,
+    /// The bytes are not an HTTP/1.x request head — respond 400.
+    Malformed(&'static str),
+    /// The socket failed outright.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeadError::Closed => write!(f, "connection closed before request head"),
+            HeadError::Timeout => write!(f, "read deadline expired before request head"),
+            HeadError::TooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HeadError::Malformed(why) => write!(f, "malformed request head: {why}"),
+            HeadError::Io(e) => write!(f, "request i/o: {e}"),
+        }
+    }
+}
+
+/// A parsed request head plus whatever bytes were read past it (the
+/// start of the body, or a pipelined second request this server will
+/// not serve — each connection gets exactly one response).
+#[derive(Debug)]
+pub struct RequestHead {
+    /// The request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target (path plus optional query).
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Bytes read past the head terminator.
+    pub leftover: Vec<u8>,
+}
+
+impl RequestHead {
+    /// The target's path component (query stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length: `Ok(None)` when absent, `Err` when
+    /// unparsable (overflow, junk, or multiple conflicting values).
+    pub fn content_length(&self) -> Result<Option<u64>, &'static str> {
+        let mut found: Option<u64> = None;
+        for (name, value) in &self.headers {
+            if !name.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            let parsed: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| "unparsable content-length")?;
+            match found {
+                Some(prev) if prev != parsed => return Err("conflicting content-length"),
+                _ => found = Some(parsed),
+            }
+        }
+        Ok(found)
+    }
+}
+
+/// Reads one request head from `stream` into `scratch` (reused across
+/// requests; cleared here) and parses it. Bytes past the `\r\n\r\n`
+/// terminator land in [`RequestHead::leftover`].
+pub fn read_head(stream: &mut impl Read, scratch: &mut Vec<u8>) -> Result<RequestHead, HeadError> {
+    scratch.clear();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        // Scan only the tail that could complete a terminator split
+        // across reads.
+        if let Some(end) = find_terminator(scratch) {
+            break end;
+        }
+        if scratch.len() > MAX_HEAD_BYTES {
+            return Err(HeadError::TooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if scratch.is_empty() {
+                    HeadError::Closed
+                } else {
+                    HeadError::Malformed("connection closed mid-head")
+                });
+            }
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Err(HeadError::Timeout);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                return Err(HeadError::Closed);
+            }
+            Err(e) => return Err(HeadError::Io(e)),
+        };
+        scratch.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HeadError::TooLarge);
+    }
+    let leftover = scratch[head_end..].to_vec();
+    parse_head(&scratch[..head_end - 4], leftover)
+}
+
+/// Index one past the `\r\n\r\n` terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Parses the head bytes (terminator already stripped).
+fn parse_head(bytes: &[u8], leftover: Vec<u8>) -> Result<RequestHead, HeadError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| HeadError::Malformed("head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HeadError::Malformed("request line is not `METHOD target HTTP/1.x`"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HeadError::Malformed("request line is not `METHOD target HTTP/1.x`"));
+    }
+    if method.is_empty()
+        || !method.bytes().all(|b| b.is_ascii_uppercase())
+        || target.is_empty()
+        || !target.starts_with('/')
+    {
+        return Err(HeadError::Malformed("bad method or target"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HeadError::Malformed("header line without a colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HeadError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(RequestHead {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        leftover,
+    })
+}
+
+/// A [`Read`] over one request body: first the head's leftover bytes,
+/// then the connection, stopping at the declared `Content-Length`.
+///
+/// If the peer closes before delivering the declared length, reads
+/// return `Ok(0)` early and [`BodyReader::complete`] stays `false` — the
+/// caller distinguishes a whole body from a torn one without this
+/// adapter buffering anything.
+pub struct BodyReader<'a, R: Read> {
+    leftover: &'a [u8],
+    stream: &'a mut R,
+    remaining: u64,
+    torn: bool,
+}
+
+impl<'a, R: Read> BodyReader<'a, R> {
+    /// A body reader for `declared` bytes, draining `leftover` first.
+    pub fn new(leftover: &'a [u8], stream: &'a mut R, declared: u64) -> Self {
+        let take = (leftover.len() as u64).min(declared) as usize;
+        BodyReader {
+            leftover: &leftover[..take],
+            stream,
+            remaining: declared,
+            torn: false,
+        }
+    }
+
+    /// Whether the full declared length was delivered (meaningful once
+    /// reads have returned `Ok(0)`).
+    pub fn complete(&self) -> bool {
+        self.remaining == 0 && !self.torn
+    }
+
+    /// Body bytes not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<R: Read> Read for BodyReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        if !self.leftover.is_empty() {
+            let n = self.leftover.len().min(buf.len()).min(self.remaining as usize);
+            buf[..n].copy_from_slice(&self.leftover[..n]);
+            self.leftover = &self.leftover[n..];
+            self.remaining -= n as u64;
+            return Ok(n);
+        }
+        let cap = buf.len().min(self.remaining.min(usize::MAX as u64) as usize);
+        match self.stream.read(&mut buf[..cap]) {
+            Ok(0) => {
+                self.torn = true;
+                Ok(0)
+            }
+            Ok(n) => {
+                self.remaining -= n as u64;
+                Ok(n)
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                self.torn = true;
+                Ok(0)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                self.torn = true;
+                Ok(0)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Writes a complete response with the standard connection-close
+/// framing. `extra_headers` lines are verbatim (no trailing `\r\n`).
+pub fn respond_with(
+    stream: &mut impl Write,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[&str],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for line in extra_headers {
+        head.push_str(line);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// [`respond_with`] without extra headers.
+pub fn respond(
+    stream: &mut impl Write,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    respond_with(stream, status, content_type, &[], body)
+}
+
+/// The numeric status code of a `"429 Too Many Requests"`-style status
+/// line, for metric names like `serve.http_429`.
+pub fn status_code(status: &str) -> &str {
+    status.split(' ').next().unwrap_or("0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<RequestHead, HeadError> {
+        let mut scratch = Vec::new();
+        read_head(&mut &raw[..], &mut scratch)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let head = parse(b"GET /metrics?x=1 HTTP/1.1\r\nHost: dpr\r\nAccept: */*\r\n\r\n").unwrap();
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.path(), "/metrics");
+        assert_eq!(head.header("host"), Some("dpr"));
+        assert_eq!(head.header("ACCEPT"), Some("*/*"));
+        assert_eq!(head.content_length(), Ok(None));
+        assert!(head.leftover.is_empty());
+    }
+
+    #[test]
+    fn keeps_body_bytes_as_leftover() {
+        let head = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nBODY").unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.content_length(), Ok(Some(4)));
+        assert_eq!(head.leftover, b"BODY");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"\x00\x01\x02\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x FTP/1.0\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HeadError::Malformed(_))),
+                "{:?} should be malformed",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn torn_head_is_closed_not_malformed_garbage() {
+        assert!(matches!(parse(b""), Err(HeadError::Closed)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nHost: d"),
+            Err(HeadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_too_large() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        raw.extend_from_slice(b": v\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(HeadError::TooLarge)));
+    }
+
+    #[test]
+    fn content_length_overflow_and_conflict_are_errors() {
+        let huge = parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n").unwrap();
+        assert!(huge.content_length().is_err());
+        let twice =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n").unwrap();
+        assert!(twice.content_length().is_err());
+        let same =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\n").unwrap();
+        assert_eq!(same.content_length(), Ok(Some(3)));
+    }
+
+    #[test]
+    fn body_reader_tracks_completion() {
+        // Full body, split between leftover and the stream.
+        let mut rest: &[u8] = b"DEF";
+        let mut body = BodyReader::new(b"ABC", &mut rest, 6);
+        let mut out = Vec::new();
+        body.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"ABCDEF");
+        assert!(body.complete());
+
+        // Peer closes mid-body: read ends early, complete() is false.
+        let mut rest: &[u8] = b"DE";
+        let mut body = BodyReader::new(b"", &mut rest, 10);
+        let mut out = Vec::new();
+        body.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"DE");
+        assert!(!body.complete());
+
+        // Leftover longer than the declared length is clipped.
+        let mut rest: &[u8] = b"XYZ";
+        let mut body = BodyReader::new(b"ABC", &mut rest, 2);
+        let mut out = Vec::new();
+        body.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"AB");
+        assert!(body.complete());
+    }
+
+    #[test]
+    fn respond_with_writes_extra_headers() {
+        let mut out = Vec::new();
+        respond_with(&mut out, "429 Too Many Requests", "text/plain", &["Retry-After: 1"], "busy\n")
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("busy\n"));
+        assert_eq!(status_code("429 Too Many Requests"), "429");
+    }
+}

@@ -31,17 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod flame;
+pub mod http;
 pub mod prom;
 pub mod regress;
 pub mod server;
+pub mod table;
 pub mod trace_event;
 
 pub use flame::Profile;
 pub use regress::{Comparison, Direction, Verdict};
 pub use server::{
-    shared_runs, shared_trace, HealthStatus, MetricsServer, RunListing, RunRecord, RunStore,
-    SharedRuns, SharedTrace, METRICS_ADDR_ENV, RUNS_KEPT,
+    shared_runs, shared_trace, Conn, HealthStatus, HttpHandler, HttpServer, MetricsServer,
+    ObsRouter, RunListing, RunRecord, RunStore, ServerConfig, SharedRuns, SharedTrace,
+    METRICS_ADDR_ENV, OBS_ROUTES, RUNS_KEPT,
 };
+pub use table::{SessionTable, SessionToken};
 pub use trace_event::{TraceExport, TRACE_EVENTS_ENV};
 
 use dpr_telemetry::{PipelineTrace, Registry};

@@ -1,38 +1,54 @@
-//! A std-only scrape endpoint: `std::net::TcpListener`, one handler
-//! thread, no external dependencies.
+//! A std-only concurrent HTTP server core plus the metrics scrape
+//! endpoint built on it: `std::net::TcpListener`, a fixed handler pool,
+//! no external dependencies.
 //!
-//! Routes:
+//! Layering:
 //!
-//! * `GET /metrics` — the registry's current [`MetricsSnapshot`] in
-//!   Prometheus text exposition format ([`crate::prom::render`]).
-//! * `GET /trace` — the most recently published
-//!   [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON (404 until
-//!   one is published).
-//! * `GET /runs` — the recent published runs (id, wall-clock publish
-//!   time, recovered sensor slugs) as a JSON array, newest last.
-//! * `GET /evidence/<sensor>` — the named sensor's
-//!   [`EvidenceChain`](dpr_evidence::EvidenceChain) from the most recent
-//!   run that recovered it, as JSON; 404s list the known slugs.
-//! * `GET /profile` — the process-wide `dpr_prof` pool-profile snapshot
-//!   (per-label scheduling aggregates plus recent `par_map` calls) as
-//!   JSON.
-//! * `GET /healthz` — liveness as JSON: status, crate version, server
-//!   uptime in seconds, and how many runs this process has published.
+//! * [`HttpServer`] — the generic machinery: an acceptor thread claims a
+//!   [`SessionTable`](crate::table::SessionTable) slot per connection
+//!   (503 when full), hands it to a bounded pool of handler threads
+//!   (each with a reused head-scratch buffer), and a sweeper thread
+//!   shuts down connections idle past their deadline. One slow or
+//!   stalled client occupies one slot and one handler at most — it can
+//!   no longer wedge every other caller, which is the regression the
+//!   old single-threaded serve loop had.
+//! * [`ObsRouter`] — the observability routes, usable standalone as the
+//!   server's handler or delegated to from a larger router (`dpr-serve`
+//!   mounts it behind its `/jobs` routes):
+//!
+//!   * `GET /metrics` — the registry's current snapshot in Prometheus
+//!     text exposition format ([`crate::prom::render`]).
+//!   * `GET /trace` — the most recently published
+//!     [`PipelineTrace`](dpr_telemetry::PipelineTrace) as JSON (404
+//!     until one is published).
+//!   * `GET /runs` — the recent published runs (id, wall-clock publish
+//!     time, recovered sensor slugs) as a JSON array, newest last.
+//!   * `GET /evidence/<sensor>` — the named sensor's
+//!     [`EvidenceChain`](dpr_evidence::EvidenceChain) from the most
+//!     recent run that recovered it, as JSON; 404s list known slugs.
+//!   * `GET /profile` — the process-wide `dpr_prof` pool-profile
+//!     snapshot as JSON.
+//!   * `GET /healthz` — liveness as JSON: status, crate version, server
+//!     uptime in seconds, and how many runs this process has published.
+//! * [`MetricsServer`] — the two glued together with default
+//!   [`ServerConfig`], preserving the original start/from_env/stop API.
 //!
 //! The server binds eagerly (so `127.0.0.1:0` callers can read the
-//! ephemeral port from [`MetricsServer::addr`]) and serves from a single
-//! named thread; a scrape is a snapshot + render, a few microseconds, so
-//! one handler is plenty for Prometheus-style polling. [`stop`]
-//! (MetricsServer::stop) flips a flag and pokes the listener with a
-//! loopback connection so a blocked `accept` wakes immediately.
+//! ephemeral port from [`MetricsServer::addr`]). [`stop`]
+//! (MetricsServer::stop) flips a flag, pokes the listener with a
+//! loopback connection so a blocked `accept` wakes immediately, drains
+//! already-accepted connections, and joins every thread.
 
+use crate::http::{self, HeadError, RequestHead};
 use crate::prom;
+use crate::table::SessionTable;
 use dpr_telemetry::{PipelineTrace, Registry};
 use parking_lot::Mutex;
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -78,45 +94,90 @@ pub struct RunListing {
     pub sensors: Vec<String>,
 }
 
-/// The recent published runs (last [`RUNS_KEPT`]), oldest first.
-#[derive(Debug, Default)]
+/// The recent published runs, oldest first, bounded to a fixed capacity
+/// (default [`RUNS_KEPT`]) so a long-running service cannot grow its run
+/// history without limit. Every eviction bumps the `runs.evicted`
+/// counter on the calling thread's telemetry registry.
+#[derive(Debug)]
 pub struct RunStore {
-    runs: Vec<RunRecord>,
+    runs: VecDeque<RunRecord>,
     next_id: u64,
+    capacity: usize,
+    evicted: u64,
 }
 
-/// How many published runs `GET /runs` retains.
+/// How many published runs `GET /runs` retains by default.
 pub const RUNS_KEPT: usize = 32;
 
+impl Default for RunStore {
+    fn default() -> Self {
+        RunStore::with_capacity(RUNS_KEPT)
+    }
+}
+
 impl RunStore {
-    /// Appends a run, assigns its id, and drops the oldest beyond
-    /// [`RUNS_KEPT`]. Returns the assigned id.
+    /// A store retaining at most `capacity` runs (floored to 1).
+    pub fn with_capacity(capacity: usize) -> RunStore {
+        RunStore {
+            runs: VecDeque::new(),
+            next_id: 0,
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a run, assigns its id, and evicts the oldest beyond the
+    /// capacity. Returns the assigned id.
     pub fn publish(&mut self, at_ms: u64, ledger: dpr_evidence::EvidenceLedger) -> String {
         self.next_id += 1;
         let id = format!("run-{}", self.next_id);
-        self.runs.push(RunRecord {
+        self.runs.push_back(RunRecord {
             id: id.clone(),
             at_ms,
             sensors: ledger.chains.iter().map(|c| c.slug.clone()).collect(),
             ledger,
         });
-        if self.runs.len() > RUNS_KEPT {
-            let excess = self.runs.len() - RUNS_KEPT;
-            self.runs.drain(..excess);
+        let mut dropped = 0;
+        while self.runs.len() > self.capacity {
+            self.runs.pop_front();
+            dropped += 1;
+        }
+        if dropped > 0 {
+            self.evicted += dropped;
+            dpr_telemetry::counter("runs.evicted").inc(dropped);
         }
         id
     }
 
     /// The retained runs, oldest first.
-    pub fn runs(&self) -> &[RunRecord] {
-        &self.runs
+    pub fn runs(&self) -> impl Iterator<Item = &RunRecord> {
+        self.runs.iter()
     }
 
-    /// Total runs ever published through this store (eviction beyond
-    /// [`RUNS_KEPT`] does not decrease it). This is what `/healthz`
-    /// reports as `runs_published`.
+    /// How many runs are currently retained.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs are retained.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total runs ever published through this store (eviction does not
+    /// decrease it). This is what `/healthz` reports as `runs_published`.
     pub fn published(&self) -> u64 {
         self.next_id
+    }
+
+    /// How many runs the capacity bound has evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// The named sensor's chain from the most recent run that has it.
@@ -159,12 +220,525 @@ pub fn shared_runs() -> SharedRuns {
     Arc::new(Mutex::new(RunStore::default()))
 }
 
-/// A running scrape endpoint. Stops (and joins its thread) on
+/// Tuning for an [`HttpServer`]: pool width, session-table size, and
+/// the three deadlines that keep hostile clients from wedging it.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Handler threads draining accepted connections.
+    pub handler_threads: usize,
+    /// Session-table slots; connection 65 of 64 gets an immediate 503.
+    pub max_sessions: usize,
+    /// Idle deadline before the sweeper shuts a connection down.
+    pub idle_timeout: Duration,
+    /// Socket read deadline (one blocked `read` at most this long).
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            handler_threads: 4,
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One connection being answered: the stream plus the registry that
+/// counts responses. Every response written through [`Conn::respond`] /
+/// [`Conn::respond_with`] bumps `serve.http_<status>`.
+pub struct Conn<'a> {
+    stream: &'a mut TcpStream,
+    registry: &'a Registry,
+}
+
+impl Conn<'_> {
+    /// Writes a complete response and counts its status code.
+    pub fn respond(&mut self, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+        self.respond_with(status, content_type, &[], body)
+    }
+
+    /// [`Conn::respond`] with verbatim extra header lines
+    /// (e.g. `Retry-After: 1`).
+    pub fn respond_with(
+        &mut self,
+        status: &str,
+        content_type: &str,
+        extra_headers: &[&str],
+        body: &str,
+    ) -> io::Result<()> {
+        self.registry
+            .counter(&format!("serve.http_{}", http::status_code(status)))
+            .inc(1);
+        http::respond_with(self.stream, status, content_type, extra_headers, body)
+    }
+
+    /// The underlying stream, for handlers that read a request body
+    /// (wrap it in [`http::BodyReader`]).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        self.stream
+    }
+
+    /// The registry this server records `serve.*` metrics into.
+    pub fn registry(&self) -> &Registry {
+        self.registry
+    }
+}
+
+/// A request handler behind an [`HttpServer`]. Called once per parsed
+/// request head; the handler writes exactly one response through the
+/// [`Conn`] and may stream the body from [`Conn::stream`].
+pub trait HttpHandler: Send + Sync {
+    /// Answer one request. I/O errors are logged as `serve.io_errors`
+    /// and close the connection; they must not panic.
+    fn handle(&self, head: &RequestHead, conn: &mut Conn<'_>) -> io::Result<()>;
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    table: SessionTable,
+    queue: StdMutex<VecDeque<(crate::table::SessionToken, TcpStream)>>,
+    ready: Condvar,
+    stop: AtomicBool,
+    registry: Arc<Registry>,
+    handler: Arc<dyn HttpHandler>,
+}
+
+/// Recover from a poisoned std mutex: the protected state (a queue of
+/// connections) stays valid even if a handler thread panicked.
+fn lock<'a, T>(mutex: &'a StdMutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A concurrent, bounded HTTP/1.1 server: acceptor thread, fixed
+/// handler pool, idle sweeper, one response per connection.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` and starts serving `handler`. `name` prefixes the
+    /// thread names (`<name>-accept`, `<name>-worker-N`, `<name>-sweep`);
+    /// `registry` receives the `serve.*` metrics.
+    pub fn start(
+        addr: &str,
+        name: &str,
+        config: ServerConfig,
+        handler: Arc<dyn HttpHandler>,
+        registry: Arc<Registry>,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            table: SessionTable::new(config.max_sessions, config.idle_timeout),
+            config,
+            queue: StdMutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            registry,
+            handler,
+        });
+        let acceptor = std::thread::Builder::new()
+            .name(format!("{name}-accept"))
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || accept_loop(&listener, &shared)
+            })?;
+        let mut workers = Vec::with_capacity(shared.config.handler_threads.max(1));
+        for i in 0..shared.config.handler_threads.max(1) {
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{i}"))
+                    .spawn({
+                        let shared = Arc::clone(&shared);
+                        move || worker_loop(&shared)
+                    })?,
+            );
+        }
+        let sweeper = std::thread::Builder::new()
+            .name(format!("{name}-sweep"))
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || sweep_loop(&shared)
+            })?;
+        Ok(HttpServer {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            sweeper: Some(sweeper),
+        })
+    }
+
+    /// The bound address — with an `:0` bind, this is where the
+    /// ephemeral port landed.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry `serve.*` metrics land in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Stops accepting, drains already-accepted connections, and joins
+    /// every thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() && self.sweeper.is_none() {
+            return;
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call; an error just means the listener
+        // already noticed the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Workers drain whatever the acceptor already queued, then see
+        // the flag on the emptied queue and exit.
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            self.shared.ready.notify_all();
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sweeper.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("table", &self.shared.table)
+            .field("stopped", &self.shared.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &ServerShared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        shared.registry.counter("serve.connections_accepted").inc(1);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        match shared.table.claim(&stream) {
+            Some(token) => {
+                shared
+                    .registry
+                    .gauge("serve.sessions_open")
+                    .set(shared.table.open() as i64);
+                let depth = {
+                    let mut queue = lock(&shared.queue);
+                    queue.push_back((token, stream));
+                    queue.len()
+                };
+                shared.registry.gauge("serve.queue_depth").set(depth as i64);
+                shared.ready.notify_one();
+            }
+            None => {
+                // Table full: the first backpressure point. Refuse
+                // before reading a single byte.
+                shared.registry.counter("serve.connections_refused").inc(1);
+                shared.registry.counter("serve.http_503").inc(1);
+                let _ = http::respond(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "session table full, try again\n",
+                );
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &ServerShared) {
+    // Reused across every request this worker serves: head parsing does
+    // no steady-state buffer allocation.
+    let mut scratch = Vec::with_capacity(1024);
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared
+                        .registry
+                        .gauge("serve.queue_depth")
+                        .set(queue.len() as i64);
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((token, stream)) = job else { break };
+        serve_one(shared, token, stream, &mut scratch);
+    }
+}
+
+fn serve_one(
+    shared: &ServerShared,
+    token: crate::table::SessionToken,
+    mut stream: TcpStream,
+    scratch: &mut Vec<u8>,
+) {
+    let registry = &shared.registry;
+    let started = Instant::now();
+    match http::read_head(&mut stream, scratch) {
+        Ok(head) => {
+            shared.table.touch(token);
+            registry.counter("serve.requests").inc(1);
+            let mut conn = Conn {
+                stream: &mut stream,
+                registry,
+            };
+            if shared.handler.handle(&head, &mut conn).is_err() {
+                registry.counter("serve.io_errors").inc(1);
+            }
+            registry
+                .histogram("serve.request_us")
+                .record(started.elapsed().as_micros() as f64);
+        }
+        Err(HeadError::Closed) => {
+            registry.counter("serve.closed_early").inc(1);
+        }
+        Err(HeadError::Timeout) => {
+            registry.counter("serve.read_timeouts").inc(1);
+            let mut conn = Conn {
+                stream: &mut stream,
+                registry,
+            };
+            let _ = conn.respond(
+                "408 Request Timeout",
+                "text/plain",
+                "request head did not arrive within the read deadline\n",
+            );
+        }
+        Err(HeadError::TooLarge) => {
+            let mut conn = Conn {
+                stream: &mut stream,
+                registry,
+            };
+            let _ = conn.respond(
+                "413 Content Too Large",
+                "text/plain",
+                "request head exceeds the size limit\n",
+            );
+        }
+        Err(HeadError::Malformed(why)) => {
+            let mut conn = Conn {
+                stream: &mut stream,
+                registry,
+            };
+            let _ = conn.respond("400 Bad Request", "text/plain", &format!("{why}\n"));
+        }
+        Err(HeadError::Io(_)) => {
+            registry.counter("serve.io_errors").inc(1);
+        }
+    }
+    drop(stream);
+    // A stale token means the sweeper evicted this session mid-serve;
+    // it already counted the eviction.
+    let _ = shared.table.release(token);
+    registry
+        .gauge("serve.sessions_open")
+        .set(shared.table.open() as i64);
+}
+
+fn sweep_loop(shared: &ServerShared) {
+    let quarter = shared.config.idle_timeout / 4;
+    let interval = quarter
+        .min(Duration::from_millis(250))
+        .max(Duration::from_millis(5));
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::park_timeout(interval);
+        let evicted = shared.table.sweep();
+        if evicted > 0 {
+            shared
+                .registry
+                .counter("serve.idle_closed")
+                .inc(evicted as u64);
+            shared
+                .registry
+                .gauge("serve.sessions_open")
+                .set(shared.table.open() as i64);
+        }
+    }
+}
+
+/// The observability routes (`/metrics`, `/trace`, `/runs`,
+/// `/evidence/<sensor>`, `/profile`, `/healthz`) as a reusable router:
+/// the [`MetricsServer`]'s handler, and the fallback `dpr-serve`
+/// delegates non-`/jobs` requests to.
+pub struct ObsRouter {
+    registry: Arc<Registry>,
+    trace: SharedTrace,
+    runs: SharedRuns,
+    started: Instant,
+}
+
+/// The route list the 404 body advertises.
+pub const OBS_ROUTES: &str = "/metrics /trace /runs /evidence/<sensor> /profile /healthz";
+
+impl ObsRouter {
+    /// A router serving `registry`, `trace`, and `runs`; uptime counts
+    /// from now.
+    pub fn new(registry: Arc<Registry>, trace: SharedTrace, runs: SharedRuns) -> ObsRouter {
+        ObsRouter {
+            registry,
+            trace,
+            runs,
+            started: Instant::now(),
+        }
+    }
+
+    /// The shared run store this router serves.
+    pub fn runs(&self) -> &SharedRuns {
+        &self.runs
+    }
+
+    /// Answers the request if its path is an observability route.
+    /// Returns `Ok(false)` — with nothing written — when the path is
+    /// not ours, so a wrapping router can 404 with its own route list.
+    pub fn try_route(&self, head: &RequestHead, conn: &mut Conn<'_>) -> io::Result<bool> {
+        let path = head.path();
+        let known = matches!(
+            path,
+            "/metrics" | "/trace" | "/runs" | "/profile" | "/healthz"
+        ) || path.starts_with("/evidence/");
+        if !known {
+            return Ok(false);
+        }
+        if head.method != "GET" {
+            conn.respond("405 Method Not Allowed", "text/plain", "GET only\n")?;
+            return Ok(true);
+        }
+        if let Some(slug) = path.strip_prefix("/evidence/") {
+            let store = self.runs.lock();
+            match store.chain(slug) {
+                Some(chain) => {
+                    let body = dpr_telemetry::json::to_string(chain)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                    conn.respond("200 OK", "application/json", &body)?;
+                }
+                None => {
+                    let known = store.known_sensors().join(" ");
+                    conn.respond(
+                        "404 Not Found",
+                        "text/plain",
+                        &format!("unknown sensor {slug:?}; known: {known}\n"),
+                    )?;
+                }
+            }
+            return Ok(true);
+        }
+        match path {
+            "/metrics" => conn.respond(
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &prom::render(&self.registry.snapshot()),
+            )?,
+            "/trace" => match self.trace.lock().clone() {
+                Some(trace) => {
+                    let body = dpr_telemetry::json::to_string(&trace)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                    conn.respond("200 OK", "application/json", &body)?;
+                }
+                None => {
+                    conn.respond("404 Not Found", "text/plain", "no trace published yet\n")?;
+                }
+            },
+            "/runs" => {
+                let listing: Vec<RunListing> = self
+                    .runs
+                    .lock()
+                    .runs()
+                    .map(|r| RunListing {
+                        id: r.id.clone(),
+                        at_ms: r.at_ms,
+                        sensors: r.sensors.clone(),
+                    })
+                    .collect();
+                let body = dpr_telemetry::json::to_string(&listing)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                conn.respond("200 OK", "application/json", &body)?;
+            }
+            "/profile" => {
+                let body = dpr_telemetry::json::to_string(&dpr_prof::snapshot())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                conn.respond("200 OK", "application/json", &body)?;
+            }
+            "/healthz" => {
+                let health = HealthStatus {
+                    status: "ok".to_string(),
+                    version: env!("CARGO_PKG_VERSION").to_string(),
+                    uptime_secs: self.started.elapsed().as_secs(),
+                    runs_published: self.runs.lock().published(),
+                };
+                let body = dpr_telemetry::json::to_string(&health)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                conn.respond("200 OK", "application/json", &body)?;
+            }
+            _ => unreachable!("known paths are matched above"),
+        }
+        Ok(true)
+    }
+}
+
+impl HttpHandler for ObsRouter {
+    fn handle(&self, head: &RequestHead, conn: &mut Conn<'_>) -> io::Result<()> {
+        if !self.try_route(head, conn)? {
+            conn.respond(
+                "404 Not Found",
+                "text/plain",
+                &format!("routes: {OBS_ROUTES}\n"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ObsRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsRouter")
+            .field("uptime", &self.started.elapsed())
+            .finish()
+    }
+}
+
+/// A running scrape endpoint: [`ObsRouter`] behind an [`HttpServer`]
+/// with default [`ServerConfig`]. Stops (and joins its threads) on
 /// [`stop`](MetricsServer::stop) or drop.
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl MetricsServer {
@@ -175,19 +749,9 @@ impl MetricsServer {
         trace: SharedTrace,
         runs: SharedRuns,
     ) -> io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let started = Instant::now();
-        let handle = std::thread::Builder::new()
-            .name("dpr-metrics".to_string())
-            .spawn(move || accept_loop(listener, registry, trace, runs, stop_flag, started))?;
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let router = Arc::new(ObsRouter::new(Arc::clone(&registry), trace, runs));
+        let inner = HttpServer::start(addr, "dpr-metrics", ServerConfig::default(), router, registry)?;
+        Ok(MetricsServer { inner })
     }
 
     /// Starts a server on the `DPR_METRICS_ADDR` address, if the variable
@@ -208,190 +772,27 @@ impl MetricsServer {
     /// The bound address — with an `:0` bind, this is where the ephemeral
     /// port landed.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
-    /// Stops accepting, wakes the listener, and joins the serve thread.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        let Some(handle) = self.handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call; an error just means the listener
-        // already noticed the flag.
-        let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// Stops accepting, wakes the listener, and joins the serve threads.
+    pub fn stop(self) {
+        self.inner.stop();
     }
 }
 
 impl std::fmt::Debug for MetricsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MetricsServer")
-            .field("addr", &self.addr)
-            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .field("inner", &self.inner)
             .finish()
     }
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    registry: Arc<Registry>,
-    trace: SharedTrace,
-    runs: SharedRuns,
-    stop: Arc<AtomicBool>,
-    started: Instant,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // A misbehaving client must not wedge the endpoint.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let _ = handle_connection(stream, &registry, &trace, &runs, started);
-    }
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    registry: &Registry,
-    trace: &SharedTrace,
-    runs: &SharedRuns,
-    started: Instant,
-) -> io::Result<()> {
-    let request = read_request_head(&mut stream)?;
-    let mut parts = request.split_whitespace();
-    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-    }
-    let path = target.split('?').next().unwrap_or("");
-    if let Some(slug) = path.strip_prefix("/evidence/") {
-        let store = runs.lock();
-        return match store.chain(slug) {
-            Some(chain) => {
-                let body = dpr_telemetry::json::to_string(chain)
-                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-                respond(&mut stream, "200 OK", "application/json", &body)
-            }
-            None => {
-                let known = store.known_sensors().join(" ");
-                respond(
-                    &mut stream,
-                    "404 Not Found",
-                    "text/plain",
-                    &format!("unknown sensor {slug:?}; known: {known}\n"),
-                )
-            }
-        };
-    }
-    match path {
-        "/metrics" => respond(
-            &mut stream,
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            &prom::render(&registry.snapshot()),
-        ),
-        "/trace" => match trace.lock().clone() {
-            Some(trace) => {
-                let body = dpr_telemetry::json::to_string(&trace)
-                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-                respond(&mut stream, "200 OK", "application/json", &body)
-            }
-            None => respond(
-                &mut stream,
-                "404 Not Found",
-                "text/plain",
-                "no trace published yet\n",
-            ),
-        },
-        "/runs" => {
-            let listing: Vec<RunListing> = runs
-                .lock()
-                .runs()
-                .iter()
-                .map(|r| RunListing {
-                    id: r.id.clone(),
-                    at_ms: r.at_ms,
-                    sensors: r.sensors.clone(),
-                })
-                .collect();
-            let body = dpr_telemetry::json::to_string(&listing)
-                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-            respond(&mut stream, "200 OK", "application/json", &body)
-        }
-        "/profile" => {
-            let body = dpr_telemetry::json::to_string(&dpr_prof::snapshot())
-                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-            respond(&mut stream, "200 OK", "application/json", &body)
-        }
-        "/healthz" => {
-            let health = HealthStatus {
-                status: "ok".to_string(),
-                version: env!("CARGO_PKG_VERSION").to_string(),
-                uptime_secs: started.elapsed().as_secs(),
-                runs_published: runs.lock().published(),
-            };
-            let body = dpr_telemetry::json::to_string(&health)
-                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
-            respond(&mut stream, "200 OK", "application/json", &body)
-        }
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain",
-            "routes: /metrics /trace /runs /evidence/<sensor> /profile /healthz\n",
-        ),
-    }
-}
-
-/// Reads up to the end of the request head (`\r\n\r\n`). The routes are
-/// all bodyless GETs, so the head is the whole request.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
-    let mut head = Vec::with_capacity(256);
-    let mut buf = [0u8; 256];
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
-            break;
-        }
-    }
-    Ok(String::from_utf8_lossy(&head).into_owned())
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     /// A minimal std TcpStream scrape client, shared with the
     /// integration tests via copy — kept here so unit tests exercise the
@@ -440,6 +841,8 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200"));
         assert!(head.contains("text/plain; version=0.0.4"));
         assert!(body.contains("obs_test_hits 3\n"));
+        // The server's own request accounting lands in the same registry.
+        assert!(body.contains("serve_requests"), "{body}");
 
         // /trace 404s until a trace is published…
         let (head, _) = get(addr, "/trace");
@@ -467,7 +870,7 @@ mod tests {
         .expect("bind");
         let addr = server.addr();
         server.stop();
-        // The port is released once the thread exits: a fresh connection
+        // The port is released once the threads exit: a fresh connection
         // either fails or is never served.
         let late = TcpStream::connect(addr);
         if let Ok(mut stream) = late {
@@ -510,12 +913,30 @@ mod tests {
         for i in 0..(RUNS_KEPT + 3) {
             store.publish(i as u64, ledger.clone());
         }
-        assert_eq!(store.runs().len(), RUNS_KEPT);
+        assert_eq!(store.len(), RUNS_KEPT);
+        assert_eq!(store.evicted(), 3);
         // Oldest entries were evicted; ids keep counting.
-        assert_eq!(store.runs()[0].id, "run-4");
-        assert_eq!(store.runs().last().unwrap().id, format!("run-{}", RUNS_KEPT + 3));
+        let ids: Vec<&str> = store.runs().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids[0], "run-4");
+        assert_eq!(ids.last().copied(), Some(format!("run-{}", RUNS_KEPT + 3).as_str()));
         assert!(store.chain("did-0xf40d").is_some());
         assert!(store.chain("nope").is_none());
         assert_eq!(store.known_sensors(), vec!["did-0xf40d".to_string()]);
+    }
+
+    #[test]
+    fn run_store_eviction_is_counted_on_the_scoped_registry() {
+        let registry = Arc::new(Registry::new());
+        let evicted = dpr_telemetry::scoped(Arc::clone(&registry), || {
+            let mut store = RunStore::with_capacity(2);
+            for i in 0..5 {
+                store.publish(i, dpr_evidence::EvidenceLedger::default());
+            }
+            assert_eq!(store.len(), 2);
+            store.evicted()
+        });
+        assert_eq!(evicted, 3);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters.get("runs.evicted").copied(), Some(3));
     }
 }

@@ -1,0 +1,248 @@
+//! A slot-map connection/session table with idle timeouts.
+//!
+//! Every accepted connection claims a slot before any byte is read; a
+//! full table is the *first* backpressure point (the acceptor answers
+//! 503 and closes). Slots are `(index, generation)` tokens: releasing a
+//! slot bumps its generation, so a stale token — a handler releasing a
+//! connection the idle sweeper already evicted — is a no-op instead of
+//! clobbering the slot's next tenant (the classic slot-map ABA guard).
+//!
+//! The sweeper side owns a [`TcpStream::try_clone`] of each connection:
+//! [`sweep`](SessionTable::sweep) calls `shutdown` on clones whose
+//! deadline passed, which wakes the handler thread blocked in `read`
+//! with an EOF, unwedging slow-loris clients without the table ever
+//! joining or signalling threads.
+
+use parking_lot::Mutex;
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A claim on one table slot. Tokens are use-once: [`SessionTable::release`]
+/// invalidates every outstanding copy via the generation bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionToken {
+    slot: usize,
+    generation: u64,
+}
+
+struct Session {
+    /// Sweeper-side handle; the handler thread owns the original.
+    stream: TcpStream,
+    last_seen: Instant,
+}
+
+struct Slot {
+    generation: u64,
+    session: Option<Session>,
+}
+
+struct TableInner {
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+}
+
+/// Bounded registry of live connections with an idle deadline.
+pub struct SessionTable {
+    inner: Mutex<TableInner>,
+    idle_timeout: Duration,
+}
+
+impl SessionTable {
+    /// A table with `capacity` slots and the given idle deadline.
+    pub fn new(capacity: usize, idle_timeout: Duration) -> Self {
+        let capacity = capacity.max(1);
+        SessionTable {
+            inner: Mutex::new(TableInner {
+                slots: (0..capacity)
+                    .map(|_| Slot {
+                        generation: 0,
+                        session: None,
+                    })
+                    .collect(),
+                free: (0..capacity).rev().collect(),
+            }),
+            idle_timeout,
+        }
+    }
+
+    /// How many slots the table has.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// How many sessions are currently claimed.
+    pub fn open(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.slots.len() - inner.free.len()
+    }
+
+    /// Claims a slot for `stream`. `None` when the table is full or the
+    /// stream cannot be cloned for the sweeper (treated as full: the
+    /// connection should be refused, not tracked invisibly).
+    pub fn claim(&self, stream: &TcpStream) -> Option<SessionToken> {
+        let clone = stream.try_clone().ok()?;
+        let mut inner = self.inner.lock();
+        let slot = inner.free.pop()?;
+        let generation = inner.slots[slot].generation;
+        inner.slots[slot].session = Some(Session {
+            stream: clone,
+            last_seen: Instant::now(),
+        });
+        Some(SessionToken { slot, generation })
+    }
+
+    /// Refreshes the idle deadline of a live session. Stale tokens are
+    /// ignored.
+    pub fn touch(&self, token: SessionToken) {
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.slots.get_mut(token.slot) {
+            if slot.generation == token.generation {
+                if let Some(session) = &mut slot.session {
+                    session.last_seen = Instant::now();
+                }
+            }
+        }
+    }
+
+    /// Releases a claimed slot. Returns `false` for stale tokens (the
+    /// sweeper got there first) — callers use that to count idle
+    /// evictions separately from normal completions.
+    pub fn release(&self, token: SessionToken) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(slot) = inner.slots.get_mut(token.slot) else {
+            return false;
+        };
+        if slot.generation != token.generation || slot.session.is_none() {
+            return false;
+        }
+        slot.session = None;
+        slot.generation += 1;
+        inner.free.push(token.slot);
+        true
+    }
+
+    /// Shuts down and releases every session idle past the deadline.
+    /// Returns how many were evicted. The handler thread blocked on an
+    /// evicted stream sees EOF, finishes, and its `release` becomes a
+    /// stale no-op.
+    pub fn sweep(&self) -> usize {
+        let now = Instant::now();
+        let mut evicted = 0;
+        let mut inner = self.inner.lock();
+        for i in 0..inner.slots.len() {
+            let expired = inner.slots[i]
+                .session
+                .as_ref()
+                .is_some_and(|s| now.duration_since(s.last_seen) >= self.idle_timeout);
+            if expired {
+                if let Some(session) = inner.slots[i].session.take() {
+                    let _ = session.stream.shutdown(Shutdown::Both);
+                }
+                inner.slots[i].generation += 1;
+                inner.free.push(i);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// The configured idle deadline.
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+}
+
+impl std::fmt::Debug for SessionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTable")
+            .field("capacity", &self.capacity())
+            .field("open", &self.open())
+            .field("idle_timeout", &self.idle_timeout)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A connected (server-side accepted) stream pair for table tests.
+    fn pair(listener: &TcpListener) -> (TcpStream, TcpStream) {
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn claims_up_to_capacity_then_refuses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let table = SessionTable::new(2, Duration::from_secs(60));
+        let (_c1, s1) = pair(&listener);
+        let (_c2, s2) = pair(&listener);
+        let (_c3, s3) = pair(&listener);
+        let t1 = table.claim(&s1).expect("slot 1");
+        let _t2 = table.claim(&s2).expect("slot 2");
+        assert!(table.claim(&s3).is_none(), "table is full");
+        assert_eq!(table.open(), 2);
+
+        assert!(table.release(t1));
+        assert_eq!(table.open(), 1);
+        assert!(table.claim(&s3).is_some(), "freed slot is reusable");
+    }
+
+    #[test]
+    fn stale_tokens_are_inert() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let table = SessionTable::new(1, Duration::from_secs(60));
+        let (_c1, s1) = pair(&listener);
+        let token = table.claim(&s1).unwrap();
+        assert!(table.release(token));
+        assert!(!table.release(token), "double release is a no-op");
+
+        // The slot's next tenant is safe from the old token.
+        let (_c2, s2) = pair(&listener);
+        let fresh = table.claim(&s2).unwrap();
+        assert!(!table.release(token));
+        table.touch(token); // must not refresh the new tenant
+        assert_eq!(table.open(), 1);
+        assert!(table.release(fresh));
+    }
+
+    #[test]
+    fn sweep_evicts_idle_sessions_and_wakes_blocked_readers() {
+        use std::io::Read;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let table = SessionTable::new(4, Duration::from_millis(10));
+        let (mut client, server) = pair(&listener);
+        let token = table.claim(&server).unwrap();
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(table.sweep(), 1);
+        assert_eq!(table.open(), 0);
+        // The handler's release after eviction is stale, not corrupting.
+        assert!(!table.release(token));
+
+        // The peer of the shut-down stream reads EOF instead of hanging.
+        let mut buf = [0u8; 8];
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(client.read(&mut buf).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn touch_defers_eviction() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let table = SessionTable::new(1, Duration::from_millis(40));
+        let (_client, server) = pair(&listener);
+        let token = table.claim(&server).unwrap();
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(15));
+            table.touch(token);
+        }
+        assert_eq!(table.sweep(), 0, "touched session must stay");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(table.sweep(), 1);
+    }
+}

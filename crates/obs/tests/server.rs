@@ -200,6 +200,58 @@ fn runs_and_evidence_routes_serve_published_runs() {
 }
 
 #[test]
+fn slow_client_does_not_block_other_requests() {
+    // Regression test for the old single-threaded serve loop: a client
+    // that connects and then stalls mid-request used to hold the one
+    // handler thread hostage until its read deadline (2s), delaying
+    // every other caller. With the session table + handler pool, the
+    // stalled connection occupies one slot while /healthz keeps
+    // answering immediately.
+    let server = MetricsServer::start(
+        "127.0.0.1:0",
+        Arc::new(Registry::new()),
+        shared_trace(),
+        dpr_obs::shared_runs(),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Stalled clients: half a request head each, then silence.
+    let mut stalled = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connect stalled client");
+        write!(stream, "GET /metrics HT").expect("send partial request");
+        stalled.push(stream);
+    }
+    // Give the acceptor time to hand the stalled connections to workers.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let started = std::time::Instant::now();
+    let (head, _) = get(addr, "/healthz");
+    let elapsed = started.elapsed();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        elapsed < std::time::Duration::from_millis(500),
+        "healthz took {elapsed:?} with stalled clients holding connections"
+    );
+
+    // The stalled clients eventually get a 408 (read deadline) instead
+    // of wedging the server; their sockets close.
+    for mut stream in stalled {
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(
+            out.is_empty() || out.starts_with("HTTP/1.1 408"),
+            "stalled client saw unexpected response: {out}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
 fn checker_also_accepts_direct_renderer_output() {
     // The checker is grammar-driven, so run it against the renderer
     // directly too — a server-free sanity loop for odd metric names.

@@ -1,0 +1,524 @@
+//! The job table and bounded FIFO behind `POST /jobs`.
+//!
+//! A [`JobStore`] holds every job this service has seen: queued jobs
+//! waiting in a bounded FIFO, the jobs the worker pool is running, and
+//! a bounded history of finished ones (oldest finished evicted first,
+//! counted as `jobs.evicted` — a long-running service cannot grow its
+//! job table without limit). [`submit`](JobStore::submit) is the
+//! backpressure point: a full queue is an error the HTTP layer turns
+//! into `429 Too Many Requests` *before* reading the request body.
+//!
+//! Progress reporting rides the telemetry spans the pipeline already
+//! emits: each job carries a [`StageProgress`] sink that records
+//! pipeline stage spans as they close, so `GET /jobs/<id>` can say
+//! which stages a running job has finished without the pipeline knowing
+//! the service exists.
+
+use dpr_capture::CaptureSession;
+use dpr_telemetry::{Registry, Sink, SpanRecord};
+use parking_lot::Mutex as PlMutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How many finished jobs the store retains by default.
+pub const JOBS_KEPT: usize = 64;
+
+/// Pipeline stage names [`StageProgress`] watches for. `ecr` runs
+/// unspanned inside the association stage; everything else matches the
+/// spans `DpReverser` enters per stage.
+pub const STAGE_NAMES: [&str; 5] = ["capture", "transport", "ocr", "association", "inference"];
+
+/// What one job analyzes.
+#[derive(Debug)]
+pub enum JobInput {
+    /// A capture session parsed from an uploaded `.dprcap` body.
+    Capture(Box<CaptureSession>),
+    /// A named car profile (`{"car":"M"}`) to collect and analyze.
+    Car(String),
+}
+
+/// A [`Sink`] recording which pipeline stages a running job has
+/// finished, attached to the job's private telemetry registry.
+#[derive(Debug, Default)]
+pub struct StageProgress {
+    done: PlMutex<Vec<String>>,
+}
+
+impl StageProgress {
+    /// Stage names closed so far, in completion order.
+    pub fn done(&self) -> Vec<String> {
+        self.done.lock().clone()
+    }
+}
+
+impl Sink for StageProgress {
+    fn span_closed(&self, record: &SpanRecord) {
+        // Stage spans sit at depth 1 (capture, outside the pipeline
+        // span) or depth 2 (under `pipeline`); deeper spans with a
+        // colliding name (e.g. a nested `ocr` helper) are not stages.
+        if record.depth <= 2 && STAGE_NAMES.contains(&record.name) {
+            self.done.lock().push(record.name.to_string());
+        }
+    }
+}
+
+/// One stage of a finished job: name and wall time, from the job's
+/// [`PipelineTrace`](dpr_telemetry::PipelineTrace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLine {
+    /// Stage name (`transport`, `ocr`, …).
+    pub name: String,
+    /// Stage wall time in microseconds.
+    pub wall_us: u64,
+}
+
+/// What `GET /jobs/<id>` serializes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// External job id (`job-1`, `job-2`, …).
+    pub id: String,
+    /// `queued`, `running`, `done`, or `failed`.
+    pub state: String,
+    /// What was submitted: `capture` or `car:<letter>`.
+    pub source: String,
+    /// Stages finished so far (live progress while running; the full
+    /// list once done).
+    pub stages_done: Vec<String>,
+    /// Per-stage wall times from the final trace (empty until done).
+    pub stages: Vec<StageLine>,
+    /// The [`RunStore`](dpr_obs::RunStore) id of the published result.
+    pub run_id: Option<String>,
+    /// Why the job failed, when it did.
+    pub error: Option<String>,
+    /// Total pipeline wall time in microseconds, once done.
+    pub wall_us: Option<u64>,
+}
+
+enum Phase {
+    Queued(JobInput),
+    Running,
+    Done {
+        run_id: String,
+        canonical: String,
+        stages: Vec<StageLine>,
+        wall_us: u64,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+impl Phase {
+    fn state(&self) -> &'static str {
+        match self {
+            Phase::Queued(_) => "queued",
+            Phase::Running => "running",
+            Phase::Done { .. } => "done",
+            Phase::Failed { .. } => "failed",
+        }
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self, Phase::Done { .. } | Phase::Failed { .. })
+    }
+}
+
+struct Job {
+    source: String,
+    phase: Phase,
+    progress: Arc<StageProgress>,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<u64>,
+    finished: VecDeque<u64>,
+    next_id: u64,
+    draining: bool,
+}
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded FIFO is full — the caller should retry shortly (429).
+    QueueFull,
+    /// The service is shutting down (503).
+    Draining,
+}
+
+/// What [`JobStore::result`] found.
+#[derive(Debug)]
+pub enum ResultLookup {
+    /// The job finished; here is its canonical result JSON.
+    Done(String),
+    /// The job failed with this error.
+    Failed(String),
+    /// The job is still `queued` or `running`.
+    Pending(&'static str),
+    /// No such job.
+    Unknown,
+}
+
+/// The bounded job table: FIFO queue, running set, finished history.
+pub struct JobStore {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    queue_capacity: usize,
+    jobs_kept: usize,
+    registry: Arc<Registry>,
+}
+
+fn lock<'a>(mutex: &'a Mutex<Inner>) -> MutexGuard<'a, Inner> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl JobStore {
+    /// A store with a FIFO bounded to `queue_capacity` and a finished
+    /// history bounded to `jobs_kept` (both floored to 1). `jobs.*`
+    /// metrics land in `registry`.
+    pub fn new(queue_capacity: usize, jobs_kept: usize, registry: Arc<Registry>) -> JobStore {
+        JobStore {
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                finished: VecDeque::new(),
+                next_id: 0,
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+            jobs_kept: jobs_kept.max(1),
+            registry,
+        }
+    }
+
+    /// The FIFO bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Jobs currently waiting in the FIFO.
+    pub fn queue_len(&self) -> usize {
+        lock(&self.inner).queue.len()
+    }
+
+    /// Whether a submission right now would be rejected. The HTTP layer
+    /// checks this after parsing the request head and *before* reading
+    /// the body, so a full queue costs an oversized upload nothing.
+    pub fn is_full(&self) -> bool {
+        let inner = lock(&self.inner);
+        inner.draining || inner.queue.len() >= self.queue_capacity
+    }
+
+    /// Counts a submission refused before its body was read (the HTTP
+    /// layer's early `429`, which never reaches [`submit`](Self::submit))
+    /// under the same `jobs.rejected` counter as in-store rejections.
+    pub fn note_rejected(&self) {
+        self.registry.counter("jobs.rejected").inc(1);
+    }
+
+    /// Enqueues a job, returning its external id (`job-N`).
+    pub fn submit(&self, source: String, input: JobInput) -> Result<String, SubmitError> {
+        let mut inner = lock(&self.inner);
+        if inner.draining {
+            self.registry.counter("jobs.rejected").inc(1);
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.queue_capacity {
+            self.registry.counter("jobs.rejected").inc(1);
+            return Err(SubmitError::QueueFull);
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            Job {
+                source,
+                phase: Phase::Queued(input),
+                progress: Arc::new(StageProgress::default()),
+            },
+        );
+        inner.queue.push_back(id);
+        self.registry.counter("jobs.submitted").inc(1);
+        self.registry
+            .gauge("jobs.queue_depth")
+            .set(inner.queue.len() as i64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(format!("job-{id}"))
+    }
+
+    /// Blocks until a job is available and claims it for a worker.
+    /// `None` once the store is draining and the FIFO is empty — queued
+    /// jobs are always finished before workers exit (graceful drain).
+    pub fn take_next(&self) -> Option<(u64, JobInput, Arc<StageProgress>)> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                self.registry
+                    .gauge("jobs.queue_depth")
+                    .set(inner.queue.len() as i64);
+                let job = inner.jobs.get_mut(&id).expect("queued id is in the table");
+                let input = match std::mem::replace(&mut job.phase, Phase::Running) {
+                    Phase::Queued(input) => input,
+                    other => {
+                        // Unreachable by construction; restore and skip.
+                        job.phase = other;
+                        continue;
+                    }
+                };
+                let progress = Arc::clone(&job.progress);
+                return Some((id, input, progress));
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Records a job's successful completion.
+    pub fn complete(
+        &self,
+        id: u64,
+        run_id: String,
+        canonical: String,
+        stages: Vec<StageLine>,
+        wall_us: u64,
+    ) {
+        self.finish(
+            id,
+            Phase::Done {
+                run_id,
+                canonical,
+                stages,
+                wall_us,
+            },
+        );
+        self.registry.counter("jobs.completed").inc(1);
+    }
+
+    /// Records a job's failure.
+    pub fn fail(&self, id: u64, error: String) {
+        self.finish(id, Phase::Failed { error });
+        self.registry.counter("jobs.failed").inc(1);
+    }
+
+    fn finish(&self, id: u64, phase: Phase) {
+        let mut inner = lock(&self.inner);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.phase = phase;
+        }
+        inner.finished.push_back(id);
+        let mut evicted = 0;
+        while inner.finished.len() > self.jobs_kept {
+            if let Some(old) = inner.finished.pop_front() {
+                if inner.jobs.get(&old).is_some_and(|j| j.phase.finished()) {
+                    inner.jobs.remove(&old);
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.registry.counter("jobs.evicted").inc(evicted);
+        }
+    }
+
+    /// The status of one job by external id (`job-N`).
+    pub fn status(&self, external: &str) -> Option<JobStatus> {
+        let id = parse_id(external)?;
+        let inner = lock(&self.inner);
+        inner.jobs.get(&id).map(|job| job_status(id, job))
+    }
+
+    /// The status of every retained job, oldest first.
+    pub fn statuses(&self) -> Vec<JobStatus> {
+        let inner = lock(&self.inner);
+        inner
+            .jobs
+            .iter()
+            .map(|(id, job)| job_status(*id, job))
+            .collect()
+    }
+
+    /// The canonical result JSON of a finished job.
+    pub fn result(&self, external: &str) -> ResultLookup {
+        let Some(id) = parse_id(external) else {
+            return ResultLookup::Unknown;
+        };
+        let inner = lock(&self.inner);
+        match inner.jobs.get(&id).map(|j| &j.phase) {
+            Some(Phase::Done { canonical, .. }) => ResultLookup::Done(canonical.clone()),
+            Some(Phase::Failed { error }) => ResultLookup::Failed(error.clone()),
+            Some(phase) => ResultLookup::Pending(phase.state()),
+            None => ResultLookup::Unknown,
+        }
+    }
+
+    /// Stops accepting submissions and wakes every worker; workers
+    /// finish the queued backlog, then [`take_next`](Self::take_next)
+    /// returns `None`.
+    pub fn drain(&self) {
+        lock(&self.inner).draining = true;
+        self.ready.notify_all();
+    }
+}
+
+impl std::fmt::Debug for JobStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        f.debug_struct("JobStore")
+            .field("jobs", &inner.jobs.len())
+            .field("queued", &inner.queue.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .field("draining", &inner.draining)
+            .finish()
+    }
+}
+
+fn parse_id(external: &str) -> Option<u64> {
+    external.strip_prefix("job-")?.parse().ok()
+}
+
+fn job_status(id: u64, job: &Job) -> JobStatus {
+    let (stages, run_id, error, wall_us) = match &job.phase {
+        Phase::Done {
+            run_id,
+            stages,
+            wall_us,
+            ..
+        } => (stages.clone(), Some(run_id.clone()), None, Some(*wall_us)),
+        Phase::Failed { error } => (Vec::new(), None, Some(error.clone()), None),
+        _ => (Vec::new(), None, None, None),
+    };
+    JobStatus {
+        id: format!("job-{id}"),
+        state: job.phase.state().to_string(),
+        source: job.source.clone(),
+        stages_done: job.progress.done(),
+        stages,
+        run_id,
+        error,
+        wall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(capacity: usize, kept: usize) -> (JobStore, Arc<Registry>) {
+        let registry = Arc::new(Registry::new());
+        (JobStore::new(capacity, kept, Arc::clone(&registry)), registry)
+    }
+
+    #[test]
+    fn submit_take_complete_round_trip() {
+        let (store, registry) = store(2, 8);
+        let id = store.submit("car:M".into(), JobInput::Car("M".into())).unwrap();
+        assert_eq!(id, "job-1");
+        assert_eq!(store.status("job-1").unwrap().state, "queued");
+        assert_eq!(store.queue_len(), 1);
+
+        let (raw, input, _progress) = store.take_next().unwrap();
+        assert_eq!(raw, 1);
+        assert!(matches!(input, JobInput::Car(name) if name == "M"));
+        assert_eq!(store.status("job-1").unwrap().state, "running");
+
+        store.complete(
+            raw,
+            "run-1".into(),
+            "{}".into(),
+            vec![StageLine {
+                name: "transport".into(),
+                wall_us: 5,
+            }],
+            42,
+        );
+        let status = store.status("job-1").unwrap();
+        assert_eq!(status.state, "done");
+        assert_eq!(status.run_id.as_deref(), Some("run-1"));
+        assert_eq!(status.wall_us, Some(42));
+        assert!(matches!(store.result("job-1"), ResultLookup::Done(j) if j == "{}"));
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters.get("jobs.submitted"), Some(&1));
+        assert_eq!(snapshot.counters.get("jobs.completed"), Some(&1));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_losing_jobs() {
+        let (store, registry) = store(2, 8);
+        store.submit("capture".into(), JobInput::Car("A".into())).unwrap();
+        store.submit("capture".into(), JobInput::Car("B".into())).unwrap();
+        assert!(store.is_full());
+        assert_eq!(
+            store.submit("capture".into(), JobInput::Car("C".into())),
+            Err(SubmitError::QueueFull)
+        );
+        assert_eq!(store.queue_len(), 2);
+        assert_eq!(registry.snapshot().counters.get("jobs.rejected"), Some(&1));
+
+        // Draining a worker slot frees a queue slot.
+        let _ = store.take_next().unwrap();
+        assert!(!store.is_full());
+        assert!(store.submit("capture".into(), JobInput::Car("C".into())).is_ok());
+    }
+
+    #[test]
+    fn drain_finishes_backlog_then_stops_workers() {
+        let (store, _registry) = store(4, 8);
+        store.submit("car:M".into(), JobInput::Car("M".into())).unwrap();
+        store.submit("car:B".into(), JobInput::Car("B".into())).unwrap();
+        store.drain();
+        assert_eq!(
+            store.submit("car:C".into(), JobInput::Car("C".into())),
+            Err(SubmitError::Draining)
+        );
+        // Queued jobs are still handed out after drain…
+        assert!(store.take_next().is_some());
+        assert!(store.take_next().is_some());
+        // …and only then do workers see the end.
+        assert!(store.take_next().is_none());
+    }
+
+    #[test]
+    fn finished_history_is_bounded_and_eviction_counted() {
+        let (store, registry) = store(8, 2);
+        for _ in 0..5 {
+            let id = store.submit("car:M".into(), JobInput::Car("M".into())).unwrap();
+            let (raw, _, _) = store.take_next().unwrap();
+            store.complete(raw, "run-x".into(), "{}".into(), vec![], 1);
+            assert_eq!(store.status(&id).unwrap().state, "done");
+        }
+        // Only the last 2 finished jobs remain; 3 were evicted.
+        assert_eq!(store.statuses().len(), 2);
+        assert!(store.status("job-1").is_none());
+        assert!(store.status("job-5").is_some());
+        assert!(matches!(store.result("job-1"), ResultLookup::Unknown));
+        assert_eq!(registry.snapshot().counters.get("jobs.evicted"), Some(&3));
+    }
+
+    #[test]
+    fn stage_progress_records_stage_spans_only() {
+        use dpr_telemetry::Span;
+        let progress = Arc::new(StageProgress::default());
+        let registry = Arc::new(Registry::new());
+        registry.add_sink(Arc::clone(&progress) as Arc<dyn Sink>);
+        dpr_telemetry::scoped(registry, || {
+            let _pipeline = Span::enter("pipeline");
+            {
+                let _t = Span::enter("transport");
+            }
+            {
+                let _o = Span::enter("ocr");
+                // Depth-3 span with a stage name must not count.
+                let _nested = Span::enter("transport");
+            }
+        });
+        assert_eq!(progress.done(), vec!["transport".to_string(), "ocr".to_string()]);
+    }
+}

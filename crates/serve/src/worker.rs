@@ -1,0 +1,74 @@
+//! The analysis worker pool: a fixed set of threads draining the
+//! [`JobStore`] FIFO.
+//!
+//! Each job runs against its own fresh [`Registry`] (scoped
+//! thread-locally for the duration of the analysis) so pipeline
+//! counters never bleed between concurrent jobs, with the job's
+//! [`StageProgress`] attached as a span sink — that is where the live
+//! per-stage progress reported by `GET /jobs/<id>` comes from. Results
+//! publish to the shared run store (evidence chains) and latest-trace
+//! cell, exactly as a direct `dpr-bench` run would.
+
+use crate::jobs::{JobStore, StageLine};
+use crate::Analyzer;
+use dpr_obs::{SharedRuns, SharedTrace};
+use dpr_telemetry::Registry;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// One worker thread's life: block on the queue, analyze, publish,
+/// repeat — until the store drains and `take_next` returns `None`.
+pub(crate) fn run_worker(
+    store: Arc<JobStore>,
+    analyzer: Arc<dyn Analyzer>,
+    service_registry: Arc<Registry>,
+    trace: SharedTrace,
+    runs: SharedRuns,
+) {
+    while let Some((id, input, progress)) = store.take_next() {
+        // A registry per job: the pipeline's own counters and spans are
+        // job-local, and the progress sink sees only this job's stages.
+        let job_registry = Arc::new(Registry::new());
+        job_registry.add_sink(progress as _);
+        let outcome = dpr_telemetry::scoped(Arc::clone(&job_registry), || {
+            panic::catch_unwind(AssertUnwindSafe(|| analyzer.analyze(input)))
+        });
+        match outcome {
+            Ok(Ok(result)) => {
+                let canonical = result.canonical_json();
+                let stages = result
+                    .trace
+                    .stages
+                    .iter()
+                    .map(|s| StageLine {
+                        name: s.name.clone(),
+                        wall_us: s.wall_us,
+                    })
+                    .collect();
+                let wall_us = result.trace.total_us;
+                let at_ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                // Publish under the service registry so bookkeeping
+                // like `runs.evicted` lands on `/metrics`, not in the
+                // throwaway job registry.
+                let run_id = dpr_telemetry::scoped(Arc::clone(&service_registry), || {
+                    runs.lock().publish(at_ms, result.evidence.clone())
+                });
+                *trace.lock() = Some(result.trace.clone());
+                service_registry.histogram("jobs.run_us").record(wall_us as f64);
+                store.complete(id, run_id, canonical, stages, wall_us);
+            }
+            Ok(Err(error)) => store.fail(id, error),
+            Err(panic) => {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "analysis panicked".to_string());
+                store.fail(id, format!("analysis panicked: {what}"));
+            }
+        }
+    }
+}

@@ -32,11 +32,10 @@ fn quick_collect(id: CarId, seed: u64) -> CollectionReport {
 
 /// The result serialized to JSON with the observability trace zeroed
 /// out — wall-clock times differ run to run by nature; everything else
-/// must match to the byte.
+/// must match to the byte. Delegates to the shared canonical form so
+/// this test and the analysis service compare through one code path.
 fn canonical_json(result: &dp_reverser::ReverseEngineeringResult) -> String {
-    let mut stripped = result.clone();
-    stripped.trace = Default::default();
-    json::to_string(&stripped).expect("result serializes")
+    result.canonical_json()
 }
 
 #[test]
