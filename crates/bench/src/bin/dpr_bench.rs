@@ -51,6 +51,7 @@ fn usage() -> ExitCode {
     eprintln!("       dpr-bench scale [--threads 1,2,4,8] [--out <BENCH_scale.json>]");
     eprintln!("       dpr-bench serve [--addr <ip:port>] [--workers <n>] [--queue <n>] [--addr-file <path>]");
     eprintln!("       dpr-bench serve-load [--clients <n>] [--requests <n>] [--workers <n>] [--queue <n>] [--cost-us <n>] [--out <BENCH_serve.json>]");
+    eprintln!("       dpr-bench snapshot <ip:port> [--raw]");
     eprintln!("       dpr-bench analyze <capture.dprcap> [--json]");
     ExitCode::from(2)
 }
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         Some("scale") => scale(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("serve-load") => serve_load_cmd(&args[1..]),
+        Some("snapshot") => snapshot_cmd(&args[1..]),
         Some("analyze") => analyze_capture_cmd(&args[1..]),
         _ => usage(),
     }
@@ -421,6 +423,135 @@ fn serve_load_cmd(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// `snapshot`: fetches `/debug/snapshot` from a running service, checks
+/// it parses, and prints a triage summary (`--raw` dumps the JSON
+/// instead) — the one-command version of "attach everything a bug
+/// report needs".
+fn snapshot_cmd(args: &[String]) -> ExitCode {
+    use dpr_telemetry::json::Value;
+    use std::io::{Read, Write};
+
+    let mut args = args.to_vec();
+    let raw = match args.iter().position(|a| a == "--raw") {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    };
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let mut stream = match std::net::TcpStream::connect(addr.as_str()) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("error: connecting {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = format!("GET /debug/snapshot HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let mut response = Vec::new();
+    if let Err(e) = stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.read_to_end(&mut response).map(|_| ()))
+    {
+        eprintln!("error: talking to {addr}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = String::from_utf8_lossy(&response);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        eprintln!("error: {addr} sent no HTTP response");
+        return ExitCode::FAILURE;
+    };
+    if !head.starts_with("HTTP/1.1 200") {
+        eprintln!("error: /debug/snapshot answered: {}", head.lines().next().unwrap_or(head));
+        return ExitCode::FAILURE;
+    }
+    let doc = match dpr_telemetry::json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: /debug/snapshot body is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if raw {
+        println!("{body}");
+        return ExitCode::SUCCESS;
+    }
+
+    fn field<'a>(doc: &'a Value, name: &str) -> Option<&'a Value> {
+        match doc {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_u64(v: Option<&Value>) -> u64 {
+        match v {
+            Some(Value::UInt(n)) => *n,
+            Some(Value::Int(n)) => (*n).max(0) as u64,
+            Some(Value::Float(n)) => *n as u64,
+            _ => 0,
+        }
+    }
+    fn as_str(v: Option<&Value>) -> &str {
+        match v {
+            Some(Value::Str(s)) => s,
+            _ => "?",
+        }
+    }
+    let health = field(&doc, "health");
+    println!("snapshot of http://{addr}:");
+    if let Some(health) = health {
+        println!(
+            "  health: {} v{}, up {}s, queue {}/{}, {} running, {} worker(s), {} run(s) published",
+            as_str(field(health, "status")),
+            as_str(field(health, "version")),
+            as_u64(field(health, "uptime_secs")),
+            as_u64(field(health, "queue_depth")),
+            as_u64(field(health, "queue_capacity")),
+            as_u64(field(health, "jobs_running")),
+            match field(health, "workers") {
+                Some(Value::Array(workers)) => workers.len(),
+                _ => 0,
+            },
+            as_u64(field(health, "runs_published")),
+        );
+    }
+    if let Some(Value::Array(jobs)) = field(&doc, "jobs") {
+        let mut by_state: std::collections::BTreeMap<&str, usize> = Default::default();
+        for job in jobs {
+            *by_state.entry(as_str(field(job, "state"))).or_default() += 1;
+        }
+        let states: Vec<String> = by_state.iter().map(|(s, n)| format!("{n} {s}")).collect();
+        println!("  jobs: {} kept ({})", jobs.len(), states.join(", "));
+    }
+    if let Some(metrics) = field(&doc, "metrics") {
+        let count = |name: &str| match field(metrics, name) {
+            Some(Value::Object(entries)) => entries.len(),
+            _ => 0,
+        };
+        println!(
+            "  metrics: {} counter(s), {} gauge(s), {} histogram(s)",
+            count("counters"),
+            count("gauges"),
+            count("histograms")
+        );
+    }
+    if let Some(log) = field(&doc, "log") {
+        println!(
+            "  log ring: {} record(s) held, {} pushed, {} overwritten",
+            match field(log, "records") {
+                Some(Value::Array(records)) => records.len(),
+                _ => 0,
+            },
+            as_u64(field(log, "pushed")),
+            as_u64(field(log, "overwritten")),
+        );
+    }
     ExitCode::SUCCESS
 }
 

@@ -13,7 +13,7 @@
 //! `dpr-bench regress` to gate.
 
 use dp_reverser::ReverseEngineeringResult;
-use dpr_serve::{AnalysisService, Analyzer, JobInput, ServiceConfig};
+use dpr_serve::{AnalysisService, Analyzer, JobInput, ServiceConfig, ServiceHealth};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -82,6 +82,22 @@ pub struct LoadRun {
     pub http_429_share: f64,
     /// Client-side heap allocations per request on the submit path.
     pub allocs_per_request: f64,
+    /// Server-side per-route latency, read back from the service's
+    /// `http.<route>.latency_us` histograms after the run.
+    pub route_latency: Vec<RouteLatency>,
+}
+
+/// One route's server-side latency summary.
+#[derive(Debug, Clone)]
+pub struct RouteLatency {
+    /// The route slug (`jobs`, `healthz`, …).
+    pub route: String,
+    /// Requests the route's histogram recorded.
+    pub count: u64,
+    /// Estimated median service time, microseconds.
+    pub p50_us: f64,
+    /// Estimated 99th-percentile service time, microseconds.
+    pub p99_us: f64,
 }
 
 /// The stand-in analyzer: charges a fixed cost, recovers nothing. The
@@ -179,10 +195,9 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
     )
     .expect("loopback bind");
     let addr = service.addr();
-    // Warm the path once (thread-pool spin-up, first-connection costs)
-    // so the measured window sees the steady state.
-    let mut warm = Vec::with_capacity(512);
-    let _ = submit_once(addr, b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n", &mut warm);
+    // Pre-flight (which doubles as path warm-up: thread-pool spin-up,
+    // first-connection costs happen outside the measured window).
+    preflight_health(addr);
 
     dpr_prof::alloc::set_counting(true);
     let started = Instant::now();
@@ -194,6 +209,20 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
     });
     let elapsed = started.elapsed();
     dpr_prof::alloc::set_counting(false);
+    let metrics = service.registry().snapshot();
+    let route_latency: Vec<RouteLatency> = metrics
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let route = name.strip_prefix("http.")?.strip_suffix(".latency_us")?;
+            Some(RouteLatency {
+                route: route.to_string(),
+                count: h.count,
+                p50_us: h.quantile(0.5),
+                p99_us: h.quantile(0.99),
+            })
+        })
+        .collect();
     service.stop();
 
     let mut latencies: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.clone()).collect();
@@ -215,7 +244,30 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
         submits_per_sec: (accepted + rejected) as f64 / elapsed.as_secs_f64().max(1e-9),
         http_429_share: rejected as f64 / total as f64,
         allocs_per_request: allocs as f64 / total as f64,
+        route_latency,
     }
+}
+
+/// `GET /healthz` before the load starts. A service that is already
+/// unhealthy (no workers, stuck queue) would only produce a garbage
+/// measurement — refuse to run and fail fast *with the health payload*
+/// so the operator sees what the service saw.
+fn preflight_health(addr: SocketAddr) {
+    let mut response = Vec::with_capacity(512);
+    let status = submit_once(
+        addr,
+        b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n",
+        &mut response,
+    );
+    let text = String::from_utf8_lossy(&response);
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert_eq!(status, Some(200), "healthz pre-flight failed: {text}");
+    let health: ServiceHealth = dpr_telemetry::json::from_str(body)
+        .unwrap_or_else(|e| panic!("healthz payload does not parse ({e}): {body}"));
+    assert_eq!(
+        health.status, "ok",
+        "service unhealthy before load; refusing to run: {body}"
+    );
 }
 
 /// Renders the run as the human-readable table the CLI prints.
@@ -240,6 +292,12 @@ pub fn render_load(run: &LoadRun) -> String {
         "  client allocs/request {:.0}    wall {:?}\n",
         run.allocs_per_request, run.elapsed
     ));
+    for route in &run.route_latency {
+        out.push_str(&format!(
+            "  http.{:<14} {:>7} request(s)    server p50 {:>7.0}us    p99 {:>7.0}us\n",
+            route.route, route.count, route.p50_us, route.p99_us
+        ));
+    }
     out
 }
 
@@ -304,6 +362,12 @@ mod tests {
             "every request is answered: {run:?}"
         );
         assert_eq!(run.errors, 0, "{run:?}");
+        let jobs_route = run
+            .route_latency
+            .iter()
+            .find(|r| r.route == "jobs")
+            .expect("per-route latency for the submit route");
+        assert_eq!(jobs_route.count, 10, "{:?}", run.route_latency);
         let json = serve_json(&run);
         let doc = dpr_telemetry::json::parse(&json).expect("serve_json emits valid JSON");
         let flat = format!("{doc:?}");

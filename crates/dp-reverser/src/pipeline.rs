@@ -15,6 +15,15 @@ use dpr_baselines::{PolynomialFit, Regressor};
 use crate::associate::{match_series_two_pass, LabelSeries, MatchScore};
 use crate::result::{RecoveredEcr, RecoveredEsv, RecoveredKind, ReverseEngineeringResult};
 
+/// One structured log line per finished pipeline stage — the
+/// stage-boundary breadcrumbs that let `grep <job_id>` over a JSON log
+/// reconstruct a run. Purely observational: analysis output is
+/// byte-identical with logging on or off (pinned by the
+/// `log_identity` test).
+fn stage_done(stage: &str) {
+    dpr_log::info("pipeline", "stage complete", &[("stage", stage.into())]);
+}
+
 /// How the pipeline aligns camera time with bus time (paper §9.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Alignment {
@@ -154,6 +163,7 @@ impl DpReverser {
             let (session, _stats) = reader.read_session();
             session
         });
+        stage_done("capture");
         self.analyze_session(tracer, &session)
     }
 
@@ -214,6 +224,7 @@ impl DpReverser {
             let _span = dpr_telemetry::Span::enter("transport");
             analyze_capture(log, self.config.scheme)
         });
+        stage_done("transport");
 
         // ——— screenshot analysis ———
         let (readings, offset) = tracer.stage("ocr", || {
@@ -236,6 +247,7 @@ impl DpReverser {
             };
             (readings, offset)
         });
+        stage_done("ocr");
 
         // Group Y series by (screen, label).
         let mut labels: Vec<(String, String)> = readings
@@ -266,6 +278,7 @@ impl DpReverser {
                 self.config.match_threshold,
             )
         });
+        stage_done("association");
 
         // ——— response-message analysis: infer formulas ———
         let mut esvs = tracer.stage("inference", || {
@@ -292,6 +305,7 @@ impl DpReverser {
             }
             esvs
         });
+        stage_done("inference");
         esvs.sort_by_key(|e| e.key);
 
         // ——— ECR recovery ———

@@ -1,0 +1,107 @@
+//! The bounded in-memory record ring.
+//!
+//! Every record the logger accepts lands here regardless of which
+//! sinks are enabled, so `GET /debug/snapshot` can always show the
+//! recent history of a process that was started with no logging
+//! configured at all. The ring is a single short-critical-section
+//! mutex around a `VecDeque`: a push is one lock, one `push_back`,
+//! and at most one `pop_front` — overwritten records are counted,
+//! never silently lost.
+
+use crate::Record;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One retained record plus its global sequence number. Sequence
+/// numbers are assigned under the ring lock, so snapshot order ==
+/// sequence order even under concurrent writers.
+#[derive(Debug, Clone)]
+pub struct RingEntry {
+    /// Position in the total push order (0-based).
+    pub seq: u64,
+    /// The record itself.
+    pub record: Arc<Record>,
+}
+
+struct RingInner {
+    buf: VecDeque<RingEntry>,
+    pushed: u64,
+    overwritten: u64,
+}
+
+/// A bounded ring of the most recent log records.
+pub struct Ring {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+impl Ring {
+    /// A ring retaining at most `capacity` records (floored to 1).
+    pub fn new(capacity: usize) -> Ring {
+        Ring {
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::new(),
+                pushed: 0,
+                overwritten: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a record, evicting (and counting) the oldest when full.
+    /// Returns the record's sequence number.
+    pub fn push(&self, record: Arc<Record>) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.pushed;
+        inner.pushed += 1;
+        if inner.buf.len() >= self.capacity {
+            inner.buf.pop_front();
+            inner.overwritten += 1;
+        }
+        inner.buf.push_back(RingEntry { seq, record });
+        seq
+    }
+
+    /// The retained records, oldest first, in sequence order.
+    pub fn snapshot(&self) -> Vec<RingEntry> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Total records ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().pushed
+    }
+
+    /// Records evicted to respect the capacity bound.
+    pub fn overwritten(&self) -> u64 {
+        self.inner.lock().overwritten
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().buf.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Ring")
+            .field("len", &inner.buf.len())
+            .field("capacity", &self.capacity)
+            .field("pushed", &inner.pushed)
+            .field("overwritten", &inner.overwritten)
+            .finish()
+    }
+}

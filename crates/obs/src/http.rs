@@ -268,13 +268,14 @@ impl<R: Read> Read for BodyReader<'_, R> {
 
 /// Writes a complete response with the standard connection-close
 /// framing. `extra_headers` lines are verbatim (no trailing `\r\n`).
+/// Returns the total bytes written (head + body) for egress accounting.
 pub fn respond_with(
     stream: &mut impl Write,
     status: &str,
     content_type: &str,
     extra_headers: &[&str],
     body: &str,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let mut head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
@@ -286,7 +287,8 @@ pub fn respond_with(
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    Ok((head.len() + body.len()) as u64)
 }
 
 /// [`respond_with`] without extra headers.
@@ -295,8 +297,52 @@ pub fn respond(
     status: &str,
     content_type: &str,
     body: &str,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     respond_with(stream, status, content_type, &[], body)
+}
+
+/// Starts a `Transfer-Encoding: chunked` response: status line and
+/// headers only — the body follows through [`write_chunk`] and ends
+/// with [`finish_chunked`]. Returns the bytes written.
+pub fn start_chunked(
+    stream: &mut impl Write,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[&str],
+) -> io::Result<u64> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+    );
+    for line in extra_headers {
+        head.push_str(line);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(head.len() as u64)
+}
+
+/// Writes one non-empty chunk (hex size line, data, CRLF) and flushes,
+/// so live streams deliver each event as it happens. Empty data is a
+/// no-op returning 0 — an empty chunk would terminate the stream.
+pub fn write_chunk(stream: &mut impl Write, data: &[u8]) -> io::Result<u64> {
+    if data.is_empty() {
+        return Ok(0);
+    }
+    let size = format!("{:x}\r\n", data.len());
+    stream.write_all(size.as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()?;
+    Ok((size.len() + data.len() + 2) as u64)
+}
+
+/// Terminates a chunked response (the zero-length chunk).
+pub fn finish_chunked(stream: &mut impl Write) -> io::Result<u64> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()?;
+    Ok(5)
 }
 
 /// The numeric status code of a `"429 Too Many Requests"`-style status

@@ -41,9 +41,9 @@ pub mod trace_event;
 pub use flame::Profile;
 pub use regress::{Comparison, Direction, Verdict};
 pub use server::{
-    shared_runs, shared_trace, Conn, HealthStatus, HttpHandler, HttpServer, MetricsServer,
-    ObsRouter, RunListing, RunRecord, RunStore, ServerConfig, SharedRuns, SharedTrace,
-    METRICS_ADDR_ENV, OBS_ROUTES, RUNS_KEPT,
+    route_slug, shared_runs, shared_trace, Conn, HealthStatus, HttpHandler, HttpServer,
+    MetricsServer, ObsRouter, RunListing, RunRecord, RunStore, ServerConfig, SharedRuns,
+    SharedTrace, METRICS_ADDR_ENV, OBS_ROUTES, RUNS_KEPT,
 };
 pub use table::{SessionTable, SessionToken};
 pub use trace_event::{TraceExport, TRACE_EVENTS_ENV};

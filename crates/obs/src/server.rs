@@ -47,7 +47,7 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,6 +76,9 @@ pub struct RunRecord {
     pub id: String,
     /// Publish wall-clock time, milliseconds since the UNIX epoch.
     pub at_ms: u64,
+    /// The service job that produced this run (`job-000001`), `None`
+    /// for runs published outside the job pipeline.
+    pub job: Option<String>,
     /// Slugs of the sensors the run recovered.
     pub sensors: Vec<String>,
     /// The run's full evidence ledger (served per sensor, not in the
@@ -90,6 +93,8 @@ pub struct RunListing {
     pub id: String,
     /// Publish wall-clock time, milliseconds since the UNIX epoch.
     pub at_ms: u64,
+    /// The service job that produced this run, if any.
+    pub job: Option<String>,
     /// Slugs of the sensors the run recovered.
     pub sensors: Vec<String>,
 }
@@ -134,11 +139,23 @@ impl RunStore {
     /// Appends a run, assigns its id, and evicts the oldest beyond the
     /// capacity. Returns the assigned id.
     pub fn publish(&mut self, at_ms: u64, ledger: dpr_evidence::EvidenceLedger) -> String {
+        self.publish_for(at_ms, None, ledger)
+    }
+
+    /// [`publish`](RunStore::publish) with the originating service job
+    /// attached, so `GET /runs` correlates runs back to `job-NNNNNN`.
+    pub fn publish_for(
+        &mut self,
+        at_ms: u64,
+        job: Option<String>,
+        ledger: dpr_evidence::EvidenceLedger,
+    ) -> String {
         self.next_id += 1;
         let id = format!("run-{}", self.next_id);
         self.runs.push_back(RunRecord {
             id: id.clone(),
             at_ms,
+            job,
             sensors: ledger.chains.iter().map(|c| c.slug.clone()).collect(),
             ledger,
         });
@@ -248,15 +265,79 @@ impl Default for ServerConfig {
     }
 }
 
-/// One connection being answered: the stream plus the registry that
-/// counts responses. Every response written through [`Conn::respond`] /
-/// [`Conn::respond_with`] bumps `serve.http_<status>`.
+/// Maps a request path to its dot-free metric segment, so per-route
+/// counters stay one taxonomy segment wide: `http.<route>.requests`.
+/// Unknown paths collapse into `other`; requests whose head never
+/// parsed are accounted under `invalid` by the server itself.
+pub fn route_slug(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "metrics",
+        "/trace" => "trace",
+        "/runs" => "runs",
+        "/profile" => "profile",
+        "/healthz" => "healthz",
+        "/debug/snapshot" => "debug_snapshot",
+        "/jobs" => "jobs",
+        _ if path.starts_with("/evidence/") => "evidence",
+        _ if path.starts_with("/jobs/") => {
+            if path.ends_with("/events") {
+                "job_events"
+            } else if path.ends_with("/result") {
+                "job_result"
+            } else {
+                "job_status"
+            }
+        }
+        _ => "other",
+    }
+}
+
+/// One connection being answered: the stream, the registry that counts
+/// responses, and the request's identity (route slug + `req-NNNNNN`
+/// correlation id). Every response written through [`Conn::respond`] /
+/// [`Conn::respond_with`] bumps `serve.http_<status>` and the
+/// per-route `http.<route>.status.<code>` counter, and accumulates
+/// egress bytes into `http.bytes_out`.
 pub struct Conn<'a> {
     stream: &'a mut TcpStream,
     registry: &'a Registry,
+    route: &'static str,
+    req_id: String,
+    bytes_out: u64,
+    last_status: u16,
+    keepalive: Option<(&'a SessionTable, crate::table::SessionToken)>,
 }
 
-impl Conn<'_> {
+impl<'a> Conn<'a> {
+    fn new(
+        stream: &'a mut TcpStream,
+        registry: &'a Registry,
+        route: &'static str,
+        req_id: String,
+        keepalive: Option<(&'a SessionTable, crate::table::SessionToken)>,
+    ) -> Conn<'a> {
+        Conn {
+            stream,
+            registry,
+            route,
+            req_id,
+            bytes_out: 0,
+            last_status: 0,
+            keepalive,
+        }
+    }
+
+    fn count_status(&mut self, status: &str) {
+        let code = http::status_code(status);
+        self.registry
+            .counter(&format!("serve.http_{code}"))
+            .inc(1);
+        self.registry
+            .counter(&format!("http.{}.status.{code}", self.route))
+            .inc(1);
+        self.last_status = code.parse().unwrap_or(0);
+    }
+
     /// Writes a complete response and counts its status code.
     pub fn respond(&mut self, status: &str, content_type: &str, body: &str) -> io::Result<()> {
         self.respond_with(status, content_type, &[], body)
@@ -271,10 +352,59 @@ impl Conn<'_> {
         extra_headers: &[&str],
         body: &str,
     ) -> io::Result<()> {
-        self.registry
-            .counter(&format!("serve.http_{}", http::status_code(status)))
-            .inc(1);
-        http::respond_with(self.stream, status, content_type, extra_headers, body)
+        self.count_status(status);
+        let n = http::respond_with(self.stream, status, content_type, extra_headers, body)?;
+        self.bytes_out += n;
+        Ok(())
+    }
+
+    /// Starts a chunked response; the body follows through
+    /// [`Conn::write_chunk`] and ends with [`Conn::finish_chunked`].
+    pub fn start_chunked(
+        &mut self,
+        status: &str,
+        content_type: &str,
+        extra_headers: &[&str],
+    ) -> io::Result<()> {
+        self.count_status(status);
+        let n = http::start_chunked(self.stream, status, content_type, extra_headers)?;
+        self.bytes_out += n;
+        Ok(())
+    }
+
+    /// Writes one chunk, counts its bytes, and refreshes the session's
+    /// idle deadline so a healthy live stream is never swept.
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        let n = http::write_chunk(self.stream, data)?;
+        self.bytes_out += n;
+        self.touch();
+        Ok(())
+    }
+
+    /// Terminates a chunked response.
+    pub fn finish_chunked(&mut self) -> io::Result<()> {
+        let n = http::finish_chunked(self.stream)?;
+        self.bytes_out += n;
+        Ok(())
+    }
+
+    /// Refreshes this connection's idle deadline (no-op for
+    /// connections served outside a session table).
+    pub fn touch(&self) {
+        if let Some((table, token)) = self.keepalive {
+            table.touch(token);
+        }
+    }
+
+    /// This request's correlation id (`req-NNNNNN`), for echoing into
+    /// response bodies so clients can quote it back.
+    pub fn req_id(&self) -> &str {
+        &self.req_id
+    }
+
+    /// The metric segment this request was routed under.
+    pub fn route(&self) -> &'static str {
+        self.route
     }
 
     /// The underlying stream, for handlers that read a request body
@@ -306,6 +436,7 @@ struct ServerShared {
     stop: AtomicBool,
     registry: Arc<Registry>,
     handler: Arc<dyn HttpHandler>,
+    next_req: AtomicU64,
 }
 
 /// Recover from a poisoned std mutex: the protected state (a queue of
@@ -345,6 +476,7 @@ impl HttpServer {
             stop: AtomicBool::new(false),
             registry,
             handler,
+            next_req: AtomicU64::new(0),
         });
         let acceptor = std::thread::Builder::new()
             .name(format!("{name}-accept"))
@@ -512,30 +644,61 @@ fn serve_one(
 ) {
     let registry = &shared.registry;
     let started = Instant::now();
+    let req_id = format!(
+        "req-{:06}",
+        shared.next_req.fetch_add(1, Ordering::Relaxed) + 1
+    );
+    registry.gauge("http.requests_in_flight").add(1);
     match http::read_head(&mut stream, scratch) {
         Ok(head) => {
             shared.table.touch(token);
             registry.counter("serve.requests").inc(1);
-            let mut conn = Conn {
-                stream: &mut stream,
+            let route = route_slug(head.path());
+            registry.counter(&format!("http.{route}.requests")).inc(1);
+            let body_len = head.content_length().ok().flatten().unwrap_or(0);
+            registry
+                .counter("http.bytes_in")
+                .inc(scratch.len() as u64 + body_len.saturating_sub(head.leftover.len() as u64));
+            let _ctx = dpr_log::push_context("req_id", req_id.as_str());
+            let mut conn = Conn::new(
+                &mut stream,
                 registry,
-            };
+                route,
+                req_id,
+                Some((&shared.table, token)),
+            );
             if shared.handler.handle(&head, &mut conn).is_err() {
                 registry.counter("serve.io_errors").inc(1);
             }
+            let status = conn.last_status;
+            let bytes_out = conn.bytes_out;
+            registry.counter("http.bytes_out").inc(bytes_out);
+            let elapsed_us = started.elapsed().as_micros() as f64;
+            registry.histogram("serve.request_us").record(elapsed_us);
             registry
-                .histogram("serve.request_us")
-                .record(started.elapsed().as_micros() as f64);
+                .histogram(&format!("http.{route}.latency_us"))
+                .record(elapsed_us);
+            if dpr_log::enabled(dpr_log::Level::Debug) {
+                dpr_log::debug(
+                    "http",
+                    "request",
+                    &[
+                        ("method", head.method.as_str().into()),
+                        ("path", head.path().into()),
+                        ("route", route.into()),
+                        ("status", u64::from(status).into()),
+                        ("us", (elapsed_us as u64).into()),
+                        ("bytes_out", bytes_out.into()),
+                    ],
+                );
+            }
         }
         Err(HeadError::Closed) => {
             registry.counter("serve.closed_early").inc(1);
         }
         Err(HeadError::Timeout) => {
             registry.counter("serve.read_timeouts").inc(1);
-            let mut conn = Conn {
-                stream: &mut stream,
-                registry,
-            };
+            let mut conn = Conn::new(&mut stream, registry, "invalid", req_id, None);
             let _ = conn.respond(
                 "408 Request Timeout",
                 "text/plain",
@@ -543,10 +706,7 @@ fn serve_one(
             );
         }
         Err(HeadError::TooLarge) => {
-            let mut conn = Conn {
-                stream: &mut stream,
-                registry,
-            };
+            let mut conn = Conn::new(&mut stream, registry, "invalid", req_id, None);
             let _ = conn.respond(
                 "413 Content Too Large",
                 "text/plain",
@@ -554,16 +714,14 @@ fn serve_one(
             );
         }
         Err(HeadError::Malformed(why)) => {
-            let mut conn = Conn {
-                stream: &mut stream,
-                registry,
-            };
+            let mut conn = Conn::new(&mut stream, registry, "invalid", req_id, None);
             let _ = conn.respond("400 Bad Request", "text/plain", &format!("{why}\n"));
         }
         Err(HeadError::Io(_)) => {
             registry.counter("serve.io_errors").inc(1);
         }
     }
+    registry.gauge("http.requests_in_flight").add(-1);
     drop(stream);
     // A stale token means the sweeper evicted this session mid-serve;
     // it already counted the eviction.
@@ -625,6 +783,12 @@ impl ObsRouter {
         &self.runs
     }
 
+    /// Whole seconds since this router was created — what its
+    /// `/healthz` reports as uptime, shared with wrapping routers.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
     /// Answers the request if its path is an observability route.
     /// Returns `Ok(false)` — with nothing written — when the path is
     /// not ours, so a wrapping router can 404 with its own route list.
@@ -684,6 +848,7 @@ impl ObsRouter {
                     .map(|r| RunListing {
                         id: r.id.clone(),
                         at_ms: r.at_ms,
+                        job: r.job.clone(),
                         sensors: r.sensors.clone(),
                     })
                     .collect();

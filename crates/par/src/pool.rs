@@ -105,6 +105,9 @@ struct Job {
     workers: usize,
     epoch: u64,
     registry: Arc<dpr_telemetry::Registry>,
+    /// The submitter's correlation context (`job_id`, `req_id`), carried
+    /// onto pool workers so their log records join the same story.
+    log_context: Arc<Vec<(&'static str, String)>>,
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
 }
 
@@ -223,6 +226,7 @@ where
             workers: extras,
             epoch: st.epoch,
             registry,
+            log_context: Arc::new(dpr_log::context_snapshot()),
             panic: Arc::clone(&panic_slot),
         });
         st.active = extras;
@@ -289,12 +293,12 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                 }
             }
         };
-        // Re-enter the caller's telemetry registry for the job's duration:
-        // scoped registries are thread-local, so without this hand-off
-        // every span or counter recorded inside the mapped function would
-        // leak to the process-wide global registry. The panic is caught
+        // Re-enter the caller's telemetry registry and log context for the
+        // job's duration: both are thread-local, so without this hand-off
+        // every span, counter, or log record emitted inside the mapped
+        // function would lose its run attribution. The panic is caught
         // *inside* the scope so `scoped` always unwinds its stack cleanly.
-        dpr_telemetry::scoped(Arc::clone(&job.registry), || {
+        dpr_log::with_context(&job.log_context, || dpr_telemetry::scoped(Arc::clone(&job.registry), || {
             // SAFETY: the submitter blocks until we decrement `active`
             // below, so the `Ctx` behind `task.data` is still alive. The
             // caller holds stats slot 0, so pool thread N records as
@@ -308,7 +312,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                     *slot = Some(payload);
                 }
             }
-        });
+        }));
         let mut st = lock(&shared);
         st.active -= 1;
         let finished = st.active == 0;

@@ -19,10 +19,297 @@ use dpr_telemetry::{Registry, Sink, SpanRecord};
 use parking_lot::Mutex as PlMutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How many finished jobs the store retains by default.
 pub const JOBS_KEPT: usize = 64;
+
+/// How many past events a job's [`EventHub`] replays to a late
+/// subscriber.
+pub const EVENT_HISTORY: usize = 256;
+
+/// Per-subscriber queue bound; a subscriber this far behind starts
+/// losing events (counted as `log.stream_dropped`) instead of ever
+/// blocking the publisher.
+pub const SUBSCRIBER_QUEUE: usize = 256;
+
+/// One entry on a job's live event stream (`GET /jobs/<id>/events`),
+/// serialized as one ndjson line per event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Position on this job's stream, starting at 0. Every subscriber
+    /// sees the same sequence (modulo drops at the two bounds).
+    pub seq: u64,
+    /// Microseconds since process start ([`dpr_log::now_us`]).
+    pub t_us: u64,
+    /// `state` (lifecycle transition), `stage` (pipeline stage
+    /// finished), or `log` (a structured log record about this job).
+    pub kind: String,
+    /// The transition / stage name / log target.
+    pub what: String,
+    /// Supporting detail: the job source, stage wall-µs, or the full
+    /// JSON-lines log record.
+    pub detail: String,
+}
+
+/// One subscriber's channel: its bounded queue plus the flags the hub
+/// and the subscriber use to signal each other.
+struct SubChannel {
+    queue: Mutex<VecDeque<JobEvent>>,
+    ready: Condvar,
+    ended: AtomicBool,
+    detached: AtomicBool,
+}
+
+/// What [`Subscriber::wait`] yielded.
+#[derive(Debug)]
+pub enum EventWait {
+    /// The next event on the stream.
+    Event(JobEvent),
+    /// Nothing arrived within the timeout; the job is still going.
+    /// Streams use this to emit a keepalive.
+    Idle,
+    /// The job finished and every buffered event has been delivered.
+    Ended,
+}
+
+/// A handle on one job's event stream. Dropping it detaches the
+/// subscription — the hub stops queueing for it on its next publish.
+pub struct Subscriber {
+    channel: Arc<SubChannel>,
+}
+
+impl Subscriber {
+    /// Blocks up to `timeout` for the next event.
+    pub fn wait(&mut self, timeout: Duration) -> EventWait {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self
+            .channel
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(event) = queue.pop_front() {
+                return EventWait::Event(event);
+            }
+            if self.channel.ended.load(Ordering::SeqCst) {
+                return EventWait::Ended;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return EventWait::Idle;
+            }
+            let (guard, _timeout) = self
+                .channel
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        self.channel.detached.store(true, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for Subscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscriber")
+            .field("ended", &self.channel.ended.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+struct HubState {
+    history: VecDeque<JobEvent>,
+    next_seq: u64,
+    subscribers: Vec<Arc<SubChannel>>,
+    ended: bool,
+}
+
+/// One job's event fan-out: a bounded replay history plus any number
+/// of live subscribers, each behind its own bounded queue.
+///
+/// [`push`](EventHub::push) never blocks and never waits on a slow
+/// subscriber — a full subscriber queue drops the event for that
+/// subscriber and counts it (`log.stream_dropped`), so the analysis
+/// worker is isolated from stalled or dead stream clients.
+pub struct EventHub {
+    state: Mutex<HubState>,
+    registry: Arc<Registry>,
+}
+
+impl EventHub {
+    /// An empty hub counting drops into `registry`.
+    pub fn new(registry: Arc<Registry>) -> EventHub {
+        EventHub {
+            state: Mutex::new(HubState {
+                history: VecDeque::new(),
+                next_seq: 0,
+                subscribers: Vec::new(),
+                ended: false,
+            }),
+            registry,
+        }
+    }
+
+    /// Appends an event and fans it out. No-op after
+    /// [`finish`](EventHub::finish).
+    pub fn push(&self, kind: &str, what: &str, detail: &str) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.ended {
+            return;
+        }
+        let event = JobEvent {
+            seq: state.next_seq,
+            t_us: dpr_log::now_us(),
+            kind: kind.to_string(),
+            what: what.to_string(),
+            detail: detail.to_string(),
+        };
+        state.next_seq += 1;
+        state.history.push_back(event.clone());
+        while state.history.len() > EVENT_HISTORY {
+            state.history.pop_front();
+        }
+        state
+            .subscribers
+            .retain(|channel| !channel.detached.load(Ordering::SeqCst));
+        let mut dropped = 0;
+        for channel in &state.subscribers {
+            let mut queue = channel.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if queue.len() >= SUBSCRIBER_QUEUE {
+                dropped += 1;
+            } else {
+                queue.push_back(event.clone());
+                channel.ready.notify_one();
+            }
+        }
+        if dropped > 0 {
+            self.registry.counter("log.stream_dropped").inc(dropped);
+        }
+    }
+
+    /// Marks the stream complete: subscribers drain what is queued,
+    /// then see [`EventWait::Ended`].
+    pub fn finish(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.ended = true;
+        for channel in &state.subscribers {
+            channel.ended.store(true, Ordering::SeqCst);
+            channel.ready.notify_one();
+        }
+    }
+
+    /// A new subscriber, preloaded with the replay history. A
+    /// subscriber attached after [`finish`](EventHub::finish) still
+    /// gets the history, then an immediate end-of-stream.
+    pub fn subscribe(&self) -> Subscriber {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let channel = Arc::new(SubChannel {
+            queue: Mutex::new(state.history.iter().cloned().collect()),
+            ready: Condvar::new(),
+            ended: AtomicBool::new(state.ended),
+            detached: AtomicBool::new(false),
+        });
+        if !state.ended {
+            state.subscribers.push(Arc::clone(&channel));
+        }
+        Subscriber { channel }
+    }
+
+    /// How many events this hub has published.
+    pub fn published(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .next_seq
+    }
+}
+
+impl std::fmt::Debug for EventHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("EventHub")
+            .field("published", &state.next_seq)
+            .field("subscribers", &state.subscribers.len())
+            .field("ended", &state.ended)
+            .finish()
+    }
+}
+
+/// One analysis worker's liveness line in `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerReport {
+    /// The worker thread's name (`dpr-serve-analyze-0`).
+    pub name: String,
+    /// `idle` (blocked on the queue) or `running` (mid-analysis).
+    pub state: String,
+    /// Milliseconds since this worker last checked in.
+    pub heartbeat_age_ms: u64,
+}
+
+struct WorkerSlot {
+    name: String,
+    state: &'static str,
+    last_beat: Instant,
+}
+
+/// The analysis workers' heartbeat board: each worker checks in at
+/// every lifecycle transition, and `GET /healthz` reports the age of
+/// each worker's last beat.
+#[derive(Default)]
+pub struct WorkerHealth {
+    workers: PlMutex<Vec<WorkerSlot>>,
+}
+
+impl WorkerHealth {
+    /// Registers a worker (initially `idle`); returns its slot index.
+    pub fn register(&self, name: String) -> usize {
+        let mut workers = self.workers.lock();
+        workers.push(WorkerSlot {
+            name,
+            state: "idle",
+            last_beat: Instant::now(),
+        });
+        workers.len() - 1
+    }
+
+    /// Records a heartbeat: the worker at `slot` is now in `state`.
+    pub fn beat(&self, slot: usize, state: &'static str) {
+        let mut workers = self.workers.lock();
+        if let Some(worker) = workers.get_mut(slot) {
+            worker.state = state;
+            worker.last_beat = Instant::now();
+        }
+    }
+
+    /// Every worker's current state and heartbeat age.
+    pub fn report(&self) -> Vec<WorkerReport> {
+        self.workers
+            .lock()
+            .iter()
+            .map(|w| WorkerReport {
+                name: w.name.clone(),
+                state: w.state.to_string(),
+                heartbeat_age_ms: w.last_beat.elapsed().as_millis() as u64,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for WorkerHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerHealth")
+            .field("workers", &self.workers.lock().len())
+            .finish()
+    }
+}
 
 /// Pipeline stage names [`StageProgress`] watches for. `ecr` runs
 /// unspanned inside the association stage; everything else matches the
@@ -39,13 +326,24 @@ pub enum JobInput {
 }
 
 /// A [`Sink`] recording which pipeline stages a running job has
-/// finished, attached to the job's private telemetry registry.
+/// finished, attached to the job's private telemetry registry. With a
+/// hub attached it also pushes a `stage` event per finished stage, so
+/// `GET /jobs/<id>/events` streams stage transitions live.
 #[derive(Debug, Default)]
 pub struct StageProgress {
     done: PlMutex<Vec<String>>,
+    hub: Option<Arc<EventHub>>,
 }
 
 impl StageProgress {
+    /// A progress sink that mirrors stage completions onto `hub`.
+    pub fn with_hub(hub: Arc<EventHub>) -> StageProgress {
+        StageProgress {
+            done: PlMutex::default(),
+            hub: Some(hub),
+        }
+    }
+
     /// Stage names closed so far, in completion order.
     pub fn done(&self) -> Vec<String> {
         self.done.lock().clone()
@@ -59,6 +357,13 @@ impl Sink for StageProgress {
         // colliding name (e.g. a nested `ocr` helper) are not stages.
         if record.depth <= 2 && STAGE_NAMES.contains(&record.name) {
             self.done.lock().push(record.name.to_string());
+            if let Some(hub) = &self.hub {
+                hub.push(
+                    "stage",
+                    record.name,
+                    &format!("{}", record.wall.as_micros()),
+                );
+            }
         }
     }
 }
@@ -128,6 +433,7 @@ struct Job {
     source: String,
     phase: Phase,
     progress: Arc<StageProgress>,
+    events: Arc<EventHub>,
 }
 
 struct Inner {
@@ -231,12 +537,15 @@ impl JobStore {
         }
         inner.next_id += 1;
         let id = inner.next_id;
+        let events = Arc::new(EventHub::new(Arc::clone(&self.registry)));
+        events.push("state", "queued", &source);
         inner.jobs.insert(
             id,
             Job {
-                source,
                 phase: Phase::Queued(input),
-                progress: Arc::new(StageProgress::default()),
+                progress: Arc::new(StageProgress::with_hub(Arc::clone(&events))),
+                events,
+                source,
             },
         );
         inner.queue.push_back(id);
@@ -244,6 +553,18 @@ impl JobStore {
         self.registry
             .gauge("jobs.queue_depth")
             .set(inner.queue.len() as i64);
+        // Logged under the store lock so this record always precedes the
+        // worker's "job started": `take_next` needs the same lock to
+        // claim the job. Ambient context carries the HTTP edge's
+        // `req_id` in, tying the request to the queue hand-off.
+        dpr_log::info(
+            "serve.job",
+            "job accepted",
+            &[
+                ("job_id", format!("job-{id}").into()),
+                ("source", inner.jobs[&id].source.as_str().into()),
+            ],
+        );
         drop(inner);
         self.ready.notify_one();
         Ok(format!("job-{id}"))
@@ -252,7 +573,7 @@ impl JobStore {
     /// Blocks until a job is available and claims it for a worker.
     /// `None` once the store is draining and the FIFO is empty — queued
     /// jobs are always finished before workers exit (graceful drain).
-    pub fn take_next(&self) -> Option<(u64, JobInput, Arc<StageProgress>)> {
+    pub fn take_next(&self) -> Option<(u64, JobInput, Arc<StageProgress>, Arc<EventHub>)> {
         let mut inner = lock(&self.inner);
         loop {
             if let Some(id) = inner.queue.pop_front() {
@@ -269,7 +590,9 @@ impl JobStore {
                     }
                 };
                 let progress = Arc::clone(&job.progress);
-                return Some((id, input, progress));
+                let events = Arc::clone(&job.events);
+                events.push("state", "running", "");
+                return Some((id, input, progress, events));
             }
             if inner.draining {
                 return None;
@@ -290,7 +613,8 @@ impl JobStore {
         stages: Vec<StageLine>,
         wall_us: u64,
     ) {
-        self.finish(
+        let detail = run_id.clone();
+        let events = self.finish(
             id,
             Phase::Done {
                 run_id,
@@ -300,19 +624,29 @@ impl JobStore {
             },
         );
         self.registry.counter("jobs.completed").inc(1);
+        if let Some(events) = events {
+            events.push("state", "done", &detail);
+            events.finish();
+        }
     }
 
     /// Records a job's failure.
     pub fn fail(&self, id: u64, error: String) {
-        self.finish(id, Phase::Failed { error });
+        let detail = error.clone();
+        let events = self.finish(id, Phase::Failed { error });
         self.registry.counter("jobs.failed").inc(1);
+        if let Some(events) = events {
+            events.push("state", "failed", &detail);
+            events.finish();
+        }
     }
 
-    fn finish(&self, id: u64, phase: Phase) {
+    fn finish(&self, id: u64, phase: Phase) -> Option<Arc<EventHub>> {
         let mut inner = lock(&self.inner);
-        if let Some(job) = inner.jobs.get_mut(&id) {
+        let events = inner.jobs.get_mut(&id).map(|job| {
             job.phase = phase;
-        }
+            Arc::clone(&job.events)
+        });
         inner.finished.push_back(id);
         let mut evicted = 0;
         while inner.finished.len() > self.jobs_kept {
@@ -326,6 +660,26 @@ impl JobStore {
         if evicted > 0 {
             self.registry.counter("jobs.evicted").inc(evicted);
         }
+        events
+    }
+
+    /// Subscribes to one job's live event stream. `None` for unknown
+    /// (or already-evicted) jobs; a finished job yields its replay
+    /// history followed by end-of-stream.
+    pub fn subscribe(&self, external: &str) -> Option<Subscriber> {
+        let id = parse_id(external)?;
+        let inner = lock(&self.inner);
+        inner.jobs.get(&id).map(|job| job.events.subscribe())
+    }
+
+    /// How many jobs are being analyzed right now.
+    pub fn running(&self) -> usize {
+        let inner = lock(&self.inner);
+        inner
+            .jobs
+            .values()
+            .filter(|job| matches!(job.phase, Phase::Running))
+            .count()
     }
 
     /// The status of one job by external id (`job-N`).
@@ -424,7 +778,7 @@ mod tests {
         assert_eq!(store.status("job-1").unwrap().state, "queued");
         assert_eq!(store.queue_len(), 1);
 
-        let (raw, input, _progress) = store.take_next().unwrap();
+        let (raw, input, _progress, _events) = store.take_next().unwrap();
         assert_eq!(raw, 1);
         assert!(matches!(input, JobInput::Car(name) if name == "M"));
         assert_eq!(store.status("job-1").unwrap().state, "running");
@@ -490,7 +844,7 @@ mod tests {
         let (store, registry) = store(8, 2);
         for _ in 0..5 {
             let id = store.submit("car:M".into(), JobInput::Car("M".into())).unwrap();
-            let (raw, _, _) = store.take_next().unwrap();
+            let (raw, _, _, _) = store.take_next().unwrap();
             store.complete(raw, "run-x".into(), "{}".into(), vec![], 1);
             assert_eq!(store.status(&id).unwrap().state, "done");
         }

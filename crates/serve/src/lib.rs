@@ -40,10 +40,11 @@ pub mod router;
 mod worker;
 
 pub use jobs::{
-    JobInput, JobStatus, JobStore, ResultLookup, StageLine, StageProgress, SubmitError, JOBS_KEPT,
-    STAGE_NAMES,
+    EventHub, EventWait, JobEvent, JobInput, JobStatus, JobStore, ResultLookup, StageLine,
+    StageProgress, SubmitError, Subscriber, WorkerHealth, WorkerReport, EVENT_HISTORY, JOBS_KEPT,
+    STAGE_NAMES, SUBSCRIBER_QUEUE,
 };
-pub use router::{ServiceRouter, SubmitResponse, SERVE_ROUTES};
+pub use router::{ServiceHealth, ServiceRouter, SubmitResponse, SERVE_ROUTES};
 
 use dpr_obs::{shared_runs, shared_trace, HttpServer, ObsRouter, ServerConfig, SharedRuns, SharedTrace};
 use dpr_telemetry::Registry;
@@ -112,6 +113,7 @@ pub struct AnalysisService {
     registry: Arc<Registry>,
     runs: SharedRuns,
     trace: SharedTrace,
+    health: Arc<WorkerHealth>,
 }
 
 impl AnalysisService {
@@ -131,16 +133,22 @@ impl AnalysisService {
             config.jobs_kept,
             Arc::clone(&registry),
         ));
+        let health = Arc::new(WorkerHealth::default());
         let mut workers = Vec::new();
         for i in 0..config.analysis_workers.max(1) {
+            let name = format!("dpr-serve-analyze-{i}");
+            let slot = health.register(name.clone());
             let store = Arc::clone(&store);
             let analyzer = Arc::clone(&analyzer);
             let registry = Arc::clone(&registry);
             let trace = Arc::clone(&trace);
             let runs = Arc::clone(&runs);
+            let health = Arc::clone(&health);
             let handle = std::thread::Builder::new()
-                .name(format!("dpr-serve-analyze-{i}"))
-                .spawn(move || worker::run_worker(store, analyzer, registry, trace, runs))?;
+                .name(name)
+                .spawn(move || {
+                    worker::run_worker(slot, store, analyzer, registry, trace, runs, health)
+                })?;
             workers.push(handle);
         }
         let obs = ObsRouter::new(Arc::clone(&registry), Arc::clone(&trace), Arc::clone(&runs));
@@ -148,6 +156,7 @@ impl AnalysisService {
             obs,
             Arc::clone(&store),
             analyzer,
+            Arc::clone(&health),
             config.max_body_bytes,
         ));
         let server = match HttpServer::start(addr, "dpr-serve", config.server, router, Arc::clone(&registry)) {
@@ -169,6 +178,7 @@ impl AnalysisService {
             registry,
             runs,
             trace,
+            health,
         })
     }
 
@@ -198,6 +208,11 @@ impl AnalysisService {
     /// The latest-trace cell `/trace` serves.
     pub fn trace(&self) -> &SharedTrace {
         &self.trace
+    }
+
+    /// The analysis workers' heartbeat board `/healthz` reports.
+    pub fn health(&self) -> &Arc<WorkerHealth> {
+        &self.health
     }
 
     /// Graceful drain: stop accepting, answer in-flight requests,

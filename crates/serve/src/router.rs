@@ -15,7 +15,9 @@
 //!    either the corruption-tolerant [`CaptureReader`] (a `.dprcap`
 //!    upload) or the tiny `{"car":"M"}` JSON form.
 
-use crate::jobs::{JobInput, JobStore, ResultLookup, SubmitError};
+use crate::jobs::{
+    EventWait, JobInput, JobStore, ResultLookup, SubmitError, WorkerHealth, WorkerReport,
+};
 use crate::Analyzer;
 use dpr_capture::CaptureReader;
 use dpr_obs::http::{BodyReader, RequestHead};
@@ -25,13 +27,43 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Bodies at most this large may be the JSON car form; larger bodies
 /// must be captures and are streamed, never buffered whole.
 const SMALL_BODY: u64 = 4 * 1024;
 
+/// How long the event stream waits for the next event before emitting
+/// a keepalive blank line (which doubles as the disconnect probe).
+const EVENT_POLL: Duration = Duration::from_millis(250);
+
 /// The service's own route list (the obs routes are appended in 404s).
-pub const SERVE_ROUTES: &str = "POST /jobs, GET /jobs, GET /jobs/<id>, GET /jobs/<id>/result";
+pub const SERVE_ROUTES: &str = "POST /jobs, GET /jobs, GET /jobs/<id>, GET /jobs/<id>/result, \
+     GET /jobs/<id>/events, GET /healthz, GET /debug/snapshot";
+
+/// What the *service's* `GET /healthz` serializes — the obs
+/// [`HealthStatus`](dpr_obs::HealthStatus) fields plus the job queue
+/// and per-worker liveness, so a load driver can refuse to hammer an
+/// unhealthy service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceHealth {
+    /// `ok`, or `no-workers` when no analysis worker ever registered.
+    pub status: String,
+    /// The `dpr-serve` crate version compiled into this binary.
+    pub version: String,
+    /// Whole seconds since the service started.
+    pub uptime_secs: u64,
+    /// Runs published through the shared run store so far.
+    pub runs_published: u64,
+    /// Jobs waiting in the bounded FIFO right now.
+    pub queue_depth: u64,
+    /// The FIFO bound (`429` beyond it).
+    pub queue_capacity: u64,
+    /// Jobs being analyzed right now.
+    pub jobs_running: u64,
+    /// Each analysis worker's state and last-heartbeat age.
+    pub workers: Vec<WorkerReport>,
+}
 
 /// What a successful `POST /jobs` returns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,25 +109,118 @@ pub struct ServiceRouter {
     obs: ObsRouter,
     store: Arc<JobStore>,
     analyzer: Arc<dyn Analyzer>,
+    health: Arc<WorkerHealth>,
     max_body: u64,
     buffers: BufferPool,
 }
 
 impl ServiceRouter {
     /// A router submitting to `store`, validating car names against
-    /// `analyzer`, and falling back to `obs`.
+    /// `analyzer`, reporting `health` on `/healthz`, and falling back
+    /// to `obs`.
     pub fn new(
         obs: ObsRouter,
         store: Arc<JobStore>,
         analyzer: Arc<dyn Analyzer>,
+        health: Arc<WorkerHealth>,
         max_body: u64,
     ) -> ServiceRouter {
         ServiceRouter {
             obs,
             store,
             analyzer,
+            health,
             max_body,
             buffers: BufferPool::new(8),
+        }
+    }
+
+    fn service_health(&self) -> ServiceHealth {
+        let workers = self.health.report();
+        ServiceHealth {
+            status: if workers.is_empty() {
+                "no-workers".to_string()
+            } else {
+                "ok".to_string()
+            },
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            uptime_secs: self.obs.uptime_secs(),
+            runs_published: self.obs.runs().lock().published(),
+            queue_depth: self.store.queue_len() as u64,
+            queue_capacity: self.store.queue_capacity() as u64,
+            jobs_running: self.store.running() as u64,
+            workers,
+        }
+    }
+
+    fn healthz(&self, conn: &mut Conn<'_>) -> io::Result<()> {
+        let body = json::to_string(&self.service_health())
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+        conn.respond("200 OK", "application/json", &body)
+    }
+
+    /// One JSON diagnostics bundle: service health, the jobs table,
+    /// the pool profile, the full metrics snapshot, and the in-memory
+    /// log ring — everything a bug report needs, in one request.
+    fn snapshot(&self, conn: &mut Conn<'_>) -> io::Result<()> {
+        fn or_err(out: Result<String, dpr_telemetry::json::Error>) -> String {
+            out.unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+        }
+        let health = or_err(json::to_string(&self.service_health()));
+        let jobs = or_err(json::to_string(&self.store.statuses()));
+        let profile = or_err(json::to_string(&dpr_prof::snapshot()));
+        let metrics = or_err(json::to_string(&conn.registry().snapshot()));
+        let ring = dpr_log::logger().ring();
+        let records: Vec<String> = ring
+            .snapshot()
+            .iter()
+            .map(|entry| entry.record.to_json())
+            .collect();
+        let log = format!(
+            "{{\"pushed\":{},\"overwritten\":{},\"records\":[{}]}}",
+            ring.pushed(),
+            ring.overwritten(),
+            records.join(",")
+        );
+        let body = format!(
+            "{{\"health\":{health},\"jobs\":{jobs},\"profile\":{profile},\
+             \"metrics\":{metrics},\"log\":{log}}}"
+        );
+        conn.respond("200 OK", "application/json", &body)
+    }
+
+    /// Streams one job's events as chunked ndjson: the replay history,
+    /// then live events as they happen, a blank-line keepalive while
+    /// idle, and EOF once the job finishes. A client that disconnects
+    /// mid-stream just ends this handler — the analysis worker never
+    /// notices (its hub push never blocks).
+    fn events(&self, external: &str, conn: &mut Conn<'_>) -> io::Result<()> {
+        let Some(mut subscriber) = self.store.subscribe(external) else {
+            return conn.respond(
+                "404 Not Found",
+                "text/plain",
+                &format!("unknown job {external:?}\n"),
+            );
+        };
+        conn.start_chunked("200 OK", "application/x-ndjson", &[])?;
+        loop {
+            match subscriber.wait(EVENT_POLL) {
+                EventWait::Event(event) => {
+                    let mut line = json::to_string(&event)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                    line.push('\n');
+                    if conn.write_chunk(line.as_bytes()).is_err() {
+                        // Client went away; nothing upstream to unwind.
+                        return Ok(());
+                    }
+                }
+                EventWait::Idle => {
+                    if conn.write_chunk(b"\n").is_err() {
+                        return Ok(());
+                    }
+                }
+                EventWait::Ended => return conn.finish_chunked(),
+            }
         }
     }
 
@@ -132,12 +257,7 @@ impl ServiceRouter {
         // still unread (and mostly still un-sent, for large uploads).
         if self.store.is_full() {
             self.store.note_rejected();
-            return conn.respond_with(
-                "429 Too Many Requests",
-                "text/plain",
-                &["Retry-After: 1"],
-                "job queue is full, retry shortly\n",
-            );
+            return reject_full(conn);
         }
         let (source, input) = {
             let mut body = BodyReader::new(&head.leftover, conn.stream(), declared);
@@ -160,7 +280,7 @@ impl ServiceRouter {
                 }
             }
         };
-        match self.store.submit(source, input) {
+        match self.store.submit(source.clone(), input) {
             Ok(job) => {
                 let response = SubmitResponse {
                     poll: format!("/jobs/{job}"),
@@ -172,12 +292,7 @@ impl ServiceRouter {
             }
             // The queue filled while we read the body: same answer as
             // the pre-body check, the client just paid for the upload.
-            Err(SubmitError::QueueFull) => conn.respond_with(
-                "429 Too Many Requests",
-                "text/plain",
-                &["Retry-After: 1"],
-                "job queue is full, retry shortly\n",
-            ),
+            Err(SubmitError::QueueFull) => reject_full(conn),
             Err(SubmitError::Draining) => conn.respond(
                 "503 Service Unavailable",
                 "text/plain",
@@ -290,6 +405,21 @@ impl ServiceRouter {
     }
 }
 
+/// The shared `429` answer: retriable, and carrying the request's
+/// correlation id so a shed submission is attributable in the logs.
+fn reject_full(conn: &mut Conn<'_>) -> io::Result<()> {
+    let body = format!(
+        "{{\"error\":\"job queue is full, retry shortly\",\"req_id\":\"{}\"}}\n",
+        conn.req_id()
+    );
+    conn.respond_with(
+        "429 Too Many Requests",
+        "application/json",
+        &["Retry-After: 1"],
+        &body,
+    )
+}
+
 /// A parsed capture (or the reason it failed to parse); either way the
 /// pooled read buffer rides along so the caller can return it.
 type ParsedCapture = Result<(Box<dpr_capture::CaptureSession>, Vec<u8>), (String, Vec<u8>)>;
@@ -326,9 +456,22 @@ impl HttpHandler for ServiceRouter {
             if head.method != "GET" {
                 return conn.respond("405 Method Not Allowed", "text/plain", "GET only\n");
             }
+            if let Some(id) = rest.strip_suffix("/events") {
+                return self.events(id, conn);
+            }
             return match rest.strip_suffix("/result") {
                 Some(id) => self.result(id, conn),
                 None => self.status(rest, conn),
+            };
+        }
+        if path == "/healthz" || path == "/debug/snapshot" {
+            if head.method != "GET" {
+                return conn.respond("405 Method Not Allowed", "text/plain", "GET only\n");
+            }
+            return if path == "/healthz" {
+                self.healthz(conn)
+            } else {
+                self.snapshot(conn)
             };
         }
         if self.obs.try_route(head, conn)? {

@@ -1,0 +1,286 @@
+//! Edge cases of the `GET /jobs/<id>/events` live stream, over real
+//! `TcpStream`s: a subscriber that arrives after the job finished, a
+//! client that disconnects mid-stream (the worker must never notice),
+//! and two concurrent subscribers seeing identical sequences.
+
+use dpr_serve::{AnalysisService, Analyzer, JobEvent, JobInput, ServiceConfig, SubmitResponse};
+use dpr_telemetry::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fails every job immediately — the cheapest way to drive a full
+/// queued → running → failed lifecycle.
+struct FailingAnalyzer;
+
+impl Analyzer for FailingAnalyzer {
+    fn analyze(&self, _input: JobInput) -> Result<dp_reverser::ReverseEngineeringResult, String> {
+        Err("synthetic failure".to_string())
+    }
+}
+
+/// Parks on a gate until the test releases it (copied from the service
+/// tests — each integration test binary is standalone).
+struct BlockingAnalyzer {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl BlockingAnalyzer {
+    fn new() -> (Arc<(Mutex<bool>, Condvar)>, BlockingAnalyzer) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let analyzer = BlockingAnalyzer {
+            gate: Arc::clone(&gate),
+        };
+        (gate, analyzer)
+    }
+}
+
+impl Analyzer for BlockingAnalyzer {
+    fn analyze(&self, _input: JobInput) -> Result<dp_reverser::ReverseEngineeringResult, String> {
+        let (lock, cvar) = &*self.gate;
+        let mut released = lock.lock().unwrap();
+        while !*released {
+            released = cvar.wait(released).unwrap();
+        }
+        Err("released without a result".to_string())
+    }
+}
+
+fn release(gate: &Arc<(Mutex<bool>, Condvar)>) {
+    let (lock, cvar) = &**gate;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+}
+
+struct ReleaseOnDrop(Arc<(Mutex<bool>, Condvar)>);
+
+impl Drop for ReleaseOnDrop {
+    fn drop(&mut self) {
+        release(&self.0);
+    }
+}
+
+fn send_raw(addr: SocketAddr, data: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(data).unwrap();
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).unwrap();
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    let raw = send_raw(addr, req.as_bytes());
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) => (head.to_string(), body.to_string()),
+        None => (raw, String::new()),
+    }
+}
+
+fn submit_car(addr: SocketAddr) -> String {
+    let body = b"{\"car\":\"M\"}";
+    let req = format!(
+        "POST /jobs HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut data = req.into_bytes();
+    data.extend_from_slice(body);
+    let raw = send_raw(addr, &data);
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+    let accepted: SubmitResponse = json::from_str(body).unwrap();
+    accepted.job
+}
+
+fn wait_state(addr: SocketAddr, job: &str, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (head, body) = get(addr, &format!("/jobs/{job}"));
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        if body.contains(&format!("\"state\":\"{want}\"")) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{job} never reached {want}: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Removes HTTP/1.1 chunked framing, returning the reassembled body.
+fn dechunk(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    loop {
+        let Some((size_line, after)) = rest.split_once("\r\n") else {
+            return out;
+        };
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            return out;
+        };
+        if size == 0 || after.len() < size {
+            return out;
+        }
+        out.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").unwrap_or(&after[size..]);
+    }
+}
+
+/// Streams `/jobs/<id>/events` to EOF, returning the parsed events
+/// (keepalive blank lines skipped).
+fn read_events(addr: SocketAddr, job: &str) -> Vec<JobEvent> {
+    let (head, body) = get(addr, &format!("/jobs/{job}/events"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    parse_events(&dechunk(&body))
+}
+
+fn parse_events(ndjson: &str) -> Vec<JobEvent> {
+    ndjson
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| json::from_str::<JobEvent>(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+        .collect()
+}
+
+fn states(events: &[JobEvent]) -> Vec<&str> {
+    events
+        .iter()
+        .filter(|e| e.kind == "state")
+        .map(|e| e.what.as_str())
+        .collect()
+}
+
+#[test]
+fn late_subscriber_gets_history_terminal_event_and_eof() {
+    let service = AnalysisService::start(
+        "127.0.0.1:0",
+        ServiceConfig::default(),
+        Arc::new(FailingAnalyzer),
+    )
+    .unwrap();
+    let addr = service.addr();
+
+    let job = submit_car(addr);
+    wait_state(addr, &job, "failed");
+
+    // Connecting *after* completion: the replay history (all three
+    // lifecycle transitions), then an immediate end-of-stream. The
+    // deadline proves EOF, not keepalive limbo.
+    let started = Instant::now();
+    let events = read_events(addr, &job);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "late subscriber hung instead of getting EOF"
+    );
+    assert_eq!(states(&events), vec!["queued", "running", "failed"]);
+    let failed = events
+        .iter()
+        .find(|e| e.kind == "state" && e.what == "failed")
+        .unwrap();
+    assert!(failed.detail.contains("synthetic failure"), "{failed:?}");
+    // Seqs are the hub's, strictly increasing from 0.
+    for (i, event) in events.iter().enumerate() {
+        assert_eq!(event.seq, i as u64, "gap in replayed sequence: {events:?}");
+    }
+
+    // An unknown job is a plain 404, not an empty stream.
+    let (head, _) = get(addr, "/jobs/job-999/events");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    service.stop();
+}
+
+#[test]
+fn mid_stream_disconnect_never_blocks_the_worker() {
+    let (gate, analyzer) = BlockingAnalyzer::new();
+    let service = AnalysisService::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            analysis_workers: 1,
+            ..ServiceConfig::default()
+        },
+        Arc::new(analyzer),
+    )
+    .unwrap();
+    let _open_gate_on_panic = ReleaseOnDrop(Arc::clone(&gate));
+    let addr = service.addr();
+
+    let job = submit_car(addr);
+    wait_state(addr, &job, "running");
+
+    // Subscribe and read just past the `running` event, then hang up
+    // with the job still in flight.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /jobs/{job}/events HTTP/1.1\r\nHost: test\r\n\r\n"
+    )
+    .unwrap();
+    let mut seen = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !String::from_utf8_lossy(&seen).contains("\"running\"") {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "stream closed before the running event");
+        seen.extend_from_slice(&chunk[..n]);
+    }
+    drop(stream);
+
+    // The worker is still parked on the gate; releasing it must finish
+    // the job promptly — a blocked hub push would hang this wait.
+    release(&gate);
+    wait_state(addr, &job, "failed");
+
+    // And the stream is still subscribable afterwards.
+    let events = read_events(addr, &job);
+    assert_eq!(states(&events), vec!["queued", "running", "failed"]);
+
+    service.stop();
+}
+
+#[test]
+fn concurrent_subscribers_see_identical_sequences() {
+    let (gate, analyzer) = BlockingAnalyzer::new();
+    let service = AnalysisService::start(
+        "127.0.0.1:0",
+        ServiceConfig {
+            analysis_workers: 1,
+            ..ServiceConfig::default()
+        },
+        Arc::new(analyzer),
+    )
+    .unwrap();
+    let _open_gate_on_panic = ReleaseOnDrop(Arc::clone(&gate));
+    let addr = service.addr();
+
+    let job = submit_car(addr);
+    wait_state(addr, &job, "running");
+
+    // Two live subscribers attach mid-job…
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let job = job.clone();
+            std::thread::spawn(move || read_events(addr, &job))
+        })
+        .collect();
+    // …with time to connect and drain the history before the end.
+    std::thread::sleep(Duration::from_millis(300));
+    release(&gate);
+
+    let sequences: Vec<Vec<JobEvent>> = readers
+        .into_iter()
+        .map(|h| h.join().expect("subscriber thread"))
+        .collect();
+    assert_eq!(
+        sequences[0], sequences[1],
+        "subscribers diverged on one job's stream"
+    );
+    assert_eq!(states(&sequences[0]), vec!["queued", "running", "failed"]);
+
+    service.stop();
+}

@@ -72,6 +72,16 @@ fn global_registry() -> &'static Arc<Registry> {
     GLOBAL.get_or_init(|| Arc::new(Registry::new()))
 }
 
+/// The process-wide monotonic epoch: fixed the first time anything asks
+/// for it. `dpr-log` stamps records as microseconds since this instant,
+/// so log timelines are comparable across every registry and thread of
+/// the process (per-run registries keep their own [`Registry::epoch`]
+/// for span-relative times).
+pub fn process_epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
 thread_local! {
     static SCOPE: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
 }

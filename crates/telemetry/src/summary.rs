@@ -118,6 +118,7 @@ mod tests {
             total_us: 2_000_000,
             counters: Default::default(),
             gauges: Default::default(),
+            job_id: None,
         };
         let text = render_trace(&trace);
         assert!(text.contains("ocr"));

@@ -45,6 +45,11 @@ pub struct PipelineTrace {
     pub counters: BTreeMap<String, u64>,
     /// Final gauge values at the end of the run.
     pub gauges: BTreeMap<String, i64>,
+    /// The service job this trace belongs to (`job-N`), stamped by
+    /// `dpr-serve` when it publishes a job's trace; `None` for direct
+    /// runs. Correlates `GET /trace` output with log records and the
+    /// job table.
+    pub job_id: Option<String>,
 }
 
 impl PartialEq for PipelineTrace {
@@ -129,6 +134,7 @@ impl TraceBuilder {
             total_us: self.run_start.elapsed().as_micros() as u64,
             counters: now.counter_deltas_since(&self.baseline),
             gauges: now.gauges,
+            job_id: None,
         }
     }
 }

@@ -1,0 +1,89 @@
+//! Regression test: structured logging is observation, not
+//! intervention. Turning on the stderr sink (at `debug`) and the
+//! JSON-lines sink must not change pipeline output — same
+//! `ReverseEngineeringResult`, down to its canonical JSON
+//! serialization.
+//!
+//! Single `#[test]` function on purpose: the test mutates the global
+//! logger's runtime sinks, and sibling tests in this binary would race
+//! on them.
+
+use dp_reverser::{DpReverser, PipelineConfig, ReverseEngineeringResult};
+use dpr_can::Micros;
+use dpr_cps::{collect_vehicle, CollectConfig, CollectionReport};
+use dpr_frames::Scheme;
+use dpr_tool::{ToolProfile, ToolSession};
+use dpr_vehicle::profiles::{self, CarId};
+
+fn quick_collect(id: CarId, seed: u64) -> CollectionReport {
+    let car = profiles::build(id, seed);
+    let spec = profiles::spec(id);
+    let session = ToolSession::new(car, ToolProfile::by_name(spec.tool).unwrap());
+    collect_vehicle(
+        session,
+        &CollectConfig {
+            read_wait: Micros::from_secs(4),
+            ..CollectConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn analyze(seed: u64, report: &CollectionReport) -> ReverseEngineeringResult {
+    let pipeline = DpReverser::new(PipelineConfig::fast(Scheme::IsoTp, seed));
+    pipeline.analyze(&report.log, &report.frames, Some(&report.execution))
+}
+
+fn canonical(mut result: ReverseEngineeringResult) -> String {
+    // Clear the one wall-clock-carrying field (the stage trace) —
+    // stage timings differ between *any* two runs, logged or not.
+    result.trace = dpr_telemetry::PipelineTrace::default();
+    dpr_telemetry::json::to_string(&result).unwrap()
+}
+
+/// One test fn on purpose — see module docs.
+#[test]
+fn logging_does_not_change_pipeline_output() {
+    let json_path = std::env::temp_dir().join(format!(
+        "dpr-log-identity-{}.jsonl",
+        std::process::id()
+    ));
+
+    for (id, seed) in [(CarId::M, 5), (CarId::O, 13)] {
+        let report = quick_collect(id, seed);
+
+        dpr_log::set_stderr_level(None);
+        dpr_log::set_json_path(None).expect("disable json sink");
+        let off = analyze(seed, &report);
+
+        dpr_log::set_stderr_level(Some(dpr_log::Level::Debug));
+        dpr_log::set_json_path(Some(&json_path)).expect("enable json sink");
+        let on = analyze(seed, &report);
+        dpr_log::set_stderr_level(None);
+        dpr_log::set_json_path(None).expect("disable json sink");
+
+        assert_eq!(off, on, "{id:?}: result differs with logging on");
+        assert_eq!(
+            canonical(off),
+            canonical(on),
+            "{id:?}: canonical JSON differs with logging on"
+        );
+
+        // The logged run actually wrote its stage lines, so the
+        // comparison above had teeth. (`set_json_path` truncates, so
+        // the file holds exactly this iteration's records.)
+        let logged = std::fs::read_to_string(&json_path).expect("json log written");
+        let stage_lines = logged
+            .lines()
+            .filter(|l| {
+                let record = dpr_log::Record::from_json(l).expect("log line parses");
+                record.target == "pipeline" && record.message == "stage complete"
+            })
+            .count();
+        assert!(
+            stage_lines >= 4,
+            "{id:?}: expected stage-complete lines from the logged run, got {stage_lines}"
+        );
+    }
+    let _ = std::fs::remove_file(&json_path);
+}
