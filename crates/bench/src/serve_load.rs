@@ -85,6 +85,14 @@ pub struct LoadRun {
     /// Server-side per-route latency, read back from the service's
     /// `http.<route>.latency_us` histograms after the run.
     pub route_latency: Vec<RouteLatency>,
+    /// Median of the busiest `http.jobs.latency_us` sampling window,
+    /// pulled from `GET /metrics/history` after the run — the same
+    /// numbers an operator's dashboard would show.
+    pub server_window_p50_us: f64,
+    /// 99th percentile of that same busiest window.
+    pub server_window_p99: f64,
+    /// Sampling windows that saw submit traffic during the run.
+    pub server_windows: u64,
 }
 
 /// One route's server-side latency summary.
@@ -184,6 +192,13 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
     let service_config = ServiceConfig {
         analysis_workers: config.workers.max(1),
         queue_capacity: config.queue.max(1),
+        // Tight sampling so even the quick run spans several windows;
+        // ignores `DPR_SERIES_*` on purpose — bench numbers should not
+        // move with ambient environment tuning.
+        series: Some(dpr_series::SeriesConfig {
+            interval: Duration::from_millis(50),
+            capacity: 256,
+        }),
         ..ServiceConfig::default()
     };
     let service = AnalysisService::start(
@@ -209,6 +224,14 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
     });
     let elapsed = started.elapsed();
     dpr_prof::alloc::set_counting(false);
+    // Close the last sampling window, then read the history back over
+    // the wire — the bench checks the endpoint, not just the store.
+    service
+        .series()
+        .expect("load services run with a sampler")
+        .force_tick();
+    let history = fetch_history(addr);
+    let (server_windows, server_window_p50_us, server_window_p99) = summarize_windows(&history);
     let metrics = service.registry().snapshot();
     let route_latency: Vec<RouteLatency> = metrics
         .histograms
@@ -245,6 +268,37 @@ pub fn run_load(config: &LoadConfig, quick: bool) -> LoadRun {
         http_429_share: rejected as f64 / total as f64,
         allocs_per_request: allocs as f64 / total as f64,
         route_latency,
+        server_window_p50_us,
+        server_window_p99,
+        server_windows,
+    }
+}
+
+/// Fetches `GET /metrics/history` and parses the series document.
+fn fetch_history(addr: SocketAddr) -> dpr_series::History {
+    let mut response = Vec::with_capacity(4096);
+    let status = submit_once(
+        addr,
+        b"GET /metrics/history HTTP/1.1\r\nHost: bench\r\n\r\n",
+        &mut response,
+    );
+    let text = String::from_utf8_lossy(&response);
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    assert_eq!(status, Some(200), "metrics/history fetch failed: {text}");
+    dpr_telemetry::json::from_str(body)
+        .unwrap_or_else(|e| panic!("metrics/history payload does not parse ({e}): {body}"))
+}
+
+/// The busiest (most-observations) window of the submit route's
+/// sliding-window latency series, plus how many windows saw traffic.
+fn summarize_windows(history: &dpr_series::History) -> (u64, f64, f64) {
+    let Some(series) = history.histograms.get("http.jobs.latency_us") else {
+        return (0, 0.0, 0.0);
+    };
+    let windows = series.iter().filter(|w| w.count > 0).count() as u64;
+    match series.iter().max_by_key(|w| w.count) {
+        Some(busiest) if busiest.count > 0 => (windows, busiest.p50, busiest.p99),
+        _ => (0, 0.0, 0.0),
     }
 }
 
@@ -298,6 +352,10 @@ pub fn render_load(run: &LoadRun) -> String {
             route.route, route.count, route.p50_us, route.p99_us
         ));
     }
+    out.push_str(&format!(
+        "  busiest window (of {} active)    server p50 {:>7.0}us    p99 {:>7.0}us    via /metrics/history\n",
+        run.server_windows, run.server_window_p50_us, run.server_window_p99
+    ));
     out
 }
 
@@ -310,6 +368,10 @@ pub fn render_load(run: &LoadRun) -> String {
 /// so direction inference does not gate it), and so does `submit_p99`
 /// (microseconds, but tail latency on a small shared CI box is too
 /// jittery to gate; the unit suffix is dropped so inference skips it).
+/// The server-side window numbers follow the same split:
+/// `server_window_p50_us` gates lower-is-better, `server_window_p99`
+/// (tail, suffix dropped) and `server_windows` (a sample count, not a
+/// quality) stay informational.
 pub fn serve_json(run: &LoadRun) -> String {
     format!(
         concat!(
@@ -325,7 +387,10 @@ pub fn serve_json(run: &LoadRun) -> String {
             "  \"submit_p99\": {p99},\n",
             "  \"submits_per_sec\": {sps:.0},\n",
             "  \"http_429_share\": {share:.4},\n",
-            "  \"allocs_per_request\": {apr:.0}\n",
+            "  \"allocs_per_request\": {apr:.0},\n",
+            "  \"server_window_p50_us\": {wp50:.0},\n",
+            "  \"server_window_p99\": {wp99:.0},\n",
+            "  \"server_windows\": {windows}\n",
             "}}\n",
         ),
         quick = run.quick,
@@ -339,6 +404,9 @@ pub fn serve_json(run: &LoadRun) -> String {
         sps = run.submits_per_sec,
         share = run.http_429_share,
         apr = run.allocs_per_request,
+        wp50 = run.server_window_p50_us,
+        wp99 = run.server_window_p99,
+        windows = run.server_windows,
     )
 }
 
@@ -368,6 +436,14 @@ mod tests {
             .find(|r| r.route == "jobs")
             .expect("per-route latency for the submit route");
         assert_eq!(jobs_route.count, 10, "{:?}", run.route_latency);
+        assert!(
+            run.server_windows >= 1,
+            "the sampler saw the submit traffic: {run:?}"
+        );
+        assert!(
+            run.server_window_p99 >= run.server_window_p50_us,
+            "{run:?}"
+        );
         let json = serve_json(&run);
         let doc = dpr_telemetry::json::parse(&json).expect("serve_json emits valid JSON");
         let flat = format!("{doc:?}");
@@ -377,6 +453,9 @@ mod tests {
             "submits_per_sec",
             "http_429_share",
             "allocs_per_request",
+            "server_window_p50_us",
+            "server_window_p99",
+            "server_windows",
         ] {
             assert!(flat.contains(key), "{key} missing from {json}");
         }

@@ -272,6 +272,7 @@ impl Default for ServerConfig {
 pub fn route_slug(path: &str) -> &'static str {
     match path {
         "/metrics" => "metrics",
+        "/metrics/history" => "metrics_history",
         "/trace" => "trace",
         "/runs" => "runs",
         "/profile" => "profile",
@@ -760,11 +761,13 @@ pub struct ObsRouter {
     registry: Arc<Registry>,
     trace: SharedTrace,
     runs: SharedRuns,
+    series: Option<Arc<dpr_series::Sampler>>,
     started: Instant,
 }
 
 /// The route list the 404 body advertises.
-pub const OBS_ROUTES: &str = "/metrics /trace /runs /evidence/<sensor> /profile /healthz";
+pub const OBS_ROUTES: &str =
+    "/metrics /metrics/history /trace /runs /evidence/<sensor> /profile /healthz";
 
 impl ObsRouter {
     /// A router serving `registry`, `trace`, and `runs`; uptime counts
@@ -774,8 +777,21 @@ impl ObsRouter {
             registry,
             trace,
             runs,
+            series: None,
             started: Instant::now(),
         }
+    }
+
+    /// Attaches a series sampler: `GET /metrics/history` serves its
+    /// windowed rate/quantile series (404 without one).
+    pub fn with_series(mut self, series: Arc<dpr_series::Sampler>) -> ObsRouter {
+        self.series = Some(series);
+        self
+    }
+
+    /// The attached series sampler, if any.
+    pub fn series(&self) -> Option<&Arc<dpr_series::Sampler>> {
+        self.series.as_ref()
     }
 
     /// The shared run store this router serves.
@@ -796,7 +812,7 @@ impl ObsRouter {
         let path = head.path();
         let known = matches!(
             path,
-            "/metrics" | "/trace" | "/runs" | "/profile" | "/healthz"
+            "/metrics" | "/metrics/history" | "/trace" | "/runs" | "/profile" | "/healthz"
         ) || path.starts_with("/evidence/");
         if !known {
             return Ok(false);
@@ -830,6 +846,20 @@ impl ObsRouter {
                 "text/plain; version=0.0.4; charset=utf-8",
                 &prom::render(&self.registry.snapshot()),
             )?,
+            "/metrics/history" => match &self.series {
+                Some(sampler) => {
+                    let body = dpr_telemetry::json::to_string(&sampler.history())
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                    conn.respond("200 OK", "application/json", &body)?;
+                }
+                None => {
+                    conn.respond(
+                        "404 Not Found",
+                        "text/plain",
+                        "no series sampler is attached to this server\n",
+                    )?;
+                }
+            },
             "/trace" => match self.trace.lock().clone() {
                 Some(trace) => {
                     let body = dpr_telemetry::json::to_string(&trace)
@@ -904,19 +934,31 @@ impl std::fmt::Debug for ObsRouter {
 /// [`stop`](MetricsServer::stop) or drop.
 pub struct MetricsServer {
     inner: HttpServer,
+    sampler: Arc<dpr_series::Sampler>,
 }
 
 impl MetricsServer {
     /// Binds `addr` and starts serving `registry`, `trace`, and `runs`.
+    /// A series sampler (interval/retention from the `DPR_SERIES_*`
+    /// environment, no SLOs) is started alongside, so
+    /// `GET /metrics/history` works on the standalone scrape server too.
     pub fn start(
         addr: &str,
         registry: Arc<Registry>,
         trace: SharedTrace,
         runs: SharedRuns,
     ) -> io::Result<MetricsServer> {
-        let router = Arc::new(ObsRouter::new(Arc::clone(&registry), trace, runs));
-        let inner = HttpServer::start(addr, "dpr-metrics", ServerConfig::default(), router, registry)?;
-        Ok(MetricsServer { inner })
+        let sampler = dpr_series::Sampler::start(
+            Arc::clone(&registry),
+            dpr_series::SeriesConfig::from_env(),
+            Vec::new(),
+        );
+        let router = Arc::new(
+            ObsRouter::new(Arc::clone(&registry), trace, runs).with_series(Arc::clone(&sampler)),
+        );
+        let inner =
+            HttpServer::start(addr, "dpr-metrics", ServerConfig::default(), router, registry)?;
+        Ok(MetricsServer { inner, sampler })
     }
 
     /// Starts a server on the `DPR_METRICS_ADDR` address, if the variable
@@ -940,9 +982,16 @@ impl MetricsServer {
         self.inner.addr()
     }
 
-    /// Stops accepting, wakes the listener, and joins the serve threads.
+    /// The series sampler behind `GET /metrics/history`.
+    pub fn sampler(&self) -> &Arc<dpr_series::Sampler> {
+        &self.sampler
+    }
+
+    /// Stops accepting, wakes the listener, joins the serve threads,
+    /// and stops the series sampler.
     pub fn stop(self) {
         self.inner.stop();
+        self.sampler.stop();
     }
 }
 
@@ -1021,6 +1070,35 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn serves_metrics_history() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("obs.history_hits").inc(2);
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            shared_trace(),
+            shared_runs(),
+        )
+        .expect("bind ephemeral");
+        // The startup tick already saw the counter; force one more so
+        // the zero-delta path is exercised over HTTP too.
+        server.sampler().force_tick();
+        let (head, body) = get(server.addr(), "/metrics/history");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let history: dpr_series::History =
+            dpr_telemetry::json::from_str(&body).expect("history json");
+        assert!(history.samples >= 2, "{history:?}");
+        let series = history
+            .counters
+            .get("obs.history_hits")
+            .expect("counter tracked");
+        assert_eq!(series.first().map(|p| p.delta), Some(2), "{series:?}");
+        assert!(history.slos.is_empty(), "standalone server has no SLOs");
         server.stop();
     }
 

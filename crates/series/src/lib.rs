@@ -1,0 +1,48 @@
+//! `dpr-series` — metrics history and SLO burn-rate health for the
+//! DP-Reverser observability stack, std-only like the rest of the
+//! workspace.
+//!
+//! The telemetry [`Registry`](dpr_telemetry::Registry) answers "what is
+//! the total so far"; this crate answers "what happened in the last few
+//! minutes". A [`Sampler`] thread snapshots the registry on a fixed
+//! interval and diffs consecutive snapshots into fixed-capacity
+//! ring-buffer time series:
+//!
+//! * counters → windowed **rates** ([`RatePoint`]),
+//! * gauges → **last-value** series ([`GaugePoint`]),
+//! * histograms → **sliding-window p50/p95/p99**, computed from the
+//!   bucket-count delta between two snapshots ([`WindowPoint`]).
+//!
+//! On top of the series sits the SLO engine: declarative objectives
+//! ([`SloSpec`]) graded each tick as multi-window burn rates
+//! ([`SloStatus`] — `ok`/`warn`/`burning`). `dpr-obs` serves the whole
+//! store as `GET /metrics/history`; `dpr-serve` starts a sampler per
+//! service and folds the SLO grades into `/healthz` and
+//! `/debug/snapshot`; `dpr-bench top` renders it all as a terminal
+//! dashboard.
+//!
+//! Interval and retention come from `DPR_SERIES_INTERVAL_MS` /
+//! `DPR_SERIES_CAPACITY` ([`SeriesConfig::from_env`]); the service
+//! objectives honor the `DPR_SLO_*` variables ([`service_slos`]).
+//! Memory is bounded independent of uptime, and sampling is
+//! observation-only — pipeline output is byte-identical with the
+//! sampler on or off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ring;
+mod sampler;
+mod slo;
+mod store;
+
+pub use ring::Ring;
+pub use sampler::Sampler;
+pub use slo::{
+    service_slos, Objective, SloSpec, SloStatus, SLO_ERROR_BUDGET_ENV, SLO_LATENCY_BUDGET_ENV,
+    SLO_LATENCY_US_ENV, SLO_QUEUE_BUDGET_ENV,
+};
+pub use store::{
+    GaugePoint, History, RatePoint, SeriesConfig, SeriesStore, WindowPoint, SERIES_CAPACITY_ENV,
+    SERIES_INTERVAL_ENV,
+};

@@ -1,0 +1,97 @@
+//! A fixed-capacity ring buffer: push evicts the oldest entry once the
+//! capacity is reached, so a series' memory is bounded no matter how
+//! long the sampler runs.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of series points. `push` beyond `capacity` drops the
+/// oldest entry and counts it, so retention is exact and observable.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring holding at most `capacity` entries (floored to 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many entries capacity eviction has discarded so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recently pushed entry.
+    pub fn last(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// The newest `n` entries, oldest-first.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &T> {
+        self.buf.iter().skip(self.buf.len().saturating_sub(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_beyond_capacity() {
+        let mut ring = Ring::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(ring.last(), Some(&4));
+        assert_eq!(ring.tail(2).copied().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn capacity_floors_to_one() {
+        let mut ring = Ring::new(0);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.last(), Some(&2));
+    }
+}

@@ -1,0 +1,187 @@
+//! The sampler thread: snapshots a [`Registry`] every tick, feeds the
+//! [`SeriesStore`], and publishes its own `series.*` / `slo.*` metrics
+//! back into the registry it watches.
+//!
+//! Sampling is observation-only: the thread *reads* the registry
+//! snapshot and writes nothing but its own bookkeeping metrics, so
+//! pipeline output is byte-identical with the sampler on or off (pinned
+//! by `tests/series_identity.rs`).
+
+use crate::store::{History, SeriesConfig, SeriesStore};
+use crate::slo::{SloSpec, SloStatus};
+use dpr_telemetry::Registry;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct Shared {
+    registry: Arc<Registry>,
+    store: Mutex<SeriesStore>,
+    last_tick: Mutex<Instant>,
+    stop: AtomicBool,
+}
+
+/// A running sampler: one named thread (`dpr-series-sample`) ticking at
+/// the configured interval, plus the store it fills. Shareable behind
+/// an `Arc` — routers read history/statuses while the thread samples.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Sampler {
+    /// Starts sampling `registry`. The first tick happens synchronously
+    /// before this returns, so `/metrics/history` and the SLO gauges
+    /// answer immediately after startup.
+    pub fn start(registry: Arc<Registry>, config: SeriesConfig, slos: Vec<SloSpec>) -> Arc<Sampler> {
+        let interval = config.interval;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(SeriesStore::new(config, slos)),
+            last_tick: Mutex::new(Instant::now()),
+            stop: AtomicBool::new(false),
+            registry,
+        });
+        tick(&shared);
+        let handle = std::thread::Builder::new()
+            .name("dpr-series-sample".to_string())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || {
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        std::thread::park_timeout(interval);
+                        if shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        tick(&shared);
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        Arc::new(Sampler {
+            shared,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Takes one sample now, outside the timer — tests and benches use
+    /// this to capture a window deterministically.
+    pub fn force_tick(&self) {
+        tick(&self.shared);
+    }
+
+    /// The current history document.
+    pub fn history(&self) -> History {
+        self.shared.store.lock().history()
+    }
+
+    /// The current SLO grades.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.shared.store.lock().statuses()
+    }
+
+    /// Ticks recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.shared.store.lock().samples()
+    }
+
+    /// Stops the sampler thread and joins it. Idempotent; the store
+    /// stays readable afterwards.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let handle = self.handle.lock().take();
+        if let Some(handle) = handle {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let store = self.shared.store.lock();
+        f.debug_struct("Sampler")
+            .field("samples", &store.samples())
+            .field("tracked", &store.tracked())
+            .field("stopped", &self.shared.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// One tick: measure elapsed wall time, snapshot, record, then publish
+/// the sampler's own metrics (which the *next* snapshot will see —
+/// self-observation converges because the metric set is fixed).
+fn tick(shared: &Shared) {
+    let now = Instant::now();
+    let elapsed = {
+        let mut last = shared.last_tick.lock();
+        let elapsed = now.duration_since(*last);
+        *last = now;
+        elapsed
+    };
+    let snapshot = shared.registry.snapshot();
+    let started = Instant::now();
+    let (tracked, statuses) = {
+        let mut store = shared.store.lock();
+        store.tick(&snapshot, elapsed);
+        (store.tracked(), store.statuses())
+    };
+    let registry = &shared.registry;
+    registry.counter("series.samples").inc(1);
+    registry.gauge("series.tracked").set(tracked as i64);
+    registry
+        .histogram("series.sample_us")
+        .record_duration(started.elapsed());
+    registry.counter("slo.evaluations").inc(statuses.len() as u64);
+    let mut burning = 0;
+    for status in &statuses {
+        if status.state == "burning" {
+            burning += 1;
+        }
+        registry
+            .gauge(&format!("slo.{}.state", status.slug))
+            .set(status.state_code());
+    }
+    registry.gauge("slo.burning").set(burning);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sampler_ticks_and_publishes_self_metrics() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("jobs.submitted").inc(3);
+        let sampler = Sampler::start(
+            Arc::clone(&registry),
+            SeriesConfig {
+                interval: Duration::from_millis(5),
+                capacity: 8,
+            },
+            crate::slo::service_slos(4),
+        );
+        registry.counter("jobs.submitted").inc(2);
+        sampler.force_tick();
+        let history = sampler.history();
+        assert!(history.samples >= 2, "{history:?}");
+        let series = history.counters.get("jobs.submitted").expect("tracked");
+        assert_eq!(series.last().map(|p| p.delta), Some(2));
+        assert_eq!(history.slos.len(), 3);
+        sampler.stop();
+        let snapshot = registry.snapshot();
+        assert!(snapshot.counters.get("series.samples").copied() >= Some(2));
+        assert_eq!(snapshot.gauges.get("slo.http_errors.state"), Some(&0));
+        // stop is idempotent and the store stays readable.
+        sampler.stop();
+        assert!(sampler.samples() >= 2);
+    }
+}

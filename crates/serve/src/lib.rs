@@ -47,6 +47,7 @@ pub use jobs::{
 pub use router::{ServiceHealth, ServiceRouter, SubmitResponse, SERVE_ROUTES};
 
 use dpr_obs::{shared_runs, shared_trace, HttpServer, ObsRouter, ServerConfig, SharedRuns, SharedTrace};
+use dpr_series::{Sampler, SeriesConfig};
 use dpr_telemetry::Registry;
 use std::io;
 use std::net::SocketAddr;
@@ -86,6 +87,10 @@ pub struct ServiceConfig {
     pub max_body_bytes: u64,
     /// Finished jobs kept queryable before eviction (`jobs.evicted`).
     pub jobs_kept: usize,
+    /// Metrics-history sampling: interval and per-series retention for
+    /// `/metrics/history` and the SLO burn-rate grades on `/healthz`.
+    /// `None` disables the sampler entirely (no thread, empty `slos`).
+    pub series: Option<SeriesConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +101,7 @@ impl Default for ServiceConfig {
             queue_capacity: 8,
             max_body_bytes: 64 * 1024 * 1024,
             jobs_kept: JOBS_KEPT,
+            series: Some(SeriesConfig::from_env()),
         }
     }
 }
@@ -114,6 +120,7 @@ pub struct AnalysisService {
     runs: SharedRuns,
     trace: SharedTrace,
     health: Arc<WorkerHealth>,
+    series: Option<Arc<Sampler>>,
 }
 
 impl AnalysisService {
@@ -151,7 +158,17 @@ impl AnalysisService {
                 })?;
             workers.push(handle);
         }
-        let obs = ObsRouter::new(Arc::clone(&registry), Arc::clone(&trace), Arc::clone(&runs));
+        let series = config.series.map(|series_config| {
+            Sampler::start(
+                Arc::clone(&registry),
+                series_config,
+                dpr_series::service_slos(config.queue_capacity),
+            )
+        });
+        let mut obs = ObsRouter::new(Arc::clone(&registry), Arc::clone(&trace), Arc::clone(&runs));
+        if let Some(sampler) = &series {
+            obs = obs.with_series(Arc::clone(sampler));
+        }
         let router = Arc::new(ServiceRouter::new(
             obs,
             Arc::clone(&store),
@@ -164,6 +181,9 @@ impl AnalysisService {
             Err(e) => {
                 // Bind failed: unwind the already-running workers
                 // before reporting, so no threads leak.
+                if let Some(sampler) = &series {
+                    sampler.stop();
+                }
                 store.drain();
                 for handle in workers {
                     let _ = handle.join();
@@ -179,6 +199,7 @@ impl AnalysisService {
             runs,
             trace,
             health,
+            series,
         })
     }
 
@@ -215,6 +236,12 @@ impl AnalysisService {
         &self.health
     }
 
+    /// The metrics-history sampler, when one is configured — the same
+    /// data `/metrics/history` serves, without a round trip.
+    pub fn series(&self) -> Option<&Arc<Sampler>> {
+        self.series.as_ref()
+    }
+
     /// Graceful drain: stop accepting, answer in-flight requests,
     /// finish every queued job, join the workers.
     pub fn stop(mut self) {
@@ -228,6 +255,11 @@ impl AnalysisService {
         self.store.drain();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Last, so the sampler keeps ticking while the drain produces
+        // its final jobs.* deltas.
+        if let Some(sampler) = self.series.take() {
+            sampler.stop();
         }
     }
 }

@@ -48,6 +48,9 @@ pub const SERVE_ROUTES: &str = "POST /jobs, GET /jobs, GET /jobs/<id>, GET /jobs
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceHealth {
     /// `ok`, or `no-workers` when no analysis worker ever registered.
+    /// SLO burn-rate grades live in `slos`, separately — a burning SLO
+    /// means the service is *degraded*, not that the process is down,
+    /// so liveness probes keep their meaning.
     pub status: String,
     /// The `dpr-serve` crate version compiled into this binary.
     pub version: String,
@@ -63,6 +66,9 @@ pub struct ServiceHealth {
     pub jobs_running: u64,
     /// Each analysis worker's state and last-heartbeat age.
     pub workers: Vec<WorkerReport>,
+    /// Burn-rate grade of every service SLO (`ok`/`warn`/`burning`);
+    /// empty when the service runs without a series sampler.
+    pub slos: Vec<dpr_series::SloStatus>,
 }
 
 /// What a successful `POST /jobs` returns.
@@ -117,7 +123,8 @@ pub struct ServiceRouter {
 impl ServiceRouter {
     /// A router submitting to `store`, validating car names against
     /// `analyzer`, reporting `health` on `/healthz`, and falling back
-    /// to `obs`.
+    /// to `obs` (which also carries the series sampler, when one is
+    /// attached, for `/metrics/history` and the SLO grades).
     pub fn new(
         obs: ObsRouter,
         store: Arc<JobStore>,
@@ -150,6 +157,11 @@ impl ServiceRouter {
             queue_capacity: self.store.queue_capacity() as u64,
             jobs_running: self.store.running() as u64,
             workers,
+            slos: self
+                .obs
+                .series()
+                .map(|sampler| sampler.statuses())
+                .unwrap_or_default(),
         }
     }
 
@@ -160,8 +172,10 @@ impl ServiceRouter {
     }
 
     /// One JSON diagnostics bundle: service health, the jobs table,
-    /// the pool profile, the full metrics snapshot, and the in-memory
-    /// log ring — everything a bug report needs, in one request.
+    /// the pool profile, the full metrics snapshot, the sampled metric
+    /// history with SLO grades (`null` without a sampler), and the
+    /// in-memory log ring — everything a bug report needs, in one
+    /// request.
     fn snapshot(&self, conn: &mut Conn<'_>) -> io::Result<()> {
         fn or_err(out: Result<String, dpr_telemetry::json::Error>) -> String {
             out.unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
@@ -170,6 +184,10 @@ impl ServiceRouter {
         let jobs = or_err(json::to_string(&self.store.statuses()));
         let profile = or_err(json::to_string(&dpr_prof::snapshot()));
         let metrics = or_err(json::to_string(&conn.registry().snapshot()));
+        let series = match self.obs.series() {
+            Some(sampler) => or_err(json::to_string(&sampler.history())),
+            None => "null".to_string(),
+        };
         let ring = dpr_log::logger().ring();
         let records: Vec<String> = ring
             .snapshot()
@@ -184,7 +202,7 @@ impl ServiceRouter {
         );
         let body = format!(
             "{{\"health\":{health},\"jobs\":{jobs},\"profile\":{profile},\
-             \"metrics\":{metrics},\"log\":{log}}}"
+             \"metrics\":{metrics},\"series\":{series},\"log\":{log}}}"
         );
         conn.respond("200 OK", "application/json", &body)
     }

@@ -218,6 +218,33 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The bucket-level increase since `earlier`: element-wise
+    /// saturating subtraction of the per-bucket counts, total count, and
+    /// sum. When the bound vectors disagree (the histogram was recreated
+    /// with different buckets, or `earlier` is empty), `earlier` is
+    /// treated as all-zero and the current state is returned whole.
+    ///
+    /// This is what turns a pair of cumulative snapshots into a
+    /// *windowed* distribution: the delta's [`quantile`]
+    /// (HistogramSnapshot::quantile) estimates percentiles over only the
+    /// observations recorded between the two snapshots.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if earlier.bounds != self.bounds || earlier.counts.len() != self.counts.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, before)| now.saturating_sub(*before))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: (self.sum - earlier.sum).max(0.0),
+        }
+    }
+
     /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
     /// within the bucket that straddles the target rank. Observations in
     /// the overflow bucket are attributed to the last finite bound.
@@ -474,6 +501,25 @@ mod tests {
             view.histograms.keys().collect::<Vec<_>>(),
             ["gp.sizes"]
         );
+    }
+
+    #[test]
+    fn histogram_delta_since_subtracts_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("lat", vec![10.0, 100.0]);
+        h.record(5.0);
+        h.record(50.0);
+        let earlier = h.snapshot();
+        h.record(50.0);
+        h.record(5000.0);
+        let delta = h.snapshot().delta_since(&earlier);
+        assert_eq!(delta.counts, vec![0, 1, 1]);
+        assert_eq!(delta.count, 2);
+        assert!((delta.sum - 5050.0).abs() < 1e-9);
+        // Mismatched bounds: earlier treated as empty.
+        let fresh = Histogram::with_bounds(vec![1.0]).snapshot();
+        let whole = h.snapshot().delta_since(&fresh);
+        assert_eq!(whole.count, 4);
     }
 
     #[test]
